@@ -1,0 +1,235 @@
+//! TCP Cubic (Ha, Rhee, Xu — and RFC 8312), the Linux default the paper
+//! evaluates as its primary loss-based baseline (§5). Window growth is a
+//! cubic function of time since the last loss, anchored at the pre-loss
+//! window `W_max`, with the standard TCP-friendly region and fast
+//! convergence.
+
+use crate::transport::CongestionControl;
+use sprout_trace::{Duration, Timestamp};
+
+/// RFC 8312 constants.
+const C: f64 = 0.4;
+const BETA: f64 = 0.7;
+
+/// Cubic congestion control.
+#[derive(Clone, Debug)]
+pub struct Cubic {
+    cwnd: f64,
+    ssthresh: f64,
+    /// Window at the last congestion event.
+    w_max: f64,
+    /// Time of the last congestion event.
+    epoch_start: Option<Timestamp>,
+    /// Cubic inflection delay K = cbrt(W_max·(1−β)/C).
+    k: f64,
+    /// Reno-equivalent window for the TCP-friendly region.
+    w_est: f64,
+    /// Latest RTT sample (drives W_est growth).
+    last_rtt: Duration,
+    /// RTT floor for the HyStart-style slow-start exit.
+    min_rtt: Option<Duration>,
+}
+
+impl Cubic {
+    /// New Cubic flow (initial window 2).
+    pub fn new() -> Self {
+        Cubic {
+            cwnd: 2.0,
+            ssthresh: f64::INFINITY,
+            w_max: 0.0,
+            epoch_start: None,
+            k: 0.0,
+            w_est: 0.0,
+            last_rtt: Duration::from_millis(100),
+            min_rtt: None,
+        }
+    }
+
+    fn enter_epoch(&mut self, now: Timestamp) {
+        self.epoch_start = Some(now);
+        self.k = ((self.w_max * (1.0 - BETA)) / C).cbrt();
+        self.w_est = self.cwnd;
+    }
+
+    /// W_cubic(t) per RFC 8312 §4.1.
+    fn w_cubic(&self, t_secs: f64) -> f64 {
+        C * (t_secs - self.k).powi(3) + self.w_max
+    }
+}
+
+impl Default for Cubic {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CongestionControl for Cubic {
+    fn on_ack(&mut self, newly_acked: u64, rtt: Duration, now: Timestamp) {
+        self.last_rtt = rtt;
+        if self.cwnd < self.ssthresh {
+            // HyStart: leave slow start on RTT inflation (Linux default),
+            // since deep cellular queues never produce the loss exit.
+            if crate::reno::slow_start_delay_exit(&mut self.min_rtt, rtt) {
+                self.ssthresh = self.cwnd;
+                self.w_max = self.cwnd;
+                self.enter_epoch(now);
+            } else {
+                // ABC (RFC 3465, L=2): cap growth per ACK event.
+                self.cwnd += (newly_acked as f64).min(2.0);
+                return;
+            }
+        }
+        if self.epoch_start.is_none() {
+            self.enter_epoch(now);
+        }
+        let t = now
+            .saturating_since(self.epoch_start.unwrap())
+            .as_secs_f64();
+        let rtt_s = rtt.as_secs_f64().max(1e-3);
+        // RFC 8312 §4.1: approach W_cubic(t+RTT), clamped to at most 1.5×
+        // cwnd per RTT so aggregated cumulative ACKs (common after
+        // recovery) cannot detonate the window.
+        let target = self.w_cubic(t + rtt_s).clamp(self.cwnd, self.cwnd * 1.5);
+        let credit = (newly_acked as f64).min(2.0);
+        self.cwnd += (target - self.cwnd) / self.cwnd * credit;
+        // TCP-friendly region (RFC 8312 §4.2), time-based: the window
+        // never grows slower than a Reno flow started at the loss event.
+        self.w_est = self.w_max * BETA
+            + 3.0 * (1.0 - BETA) / (1.0 + BETA) * (t / rtt_s);
+        self.cwnd = self.cwnd.max(self.w_est).max(2.0);
+    }
+
+    fn on_loss(&mut self, now: Timestamp) {
+        // Fast convergence (RFC 8312 §4.6).
+        if self.cwnd < self.w_max {
+            self.w_max = self.cwnd * (2.0 - BETA) / 2.0;
+        } else {
+            self.w_max = self.cwnd;
+        }
+        self.cwnd = (self.cwnd * BETA).max(2.0);
+        self.ssthresh = self.cwnd;
+        self.enter_epoch(now);
+    }
+
+    fn on_timeout(&mut self, now: Timestamp) {
+        self.w_max = self.cwnd;
+        self.ssthresh = (self.cwnd * BETA).max(2.0);
+        self.cwnd = 1.0;
+        self.epoch_start = None;
+        let _ = now;
+    }
+
+    fn window(&self) -> f64 {
+        self.cwnd
+    }
+
+    fn name(&self) -> &'static str {
+        "cubic"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: u64) -> Timestamp {
+        Timestamp::from_millis(ms)
+    }
+
+    fn rtt() -> Duration {
+        Duration::from_millis(40)
+    }
+
+    #[test]
+    fn slow_start_until_first_loss() {
+        let mut c = Cubic::new();
+        // Per-segment acks (the transport acks every segment): one RTT of
+        // acks doubles the window.
+        for _ in 0..2 {
+            c.on_ack(1, rtt(), t(0));
+        }
+        for _ in 0..4 {
+            c.on_ack(1, rtt(), t(40));
+        }
+        assert!((c.window() - 8.0).abs() < 1e-9);
+        c.on_loss(t(80));
+        assert!((c.window() - 8.0 * BETA).abs() < 1e-9);
+    }
+
+    #[test]
+    fn window_recovers_toward_w_max_concavely() {
+        let mut c = Cubic::new();
+        // Grow to 100 then lose.
+        for _ in 0..98 {
+            c.on_ack(1, rtt(), t(0));
+        }
+        assert!((c.window() - 100.0).abs() < 1e-9);
+        c.on_loss(t(0));
+        let after_loss = c.window(); // 70
+        assert!((after_loss - 70.0).abs() < 1e-9);
+        // Feed acks over simulated time; growth should be fast at first
+        // (steep cubic), slowing near w_max = 100.
+        let mut now_ms = 40;
+        let mut increments = Vec::new();
+        let mut prev = c.window();
+        for _ in 0..40 {
+            for _ in 0..c.window() as u64 {
+                c.on_ack(1, rtt(), t(now_ms));
+            }
+            increments.push(c.window() - prev);
+            prev = c.window();
+            now_ms += 40;
+        }
+        assert!(c.window() > 90.0, "approaches w_max, got {}", c.window());
+        // First growth burst larger than growth near the plateau.
+        let early: f64 = increments[..5].iter().sum();
+        let late: f64 = increments[20..25].iter().sum();
+        assert!(
+            early > late,
+            "concave approach: early {early:.2} late {late:.2}"
+        );
+    }
+
+    #[test]
+    fn fast_convergence_lowers_w_max_on_consecutive_losses() {
+        let mut c = Cubic::new();
+        for _ in 0..98 {
+            c.on_ack(1, rtt(), t(0));
+        }
+        c.on_loss(t(0));
+        let w_max_1 = c.w_max;
+        // A second loss below w_max triggers fast convergence.
+        c.on_loss(t(40));
+        assert!(c.w_max < w_max_1);
+    }
+
+    #[test]
+    fn timeout_collapses_window() {
+        let mut c = Cubic::new();
+        for _ in 0..60 {
+            c.on_ack(1, rtt(), t(0));
+        }
+        c.on_timeout(t(10));
+        assert_eq!(c.window(), 1.0);
+    }
+
+    #[test]
+    fn tcp_friendly_floor_in_low_bdp() {
+        // With a tiny w_max, the cubic curve is nearly flat; the Reno-like
+        // W_est keeps growth at least Reno-paced.
+        let mut c = Cubic::new();
+        for _ in 0..4 {
+            c.on_ack(1, rtt(), t(0));
+        }
+        c.on_loss(t(0));
+        let w0 = c.window();
+        let mut now_ms = 40;
+        for _ in 0..50 {
+            for _ in 0..c.window().max(1.0) as u64 {
+                c.on_ack(1, rtt(), t(now_ms));
+            }
+            now_ms += 40;
+        }
+        assert!(c.window() > w0 + 3.0, "must keep growing: {}", c.window());
+    }
+}

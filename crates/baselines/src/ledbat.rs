@@ -1,0 +1,192 @@
+//! LEDBAT (RFC 6817), the "background transport" delay-based controller
+//! the paper evaluates via µTP (§5). LEDBAT drives the one-way queueing
+//! delay toward a fixed `TARGET` (100 ms): the window grows while
+//! measured queueing delay is below target and shrinks proportionally
+//! when above.
+
+use crate::transport::CongestionControl;
+use sprout_trace::{Duration, Timestamp};
+
+/// RFC 6817 target queueing delay.
+const TARGET: Duration = Duration::from_millis(100);
+/// Window gain (per RFC: at most 1 cwnd increase per RTT at GAIN = 1).
+const GAIN: f64 = 1.0;
+/// Base-delay history length (RFC: ~10 one-minute buckets; the emulated
+/// runs are minutes long, one simple expanding minimum per bucket works).
+const BASE_HISTORY: usize = 10;
+/// Base-delay bucket width.
+const BUCKET: Duration = Duration::from_secs(60);
+
+/// LEDBAT congestion control.
+#[derive(Clone, Debug)]
+pub struct Ledbat {
+    cwnd: f64,
+    /// Rolling per-minute minima of one-way delay; the base delay is the
+    /// minimum across them.
+    base_history: Vec<Duration>,
+    bucket_started: Option<Timestamp>,
+    /// Most recent one-way delay sample.
+    last_delay: Option<Duration>,
+    now_hint: Timestamp,
+}
+
+impl Ledbat {
+    /// New LEDBAT flow.
+    pub fn new() -> Self {
+        Ledbat {
+            cwnd: 2.0,
+            base_history: Vec::new(),
+            bucket_started: None,
+            last_delay: None,
+            now_hint: Timestamp::ZERO,
+        }
+    }
+
+    fn base_delay(&self) -> Option<Duration> {
+        self.base_history.iter().copied().min()
+    }
+
+    /// Current queueing-delay estimate (last sample − base).
+    pub fn queueing_delay(&self) -> Option<Duration> {
+        match (self.last_delay, self.base_delay()) {
+            (Some(d), Some(b)) => Some(d.saturating_sub(b)),
+            _ => None,
+        }
+    }
+
+    fn roll_bucket(&mut self, now: Timestamp) {
+        match self.bucket_started {
+            None => {
+                self.bucket_started = Some(now);
+                self.base_history.push(Duration::from_secs(3600));
+            }
+            Some(start) if now.saturating_since(start) >= BUCKET => {
+                self.bucket_started = Some(now);
+                self.base_history.push(Duration::from_secs(3600));
+                if self.base_history.len() > BASE_HISTORY {
+                    self.base_history.remove(0);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+impl Default for Ledbat {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CongestionControl for Ledbat {
+    fn on_one_way_delay(&mut self, delay: Duration) {
+        self.roll_bucket(self.now_hint);
+        if let Some(last) = self.base_history.last_mut() {
+            if delay < *last {
+                *last = delay;
+            }
+        }
+        self.last_delay = Some(delay);
+    }
+
+    fn on_ack(&mut self, newly_acked: u64, _rtt: Duration, now: Timestamp) {
+        self.now_hint = now;
+        let Some(qd) = self.queueing_delay() else {
+            return;
+        };
+        // RFC 6817: off_target ∈ (−∞, 1]; cwnd += GAIN·off_target·acked/cwnd.
+        let off_target = (TARGET.as_secs_f64() - qd.as_secs_f64()) / TARGET.as_secs_f64();
+        self.cwnd += GAIN * off_target * newly_acked as f64 / self.cwnd;
+        self.cwnd = self.cwnd.max(1.0);
+    }
+
+    fn on_loss(&mut self, _now: Timestamp) {
+        self.cwnd = (self.cwnd / 2.0).max(1.0);
+    }
+
+    fn on_timeout(&mut self, _now: Timestamp) {
+        self.cwnd = 1.0;
+    }
+
+    fn window(&self) -> f64 {
+        self.cwnd
+    }
+
+    fn name(&self) -> &'static str {
+        "ledbat"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: u64) -> Timestamp {
+        Timestamp::from_millis(ms)
+    }
+
+    fn ms(v: u64) -> Duration {
+        Duration::from_millis(v)
+    }
+
+    #[test]
+    fn grows_below_target_shrinks_above() {
+        let mut l = Ledbat::new();
+        // Base delay 20 ms; current 30 ms → queueing 10 ms « target.
+        l.on_one_way_delay(ms(20));
+        l.on_one_way_delay(ms(30));
+        let w0 = l.window();
+        l.on_ack(2, ms(60), t(0));
+        assert!(l.window() > w0);
+        // Now 250 ms one-way → queueing 230 ms > target → decrease.
+        l.on_one_way_delay(ms(250));
+        let w1 = l.window();
+        l.on_ack(2, ms(500), t(1));
+        assert!(l.window() < w1);
+    }
+
+    #[test]
+    fn converges_near_target_delay() {
+        // Feed a feedback loop where queueing delay is proportional to
+        // cwnd (a crude bottleneck model): equilibrium should sit near
+        // the 100 ms target.
+        let mut l = Ledbat::new();
+        l.on_one_way_delay(ms(20));
+        let mut now = 0u64;
+        for _ in 0..3_000 {
+            let qd_ms = (l.window() * 10.0) as u64; // 10 ms per packet
+            l.on_one_way_delay(ms(20 + qd_ms));
+            l.on_ack(1, ms(40 + qd_ms), t(now));
+            now += 20;
+        }
+        let qd = l.queueing_delay().unwrap();
+        assert!(
+            qd >= ms(70) && qd <= ms(130),
+            "queueing delay {qd} should hover near 100 ms"
+        );
+    }
+
+    #[test]
+    fn base_delay_is_minimum_seen() {
+        let mut l = Ledbat::new();
+        l.on_one_way_delay(ms(80));
+        l.on_one_way_delay(ms(25));
+        l.on_one_way_delay(ms(60));
+        assert_eq!(l.queueing_delay().unwrap(), ms(35));
+    }
+
+    #[test]
+    fn loss_halves_window() {
+        let mut l = Ledbat::new();
+        l.on_one_way_delay(ms(20));
+        for i in 0..50 {
+            l.on_one_way_delay(ms(25));
+            l.on_ack(2, ms(50), t(i));
+        }
+        let w = l.window();
+        l.on_loss(t(100));
+        assert!((l.window() - w / 2.0).abs() < 1e-9);
+        l.on_timeout(t(101));
+        assert_eq!(l.window(), 1.0);
+    }
+}

@@ -1,0 +1,159 @@
+//! TCP Reno (Jacobson, SIGCOMM 1988 + NewReno-style fast recovery):
+//! slow start, AIMD congestion avoidance, halving on loss. The classic
+//! reactive baseline the paper's §6 traces back to.
+
+use crate::transport::CongestionControl;
+use sprout_trace::{Duration, Timestamp};
+
+/// Reno congestion control.
+#[derive(Clone, Debug)]
+pub struct Reno {
+    cwnd: f64,
+    ssthresh: f64,
+    min_rtt: Option<Duration>,
+}
+
+impl Reno {
+    /// Standard initial window of 2 segments, effectively-infinite
+    /// ssthresh.
+    pub fn new() -> Self {
+        Reno {
+            cwnd: 2.0,
+            ssthresh: f64::INFINITY,
+            min_rtt: None,
+        }
+    }
+
+    /// Whether we are in slow start.
+    pub fn in_slow_start(&self) -> bool {
+        self.cwnd < self.ssthresh
+    }
+}
+
+impl Default for Reno {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// HyStart-style delay-based slow-start exit shared by the loss-based
+/// algorithms: deep per-user cellular queues never drop, so without this
+/// a sender would stay in exponential slow start for the whole run —
+/// real stacks (Linux HyStart, Windows) exit once the RTT inflates well
+/// past its floor.
+pub(crate) fn slow_start_delay_exit(min_rtt: &mut Option<Duration>, rtt: Duration) -> bool {
+    let floor = match min_rtt {
+        Some(m) => {
+            if rtt < *m {
+                *m = rtt;
+            }
+            *m
+        }
+        None => {
+            *min_rtt = Some(rtt);
+            rtt
+        }
+    };
+    rtt.as_micros() > 2 * floor.as_micros()
+}
+
+impl CongestionControl for Reno {
+    fn on_ack(&mut self, newly_acked: u64, rtt: Duration, _now: Timestamp) {
+        if self.in_slow_start() && slow_start_delay_exit(&mut self.min_rtt, rtt) {
+            self.ssthresh = self.cwnd;
+        }
+        // Appropriate byte counting (RFC 3465, L=2): one cumulative ACK
+        // covering many segments (common after loss recovery) must not
+        // inflate slow start by its full span.
+        let credit = newly_acked.min(2);
+        for _ in 0..credit {
+            if self.cwnd < self.ssthresh {
+                self.cwnd += 1.0; // exponential per RTT
+            } else {
+                self.cwnd += newly_acked as f64 / credit as f64 / self.cwnd;
+            }
+        }
+    }
+
+    fn on_loss(&mut self, _now: Timestamp) {
+        self.ssthresh = (self.cwnd / 2.0).max(2.0);
+        self.cwnd = self.ssthresh;
+    }
+
+    fn on_timeout(&mut self, _now: Timestamp) {
+        self.ssthresh = (self.cwnd / 2.0).max(2.0);
+        self.cwnd = 1.0;
+    }
+
+    fn window(&self) -> f64 {
+        self.cwnd
+    }
+
+    fn name(&self) -> &'static str {
+        "reno"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t0() -> Timestamp {
+        Timestamp::ZERO
+    }
+
+    #[test]
+    fn slow_start_doubles_per_rtt() {
+        let mut r = Reno::new();
+        assert!(r.in_slow_start());
+        // One RTT worth of per-segment acks for a window of 2 → cwnd 4.
+        for _ in 0..2 {
+            r.on_ack(1, Duration::from_millis(40), t0());
+        }
+        assert!((r.window() - 4.0).abs() < 1e-9);
+        for _ in 0..4 {
+            r.on_ack(1, Duration::from_millis(40), t0());
+        }
+        assert!((r.window() - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn congestion_avoidance_adds_one_per_rtt() {
+        let mut r = Reno::new();
+        for _ in 0..8 {
+            r.on_ack(1, Duration::from_millis(40), t0());
+        }
+        r.on_loss(t0());
+        let w0 = r.window();
+        assert!(!r.in_slow_start());
+        // A full window of per-segment acks grows cwnd by ≈ 1.
+        for _ in 0..w0 as u64 {
+            r.on_ack(1, Duration::from_millis(40), t0());
+        }
+        assert!((r.window() - (w0 + 1.0)).abs() < 0.2);
+    }
+
+    #[test]
+    fn loss_halves_timeout_resets() {
+        let mut r = Reno::new();
+        for _ in 0..30 {
+            r.on_ack(1, Duration::from_millis(40), t0());
+        }
+        let w = r.window();
+        r.on_loss(t0());
+        assert!((r.window() - w / 2.0).abs() < 1e-9);
+        r.on_timeout(t0());
+        assert_eq!(r.window(), 1.0);
+        // And slow-start threshold remembers the halved window.
+        assert!(r.in_slow_start());
+    }
+
+    #[test]
+    fn window_never_below_one() {
+        let mut r = Reno::new();
+        for _ in 0..10 {
+            r.on_timeout(t0());
+        }
+        assert!(r.window() >= 1.0);
+    }
+}

@@ -1,0 +1,190 @@
+//! TCP Vegas (Brakmo & Peterson, SIGCOMM 1994): delay-based congestion
+//! avoidance. Vegas compares the expected throughput (cwnd/BaseRTT) with
+//! the actual (cwnd/RTT) and holds between α and β queued packets at the
+//! bottleneck — the paper's low-delay reactive baseline (§5, Fig. 7).
+
+use crate::transport::CongestionControl;
+use sprout_trace::{Duration, Timestamp};
+
+/// Vegas parameters (packets of backlog to maintain).
+const ALPHA: f64 = 2.0;
+const BETA: f64 = 4.0;
+/// Slow-start exit threshold (packets of backlog).
+const GAMMA: f64 = 1.0;
+
+/// Vegas congestion control.
+#[derive(Clone, Debug)]
+pub struct Vegas {
+    cwnd: f64,
+    base_rtt: Option<Duration>,
+    /// Smallest RTT seen during the current adjustment interval.
+    interval_min_rtt: Option<Duration>,
+    /// Segment count acked during the current interval.
+    acked_in_interval: u64,
+    /// The interval ends after a window's worth of acks.
+    in_slow_start: bool,
+    /// Slow start doubles every *other* RTT in Vegas.
+    ss_toggle: bool,
+}
+
+impl Vegas {
+    /// New Vegas flow.
+    pub fn new() -> Self {
+        Vegas {
+            cwnd: 2.0,
+            base_rtt: None,
+            interval_min_rtt: None,
+            acked_in_interval: 0,
+            in_slow_start: true,
+            ss_toggle: false,
+        }
+    }
+
+    /// Estimated backlog `diff` in packets: cwnd · (RTT − BaseRTT) / RTT.
+    fn backlog(&self, rtt: Duration) -> f64 {
+        let base = match self.base_rtt {
+            Some(b) => b.as_secs_f64(),
+            None => return 0.0,
+        };
+        let rtt = rtt.as_secs_f64().max(1e-6);
+        self.cwnd * (rtt - base) / rtt
+    }
+}
+
+impl Default for Vegas {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CongestionControl for Vegas {
+    fn on_ack(&mut self, newly_acked: u64, rtt: Duration, _now: Timestamp) {
+        if rtt > Duration::ZERO {
+            self.base_rtt = Some(match self.base_rtt {
+                Some(b) => b.min(rtt),
+                None => rtt,
+            });
+            self.interval_min_rtt = Some(match self.interval_min_rtt {
+                Some(m) => m.min(rtt),
+                None => rtt,
+            });
+        }
+        self.acked_in_interval += newly_acked;
+        // Evaluate once per RTT (a window's worth of acks).
+        if (self.acked_in_interval as f64) < self.cwnd {
+            return;
+        }
+        let rtt_for_eval = self.interval_min_rtt.unwrap_or(rtt);
+        let diff = self.backlog(rtt_for_eval);
+        if self.in_slow_start {
+            if diff > GAMMA {
+                self.in_slow_start = false;
+            } else {
+                // Double every other RTT.
+                self.ss_toggle = !self.ss_toggle;
+                if self.ss_toggle {
+                    self.cwnd *= 2.0;
+                }
+            }
+        } else if diff < ALPHA {
+            self.cwnd += 1.0;
+        } else if diff > BETA {
+            self.cwnd = (self.cwnd - 1.0).max(2.0);
+        }
+        self.acked_in_interval = 0;
+        self.interval_min_rtt = None;
+    }
+
+    fn on_loss(&mut self, _now: Timestamp) {
+        self.cwnd = (self.cwnd * 0.75).max(2.0);
+        self.in_slow_start = false;
+    }
+
+    fn on_timeout(&mut self, _now: Timestamp) {
+        self.cwnd = 2.0;
+        self.in_slow_start = true;
+        self.acked_in_interval = 0;
+    }
+
+    fn window(&self) -> f64 {
+        self.cwnd
+    }
+
+    fn name(&self) -> &'static str {
+        "vegas"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t0() -> Timestamp {
+        Timestamp::ZERO
+    }
+
+    fn ms(v: u64) -> Duration {
+        Duration::from_millis(v)
+    }
+
+    /// Feed one RTT's worth of acks at a fixed RTT.
+    fn one_rtt(v: &mut Vegas, rtt: Duration) {
+        let need = v.window() as u64 + 1;
+        v.on_ack(need, rtt, t0());
+    }
+
+    #[test]
+    fn grows_while_no_queueing() {
+        let mut v = Vegas::new();
+        // RTT stays at the propagation floor: backlog 0, window grows.
+        for _ in 0..10 {
+            one_rtt(&mut v, ms(40));
+        }
+        assert!(v.window() > 8.0, "got {}", v.window());
+    }
+
+    #[test]
+    fn backs_off_when_queue_builds() {
+        let mut v = Vegas::new();
+        for _ in 0..8 {
+            one_rtt(&mut v, ms(40));
+        }
+        let peak = v.window();
+        // RTT doubles → large backlog estimate → decrease.
+        for _ in 0..5 {
+            one_rtt(&mut v, ms(120));
+        }
+        assert!(v.window() < peak, "{} < {peak}", v.window());
+    }
+
+    #[test]
+    fn holds_steady_between_alpha_and_beta() {
+        let mut v = Vegas::new();
+        for _ in 0..10 {
+            one_rtt(&mut v, ms(40));
+        }
+        v.in_slow_start = false;
+        let w = v.window();
+        // RTT such that backlog = cwnd·(rtt−base)/rtt ∈ (α, β): pick rtt
+        // giving ≈3 packets of backlog: rtt = base/(1−3/w).
+        let base = 0.040;
+        let rtt = Duration::from_secs_f64(base / (1.0 - 3.0 / w));
+        for _ in 0..5 {
+            one_rtt(&mut v, rtt);
+        }
+        assert!((v.window() - w).abs() < 1.01, "held near {w}: {}", v.window());
+    }
+
+    #[test]
+    fn loss_and_timeout_reduce_window() {
+        let mut v = Vegas::new();
+        for _ in 0..10 {
+            one_rtt(&mut v, ms(40));
+        }
+        let w = v.window();
+        v.on_loss(t0());
+        assert!(v.window() < w);
+        v.on_timeout(t0());
+        assert_eq!(v.window(), 2.0);
+    }
+}

@@ -1,0 +1,49 @@
+//! Ablations of the design choices called out in DESIGN.md §4:
+//! time-to-next gating on/off, EWMA gain, and forecast confidence — each
+//! run end to end on the same link so the benchmark reports both runtime
+//! and (via eprintln) the achieved throughput/delay trade-off.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sprout_bench::figures::ExperimentConfig;
+use sprout_bench::{run_scheme, Scheme};
+use sprout_core::SproutConfig;
+use sprout_trace::Duration;
+
+fn ablation_run(rc: &sprout_bench::RunConfig, label: &str) {
+    let r = run_scheme(Scheme::Sprout, rc);
+    eprintln!(
+        "[ablation {label}] {:.0} kbps, self-inflicted {:.0} ms",
+        r.throughput_kbps, r.self_inflicted_ms
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    let exp = ExperimentConfig::quick();
+    let mut rc = exp.run_config(sprout_trace::NetProfile::VerizonLteDown);
+    rc.duration = Duration::from_secs(40);
+    rc.warmup = Duration::from_secs(10);
+    let _ = sprout_core::ForecastTables::get(&rc.sprout);
+
+    // Report the ablation outcomes once, outside the timing loops.
+    ablation_run(&rc, "ttn-gating on (paper)");
+    let mut no_gating = rc.clone();
+    no_gating.sprout = SproutConfig {
+        ttn_gating: false,
+        ..SproutConfig::paper()
+    };
+    ablation_run(&no_gating, "ttn-gating off");
+
+    c.bench_function("ablation_sprout_gating_on_40s", |b| {
+        b.iter(|| run_scheme(Scheme::Sprout, std::hint::black_box(&rc)))
+    });
+    c.bench_function("ablation_sprout_gating_off_40s", |b| {
+        b.iter(|| run_scheme(Scheme::Sprout, std::hint::black_box(&no_gating)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Microbenchmarks of Sprout's inference engine — the §3 claim that
+//! per-tick CPU cost is negligible ("less than 5% of a current
+//! microprocessor"): one tick of evolve+observe+normalize plus one
+//! forecast must complete far faster than the 20 ms tick budget.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sprout_core::{ForecastTables, RateModel, SproutConfig, TransitionKernel};
+
+fn bench_model_tick(c: &mut Criterion) {
+    let cfg = SproutConfig::paper();
+    let mut model = RateModel::new(cfg);
+    c.bench_function("model_tick_evolve_observe", |b| {
+        b.iter(|| {
+            model.evolve();
+            model.observe(std::hint::black_box(7.0));
+        })
+    });
+}
+
+fn bench_forecast(c: &mut Criterion) {
+    let cfg = SproutConfig::paper();
+    let tables = ForecastTables::get(&cfg);
+    let mut model = RateModel::new(cfg.clone());
+    for _ in 0..50 {
+        model.evolve();
+        model.observe(8.0);
+    }
+    c.bench_function("forecast_95pct_8ticks", |b| {
+        b.iter(|| tables.forecast(std::hint::black_box(model.distribution()), 5.0))
+    });
+}
+
+fn bench_table_build_small(c: &mut Criterion) {
+    // Paper-scale table build is a one-time cost (seconds); benchmark the
+    // scaled-down build to track regressions cheaply.
+    let cfg = SproutConfig::test_small();
+    let kernel = TransitionKernel::new(&cfg);
+    c.bench_function("forecast_table_build_small", |b| {
+        b.iter(|| ForecastTables::build(std::hint::black_box(&cfg), &kernel))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_model_tick, bench_forecast, bench_table_build_small
+}
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Benchmark harness for Figure 1 (Skype vs Sprout time series): runs a
+//! scaled-down version of the experiment end to end. `reproduce fig1`
+//! generates the full figure.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sprout_bench::figures::{fig1, ExperimentConfig};
+
+fn bench(c: &mut Criterion) {
+    let mut cfg = ExperimentConfig::quick();
+    cfg.run_secs = 40;
+    cfg.warmup_secs = 10;
+    cfg.out_dir = std::env::temp_dir().join("sprout-bench-fig1");
+    c.bench_function("fig1_timeseries_40s", |b| {
+        b.iter(|| fig1(std::hint::black_box(&cfg)).unwrap())
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! Benchmark harness for Figure 2 (interarrival distribution of a
+//! saturated cellular downlink). `reproduce fig2` generates the figure.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sprout_trace::{Duration, InterarrivalHistogram, NetProfile};
+
+fn bench(c: &mut Criterion) {
+    let trace = NetProfile::VerizonLteDown.generate(Duration::from_secs(300), 7);
+    c.bench_function("fig2_histogram_300s", |b| {
+        b.iter(|| InterarrivalHistogram::from_trace(std::hint::black_box(&trace), 10, 10_000.0))
+    });
+    c.bench_function("fig2_trace_synthesis_60s", |b| {
+        b.iter(|| NetProfile::VerizonLteDown.generate(Duration::from_secs(60), 7))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

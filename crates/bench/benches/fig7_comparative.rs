@@ -1,0 +1,30 @@
+//! Benchmark harness for Figure 7: one representative cell (Sprout on the
+//! Verizon LTE downlink) at reduced duration. `reproduce fig7` runs the
+//! full 10-scheme × 8-link sweep.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sprout_bench::figures::ExperimentConfig;
+use sprout_bench::{run_scheme, Scheme};
+use sprout_trace::Duration;
+
+fn bench(c: &mut Criterion) {
+    let exp = ExperimentConfig::quick();
+    let mut rc = exp.run_config(sprout_trace::NetProfile::VerizonLteDown);
+    rc.duration = Duration::from_secs(40);
+    rc.warmup = Duration::from_secs(10);
+    // Pay the forecast-table build once, outside the measurement.
+    let _ = sprout_core::ForecastTables::get(&rc.sprout);
+    c.bench_function("fig7_cell_sprout_vz_lte_down_40s", |b| {
+        b.iter(|| run_scheme(Scheme::Sprout, std::hint::black_box(&rc)))
+    });
+    c.bench_function("fig7_cell_cubic_vz_lte_down_40s", |b| {
+        b.iter(|| run_scheme(Scheme::Cubic, std::hint::black_box(&rc)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

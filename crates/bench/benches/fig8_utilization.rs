@@ -1,0 +1,25 @@
+//! Benchmark harness for Figure 8 (utilization/delay averages): times the
+//! CoDel-path run that distinguishes Fig. 8 from Fig. 7. `reproduce fig8`
+//! generates the full figure.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sprout_bench::figures::ExperimentConfig;
+use sprout_bench::{run_scheme, Scheme};
+use sprout_trace::Duration;
+
+fn bench(c: &mut Criterion) {
+    let exp = ExperimentConfig::quick();
+    let mut rc = exp.run_config(sprout_trace::NetProfile::VerizonLteDown);
+    rc.duration = Duration::from_secs(40);
+    rc.warmup = Duration::from_secs(10);
+    c.bench_function("fig8_cell_cubic_codel_40s", |b| {
+        b.iter(|| run_scheme(Scheme::CubicCodel, std::hint::black_box(&rc)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

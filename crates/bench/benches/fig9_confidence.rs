@@ -1,0 +1,27 @@
+//! Benchmark harness for Figure 9 (confidence sweep): one sweep point at
+//! reduced duration. `reproduce fig9` runs the full sweep.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sprout_bench::figures::ExperimentConfig;
+use sprout_bench::{run_scheme, Scheme};
+use sprout_core::SproutConfig;
+use sprout_trace::Duration;
+
+fn bench(c: &mut Criterion) {
+    let exp = ExperimentConfig::quick();
+    let mut rc = exp.run_config(sprout_trace::NetProfile::TmobileUmtsUp);
+    rc.duration = Duration::from_secs(40);
+    rc.warmup = Duration::from_secs(10);
+    rc.sprout = SproutConfig::with_confidence_percent(50.0);
+    let _ = sprout_core::ForecastTables::get(&rc.sprout);
+    c.bench_function("fig9_point_conf50_tmobile_up_40s", |b| {
+        b.iter(|| run_scheme(Scheme::Sprout, std::hint::black_box(&rc)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

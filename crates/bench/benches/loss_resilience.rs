@@ -1,0 +1,26 @@
+//! Benchmark harness for the §5.6 loss table: Sprout under 10% Bernoulli
+//! loss at reduced duration. `reproduce loss` runs the full table.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sprout_bench::figures::ExperimentConfig;
+use sprout_bench::{run_scheme, Scheme};
+use sprout_trace::Duration;
+
+fn bench(c: &mut Criterion) {
+    let exp = ExperimentConfig::quick();
+    let mut rc = exp.run_config(sprout_trace::NetProfile::VerizonLteDown);
+    rc.duration = Duration::from_secs(40);
+    rc.warmup = Duration::from_secs(10);
+    rc.loss_rate = 0.10;
+    let _ = sprout_core::ForecastTables::get(&rc.sprout);
+    c.bench_function("loss_cell_sprout_10pct_40s", |b| {
+        b.iter(|| run_scheme(Scheme::Sprout, std::hint::black_box(&rc)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

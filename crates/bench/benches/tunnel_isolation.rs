@@ -1,0 +1,23 @@
+//! Benchmark harness for the §5.7 tunnel experiment at reduced duration.
+//! `reproduce tunnel` runs the full comparison.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sprout_bench::figures::{tunnel_comparison, ExperimentConfig};
+
+fn bench(c: &mut Criterion) {
+    let mut cfg = ExperimentConfig::quick();
+    cfg.run_secs = 40;
+    cfg.warmup_secs = 10;
+    cfg.out_dir = std::env::temp_dir().join("sprout-bench-tunnel");
+    let _ = sprout_core::ForecastTables::get(&sprout_core::SproutConfig::paper());
+    c.bench_function("tunnel_comparison_40s", |b| {
+        b.iter(|| tunnel_comparison(std::hint::black_box(&cfg)).unwrap())
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

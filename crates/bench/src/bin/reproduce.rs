@@ -1,0 +1,301 @@
+//! Regenerate the paper's tables and figures.
+//!
+//! ```text
+//! reproduce <experiment> [--secs N] [--warmup N] [--seed N] [--out DIR]
+//!
+//! experiments:
+//!   fig1     Skype vs Sprout time series (Verizon LTE downlink)
+//!   fig2     saturated-link interarrival distribution
+//!   fig7     full comparative sweep (9 schemes x 8 links) + intro tables
+//!   fig8     average utilization vs delay (needs the fig7 sweep; runs it)
+//!   fig9     forecast-confidence sweep (T-Mobile 3G uplink)
+//!   loss     s5.6 loss-resilience table
+//!   tunnel   s5.7 SproutTunnel isolation table
+//!   all      everything above
+//! ```
+
+use std::time::Instant;
+
+use sprout_bench::figures::{self, ExperimentConfig};
+use sprout_bench::{summary_table, Scheme};
+
+fn parse_args() -> (String, ExperimentConfig) {
+    let mut cfg = ExperimentConfig::default();
+    let mut cmd = String::from("all");
+    let mut args = std::env::args().skip(1);
+    let mut positional_seen = false;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--secs" => {
+                cfg.run_secs = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--secs N");
+            }
+            "--warmup" => {
+                cfg.warmup_secs = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--warmup N");
+            }
+            "--seed" => {
+                cfg.seed = args.next().and_then(|v| v.parse().ok()).expect("--seed N");
+            }
+            "--out" => {
+                cfg.out_dir = args.next().expect("--out DIR").into();
+            }
+            "--quick" => {
+                cfg.run_secs = 90;
+                cfg.warmup_secs = 20;
+            }
+            other if !positional_seen => {
+                cmd = other.to_string();
+                positional_seen = true;
+            }
+            other => panic!("unexpected argument {other:?}"),
+        }
+    }
+    assert!(
+        cfg.warmup_secs < cfg.run_secs,
+        "warmup must be shorter than the run"
+    );
+    (cmd, cfg)
+}
+
+fn print_fig7_and_tables(cfg: &ExperimentConfig) -> std::io::Result<sprout_bench::Fig7Results> {
+    let t0 = Instant::now();
+    let results = figures::fig7(cfg)?;
+    println!(
+        "\n== Figure 7: throughput vs self-inflicted delay ({:.0?}) ==",
+        t0.elapsed()
+    );
+    for link in sprout_trace::NetProfile::all() {
+        println!("\n--- {} ---", link.name());
+        let mut schemes = Scheme::fig7().to_vec();
+        schemes.push(Scheme::CubicCodel);
+        for scheme in schemes {
+            if let Some(r) = results.get(link, scheme) {
+                println!("  {}", figures::fmt_result(scheme.name(), r));
+            }
+        }
+    }
+
+    // Intro table 1: vs Sprout.
+    let t1_rows = summary_table(
+        &results,
+        Scheme::Sprout,
+        &[
+            Scheme::Skype,
+            Scheme::Hangout,
+            Scheme::Facetime,
+            Scheme::Compound,
+            Scheme::Vegas,
+            Scheme::Ledbat,
+            Scheme::Cubic,
+            Scheme::CubicCodel,
+        ],
+    );
+    println!("\n== Intro table 1 (reference: Sprout; paper values in brackets) ==");
+    let paper: &[(&str, &str, &str)] = &[
+        ("Skype", "2.2x", "7.9x (2.52s)"),
+        ("Google Hangout", "4.4x", "7.2x (2.28s)"),
+        ("Facetime", "1.9x", "8.7x (2.75s)"),
+        ("Compound TCP", "1.3x", "4.8x (1.53s)"),
+        ("Vegas", "1.1x", "2.1x (0.67s)"),
+        ("LEDBAT", "1.0x", "2.8x (0.89s)"),
+        ("Cubic", "0.91x", "79x (25s)"),
+        ("Cubic-CoDel", "0.70x", "1.6x (0.50s)"),
+    ];
+    for (row, (pn, ps, pd)) in t1_rows.iter().zip(paper) {
+        assert_eq!(row.scheme.name(), *pn, "paper row order");
+        println!(
+            "  {:16} speedup {:>5.2}x [paper {:>5}]   delay {:>6.1}x ({:.2}s) [paper {}]",
+            row.scheme.name(),
+            row.avg_speedup,
+            ps,
+            row.delay_reduction,
+            row.avg_delay_s,
+            pd
+        );
+    }
+    figures::write_summary(cfg, "table1_summary.tsv", &t1_rows)?;
+
+    // Intro table 2: vs Sprout-EWMA.
+    let t2_rows = summary_table(
+        &results,
+        Scheme::SproutEwma,
+        &[Scheme::Sprout, Scheme::Cubic, Scheme::CubicCodel],
+    );
+    println!("\n== Intro table 2 (reference: Sprout-EWMA) ==");
+    for row in &t2_rows {
+        println!(
+            "  {:16} speedup {:>6.2}x  delay reduction {:>6.2}x (avg {:.2}s)",
+            row.scheme.name(),
+            row.avg_speedup,
+            row.delay_reduction,
+            row.avg_delay_s
+        );
+    }
+    figures::write_summary(cfg, "table2_ewma.tsv", &t2_rows)?;
+    Ok(results)
+}
+
+fn main() -> std::io::Result<()> {
+    let (cmd, cfg) = parse_args();
+    figures::ensure_out_dir(&cfg.out_dir)?;
+    println!(
+        "reproduce: {cmd} (runs {}s, warmup {}s, seed {}, out {:?})",
+        cfg.run_secs, cfg.warmup_secs, cfg.seed, cfg.out_dir
+    );
+
+    match cmd.as_str() {
+        "fig1" => {
+            let r = figures::fig1(&cfg)?;
+            println!(
+                "fig1: {} bins written to fig1_timeseries.tsv",
+                r.throughput_rows.len()
+            );
+            let avg =
+                |sel: fn(&(f64, f64, f64, f64)) -> f64, rows: &[(f64, f64, f64, f64)]| -> f64 {
+                    rows.iter().map(sel).sum::<f64>() / rows.len().max(1) as f64
+                };
+            println!(
+                "  mean capacity {:.0} kbps | skype {:.0} kbps | sprout {:.0} kbps",
+                avg(|r| r.1, &r.throughput_rows),
+                avg(|r| r.2, &r.throughput_rows),
+                avg(|r| r.3, &r.throughput_rows),
+            );
+        }
+        "fig2" => {
+            let r = figures::fig2(&cfg)?;
+            println!(
+                "fig2: {} interarrivals; {:.3}% within 20 ms [paper: 99.99%]; tail slope {:?} [paper: -3.27]",
+                r.samples,
+                r.fraction_within_20ms * 100.0,
+                r.tail_slope
+            );
+        }
+        "fig7" => {
+            print_fig7_and_tables(&cfg)?;
+        }
+        "fig8" => {
+            let results = print_fig7_and_tables(&cfg)?;
+            let rows = figures::fig8(&cfg, &results)?;
+            println!("\n== Figure 8: average utilization vs delay ==");
+            for r in rows {
+                println!(
+                    "  {:12} {:>5.1}% utilization at {:>7.0} ms self-inflicted delay",
+                    r.scheme.name(),
+                    r.avg_utilization_pct,
+                    r.avg_delay_ms
+                );
+            }
+        }
+        "fig9" => {
+            let rows = figures::fig9(&cfg)?;
+            println!("\n== Figure 9: confidence sweep (T-Mobile 3G uplink) ==");
+            for r in rows {
+                println!(
+                    "  {:>3.0}% confidence: {:>6.0} kbps at {:>6.0} ms",
+                    r.confidence, r.result.throughput_kbps, r.result.self_inflicted_ms
+                );
+            }
+        }
+        "loss" => {
+            let rows = figures::loss_table(&cfg)?;
+            println!("\n== s5.6 loss resilience (Sprout) ==");
+            println!("  paper (downlink): 0% 4741kbps/73ms, 5% 3971/60, 10% 2768/58");
+            println!("  paper (uplink):   0% 3703kbps/332ms, 5% 2598/378, 10% 1163/314");
+            for r in rows {
+                println!(
+                    "  {:12} {:>3.0}% loss: {:>6.0} kbps at {:>6.0} ms",
+                    r.link.id(),
+                    r.loss_rate * 100.0,
+                    r.result.throughput_kbps,
+                    r.result.self_inflicted_ms
+                );
+            }
+        }
+        "tunnel" => {
+            let r = figures::tunnel_comparison(&cfg)?;
+            println!("\n== s5.7 SproutTunnel isolation (Verizon LTE downlink) ==");
+            println!("  paper: cubic 8336->3776 kbps (-55%), skype 78->490 kbps (+528%), skype delay 6.0->0.17 s (-97%)");
+            println!(
+                "  cubic throughput {:>7.0} -> {:>7.0} kbps ({:+.0}%)",
+                r.cubic_direct_kbps,
+                r.cubic_tunnel_kbps,
+                100.0 * (r.cubic_tunnel_kbps / r.cubic_direct_kbps - 1.0)
+            );
+            println!(
+                "  skype throughput {:>7.0} -> {:>7.0} kbps ({:+.0}%)",
+                r.skype_direct_kbps,
+                r.skype_tunnel_kbps,
+                100.0 * (r.skype_tunnel_kbps / r.skype_direct_kbps - 1.0)
+            );
+            println!(
+                "  skype 95% delay  {:>7.2} -> {:>7.2} s ({:+.0}%)",
+                r.skype_direct_delay_s,
+                r.skype_tunnel_delay_s,
+                100.0 * (r.skype_tunnel_delay_s / r.skype_direct_delay_s - 1.0)
+            );
+        }
+        "all" => {
+            let t0 = Instant::now();
+            let r1 = figures::fig1(&cfg)?;
+            println!("fig1 done: {} bins", r1.throughput_rows.len());
+            let r2 = figures::fig2(&cfg)?;
+            println!(
+                "fig2 done: {:.3}% within 20 ms, tail slope {:?}",
+                r2.fraction_within_20ms * 100.0,
+                r2.tail_slope
+            );
+            let results = print_fig7_and_tables(&cfg)?;
+            let rows = figures::fig8(&cfg, &results)?;
+            println!("\n== Figure 8 ==");
+            for r in rows {
+                println!(
+                    "  {:12} {:>5.1}% util at {:>7.0} ms",
+                    r.scheme.name(),
+                    r.avg_utilization_pct,
+                    r.avg_delay_ms
+                );
+            }
+            let rows = figures::fig9(&cfg)?;
+            println!("\n== Figure 9 ==");
+            for r in rows {
+                println!(
+                    "  {:>3.0}%: {:>6.0} kbps at {:>6.0} ms",
+                    r.confidence, r.result.throughput_kbps, r.result.self_inflicted_ms
+                );
+            }
+            let rows = figures::loss_table(&cfg)?;
+            println!("\n== s5.6 loss ==");
+            for r in rows {
+                println!(
+                    "  {:12} {:>3.0}%: {:>6.0} kbps at {:>6.0} ms",
+                    r.link.id(),
+                    r.loss_rate * 100.0,
+                    r.result.throughput_kbps,
+                    r.result.self_inflicted_ms
+                );
+            }
+            let r = figures::tunnel_comparison(&cfg)?;
+            println!("\n== s5.7 tunnel ==");
+            println!(
+                "  cubic {:>6.0}->{:>6.0} kbps | skype {:>5.0}->{:>5.0} kbps | skype delay {:.2}->{:.2} s",
+                r.cubic_direct_kbps,
+                r.cubic_tunnel_kbps,
+                r.skype_direct_kbps,
+                r.skype_tunnel_kbps,
+                r.skype_direct_delay_s,
+                r.skype_tunnel_delay_s
+            );
+            println!("\nall experiments done in {:.0?}", t0.elapsed());
+        }
+        other => {
+            eprintln!("unknown experiment {other:?}; see the module docs");
+            std::process::exit(2);
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,596 @@
+//! Regeneration of every table and figure in the paper's evaluation
+//! (§5). Each function runs the relevant experiment in virtual time,
+//! writes machine-readable TSV into the output directory, and returns a
+//! structured summary for display.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+use sprout_baselines::{AppProfile, Cubic, TcpReceiver, TcpSender, VideoAppReceiver, VideoAppSender};
+use sprout_core::{SproutConfig, SproutEndpoint};
+use sprout_sim::{Endpoint, FlowId, MuxEndpoint, PathConfig, Simulation};
+use sprout_trace::{
+    Duration, InterarrivalHistogram, NetProfile, Timestamp, Trace,
+};
+use sprout_tunnel::{TunnelEndpoint, TunnelHost};
+
+use crate::schemes::{run_scheme, RunConfig, Scheme, SchemeResult};
+
+/// Global experiment knobs (trace length, warm-up, seed, output dir).
+#[derive(Clone, Debug)]
+pub struct ExperimentConfig {
+    /// Virtual seconds per run (the paper's traces are ~17 min; 300 s
+    /// keeps the full sweep tractable while well past convergence).
+    pub run_secs: u64,
+    /// Warm-up skipped before measurement (§5.1: one minute).
+    pub warmup_secs: u64,
+    /// Master seed for trace synthesis.
+    pub seed: u64,
+    /// Output directory for TSV artifacts.
+    pub out_dir: PathBuf,
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        ExperimentConfig {
+            run_secs: 300,
+            warmup_secs: 60,
+            seed: 20130401, // NSDI 2013
+            out_dir: PathBuf::from("results"),
+        }
+    }
+}
+
+impl ExperimentConfig {
+    /// A fast configuration for smoke tests and criterion benches.
+    pub fn quick() -> Self {
+        ExperimentConfig {
+            run_secs: 90,
+            warmup_secs: 20,
+            ..Default::default()
+        }
+    }
+
+    fn duration(&self) -> Duration {
+        Duration::from_secs(self.run_secs)
+    }
+
+    fn warmup(&self) -> Duration {
+        Duration::from_secs(self.warmup_secs)
+    }
+
+    /// The synthetic stand-in for one measured link (deterministic in the
+    /// master seed).
+    pub fn trace_for(&self, profile: NetProfile) -> Trace {
+        profile.generate(self.duration(), self.seed)
+    }
+
+    /// Data/feedback trace pair for a link under test: the feedback path
+    /// is the same network's other direction.
+    pub fn run_config(&self, profile: NetProfile) -> RunConfig {
+        let data = self.trace_for(profile);
+        let feedback = self.trace_for(paired(profile));
+        RunConfig {
+            duration: self.duration(),
+            warmup: self.warmup(),
+            ..RunConfig::new(data, feedback)
+        }
+    }
+
+    fn tsv(&self, name: &str) -> std::io::Result<fs::File> {
+        fs::create_dir_all(&self.out_dir)?;
+        fs::File::create(self.out_dir.join(name))
+    }
+}
+
+/// The opposite direction of the same network.
+pub fn paired(profile: NetProfile) -> NetProfile {
+    match profile {
+        NetProfile::VerizonLteDown => NetProfile::VerizonLteUp,
+        NetProfile::VerizonLteUp => NetProfile::VerizonLteDown,
+        NetProfile::Verizon3gDown => NetProfile::Verizon3gUp,
+        NetProfile::Verizon3gUp => NetProfile::Verizon3gDown,
+        NetProfile::AttLteDown => NetProfile::AttLteUp,
+        NetProfile::AttLteUp => NetProfile::AttLteDown,
+        NetProfile::TmobileUmtsDown => NetProfile::TmobileUmtsUp,
+        NetProfile::TmobileUmtsUp => NetProfile::TmobileUmtsDown,
+    }
+}
+
+// ---------------------------------------------------------------- fig 1
+
+/// Figure 1: Skype vs Sprout time series on the Verizon LTE downlink.
+pub struct Fig1Result {
+    /// (time s, capacity kbps, skype kbps, sprout kbps) per 500 ms bin.
+    pub throughput_rows: Vec<(f64, f64, f64, f64)>,
+    /// Worst per-arrival delay per 500 ms bin: (time s, skype ms, sprout ms).
+    pub delay_rows: Vec<(f64, f64, f64)>,
+}
+
+/// Run Figure 1.
+pub fn fig1(cfg: &ExperimentConfig) -> std::io::Result<Fig1Result> {
+    let bin = Duration::from_millis(500);
+    let run = |scheme: Scheme| {
+        let rc = cfg.run_config(NetProfile::VerizonLteDown);
+        let (a, b) = crate::schemes::build_endpoints(scheme, &rc);
+        let mut sim = Simulation::new(
+            a,
+            b,
+            PathConfig::standard(rc.data_trace.clone()),
+            PathConfig::standard(rc.feedback_trace.clone()),
+        );
+        let end = Timestamp::ZERO + rc.duration;
+        sim.run_until(end);
+        let from = Timestamp::ZERO + rc.warmup;
+        let tput = sim.ab_metrics().throughput_series_kbps(bin, from, end);
+        // Per-bin worst arrival delay.
+        let mut delays: BTreeMap<u64, f64> = BTreeMap::new();
+        for (at, d) in sim.ab_metrics().delay_series() {
+            if at < from {
+                continue;
+            }
+            let key = (at.as_micros() - from.as_micros()) / bin.as_micros();
+            let ms = d.as_micros() as f64 / 1e3;
+            let e = delays.entry(key).or_insert(0.0);
+            if ms > *e {
+                *e = ms;
+            }
+        }
+        (tput, delays, rc.data_trace)
+    };
+    let (skype_tput, skype_delay, trace) = run(Scheme::Skype);
+    let (sprout_tput, sprout_delay, _) = run(Scheme::Sprout);
+    let from = Timestamp::ZERO + cfg.warmup();
+    let capacity: Vec<f64> = trace
+        .window(from, Timestamp::ZERO + cfg.duration())
+        .capacity_series_kbps(bin);
+
+    let mut throughput_rows = Vec::new();
+    let mut delay_rows = Vec::new();
+    for i in 0..skype_tput.len().min(sprout_tput.len()).min(capacity.len()) {
+        let t = i as f64 * 0.5;
+        throughput_rows.push((t, capacity[i], skype_tput[i].1, sprout_tput[i].1));
+        delay_rows.push((
+            t,
+            skype_delay.get(&(i as u64)).copied().unwrap_or(0.0),
+            sprout_delay.get(&(i as u64)).copied().unwrap_or(0.0),
+        ));
+    }
+    let mut f = cfg.tsv("fig1_timeseries.tsv")?;
+    writeln!(f, "time_s\tcapacity_kbps\tskype_kbps\tsprout_kbps\tskype_delay_ms\tsprout_delay_ms")?;
+    for (i, row) in throughput_rows.iter().enumerate() {
+        writeln!(
+            f,
+            "{:.1}\t{:.0}\t{:.0}\t{:.0}\t{:.0}\t{:.0}",
+            row.0, row.1, row.2, row.3, delay_rows[i].1, delay_rows[i].2
+        )?;
+    }
+    Ok(Fig1Result {
+        throughput_rows,
+        delay_rows,
+    })
+}
+
+// ---------------------------------------------------------------- fig 2
+
+/// Figure 2: interarrival distribution of a saturated downlink.
+pub struct Fig2Result {
+    /// Fraction of interarrivals within 20 ms (paper: 99.99%).
+    pub fraction_within_20ms: f64,
+    /// Power-law slope of the 20 ms–5 s tail (paper: −3.27).
+    pub tail_slope: Option<f64>,
+    /// Total interarrivals measured.
+    pub samples: u64,
+}
+
+/// Run Figure 2 on a long saturated Verizon LTE downlink.
+pub fn fig2(cfg: &ExperimentConfig) -> std::io::Result<Fig2Result> {
+    // The paper's sample is 1.2 M packets; at ~420 packets/s that is
+    // ~48 min of saturation. Scale with run_secs but keep ≥ 10 min.
+    let secs = (cfg.run_secs * 10).max(600);
+    let trace = NetProfile::VerizonLteDown.generate(Duration::from_secs(secs), cfg.seed ^ 0xf16);
+    let hist = InterarrivalHistogram::from_trace(&trace, 10, 10_000.0);
+    let mut f = cfg.tsv("fig2_interarrival.tsv")?;
+    writeln!(f, "bin_start_ms\tbin_end_ms\tpercent")?;
+    for (lo, hi, pct) in hist.rows() {
+        if pct > 0.0 {
+            writeln!(f, "{lo:.3}\t{hi:.3}\t{pct:.6}")?;
+        }
+    }
+    Ok(Fig2Result {
+        fraction_within_20ms: hist.fraction_within_ms(20.0),
+        tail_slope: hist.tail_power_law_slope(20.0, 5_000.0),
+        samples: hist.total(),
+    })
+}
+
+// ---------------------------------------------------------------- fig 7
+
+/// All Figure 7 cells (plus Cubic-CoDel for the intro tables / Fig. 8).
+pub struct Fig7Results {
+    /// (link, scheme, result) for every cell.
+    pub cells: Vec<(NetProfile, Scheme, SchemeResult)>,
+}
+
+impl Fig7Results {
+    /// The result of one cell.
+    pub fn get(&self, link: NetProfile, scheme: Scheme) -> Option<&SchemeResult> {
+        self.cells
+            .iter()
+            .find(|(l, s, _)| *l == link && *s == scheme)
+            .map(|(_, _, r)| r)
+    }
+
+    /// Mean over all links of a per-cell metric for one scheme.
+    pub fn mean_over_links(&self, scheme: Scheme, f: impl Fn(&SchemeResult) -> f64) -> f64 {
+        let vals: Vec<f64> = self
+            .cells
+            .iter()
+            .filter(|(_, s, _)| *s == scheme)
+            .map(|(_, _, r)| f(r))
+            .filter(|v| v.is_finite())
+            .collect();
+        vals.iter().sum::<f64>() / vals.len().max(1) as f64
+    }
+}
+
+/// Run the full Figure 7 sweep: every scheme on every link direction.
+pub fn fig7(cfg: &ExperimentConfig) -> std::io::Result<Fig7Results> {
+    let mut schemes = Scheme::fig7().to_vec();
+    schemes.push(Scheme::CubicCodel); // intro table & Fig. 8 need it
+    let mut cells = Vec::new();
+    let mut f = cfg.tsv("fig7_comparative.tsv")?;
+    writeln!(
+        f,
+        "link\tscheme\tthroughput_kbps\tp95_delay_ms\tself_inflicted_ms\tomniscient_ms\tutilization"
+    )?;
+    for link in NetProfile::all() {
+        let rc = cfg.run_config(link);
+        for &scheme in &schemes {
+            let r = run_scheme(scheme, &rc);
+            writeln!(
+                f,
+                "{}\t{}\t{:.1}\t{:.1}\t{:.1}\t{:.1}\t{:.4}",
+                link.id(),
+                scheme.name(),
+                r.throughput_kbps,
+                r.p95_delay_ms,
+                r.self_inflicted_ms,
+                r.omniscient_ms,
+                r.utilization
+            )?;
+            cells.push((link, scheme, r));
+        }
+    }
+    Ok(Fig7Results { cells })
+}
+
+/// One row of the intro comparison tables.
+pub struct SummaryRow {
+    /// Scheme being compared against the reference.
+    pub scheme: Scheme,
+    /// Mean over links of (reference throughput / scheme throughput).
+    pub avg_speedup: f64,
+    /// (scheme mean self-inflicted delay) / (reference mean delay).
+    pub delay_reduction: f64,
+    /// Scheme mean self-inflicted delay, seconds.
+    pub avg_delay_s: f64,
+}
+
+/// Intro table 1 (reference = Sprout) or table 2 (reference =
+/// Sprout-EWMA), §1.
+pub fn summary_table(results: &Fig7Results, reference: Scheme, rows: &[Scheme]) -> Vec<SummaryRow> {
+    let ref_delay = results.mean_over_links(reference, |r| r.self_inflicted_ms) / 1e3;
+    rows.iter()
+        .map(|&scheme| {
+            // Mean of per-link speedups (ratio of throughputs per link).
+            let mut ratios = Vec::new();
+            for link in NetProfile::all() {
+                if let (Some(a), Some(b)) = (
+                    results.get(link, reference),
+                    results.get(link, scheme),
+                ) {
+                    if b.throughput_kbps > 0.0 {
+                        ratios.push(a.throughput_kbps / b.throughput_kbps);
+                    }
+                }
+            }
+            let avg_speedup = ratios.iter().sum::<f64>() / ratios.len().max(1) as f64;
+            let avg_delay_s = results.mean_over_links(scheme, |r| r.self_inflicted_ms) / 1e3;
+            SummaryRow {
+                scheme,
+                avg_speedup,
+                delay_reduction: avg_delay_s / ref_delay.max(1e-9),
+                avg_delay_s,
+            }
+        })
+        .collect()
+}
+
+/// Write an intro summary table as TSV.
+pub fn write_summary(
+    cfg: &ExperimentConfig,
+    name: &str,
+    rows: &[SummaryRow],
+) -> std::io::Result<()> {
+    let mut f = cfg.tsv(name)?;
+    writeln!(f, "scheme\tavg_speedup_vs_ref\tdelay_reduction\tavg_delay_s")?;
+    for r in rows {
+        writeln!(
+            f,
+            "{}\t{:.2}\t{:.2}\t{:.2}",
+            r.scheme.name(),
+            r.avg_speedup,
+            r.delay_reduction,
+            r.avg_delay_s
+        )?;
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------- fig 8
+
+/// Figure 8: average utilization vs average self-inflicted delay.
+pub struct Fig8Row {
+    /// Scheme.
+    pub scheme: Scheme,
+    /// Mean utilization across the eight links, percent.
+    pub avg_utilization_pct: f64,
+    /// Mean self-inflicted delay across links, ms.
+    pub avg_delay_ms: f64,
+}
+
+/// Derive Figure 8 from the Figure 7 sweep.
+pub fn fig8(cfg: &ExperimentConfig, results: &Fig7Results) -> std::io::Result<Vec<Fig8Row>> {
+    let schemes = [
+        Scheme::Sprout,
+        Scheme::SproutEwma,
+        Scheme::Cubic,
+        Scheme::CubicCodel,
+    ];
+    let rows: Vec<Fig8Row> = schemes
+        .iter()
+        .map(|&s| Fig8Row {
+            scheme: s,
+            avg_utilization_pct: results.mean_over_links(s, |r| r.utilization) * 100.0,
+            avg_delay_ms: results.mean_over_links(s, |r| r.self_inflicted_ms),
+        })
+        .collect();
+    let mut f = cfg.tsv("fig8_utilization.tsv")?;
+    writeln!(f, "scheme\tavg_utilization_pct\tavg_self_inflicted_ms")?;
+    for r in &rows {
+        writeln!(
+            f,
+            "{}\t{:.1}\t{:.0}",
+            r.scheme.name(),
+            r.avg_utilization_pct,
+            r.avg_delay_ms
+        )?;
+    }
+    Ok(rows)
+}
+
+// ---------------------------------------------------------------- fig 9
+
+/// Figure 9: the confidence-parameter sweep on the T-Mobile 3G uplink.
+pub struct Fig9Row {
+    /// Forecast confidence percent (95 = paper default).
+    pub confidence: f64,
+    /// Result at that confidence.
+    pub result: SchemeResult,
+}
+
+/// Run Figure 9.
+pub fn fig9(cfg: &ExperimentConfig) -> std::io::Result<Vec<Fig9Row>> {
+    let mut rows = Vec::new();
+    let mut f = cfg.tsv("fig9_confidence.tsv")?;
+    writeln!(f, "confidence_pct\tthroughput_kbps\tself_inflicted_ms")?;
+    for confidence in [95.0, 75.0, 50.0, 25.0, 5.0] {
+        let mut rc = cfg.run_config(NetProfile::TmobileUmtsUp);
+        rc.sprout = SproutConfig::with_confidence_percent(confidence);
+        let result = run_scheme(Scheme::Sprout, &rc);
+        writeln!(
+            f,
+            "{confidence:.0}\t{:.1}\t{:.1}",
+            result.throughput_kbps, result.self_inflicted_ms
+        )?;
+        rows.push(Fig9Row { confidence, result });
+    }
+    Ok(rows)
+}
+
+// ----------------------------------------------------------- §5.6 loss
+
+/// One row of the §5.6 loss-resilience table.
+pub struct LossRow {
+    /// Link under test.
+    pub link: NetProfile,
+    /// Bernoulli per-direction loss probability.
+    pub loss_rate: f64,
+    /// Result.
+    pub result: SchemeResult,
+}
+
+/// Run the §5.6 loss table (Verizon LTE, both directions, 0/5/10%).
+pub fn loss_table(cfg: &ExperimentConfig) -> std::io::Result<Vec<LossRow>> {
+    let mut rows = Vec::new();
+    let mut f = cfg.tsv("loss_resilience.tsv")?;
+    writeln!(f, "link\tloss_pct\tthroughput_kbps\tself_inflicted_ms")?;
+    for link in [NetProfile::VerizonLteDown, NetProfile::VerizonLteUp] {
+        for loss in [0.0, 0.05, 0.10] {
+            let mut rc = cfg.run_config(link);
+            rc.loss_rate = loss;
+            let result = run_scheme(Scheme::Sprout, &rc);
+            writeln!(
+                f,
+                "{}\t{:.0}\t{:.1}\t{:.1}",
+                link.id(),
+                loss * 100.0,
+                result.throughput_kbps,
+                result.self_inflicted_ms
+            )?;
+            rows.push(LossRow {
+                link,
+                loss_rate: loss,
+                result,
+            });
+        }
+    }
+    Ok(rows)
+}
+
+// ---------------------------------------------------------- §5.7 tunnel
+
+/// §5.7: Cubic bulk + Skype, direct vs through SproutTunnel.
+pub struct TunnelComparison {
+    /// Cubic throughput, direct, kbps.
+    pub cubic_direct_kbps: f64,
+    /// Cubic throughput through the tunnel, kbps.
+    pub cubic_tunnel_kbps: f64,
+    /// Skype throughput, direct, kbps.
+    pub skype_direct_kbps: f64,
+    /// Skype throughput through the tunnel, kbps.
+    pub skype_tunnel_kbps: f64,
+    /// Skype 95% end-to-end delay, direct, s.
+    pub skype_direct_delay_s: f64,
+    /// Skype 95% end-to-end delay through the tunnel, s.
+    pub skype_tunnel_delay_s: f64,
+}
+
+const CUBIC_FLOW: FlowId = FlowId(1);
+const SKYPE_FLOW: FlowId = FlowId(2);
+
+fn make_clients_a() -> Vec<(FlowId, Box<dyn Endpoint>)> {
+    vec![
+        (
+            CUBIC_FLOW,
+            Box::new(TcpSender::new(Box::new(Cubic::new()))) as Box<dyn Endpoint>,
+        ),
+        (
+            SKYPE_FLOW,
+            Box::new(VideoAppSender::new(AppProfile::skype())) as Box<dyn Endpoint>,
+        ),
+    ]
+}
+
+fn make_clients_b() -> Vec<(FlowId, Box<dyn Endpoint>)> {
+    vec![
+        (
+            CUBIC_FLOW,
+            Box::new(TcpReceiver::new()) as Box<dyn Endpoint>,
+        ),
+        (
+            SKYPE_FLOW,
+            Box::new(VideoAppReceiver::new()) as Box<dyn Endpoint>,
+        ),
+    ]
+}
+
+/// Run the §5.7 comparison on the Verizon LTE downlink.
+pub fn tunnel_comparison(cfg: &ExperimentConfig) -> std::io::Result<TunnelComparison> {
+    let rc = cfg.run_config(NetProfile::VerizonLteDown);
+    let from = Timestamp::ZERO + rc.warmup;
+    let end = Timestamp::ZERO + rc.duration;
+
+    // --- direct: both flows share the cellular queue ---
+    let (cubic_direct_kbps, skype_direct_kbps, skype_direct_delay_s) = {
+        let mut a = MuxEndpoint::new();
+        for (flow, ep) in make_clients_a() {
+            a.add(flow, ep);
+        }
+        let mut b = MuxEndpoint::new();
+        for (flow, ep) in make_clients_b() {
+            b.add(flow, ep);
+        }
+        let mut sim = Simulation::new(
+            a,
+            b,
+            PathConfig::standard(rc.data_trace.clone()),
+            PathConfig::standard(rc.feedback_trace.clone()),
+        );
+        sim.run_until(end);
+        let m = sim.ab_metrics();
+        (
+            m.flow_throughput_kbps(CUBIC_FLOW, from, end),
+            m.flow_throughput_kbps(SKYPE_FLOW, from, end),
+            m.flow_p95_delay(SKYPE_FLOW, from, end)
+                .map(|d| d.as_secs_f64())
+                .unwrap_or(f64::NAN),
+        )
+    };
+
+    // --- tunneled: flows isolated inside a Sprout session ---
+    let (cubic_tunnel_kbps, skype_tunnel_kbps, skype_tunnel_delay_s) = {
+        let mut host_a = TunnelHost::new(TunnelEndpoint::new(SproutEndpoint::new(
+            rc.sprout.clone(),
+        )));
+        for (flow, ep) in make_clients_a() {
+            host_a.add_client(flow, ep);
+        }
+        let mut host_b = TunnelHost::new(TunnelEndpoint::new(SproutEndpoint::new(
+            rc.sprout.clone(),
+        )));
+        for (flow, ep) in make_clients_b() {
+            host_b.add_client(flow, ep);
+        }
+        let mut sim = Simulation::new(
+            host_a,
+            host_b,
+            PathConfig::standard(rc.data_trace.clone()),
+            PathConfig::standard(rc.feedback_trace.clone()),
+        );
+        sim.run_until(end);
+        let m = sim.b.deliveries();
+        (
+            m.flow_throughput_kbps(CUBIC_FLOW, from, end),
+            m.flow_throughput_kbps(SKYPE_FLOW, from, end),
+            m.flow_p95_delay(SKYPE_FLOW, from, end)
+                .map(|d| d.as_secs_f64())
+                .unwrap_or(f64::NAN),
+        )
+    };
+
+    let result = TunnelComparison {
+        cubic_direct_kbps,
+        cubic_tunnel_kbps,
+        skype_direct_kbps,
+        skype_tunnel_kbps,
+        skype_direct_delay_s,
+        skype_tunnel_delay_s,
+    };
+    let mut f = cfg.tsv("tunnel_isolation.tsv")?;
+    writeln!(f, "metric\tdirect\tvia_sprout")?;
+    writeln!(
+        f,
+        "cubic_throughput_kbps\t{:.0}\t{:.0}",
+        result.cubic_direct_kbps, result.cubic_tunnel_kbps
+    )?;
+    writeln!(
+        f,
+        "skype_throughput_kbps\t{:.0}\t{:.0}",
+        result.skype_direct_kbps, result.skype_tunnel_kbps
+    )?;
+    writeln!(
+        f,
+        "skype_p95_delay_s\t{:.2}\t{:.2}",
+        result.skype_direct_delay_s, result.skype_tunnel_delay_s
+    )?;
+    Ok(result)
+}
+
+// -------------------------------------------------------------- helpers
+
+/// Render a `SchemeResult` row for console output.
+pub fn fmt_result(name: &str, r: &SchemeResult) -> String {
+    format!(
+        "{name:16} {:>8.0} kbps  p95 {:>9.0} ms  self-inflicted {:>9.0} ms  util {:>5.2}",
+        r.throughput_kbps, r.p95_delay_ms, r.self_inflicted_ms, r.utilization
+    )
+}
+
+/// Ensure the output directory exists (used by the binary).
+pub fn ensure_out_dir(path: &Path) -> std::io::Result<()> {
+    fs::create_dir_all(path)
+}

@@ -1,0 +1,14 @@
+//! The reproduction harness: a scheme zoo, a uniform experiment runner,
+//! and regeneration functions for every table and figure in the paper's
+//! evaluation (see DESIGN.md §3 for the experiment index).
+
+#![warn(missing_docs)]
+
+pub mod figures;
+pub mod schemes;
+
+pub use figures::{
+    fig1, fig2, fig7, fig8, fig9, loss_table, summary_table, tunnel_comparison, ExperimentConfig,
+    Fig7Results,
+};
+pub use schemes::{build_endpoints, run_scheme, RunConfig, Scheme, SchemeResult};

@@ -1,0 +1,280 @@
+//! The scheme zoo of the evaluation (§5) and a uniform way to run any of
+//! them over any emulated link.
+
+use sprout_baselines::{
+    AppProfile, Compound, Cubic, Ledbat, OmniscientSender, Reno, TcpReceiver, TcpSender,
+    VideoAppReceiver, VideoAppSender, Vegas,
+};
+use sprout_core::{SproutConfig, SproutEndpoint};
+use sprout_sim::{
+    direction_stats, CoDelConfig, Endpoint, PathConfig, QueueConfig, Simulation, SinkEndpoint,
+};
+use sprout_trace::{Duration, Timestamp, Trace};
+
+/// Every transport/application evaluated in the paper, plus Reno.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Scheme {
+    /// Sprout with the Bayesian 95%-confidence forecast.
+    Sprout,
+    /// Sprout-EWMA (§5.3).
+    SproutEwma,
+    /// TCP Cubic (Linux default).
+    Cubic,
+    /// TCP Cubic over CoDel at the bottleneck (§5.4).
+    CubicCodel,
+    /// TCP Reno (extra context; not in the paper's figures).
+    Reno,
+    /// TCP Vegas.
+    Vegas,
+    /// Compound TCP (Windows default of the era).
+    Compound,
+    /// LEDBAT / µTP.
+    Ledbat,
+    /// Skype model.
+    Skype,
+    /// FaceTime model.
+    Facetime,
+    /// Google Hangout model.
+    Hangout,
+    /// The omniscient protocol (§5.1).
+    Omniscient,
+}
+
+impl Scheme {
+    /// The nine schemes of Figure 7, in the paper's legend order.
+    pub fn fig7() -> [Scheme; 9] {
+        [
+            Scheme::Sprout,
+            Scheme::SproutEwma,
+            Scheme::Cubic,
+            Scheme::Compound,
+            Scheme::Vegas,
+            Scheme::Ledbat,
+            Scheme::Skype,
+            Scheme::Facetime,
+            Scheme::Hangout,
+        ]
+    }
+
+    /// Display name matching the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            Scheme::Sprout => "Sprout",
+            Scheme::SproutEwma => "Sprout-EWMA",
+            Scheme::Cubic => "Cubic",
+            Scheme::CubicCodel => "Cubic-CoDel",
+            Scheme::Reno => "Reno",
+            Scheme::Vegas => "Vegas",
+            Scheme::Compound => "Compound TCP",
+            Scheme::Ledbat => "LEDBAT",
+            Scheme::Skype => "Skype",
+            Scheme::Facetime => "Facetime",
+            Scheme::Hangout => "Google Hangout",
+            Scheme::Omniscient => "Omniscient",
+        }
+    }
+
+    /// Whether the scheme requires CoDel at the bottleneck.
+    pub fn needs_codel(self) -> bool {
+        matches!(self, Scheme::CubicCodel)
+    }
+}
+
+/// One experiment cell: a scheme over one link direction.
+#[derive(Clone, Debug)]
+pub struct RunConfig {
+    /// Delivery schedule of the data direction under test.
+    pub data_trace: Trace,
+    /// Delivery schedule of the reverse (feedback) direction.
+    pub feedback_trace: Trace,
+    /// Total virtual run time.
+    pub duration: Duration,
+    /// Warm-up skipped before measuring (§5.1 skips the first minute).
+    pub warmup: Duration,
+    /// Bernoulli loss probability on both directions (§5.6).
+    pub loss_rate: f64,
+    /// Sprout configuration (confidence sweeps override this).
+    pub sprout: SproutConfig,
+}
+
+impl RunConfig {
+    /// Standard conditions for a data/feedback trace pair.
+    pub fn new(data_trace: Trace, feedback_trace: Trace) -> Self {
+        RunConfig {
+            data_trace,
+            feedback_trace,
+            duration: Duration::from_secs(300),
+            warmup: Duration::from_secs(60),
+            loss_rate: 0.0,
+            sprout: SproutConfig::paper(),
+        }
+    }
+}
+
+/// Outcome of one experiment cell (the quantities of Figure 7/8 and the
+/// intro tables).
+#[derive(Clone, Copy, Debug)]
+pub struct SchemeResult {
+    /// Average throughput in the measurement window, kbps.
+    pub throughput_kbps: f64,
+    /// 95% end-to-end delay, ms.
+    pub p95_delay_ms: f64,
+    /// Self-inflicted delay (p95 − omniscient p95), ms.
+    pub self_inflicted_ms: f64,
+    /// The omniscient floor, ms.
+    pub omniscient_ms: f64,
+    /// Fraction of link capacity used.
+    pub utilization: f64,
+}
+
+/// Construct the (sender, receiver) endpoint pair for a scheme.
+pub fn build_endpoints(
+    scheme: Scheme,
+    cfg: &RunConfig,
+) -> (Box<dyn Endpoint>, Box<dyn Endpoint>) {
+    match scheme {
+        Scheme::Sprout => {
+            let mut a = SproutEndpoint::new(cfg.sprout.clone());
+            a.set_saturating();
+            let b = SproutEndpoint::new(cfg.sprout.clone());
+            (Box::new(a), Box::new(b))
+        }
+        Scheme::SproutEwma => {
+            let mut a = SproutEndpoint::new_ewma(cfg.sprout.clone());
+            a.set_saturating();
+            let b = SproutEndpoint::new_ewma(cfg.sprout.clone());
+            (Box::new(a), Box::new(b))
+        }
+        Scheme::Cubic | Scheme::CubicCodel => (
+            Box::new(TcpSender::new(Box::new(Cubic::new()))),
+            Box::new(TcpReceiver::new()),
+        ),
+        Scheme::Reno => (
+            Box::new(TcpSender::new(Box::new(Reno::new()))),
+            Box::new(TcpReceiver::new()),
+        ),
+        Scheme::Vegas => (
+            Box::new(TcpSender::new(Box::new(Vegas::new()))),
+            Box::new(TcpReceiver::new()),
+        ),
+        Scheme::Compound => (
+            Box::new(TcpSender::new(Box::new(Compound::new()))),
+            Box::new(TcpReceiver::new()),
+        ),
+        Scheme::Ledbat => (
+            Box::new(TcpSender::new(Box::new(Ledbat::new()))),
+            Box::new(TcpReceiver::new()),
+        ),
+        Scheme::Skype => (
+            Box::new(VideoAppSender::new(AppProfile::skype())),
+            Box::new(VideoAppReceiver::new()),
+        ),
+        Scheme::Facetime => (
+            Box::new(VideoAppSender::new(AppProfile::facetime())),
+            Box::new(VideoAppReceiver::new()),
+        ),
+        Scheme::Hangout => (
+            Box::new(VideoAppSender::new(AppProfile::hangout())),
+            Box::new(VideoAppReceiver::new()),
+        ),
+        Scheme::Omniscient => (
+            Box::new(OmniscientSender::new(
+                &cfg.data_trace,
+                Duration::from_millis(20),
+            )),
+            Box::new(SinkEndpoint::new()),
+        ),
+    }
+}
+
+/// Run one scheme over one link and collect the standard metrics.
+pub fn run_scheme(scheme: Scheme, cfg: &RunConfig) -> SchemeResult {
+    let (a, b) = build_endpoints(scheme, cfg);
+    let mut data_path = PathConfig::standard(cfg.data_trace.clone());
+    let mut feedback_path = PathConfig::standard(cfg.feedback_trace.clone());
+    if scheme.needs_codel() {
+        data_path.link.queue = QueueConfig::CoDel(CoDelConfig::default());
+        feedback_path.link.queue = QueueConfig::CoDel(CoDelConfig::default());
+    }
+    if cfg.loss_rate > 0.0 {
+        data_path.link.loss_rate = cfg.loss_rate;
+        data_path.link.loss_seed = 1_111;
+        feedback_path.link.loss_rate = cfg.loss_rate;
+        feedback_path.link.loss_seed = 2_222;
+    }
+    let mut sim = Simulation::new(a, b, data_path, feedback_path);
+    let end = Timestamp::ZERO + cfg.duration;
+    sim.run_until(end);
+    let stats = direction_stats(sim.ab_path(), Timestamp::ZERO + cfg.warmup, end);
+    SchemeResult {
+        throughput_kbps: stats.throughput_kbps,
+        p95_delay_ms: stats
+            .p95_delay
+            .map(|d| d.as_micros() as f64 / 1e3)
+            .unwrap_or(f64::NAN),
+        self_inflicted_ms: stats
+            .self_inflicted
+            .map(|d| d.as_micros() as f64 / 1e3)
+            .unwrap_or(f64::NAN),
+        omniscient_ms: stats
+            .omniscient_p95
+            .map(|d| d.as_micros() as f64 / 1e3)
+            .unwrap_or(f64::NAN),
+        utilization: stats.utilization,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sprout_trace::NetProfile;
+
+    fn quick_cfg() -> RunConfig {
+        let down = NetProfile::TmobileUmtsDown.generate(Duration::from_secs(60), 5);
+        let up = NetProfile::TmobileUmtsUp.generate(Duration::from_secs(60), 6);
+        RunConfig {
+            duration: Duration::from_secs(60),
+            warmup: Duration::from_secs(10),
+            ..RunConfig::new(down, up)
+        }
+    }
+
+    #[test]
+    fn every_scheme_runs_and_produces_sane_metrics() {
+        let cfg = quick_cfg();
+        for scheme in [
+            Scheme::SproutEwma,
+            Scheme::Cubic,
+            Scheme::CubicCodel,
+            Scheme::Reno,
+            Scheme::Vegas,
+            Scheme::Compound,
+            Scheme::Ledbat,
+            Scheme::Skype,
+            Scheme::Facetime,
+            Scheme::Hangout,
+            Scheme::Omniscient,
+        ] {
+            let r = run_scheme(scheme, &cfg);
+            assert!(
+                r.throughput_kbps > 0.0,
+                "{}: no throughput",
+                scheme.name()
+            );
+            assert!(
+                r.p95_delay_ms.is_finite() && r.p95_delay_ms >= 20.0,
+                "{}: p95 {:?} must include propagation",
+                scheme.name(),
+                r.p95_delay_ms
+            );
+            assert!(r.utilization > 0.0 && r.utilization <= 1.001);
+        }
+    }
+
+    #[test]
+    fn omniscient_has_zero_self_inflicted_delay() {
+        let r = run_scheme(Scheme::Omniscient, &quick_cfg());
+        assert!(r.self_inflicted_ms.abs() < 1e-6);
+        assert!(r.utilization > 0.999);
+    }
+}

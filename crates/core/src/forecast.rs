@@ -1,0 +1,551 @@
+//! The packet delivery forecast (§3.3).
+//!
+//! Given the posterior over the current rate, Sprout predicts — at a
+//! cautious percentile — the *cumulative* number of packets the link will
+//! deliver over each of the next `horizon_ticks` ticks, evolving the model
+//! forward **without** observations.
+//!
+//! Exactly as the paper hints ("most of these steps can be precalculated…
+//! the only work at runtime is to take a weighted sum over each λ"), the
+//! heavy lifting happens once per configuration: for every starting rate
+//! bin `i`, horizon tick `t`, and cumulative count `c`, we precompute
+//!
+//! ```text
+//! F[t][c][i] = P( C_{t} ≤ c | λ₀ = bin i )
+//! ```
+//!
+//! by dynamic programming over the joint (rate bin × cumulative volume)
+//! distribution: each tick applies the Brownian/outage transition to the
+//! bin axis and advances the volume axis by the bin's expected per-tick
+//! deliveries (in quarter-MTU units, split across adjacent cells to keep
+//! the expectation exact). At runtime the forecast CDF is the
+//! posterior-weighted mixture `Σᵢ P(λ₀=i)·F[t][c][i]`, binary-searched
+//! for the configured percentile.
+//!
+//! **Implementation note (documented deviation).** The percentile is
+//! taken over the *rate path* (the model's uncertainty about λ and
+//! outages), not over the additional Poisson sampling noise of the
+//! counts. §3.3's text suggests the full count distribution, but at 3G
+//! rates (~1 packet per tick) the 5th percentile of a Poisson count is
+//! zero, which would cap Sprout at ~150 kbps on links where the paper
+//! measures ~400 kbps at 90% utilization — the published numbers are
+//! only consistent with rate-uncertainty caution. See DESIGN.md §6.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+use crate::config::{SproutConfig, TableKey};
+use crate::model::TransitionKernel;
+
+/// Resolution of the cumulative-volume axis: quarter-MTU units. Finer
+/// than whole packets so slow links (1–2 packets per tick) don't lose
+/// their entire forecast to quantization.
+pub const UNITS_PER_MTU: u64 = 4;
+
+/// A delivery forecast: entry `t` is the cumulative volume (in
+/// quarter-MTU [`UNITS_PER_MTU`] units) predicted at the configured
+/// percentile to be delivered within the first `t+1` ticks from the
+/// forecast's reference time.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Forecast {
+    /// Cumulative volume in quarter-MTU units, one entry per horizon
+    /// tick; non-decreasing.
+    pub cumulative_units: Vec<u32>,
+}
+
+impl Forecast {
+    /// Cumulative *bytes* deliverable within the first `t+1` ticks.
+    pub fn cumulative_bytes(&self, tick_index: usize, mtu: u32) -> u64 {
+        let idx = tick_index.min(self.cumulative_units.len() - 1);
+        self.cumulative_units[idx] as u64 * mtu as u64 / UNITS_PER_MTU
+    }
+
+    /// Number of horizon ticks covered.
+    pub fn horizon(&self) -> usize {
+        self.cumulative_units.len()
+    }
+}
+
+/// Precomputed conditional CDF tables; build once, share via [`Arc`].
+pub struct ForecastTables {
+    num_bins: usize,
+    horizon: usize,
+    count_max: usize,
+    /// Layout: `cdf[(t * count_max + c) * num_bins + i]`, f32 to halve the
+    /// footprint (≈4 MB at paper scale).
+    cdf: Vec<f32>,
+}
+
+impl ForecastTables {
+    /// Fetch (building on first use) the tables for `cfg` from the global
+    /// cache. Tables depend only on the model geometry, not the percentile,
+    /// so Fig-9 style confidence sweeps share one build.
+    pub fn get(cfg: &SproutConfig) -> Arc<ForecastTables> {
+        static CACHE: OnceLock<Mutex<HashMap<TableKey, Arc<ForecastTables>>>> = OnceLock::new();
+        let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+        let key = cfg.table_key();
+        if let Some(hit) = cache.lock().unwrap().get(&key) {
+            return Arc::clone(hit);
+        }
+        // Build outside the lock: builds can take a second at paper scale
+        // and concurrent tests shouldn't serialize on it. A racing build
+        // of the same key is wasted work but harmless.
+        let kernel = TransitionKernel::new(cfg);
+        let built = Arc::new(ForecastTables::build(cfg, &kernel));
+        let mut guard = cache.lock().unwrap();
+        Arc::clone(guard.entry(key).or_insert(built))
+    }
+
+    /// Build the tables by per-start-bin dynamic programming.
+    pub fn build(cfg: &SproutConfig, kernel: &TransitionKernel) -> ForecastTables {
+        cfg.validate();
+        let n = cfg.num_bins;
+        let horizon = cfg.horizon_ticks;
+        let cm = cfg.count_max;
+        let tau = cfg.tick_secs();
+
+        // Per-bin deterministic volume advance for one tick, in quarter-MTU
+        // units: the expectation λ·τ·UNITS_PER_MTU, split between the two
+        // adjacent integer cells so the expected advance is exact. (The
+        // percentile covers rate-path uncertainty, not Poisson sampling
+        // noise — see the module docs.)
+        let shifts: Vec<(usize, f64)> = (0..n)
+            .map(|i| {
+                let units = cfg.bin_rate_pps(i) * tau * UNITS_PER_MTU as f64;
+                let lo = units.floor();
+                (lo as usize, units - lo)
+            })
+            .collect();
+
+        // Explicit transition rows (destination, weight), computed once.
+        let scatter_rows: Vec<Vec<(usize, f64)>> = (0..n).map(|j| kernel.scatter_row(j)).collect();
+
+        // The DP over start bins is embarrassingly parallel; chunk it over
+        // the available cores with scoped threads (no extra dependencies).
+        let threads = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+            .min(n);
+        let chunk = n.div_ceil(threads);
+        let mut per_start: Vec<Vec<f32>> = vec![Vec::new(); n];
+        std::thread::scope(|scope| {
+            let mut rest: &mut [Vec<f32>] = &mut per_start;
+            let mut base = 0usize;
+            let mut handles = Vec::new();
+            while !rest.is_empty() {
+                let take = chunk.min(rest.len());
+                let (head, tail) = rest.split_at_mut(take);
+                rest = tail;
+                let start0 = base;
+                base += take;
+                let shifts = &shifts;
+                let scatter_rows = &scatter_rows;
+                handles.push(scope.spawn(move || {
+                    let hw = kernel_half_width(scatter_rows);
+                    let mut joint = vec![0.0f64; n * cm];
+                    let mut next = vec![0.0f64; n * cm];
+                    let mut conv = vec![0.0f64; cm];
+                    for (off, slot) in head.iter_mut().enumerate() {
+                        let start = start0 + off;
+                        *slot = build_one_start(
+                            start,
+                            n,
+                            horizon,
+                            cm,
+                            hw,
+                            shifts,
+                            scatter_rows,
+                            &mut joint,
+                            &mut next,
+                            &mut conv,
+                        );
+                    }
+                }));
+            }
+            for h in handles {
+                h.join().expect("forecast-table worker panicked");
+            }
+        });
+
+        // Merge the per-start CDF strips into the runtime layout
+        // `cdf[(t*cm + c)*n + start]` (contiguous in start for the
+        // mixture's inner loop).
+        let mut cdf = vec![0.0f32; horizon * cm * n];
+        for (start, strip) in per_start.iter().enumerate() {
+            debug_assert_eq!(strip.len(), horizon * cm);
+            for t in 0..horizon {
+                for c in 0..cm {
+                    cdf[(t * cm + c) * n + start] = strip[t * cm + c];
+                }
+            }
+        }
+
+        ForecastTables {
+            num_bins: n,
+            horizon,
+            count_max: cm,
+            cdf,
+        }
+    }
+
+    /// Conditional CDF `P(C_{t+1} ≤ c | λ₀ = bin)` (test/diagnostic hook).
+    pub fn conditional_cdf(&self, tick: usize, count: usize, bin: usize) -> f64 {
+        self.cdf[(tick * self.count_max + count) * self.num_bins + bin] as f64
+    }
+
+    /// The mixture CDF `P(C_{t+1} ≤ c)` under `posterior`.
+    pub fn mixture_cdf(&self, posterior: &[f64], tick: usize, count: usize) -> f64 {
+        assert_eq!(posterior.len(), self.num_bins);
+        let row = &self.cdf[(tick * self.count_max + count) * self.num_bins..][..self.num_bins];
+        posterior
+            .iter()
+            .zip(row.iter())
+            .map(|(&p, &f)| p * f as f64)
+            .sum()
+    }
+
+    /// Compute the cautious forecast for `posterior` at `percentile`
+    /// (e.g. 5.0 for the paper's 95%-confidence forecast).
+    pub fn forecast(&self, posterior: &[f64], percentile: f64) -> Forecast {
+        assert!(percentile > 0.0 && percentile < 100.0);
+        let want = percentile / 100.0;
+        let mut cumulative = Vec::with_capacity(self.horizon);
+        for t in 0..self.horizon {
+            // Smallest c with mixture CDF ≥ want: the link delivers at
+            // least c units with probability ≥ 1 − want.
+            let mut lo = 0usize;
+            let mut hi = self.count_max - 1;
+            while lo < hi {
+                let mid = lo + (hi - lo) / 2;
+                if self.mixture_cdf(posterior, t, mid) >= want {
+                    hi = mid;
+                } else {
+                    lo = mid + 1;
+                }
+            }
+            cumulative.push(lo as u32);
+        }
+        // Cumulative volume is non-decreasing by construction of C_t, but
+        // guard against f32 rounding at the percentile boundary.
+        for t in 1..cumulative.len() {
+            if cumulative[t] < cumulative[t - 1] {
+                cumulative[t] = cumulative[t - 1];
+            }
+        }
+        Forecast {
+            cumulative_units: cumulative,
+        }
+    }
+}
+
+/// Largest offset any transition row reaches (the Brownian half-width).
+fn kernel_half_width(scatter_rows: &[Vec<(usize, f64)>]) -> usize {
+    scatter_rows
+        .iter()
+        .enumerate()
+        .map(|(j, row)| {
+            row.iter()
+                .map(|&(dst, _)| dst.abs_diff(j))
+                .max()
+                .unwrap_or(0)
+        })
+        .max()
+        .unwrap_or(1)
+        .max(1)
+}
+
+/// The DP for a single starting bin: returns the conditional CDF strip
+/// laid out as `strip[t * cm + c] = P(C_{t+1} ≤ c | λ₀ = start)`.
+#[allow(clippy::too_many_arguments)]
+fn build_one_start(
+    start: usize,
+    n: usize,
+    horizon: usize,
+    cm: usize,
+    hw: usize,
+    shifts: &[(usize, f64)],
+    scatter_rows: &[Vec<(usize, f64)>],
+    joint: &mut Vec<f64>,
+    next: &mut Vec<f64>,
+    conv: &mut [f64],
+) -> Vec<f32> {
+    joint.fill(0.0);
+    next.fill(0.0);
+    joint[start * cm] = 1.0;
+    let mut strip = vec![0.0f32; horizon * cm];
+    // Reachable bin window grows by the kernel half-width per tick (the
+    // outage escape row is bounded the same way); the reachable count
+    // ceiling grows by the widest kernel among reachable bins.
+    let mut j_lo = start;
+    let mut j_hi = start;
+    let mut c_hi = 0usize;
+
+    for t in 0..horizon {
+        j_lo = j_lo.saturating_sub(hw);
+        j_hi = (j_hi + hw).min(n - 1);
+        let (jl, jh) = (j_lo, j_hi);
+
+        // --- evolve the bin axis (count axis untouched) ---
+        for v in next[jl * cm..(jh + 1) * cm].iter_mut() {
+            *v = 0.0;
+        }
+        evolve_rows(scatter_rows, joint, next, jl, jh, c_hi, cm);
+        std::mem::swap(joint, next);
+
+        // --- advance the volume axis per bin (quarter-MTU units) ---
+        let widest = shifts[jh].0 + 1;
+        let new_c_hi = (c_hi + widest).min(cm - 1);
+        for j in jl..=jh {
+            let row = &mut joint[j * cm..(j + 1) * cm];
+            let (lo, frac) = shifts[j];
+            if lo == 0 && frac == 0.0 {
+                continue; // outage bin: volume unchanged
+            }
+            conv[..=new_c_hi].fill(0.0);
+            for c in 0..=c_hi {
+                let p = row[c];
+                if p == 0.0 {
+                    continue;
+                }
+                let a = (c + lo).min(cm - 1);
+                let b = (c + lo + 1).min(cm - 1);
+                conv[a] += p * (1.0 - frac);
+                conv[b] += p * frac;
+            }
+            row[..=new_c_hi].copy_from_slice(&conv[..=new_c_hi]);
+        }
+        c_hi = new_c_hi;
+
+        // --- marginalize over bins, cumulative-sum, store ---
+        let mut acc = 0.0f64;
+        for c in 0..cm {
+            if c <= c_hi {
+                let mut pc = 0.0;
+                for j in jl..=jh {
+                    pc += joint[j * cm + c];
+                }
+                acc += pc;
+            } else {
+                acc = 1.0; // everything reachable is ≤ c_hi
+            }
+            strip[t * cm + c] = acc.min(1.0) as f32;
+        }
+    }
+    strip
+}
+
+/// Apply the precomputed transition rows to bins `[j_lo, j_hi]` of the
+/// joint distribution, writing into `next`. Only counts `0..=c_hi` carry
+/// mass; the count axis stays contiguous so the inner loop vectorizes.
+fn evolve_rows(
+    scatter_rows: &[Vec<(usize, f64)>],
+    joint: &[f64],
+    next: &mut [f64],
+    j_lo: usize,
+    j_hi: usize,
+    c_hi: usize,
+    cm: usize,
+) {
+    for j in j_lo..=j_hi {
+        let src = &joint[j * cm..j * cm + c_hi + 1];
+        if src.iter().all(|&p| p == 0.0) {
+            continue;
+        }
+        for &(dst_bin, w) in &scatter_rows[j] {
+            let dst = &mut next[dst_bin * cm..dst_bin * cm + c_hi + 1];
+            for (d, &s) in dst.iter_mut().zip(src.iter()) {
+                *d += w * s;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cfg() -> SproutConfig {
+        SproutConfig::test_small()
+    }
+
+    fn tables(cfg: &SproutConfig) -> Arc<ForecastTables> {
+        ForecastTables::get(cfg)
+    }
+
+    fn uniform(n: usize) -> Vec<f64> {
+        vec![1.0 / n as f64; n]
+    }
+
+    fn point_mass(n: usize, at: usize) -> Vec<f64> {
+        let mut v = vec![0.0; n];
+        v[at] = 1.0;
+        v
+    }
+
+    #[test]
+    fn conditional_cdfs_are_valid() {
+        let cfg = small_cfg();
+        let t = tables(&cfg);
+        for tick in 0..cfg.horizon_ticks {
+            for bin in [0, 1, cfg.num_bins / 2, cfg.num_bins - 1] {
+                let mut prev = 0.0;
+                for c in 0..cfg.count_max {
+                    let f = t.conditional_cdf(tick, c, bin);
+                    assert!(
+                        (0.0..=1.0 + 1e-6).contains(&f),
+                        "cdf out of range: {f} at t={tick} c={c} bin={bin}"
+                    );
+                    assert!(f + 1e-6 >= prev, "cdf must be non-decreasing in c");
+                    prev = f;
+                }
+                assert!(
+                    (prev - 1.0).abs() < 1e-4,
+                    "cdf must reach 1, got {prev} (tick {tick}, bin {bin})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn outage_start_forecasts_nothing() {
+        // Starting in a certain outage, the 5th-percentile forecast must
+        // be 0 for every tick in the horizon (escape is unlikely and slow).
+        let cfg = small_cfg();
+        let t = tables(&cfg);
+        let f = t.forecast(&point_mass(cfg.num_bins, 0), 5.0);
+        assert!(f.cumulative_units.iter().all(|&c| c == 0), "{f:?}");
+    }
+
+    #[test]
+    fn fast_start_forecasts_roughly_rate_times_time() {
+        // Start certain at the top bin (250 pps in the test config → 5
+        // packets = 20 quarter-units per 20 ms tick). The *median*
+        // cumulative forecast should grow ≈20 units per tick; the 5th
+        // percentile strictly less.
+        let cfg = small_cfg();
+        let t = tables(&cfg);
+        let top = point_mass(cfg.num_bins, cfg.num_bins - 1);
+        let median = t.forecast(&top, 50.0);
+        let last = *median.cumulative_units.last().unwrap() as f64;
+        let expect = 250.0 * 0.02 * cfg.horizon_ticks as f64 * UNITS_PER_MTU as f64;
+        assert!(
+            (last - expect).abs() < expect * 0.35,
+            "median cumulative {last} units, expect ≈{expect}"
+        );
+        let cautious = t.forecast(&top, 5.0);
+        for (c, m) in cautious
+            .cumulative_units
+            .iter()
+            .zip(median.cumulative_units.iter())
+        {
+            assert!(c <= m, "cautious must not exceed median");
+        }
+    }
+
+    #[test]
+    fn forecast_is_monotone_in_tick() {
+        let cfg = small_cfg();
+        let t = tables(&cfg);
+        for posterior in [
+            uniform(cfg.num_bins),
+            point_mass(cfg.num_bins, cfg.num_bins / 2),
+        ] {
+            for pct in [5.0, 50.0, 95.0] {
+                let f = t.forecast(&posterior, pct);
+                for w in f.cumulative_units.windows(2) {
+                    assert!(w[0] <= w[1], "{f:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lower_percentile_is_more_cautious() {
+        let cfg = small_cfg();
+        let t = tables(&cfg);
+        let posterior = point_mass(cfg.num_bins, cfg.num_bins / 2);
+        let f5 = t.forecast(&posterior, 5.0);
+        let f50 = t.forecast(&posterior, 50.0);
+        let f95 = t.forecast(&posterior, 95.0);
+        for i in 0..f5.horizon() {
+            assert!(f5.cumulative_units[i] <= f50.cumulative_units[i]);
+            assert!(f50.cumulative_units[i] <= f95.cumulative_units[i]);
+        }
+        // And strictly so somewhere, or the sweep of Fig. 9 would be flat.
+        assert_ne!(f5.cumulative_units, f95.cumulative_units);
+    }
+
+    #[test]
+    fn mixture_matches_conditional_for_point_mass() {
+        let cfg = small_cfg();
+        let t = tables(&cfg);
+        let bin = cfg.num_bins / 3;
+        let pm = point_mass(cfg.num_bins, bin);
+        for c in [0, 5, 20] {
+            let a = t.mixture_cdf(&pm, 2, c);
+            let b = t.conditional_cdf(2, c, bin);
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn one_tick_cdf_matches_direct_computation() {
+        // For one tick from a point mass, C₁'s distribution is the
+        // one-step-evolved bin distribution pushed through the per-bin
+        // volume advance (λ·τ in quarter-units, two-point split).
+        let cfg = small_cfg();
+        let kernel = TransitionKernel::new(&cfg);
+        let t = ForecastTables::build(&cfg, &kernel);
+        let bin = cfg.num_bins / 2;
+        let mut evolved = vec![0.0; cfg.num_bins];
+        let mut pm = vec![0.0; cfg.num_bins];
+        pm[bin] = 1.0;
+        kernel.evolve_into(&pm, &mut evolved);
+        let tau = cfg.tick_secs();
+        for c in [0usize, 2, 4, 8, 16] {
+            let direct: f64 = evolved
+                .iter()
+                .enumerate()
+                .map(|(j, &p)| {
+                    let units = cfg.bin_rate_pps(j) * tau * UNITS_PER_MTU as f64;
+                    let lo = units.floor() as usize;
+                    let frac = units - units.floor();
+                    // P(volume ≤ c | bin j): lands at lo w.p. 1−frac,
+                    // lo+1 w.p. frac.
+                    let cdf = if lo + 1 <= c {
+                        1.0
+                    } else if lo <= c {
+                        1.0 - frac
+                    } else {
+                        0.0
+                    };
+                    p * cdf
+                })
+                .sum();
+            let table = t.conditional_cdf(0, c, bin);
+            assert!(
+                (direct - table).abs() < 1e-4,
+                "c={c}: direct {direct} vs table {table}"
+            );
+        }
+    }
+
+    #[test]
+    fn forecast_bytes_clamps_to_horizon() {
+        // Units are quarter-MTU: 4 units = 1500 bytes.
+        let f = Forecast {
+            cumulative_units: vec![4, 8, 12],
+        };
+        assert_eq!(f.cumulative_bytes(0, 1500), 1_500);
+        assert_eq!(f.cumulative_bytes(2, 1500), 4_500);
+        assert_eq!(f.cumulative_bytes(99, 1500), 4_500); // clamped
+    }
+
+    #[test]
+    fn cache_returns_shared_instance() {
+        let cfg = small_cfg();
+        let a = ForecastTables::get(&cfg);
+        let b = ForecastTables::get(&cfg);
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+}

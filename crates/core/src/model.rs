@@ -1,0 +1,498 @@
+//! The stochastic link model and its Bayesian updater (§3.1–3.2).
+//!
+//! The link is modeled as a doubly-stochastic process: packet deliveries
+//! form a Poisson process whose rate λ performs Brownian motion with noise
+//! power σ, except that λ = 0 (an outage) is *sticky*, escaped at
+//! exponential rate λz. Sprout discretizes λ into `num_bins` values
+//! uniformly spanning `[0, max_rate_pps]` and maintains a probability
+//! distribution over them, updated every 20 ms tick in three steps:
+//! evolve (Brownian blur + outage bias), observe (Poisson likelihood of
+//! the bytes that arrived), normalize.
+
+use std::sync::Arc;
+
+use crate::config::SproutConfig;
+use crate::stats::{normal_mass, poisson_ln_pmf};
+
+/// Precomputed per-tick evolution operator: a banded Gaussian kernel for
+/// the Brownian step plus the special sticky-outage row for bin 0.
+#[derive(Debug)]
+pub struct TransitionKernel {
+    num_bins: usize,
+    /// Half-width of the banded kernel, in bins (±4σ).
+    half_width: usize,
+    /// Gaussian weights for offsets `-half_width ..= half_width`,
+    /// normalized to sum to 1.
+    weights: Vec<f64>,
+    /// Probability of leaving the outage state within one tick:
+    /// `1 − exp(−λz·τ)`.
+    escape_prob: f64,
+    /// Distribution over *positive* bins entered upon escaping an outage:
+    /// the Brownian kernel from bin 0 restricted to offsets ≥ 1,
+    /// renormalized.
+    escape_row: Vec<f64>,
+}
+
+impl TransitionKernel {
+    /// Build the kernel for a configuration.
+    pub fn new(cfg: &SproutConfig) -> Self {
+        cfg.validate();
+        let step = cfg.bin_width_pps();
+        // Per-tick Brownian standard deviation: σ·√τ (§3.1).
+        let sigma_tick = cfg.sigma * cfg.tick_secs().sqrt();
+        let half_width = ((4.0 * sigma_tick / step).ceil() as usize)
+            .clamp(1, cfg.num_bins - 1);
+        let mut weights = Vec::with_capacity(2 * half_width + 1);
+        for d in -(half_width as i64)..=(half_width as i64) {
+            let lo = (d as f64 - 0.5) * step;
+            let hi = (d as f64 + 0.5) * step;
+            weights.push(normal_mass(0.0, sigma_tick, lo, hi));
+        }
+        let total: f64 = weights.iter().sum();
+        for w in &mut weights {
+            *w /= total;
+        }
+        // Escape distribution: positive-offset half of the kernel.
+        let mut escape_row: Vec<f64> = weights[half_width + 1..].to_vec();
+        let esc_total: f64 = escape_row.iter().sum();
+        if esc_total > 0.0 {
+            for w in &mut escape_row {
+                *w /= esc_total;
+            }
+        } else {
+            // Degenerate kernel (huge bins): escape to the first bin.
+            escape_row = vec![1.0];
+        }
+        let escape_prob = 1.0 - (-cfg.outage_escape_rate * cfg.tick_secs()).exp();
+        TransitionKernel {
+            num_bins: cfg.num_bins,
+            half_width,
+            weights,
+            escape_prob,
+            escape_row,
+        }
+    }
+
+    /// Kernel half-width in bins.
+    pub fn half_width(&self) -> usize {
+        self.half_width
+    }
+
+    /// Apply one tick of evolution: `dst = T(src)`. `dst` is overwritten.
+    /// Probability is conserved exactly up to floating-point rounding
+    /// (out-of-range Brownian mass clamps to the edge bins).
+    pub fn evolve_into(&self, src: &[f64], dst: &mut [f64]) {
+        assert_eq!(src.len(), self.num_bins);
+        assert_eq!(dst.len(), self.num_bins);
+        dst.fill(0.0);
+        let n = self.num_bins as i64;
+        let hw = self.half_width as i64;
+
+        // Sticky outage state (§3.1): stay at 0 with prob exp(−λz·τ);
+        // otherwise escape into the positive bins.
+        let p0 = src[0];
+        if p0 > 0.0 {
+            dst[0] += p0 * (1.0 - self.escape_prob);
+            let escape_mass = p0 * self.escape_prob;
+            for (k, &w) in self.escape_row.iter().enumerate() {
+                let j = ((k + 1) as i64).min(n - 1) as usize;
+                dst[j] += escape_mass * w;
+            }
+        }
+
+        // Brownian blur for the positive bins. Both boundaries reflect:
+        // mass pushed below the lowest positive rate folds back up rather
+        // than entering the outage state (λ = 0 is a *discrete* sticky
+        // state of the paper's model, §3.1 — a continuous diffusion has
+        // zero probability of landing exactly on it; outage probability
+        // accumulates through observation of silence instead), and mass
+        // pushed past the grid ceiling folds back down.
+        for i in 1..self.num_bins {
+            let p = src[i];
+            if p == 0.0 {
+                continue;
+            }
+            let i = i as i64;
+            for (k, &w) in self.weights.iter().enumerate() {
+                let j = reflect_positive(i + k as i64 - hw, n);
+                dst[j] += p * w;
+            }
+        }
+    }
+
+    /// The outgoing transition row of bin `j` as explicit
+    /// `(destination bin, probability)` pairs with boundary-clamped mass
+    /// merged. Used by the forecast-table builder, which needs the row
+    /// structure rather than a whole-vector evolve.
+    pub fn scatter_row(&self, j: usize) -> Vec<(usize, f64)> {
+        assert!(j < self.num_bins);
+        if j == 0 {
+            let mut row = Vec::with_capacity(self.escape_row.len() + 1);
+            row.push((0, 1.0 - self.escape_prob));
+            for (k, &w) in self.escape_row.iter().enumerate() {
+                let dst = (k + 1).min(self.num_bins - 1);
+                match row.last_mut() {
+                    Some((d, acc)) if *d == dst => *acc += self.escape_prob * w,
+                    _ => row.push((dst, self.escape_prob * w)),
+                }
+            }
+            return row;
+        }
+        let n = self.num_bins as i64;
+        let hw = self.half_width as i64;
+        let mut acc = vec![0.0f64; self.num_bins];
+        let mut lo = self.num_bins - 1;
+        let mut hi = 1;
+        for (k, &w) in self.weights.iter().enumerate() {
+            let dst = reflect_positive((j as i64) + k as i64 - hw, n);
+            acc[dst] += w;
+            lo = lo.min(dst);
+            hi = hi.max(dst);
+        }
+        (lo..=hi)
+            .filter(|&d| acc[d] > 0.0)
+            .map(|d| (d, acc[d]))
+            .collect()
+    }
+}
+
+/// Reflect a bin index into the positive range `[1, n-1]`. The lower
+/// reflecting boundary sits at 0.5 (between the outage bin and bin 1):
+/// `j' = 1 − j`; the upper at `n − 0.5`: `j' = 2n − 1 − j`. One
+/// reflection per side suffices because the kernel half-width is bounded
+/// by the grid size; any residue is clamped defensively.
+fn reflect_positive(j: i64, n: i64) -> usize {
+    let mut j = j;
+    if j < 1 {
+        j = 1 - j;
+    }
+    if j > n - 1 {
+        j = 2 * n - 1 - j;
+    }
+    j.clamp(1, n - 1) as usize
+}
+
+/// The evolving posterior over the link rate.
+#[derive(Clone, Debug)]
+pub struct RateModel {
+    cfg: SproutConfig,
+    kernel: Arc<TransitionKernel>,
+    dist: Vec<f64>,
+    scratch: Vec<f64>,
+}
+
+impl RateModel {
+    /// New model with the uniform prior of §3.1 ("at program startup, all
+    /// values of λ are equally probable").
+    pub fn new(cfg: SproutConfig) -> Self {
+        let kernel = Arc::new(TransitionKernel::new(&cfg));
+        Self::with_kernel(cfg, kernel)
+    }
+
+    /// New model sharing an existing kernel (the endpoint shares it with
+    /// the forecast tables).
+    pub fn with_kernel(cfg: SproutConfig, kernel: Arc<TransitionKernel>) -> Self {
+        cfg.validate();
+        let n = cfg.num_bins;
+        RateModel {
+            cfg,
+            kernel,
+            dist: vec![1.0 / n as f64; n],
+            scratch: vec![0.0; n],
+        }
+    }
+
+    /// The configuration this model runs with.
+    pub fn config(&self) -> &SproutConfig {
+        &self.cfg
+    }
+
+    /// The shared evolution kernel.
+    pub fn kernel(&self) -> &Arc<TransitionKernel> {
+        &self.kernel
+    }
+
+    /// Current posterior over rate bins (sums to 1).
+    pub fn distribution(&self) -> &[f64] {
+        &self.dist
+    }
+
+    /// Reset to the uniform prior.
+    pub fn reset_uniform(&mut self) {
+        let n = self.dist.len() as f64;
+        self.dist.fill(1.0 / n);
+    }
+
+    /// Step 1 of the tick (§3.2): evolve the distribution one tick.
+    pub fn evolve(&mut self) {
+        self.kernel.evolve_into(&self.dist, &mut self.scratch);
+        std::mem::swap(&mut self.dist, &mut self.scratch);
+    }
+
+    /// Steps 2–3 of the tick (§3.2): multiply in the Poisson likelihood of
+    /// having observed `packets` packet-equivalents over one full tick,
+    /// then renormalize.
+    pub fn observe(&mut self, packets: f64) {
+        let tau = self.cfg.tick_secs();
+        self.observe_exposed(packets, tau);
+    }
+
+    /// Censored observation: `packets` arrived during `exposure_secs` of
+    /// *queue-backed* time (the §3.2 time-to-next mechanism tells the
+    /// receiver how much of the tick the sender's queue was empty; that
+    /// idle time carries no information about the link and is excluded
+    /// from the Poisson exposure). Likelihoods are floored (relative to
+    /// the maximum) to keep a surprising observation from annihilating
+    /// the posterior.
+    pub fn observe_exposed(&mut self, packets: f64, exposure_secs: f64) {
+        assert!(packets >= 0.0 && packets.is_finite());
+        assert!(exposure_secs > 0.0 && exposure_secs.is_finite());
+        let tau = exposure_secs;
+        let n = self.dist.len();
+        // Log-likelihood per bin, max-normalized before exponentiation.
+        let mut max_ll = f64::NEG_INFINITY;
+        for i in 0..n {
+            let mean = self.cfg.bin_rate_pps(i) * tau;
+            let ll = poisson_ln_pmf(packets, mean);
+            self.scratch[i] = ll;
+            if ll > max_ll {
+                max_ll = ll;
+            }
+        }
+        if !max_ll.is_finite() {
+            // Impossible observation under every bin (cannot happen with a
+            // positive grid, but stay defensive): skip the update.
+            return;
+        }
+        let floor = self.cfg.likelihood_floor;
+        for i in 0..n {
+            let like = (self.scratch[i] - max_ll).exp().max(floor);
+            self.dist[i] *= like;
+        }
+        self.normalize();
+    }
+
+    /// Renormalize the posterior to sum to 1, resetting to uniform if the
+    /// mass underflowed entirely.
+    pub fn normalize(&mut self) {
+        let total: f64 = self.dist.iter().sum();
+        if total > 0.0 && total.is_finite() {
+            for p in &mut self.dist {
+                *p /= total;
+            }
+        } else {
+            self.reset_uniform();
+        }
+    }
+
+    /// Posterior mean rate, packets per second.
+    pub fn mean_rate_pps(&self) -> f64 {
+        self.dist
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| p * self.cfg.bin_rate_pps(i))
+            .sum()
+    }
+
+    /// Lower `pct` percentile of the posterior rate, packets per second.
+    pub fn percentile_rate_pps(&self, pct: f64) -> f64 {
+        assert!((0.0..=100.0).contains(&pct));
+        let want = pct / 100.0;
+        let mut acc = 0.0;
+        for (i, &p) in self.dist.iter().enumerate() {
+            acc += p;
+            if acc >= want {
+                return self.cfg.bin_rate_pps(i);
+            }
+        }
+        self.cfg.max_rate_pps
+    }
+
+    /// Probability currently assigned to the outage state (bin 0).
+    pub fn outage_probability(&self) -> f64 {
+        self.dist[0]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> SproutConfig {
+        SproutConfig::test_small()
+    }
+
+    fn assert_is_distribution(d: &[f64]) {
+        let sum: f64 = d.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9, "sum {sum}");
+        assert!(d.iter().all(|&p| p >= 0.0 && p <= 1.0 + 1e-12));
+    }
+
+    #[test]
+    fn evolution_conserves_probability() {
+        let mut m = RateModel::new(small());
+        for _ in 0..200 {
+            m.evolve();
+            assert_is_distribution(m.distribution());
+        }
+    }
+
+    #[test]
+    fn evolution_spreads_a_point_mass() {
+        let mut m = RateModel::new(small());
+        let n = m.distribution().len();
+        m.dist.fill(0.0);
+        m.dist[n / 2] = 1.0;
+        m.evolve();
+        let nonzero = m.distribution().iter().filter(|&&p| p > 1e-12).count();
+        assert!(nonzero > 3, "Brownian step must blur: {nonzero} bins");
+        assert_is_distribution(m.distribution());
+    }
+
+    #[test]
+    fn observation_concentrates_posterior_near_true_rate() {
+        // Feed 60 ticks of observations from a steady 100 pps link
+        // (2 packets per 20 ms tick): the posterior mean should converge
+        // near 100 pps.
+        let mut m = RateModel::new(small());
+        for _ in 0..60 {
+            m.evolve();
+            m.observe(2.0);
+        }
+        let mean = m.mean_rate_pps();
+        assert!(
+            (mean - 100.0).abs() < 30.0,
+            "posterior mean {mean} pps, want ≈100"
+        );
+        assert_is_distribution(m.distribution());
+    }
+
+    #[test]
+    fn zero_observations_drive_toward_outage() {
+        let mut m = RateModel::new(small());
+        // Converge on a healthy rate first.
+        for _ in 0..30 {
+            m.evolve();
+            m.observe(2.0);
+        }
+        assert!(m.outage_probability() < 0.05);
+        // Then silence: the model must shift mass toward λ = 0.
+        for _ in 0..50 {
+            m.evolve();
+            m.observe(0.0);
+        }
+        assert!(
+            m.percentile_rate_pps(50.0) < 20.0,
+            "median {} pps should collapse toward 0",
+            m.percentile_rate_pps(50.0)
+        );
+    }
+
+    #[test]
+    fn outage_is_sticky_under_evolution_alone() {
+        let mut m = RateModel::new(small());
+        m.dist.fill(0.0);
+        m.dist[0] = 1.0;
+        m.evolve();
+        // One tick with λz=1: stay probability is exp(-0.02) ≈ 0.980.
+        assert!(
+            (m.outage_probability() - 0.980).abs() < 0.002,
+            "outage stay prob {}",
+            m.outage_probability()
+        );
+        // Escape is exponential at rate λz, and the reflecting boundary
+        // keeps escaped mass from diffusing back, so bin-0 occupancy after
+        // 1 s is exactly exp(−λz·1s) = e^-1 (§3.1: outage durations follow
+        // exp[−λz]).
+        let mut prev = m.outage_probability();
+        for _ in 0..49 {
+            m.evolve();
+            let cur = m.outage_probability();
+            assert!(cur <= prev + 1e-12, "occupancy must not grow");
+            prev = cur;
+        }
+        let stayed = m.outage_probability();
+        assert!(
+            (stayed - (-1.0f64).exp()).abs() < 1e-6,
+            "after 1 s, occupancy {stayed} should equal e^-1"
+        );
+    }
+
+    #[test]
+    fn recovery_after_outage_when_packets_return() {
+        let mut m = RateModel::new(small());
+        for _ in 0..100 {
+            m.evolve();
+            m.observe(0.0);
+        }
+        assert!(m.percentile_rate_pps(50.0) < 10.0);
+        for _ in 0..50 {
+            m.evolve();
+            m.observe(3.0); // 150 pps
+        }
+        let mean = m.mean_rate_pps();
+        assert!(mean > 80.0, "model must recover, mean {mean}");
+    }
+
+    #[test]
+    fn fractional_observations_are_accepted() {
+        let mut m = RateModel::new(small());
+        m.evolve();
+        m.observe(0.04); // a 60-byte heartbeat
+        assert_is_distribution(m.distribution());
+    }
+
+    #[test]
+    fn surprising_observation_does_not_collapse_posterior() {
+        let mut m = RateModel::new(small());
+        // Convince the model the link is dead...
+        for _ in 0..200 {
+            m.evolve();
+            m.observe(0.0);
+        }
+        // ...then hit it with sustained bursts far beyond any bin's
+        // per-tick mean. The likelihood floor keeps the posterior finite
+        // (no collapse) and lets it flip to high rates within a few ticks
+        // instead of being trapped by the astronomically confident prior.
+        for _ in 0..6 {
+            m.evolve();
+            m.observe(8.0); // 400 pps-equivalent, above the 250 pps grid top
+            assert_is_distribution(m.distribution());
+        }
+        assert!(
+            m.percentile_rate_pps(50.0) > 100.0,
+            "median {} pps should flip high",
+            m.percentile_rate_pps(50.0)
+        );
+    }
+
+    #[test]
+    fn percentiles_are_monotone() {
+        let mut m = RateModel::new(small());
+        for _ in 0..20 {
+            m.evolve();
+            m.observe(1.0);
+        }
+        let p5 = m.percentile_rate_pps(5.0);
+        let p50 = m.percentile_rate_pps(50.0);
+        let p95 = m.percentile_rate_pps(95.0);
+        assert!(p5 <= p50 && p50 <= p95, "{p5} {p50} {p95}");
+    }
+
+    #[test]
+    fn kernel_width_matches_sigma() {
+        // Paper config: σ√τ = 200·√0.02 ≈ 28.3 pps; bins are 3.92 pps wide;
+        // ±4σ ≈ ±29 bins.
+        let k = TransitionKernel::new(&SproutConfig::paper());
+        assert!(k.half_width() >= 28 && k.half_width() <= 30, "{}", k.half_width());
+    }
+
+    #[test]
+    fn uniform_prior_at_startup() {
+        let m = RateModel::new(small());
+        let n = m.distribution().len() as f64;
+        for &p in m.distribution() {
+            assert!((p - 1.0 / n).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,561 @@
+//! The Sprout receiver half (§3.2–3.4): per-tick inference, time-to-next
+//! gating, received-or-lost accounting, and forecast feedback assembly.
+
+use std::collections::BTreeMap;
+
+use crate::config::SproutConfig;
+use crate::forecaster::{Forecaster, TickObservation};
+use crate::wire::{SproutHeader, WireForecast, WIRE_HORIZON};
+use sprout_trace::{Duration, Timestamp};
+
+/// A set of disjoint half-open byte ranges `[start, end)`; used to total
+/// the bytes received above the written-off horizon.
+#[derive(Clone, Debug, Default)]
+pub struct IntervalSet {
+    /// start → end, disjoint and non-adjacent after merging.
+    ranges: BTreeMap<u64, u64>,
+}
+
+impl IntervalSet {
+    /// Empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Insert `[start, end)`, merging with neighbors.
+    pub fn insert(&mut self, start: u64, end: u64) {
+        if start >= end {
+            return;
+        }
+        let mut new_start = start;
+        let mut new_end = end;
+        // Merge with a predecessor that overlaps or touches.
+        if let Some((&ps, &pe)) = self.ranges.range(..=start).next_back() {
+            if pe >= start {
+                if pe >= end {
+                    return; // fully contained
+                }
+                new_start = ps;
+                new_end = new_end.max(pe);
+                self.ranges.remove(&ps);
+            }
+        }
+        // Merge with successors that overlap or touch.
+        let overlapping: Vec<u64> = self
+            .ranges
+            .range(new_start..=new_end)
+            .map(|(&s, _)| s)
+            .collect();
+        for s in overlapping {
+            let e = self.ranges.remove(&s).unwrap();
+            new_end = new_end.max(e);
+        }
+        self.ranges.insert(new_start, new_end);
+    }
+
+    /// Drop everything below `cut` (clipping straddling ranges).
+    pub fn discard_below(&mut self, cut: u64) {
+        let below: Vec<u64> = self.ranges.range(..cut).map(|(&s, _)| s).collect();
+        for s in below {
+            let e = self.ranges.remove(&s).unwrap();
+            if e > cut {
+                self.ranges.insert(cut, e);
+            }
+        }
+    }
+
+    /// Total length of ranges at or above `floor`.
+    pub fn len_above(&self, floor: u64) -> u64 {
+        self.ranges
+            .iter()
+            .map(|(&s, &e)| e.saturating_sub(s.max(floor)))
+            .sum()
+    }
+
+    /// Number of stored ranges (diagnostics).
+    pub fn range_count(&self) -> usize {
+        self.ranges.len()
+    }
+}
+
+/// Receiver-half state.
+pub struct SproutReceiver {
+    cfg: SproutConfig,
+    forecaster: Box<dyn Forecaster>,
+    /// End of the tick currently being accumulated.
+    tick_end: Timestamp,
+    /// Number of completed ticks.
+    tick_counter: u32,
+    /// Data wire bytes that arrived during the current tick.
+    bytes_this_tick: u64,
+    /// Heartbeat wire bytes that arrived during the current tick.
+    heartbeat_bytes_this_tick: u64,
+    /// Closed sender-idle spans not yet consumed by tick processing.
+    exclusions: Vec<(Timestamp, Timestamp)>,
+    /// An idle span opened by the most recent promising packet:
+    /// (start = its arrival, deadline = arrival + time-to-next).
+    open_exclusion: Option<(Timestamp, Timestamp)>,
+    /// Smallest one-way delay seen this session (sender clock to receiver
+    /// clock; any fixed clock offset cancels because only differences
+    /// against this minimum are used).
+    min_one_way_delay: Option<Duration>,
+    /// Highest sequence number of the most recently received packet
+    /// (detects reordering for diagnostics).
+    highest_seq_end: u64,
+    /// Written-off horizon: everything below is received or lost (§3.4).
+    horizon: u64,
+    /// Received ranges above the horizon.
+    received: IntervalSet,
+    /// Count of gated (skipped) observations, for diagnostics/ablation.
+    gated_ticks: u64,
+    observed_ticks: u64,
+}
+
+impl SproutReceiver {
+    /// Minimum informative exposure: ticks whose exposed time is shorter
+    /// are treated as fully gated. The Poisson likelihood self-weights
+    /// small exposures, so this is purely a numerical guard.
+    const MIN_EXPOSURE: Duration = Duration::from_micros(500);
+
+    /// An exclusion's closing packet showing more queueing delay than
+    /// this proves the "idle" span was actually backlogged service time,
+    /// and the exclusion is cancelled (the span stays exposed).
+    const CANCEL_QUEUEING_DELAY: Duration = Duration::from_millis(10);
+
+    /// New receiver whose first tick ends one tick after `start`.
+    pub fn new(cfg: SproutConfig, forecaster: Box<dyn Forecaster>, start: Timestamp) -> Self {
+        let tick_end = start + cfg.tick;
+        SproutReceiver {
+            cfg,
+            forecaster,
+            tick_end,
+            tick_counter: 0,
+            bytes_this_tick: 0,
+            heartbeat_bytes_this_tick: 0,
+            exclusions: Vec::new(),
+            open_exclusion: None,
+            min_one_way_delay: None,
+            highest_seq_end: 0,
+            horizon: 0,
+            received: IntervalSet::new(),
+            gated_ticks: 0,
+            observed_ticks: 0,
+        }
+    }
+
+    /// Account an arriving packet: `wire_size` is the full on-the-wire
+    /// size (the sender's sequence space counts wire bytes).
+    pub fn on_packet(&mut self, header: &SproutHeader, wire_size: u32, now: Timestamp) {
+        // Heartbeats exist to dispel outage ambiguity (§3.2), not to carry
+        // rate information: an idle sender's 60-byte heartbeat per tick
+        // would otherwise be "observed" as a near-dead link and collapse
+        // the posterior. They are tracked separately (see process_ticks)
+        // and still count toward received-or-lost below.
+        if header.heartbeat {
+            self.heartbeat_bytes_this_tick += wire_size as u64;
+        } else {
+            self.bytes_this_tick += wire_size as u64;
+        }
+        // One-way delay tracking (constant clock offsets cancel; only the
+        // excess over the session minimum — the queueing delay — is used).
+        let one_way = now.saturating_since(header.sent_at);
+        let min_delay = match self.min_one_way_delay {
+            Some(m) if m <= one_way => m,
+            _ => {
+                self.min_one_way_delay = Some(one_way);
+                one_way
+            }
+        };
+        let queueing_delay = one_way.saturating_sub(min_delay);
+
+        // Any arrival ends an open idle span. If the closing packet
+        // itself sat in a queue, the sender's idleness promise was moot —
+        // the bottleneck held bytes the whole time — so the span is
+        // cancelled and stays exposed. Otherwise (the closer flew through
+        // an empty queue) the span really was idle and is excluded.
+        if let Some((start, deadline)) = self.open_exclusion.take() {
+            let end = deadline.min(now);
+            if end > start && queueing_delay < Self::CANCEL_QUEUEING_DELAY {
+                self.exclusions.push((start, end));
+            }
+        }
+        // A promising packet (§3.2: positive time-to-next on the last
+        // packet of a flight) opens a new idle span.
+        if header.time_to_next > Duration::ZERO {
+            self.open_exclusion = Some((now, now + header.time_to_next));
+        }
+        // Byte-range accounting for received-or-lost.
+        let start = header.seq;
+        let end = header.seq + wire_size as u64;
+        self.received.insert(start, end);
+        self.highest_seq_end = self.highest_seq_end.max(end);
+        if header.throwaway > self.horizon {
+            self.horizon = header.throwaway;
+            self.received.discard_below(self.horizon);
+        }
+    }
+
+    /// Total sender-idle time overlapping the tick `[tick_start,
+    /// tick_end)`, consuming closed spans and clipping the open one.
+    fn idle_time_in_tick(&mut self, tick_start: Timestamp, tick_end: Timestamp) -> Duration {
+        let mut idle = Duration::ZERO;
+        for &(s, e) in &self.exclusions {
+            let lo = s.max(tick_start);
+            let hi = e.min(tick_end);
+            if hi > lo {
+                idle += hi - lo;
+            }
+        }
+        // Closed spans end at an arrival or a promise deadline — both at
+        // or before "now" ≥ tick_end of the tick being processed — so
+        // they never extend past this tick... except a span closed late
+        // in a multi-tick gap; keep any remainder for the next tick.
+        self.exclusions.retain(|&(_, e)| e > tick_end);
+        if let Some((s, deadline)) = self.open_exclusion {
+            let lo = s.max(tick_start);
+            let hi = deadline.min(tick_end);
+            if hi > lo {
+                idle += hi - lo;
+            }
+            if deadline <= tick_end {
+                // The promise expired with no arrival: silence from here
+                // on is informative; close the span.
+                self.open_exclusion = None;
+            }
+        }
+        idle.min(tick_end - tick_start)
+    }
+
+    /// Process any ticks that have completed by `now`. Returns the number
+    /// of ticks processed (callers send fresh feedback when > 0).
+    pub fn process_ticks(&mut self, now: Timestamp) -> u32 {
+        let mut processed = 0;
+        while self.tick_end <= now {
+            let tick_end = self.tick_end;
+            let tick_start = tick_end - self.cfg.tick;
+            // §3.2: the time-to-next markings tell the receiver how much
+            // of the tick the sender's queue was empty. That idle time is
+            // excluded from the Poisson exposure; a tick with (almost) no
+            // exposed time is skipped outright ("skips the observation
+            // process until this timer expires").
+            let idle = if self.cfg.ttn_gating {
+                self.idle_time_in_tick(tick_start, tick_end)
+            } else {
+                // Ablation: ignore the §3.2 mechanism entirely.
+                Duration::ZERO
+            };
+            let exposure = self.cfg.tick - idle;
+            let exposure_secs = exposure.as_secs_f64();
+            // "Even one tiny packet does much to dispel this ambiguity"
+            // (§3.2): a tick whose only arrivals were heartbeats proves
+            // the link is alive but says nothing about its rate — it must
+            // be skipped, never observed as zero bytes. (Promise chains
+            // jitter by up to one link service time, which on slow links
+            // exceeds the time-to-next margin; without this rule such
+            // ticks would feed spurious outage evidence.)
+            let heartbeat_only = self.cfg.ttn_gating
+                && self.bytes_this_tick == 0
+                && self.heartbeat_bytes_this_tick > 0;
+            if exposure < Self::MIN_EXPOSURE || heartbeat_only {
+                self.gated_ticks += 1;
+                self.forecaster.tick(None);
+            } else {
+                self.observed_ticks += 1;
+                self.forecaster.tick(Some(TickObservation {
+                    bytes: self.bytes_this_tick,
+                    exposure_secs,
+                }));
+            }
+            self.bytes_this_tick = 0;
+            self.heartbeat_bytes_this_tick = 0;
+            self.tick_counter += 1;
+            self.tick_end += self.cfg.tick;
+            processed += 1;
+        }
+        processed
+    }
+
+    /// Total bytes received or written off as lost (§3.4): the horizon
+    /// plus everything received above it.
+    pub fn recv_or_lost_bytes(&self) -> u64 {
+        self.horizon + self.received.len_above(self.horizon)
+    }
+
+    /// Assemble the current feedback block for piggybacking.
+    pub fn make_feedback(&self) -> WireForecast {
+        let fc = self.forecaster.forecast_cumulative_bytes();
+        let unit = self.cfg.mtu_bytes as u64 / crate::forecast::UNITS_PER_MTU;
+        let mut cumulative_units = [0u16; WIRE_HORIZON];
+        for (i, slot) in cumulative_units.iter_mut().enumerate() {
+            // Clamp into the wire's fixed 8-tick format: shorter horizons
+            // extend flat, longer ones truncate.
+            let idx = i.min(fc.len() - 1);
+            *slot = (fc[idx] / unit).min(u16::MAX as u64) as u16;
+        }
+        WireForecast {
+            recv_or_lost_bytes: self.recv_or_lost_bytes(),
+            tick: self.tick_counter,
+            cumulative_units,
+        }
+    }
+
+    /// End of the tick currently accumulating (the next inference time).
+    pub fn next_tick_end(&self) -> Timestamp {
+        self.tick_end
+    }
+
+    /// Completed tick count.
+    pub fn tick_counter(&self) -> u32 {
+        self.tick_counter
+    }
+
+    /// Diagnostics: (observed, gated) tick counts.
+    pub fn observation_counts(&self) -> (u64, u64) {
+        (self.observed_ticks, self.gated_ticks)
+    }
+
+    /// Diagnostics: the forecaster's central rate estimate, bits/s.
+    pub fn rate_estimate_bps(&self) -> f64 {
+        self.forecaster.rate_estimate_bps()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::forecaster::EwmaForecaster;
+    use sprout_trace::Duration;
+
+    fn t(ms: u64) -> Timestamp {
+        Timestamp::from_millis(ms)
+    }
+
+    fn header(seq: u64, throwaway: u64, ttn_ms: u64) -> SproutHeader {
+        SproutHeader {
+            seq,
+            throwaway,
+            time_to_next: Duration::from_millis(ttn_ms),
+            sent_at: Timestamp::ZERO,
+            heartbeat: false,
+            datagram: false,
+            forecast: None,
+            payload_len: 0,
+        }
+    }
+
+    fn heartbeat(seq: u64, ttn_ms: u64) -> SproutHeader {
+        SproutHeader {
+            heartbeat: true,
+            ..header(seq, 0, ttn_ms)
+        }
+    }
+
+    fn receiver() -> SproutReceiver {
+        let cfg = SproutConfig::test_small();
+        let f = Box::new(EwmaForecaster::new(cfg.clone()));
+        SproutReceiver::new(cfg, f, Timestamp::ZERO)
+    }
+
+    // ---- IntervalSet ----
+
+    #[test]
+    fn interval_insert_and_merge() {
+        let mut s = IntervalSet::new();
+        s.insert(0, 100);
+        s.insert(200, 300);
+        assert_eq!(s.range_count(), 2);
+        assert_eq!(s.len_above(0), 200);
+        s.insert(100, 200); // bridges the two
+        assert_eq!(s.range_count(), 1);
+        assert_eq!(s.len_above(0), 300);
+    }
+
+    #[test]
+    fn interval_overlaps_do_not_double_count() {
+        let mut s = IntervalSet::new();
+        s.insert(0, 150);
+        s.insert(100, 200);
+        s.insert(50, 120);
+        assert_eq!(s.len_above(0), 200);
+        s.insert(0, 200); // fully covered
+        assert_eq!(s.len_above(0), 200);
+    }
+
+    #[test]
+    fn interval_len_above_clips() {
+        let mut s = IntervalSet::new();
+        s.insert(0, 100);
+        s.insert(200, 260);
+        assert_eq!(s.len_above(50), 110);
+        assert_eq!(s.len_above(230), 30);
+        assert_eq!(s.len_above(1_000), 0);
+    }
+
+    #[test]
+    fn interval_discard_below_clips_straddlers() {
+        let mut s = IntervalSet::new();
+        s.insert(0, 100);
+        s.insert(150, 250);
+        s.discard_below(200);
+        assert_eq!(s.len_above(0), 50);
+        assert_eq!(s.range_count(), 1);
+    }
+
+    #[test]
+    fn interval_empty_and_degenerate() {
+        let mut s = IntervalSet::new();
+        s.insert(10, 10);
+        assert_eq!(s.range_count(), 0);
+        assert_eq!(s.len_above(0), 0);
+        s.discard_below(100); // no-op on empty
+    }
+
+    // ---- receiver accounting ----
+
+    #[test]
+    fn recv_or_lost_counts_contiguous_bytes() {
+        let mut r = receiver();
+        r.on_packet(&header(0, 0, 0), 1_000, t(1));
+        r.on_packet(&header(1_000, 0, 0), 1_000, t(2));
+        assert_eq!(r.recv_or_lost_bytes(), 2_000);
+    }
+
+    #[test]
+    fn throwaway_writes_off_holes() {
+        let mut r = receiver();
+        r.on_packet(&header(0, 0, 0), 1_000, t(1));
+        // Packet [1000, 2000) is lost; a later packet arrives with
+        // throwaway = 2000 (sent >10 ms after the lost one).
+        r.on_packet(&header(2_000, 2_000, 0), 1_000, t(15));
+        // All of [0, 2000) is written off; [2000, 3000) received.
+        assert_eq!(r.recv_or_lost_bytes(), 3_000);
+    }
+
+    #[test]
+    fn out_of_order_arrivals_are_counted_once() {
+        let mut r = receiver();
+        r.on_packet(&header(1_000, 0, 0), 1_000, t(1));
+        r.on_packet(&header(0, 0, 0), 1_000, t(2));
+        r.on_packet(&header(1_000, 0, 0), 1_000, t(3)); // duplicate
+        assert_eq!(r.recv_or_lost_bytes(), 2_000);
+    }
+
+    #[test]
+    fn ticks_observe_arrived_bytes() {
+        let mut r = receiver();
+        r.on_packet(&header(0, 0, 0), 3_000, t(5));
+        assert_eq!(r.process_ticks(t(20)), 1);
+        let (observed, gated) = r.observation_counts();
+        assert_eq!((observed, gated), (1, 0));
+        // Forecast reflects the observation (EWMA moved off its initial
+        // 1500 B/tick towards 3000).
+        let fb = r.make_feedback();
+        assert!(fb.cumulative_units[0] >= 1);
+        assert_eq!(fb.recv_or_lost_bytes, 3_000);
+    }
+
+    #[test]
+    fn data_tick_is_observed_then_covered_silence_is_gated() {
+        let mut r = receiver();
+        // A flight-end data packet arrives at 5 ms promising the next
+        // packet within 40 ms: the tick it arrived in is observed (it has
+        // data bytes); the silent tick ending at 40 ms is covered by the
+        // promise and gated.
+        r.on_packet(&header(0, 0, 40), 1_500, t(5));
+        r.process_ticks(t(40));
+        let (observed, gated) = r.observation_counts();
+        assert_eq!(observed, 1);
+        assert_eq!(gated, 1);
+    }
+
+    #[test]
+    fn heartbeat_ticks_are_gated_and_bytes_uncounted() {
+        let mut r = receiver();
+        // Idle chain: a heartbeat per tick, each promising the next, each
+        // crossing an empty queue (constant one-way delay). No tick may
+        // be observed — heartbeat dribble is not rate information — yet
+        // received-or-lost still advances.
+        for k in 0..5u64 {
+            let mut h = heartbeat(k * 60, 22);
+            h.sent_at = t(k * 20); // constant 1 ms one-way delay
+            r.on_packet(&h, 60, t(k * 20 + 1));
+        }
+        r.process_ticks(t(100));
+        let (observed, gated) = r.observation_counts();
+        // Every tick saw only heartbeats: all gated ("even one tiny
+        // packet does much to dispel this ambiguity", §3.2), none
+        // observed as zero-rate evidence.
+        assert_eq!(observed, 0);
+        assert_eq!(gated, 5);
+        assert_eq!(r.recv_or_lost_bytes(), 300);
+    }
+
+    #[test]
+    fn queued_closer_cancels_the_idle_exclusion() {
+        let mut r = receiver();
+        // Establish the session's minimum one-way delay: 1 ms.
+        let mut first = header(0, 0, 0);
+        first.sent_at = t(4);
+        r.on_packet(&first, 1_500, t(5));
+        // A flight-final promise at 6 ms claims idleness for 22 ms...
+        let mut fin = header(1_500, 0, 22);
+        fin.sent_at = t(5);
+        r.on_packet(&fin, 1_500, t(6));
+        // ...but the next packet arrives having sat in a queue for 15 ms:
+        // the bottleneck clearly held bytes, so the claimed idle span
+        // [6, 14) must stay exposed.
+        let mut queued = header(3_000, 0, 0);
+        queued.sent_at = Timestamp::ZERO; // sent at 0, arrives at 16 ms
+        r.on_packet(&queued, 1_500, t(16));
+        r.process_ticks(t(20));
+        // Full exposure: the tick is observed with all 4500 bytes.
+        let (observed, gated) = r.observation_counts();
+        assert_eq!((observed, gated), (1, 0));
+    }
+
+    #[test]
+    fn backlogged_flight_with_zero_ttn_is_observed() {
+        let mut r = receiver();
+        // Link-paced arrivals all tick with ttn = 0 (queue still full):
+        // the tick is observed with its full byte count.
+        for i in 0..4u64 {
+            r.on_packet(&header(i * 1_500, 0, 0), 1_500, t(3 + i * 4));
+        }
+        r.process_ticks(t(20));
+        let (observed, gated) = r.observation_counts();
+        assert_eq!((observed, gated), (1, 0));
+    }
+
+    #[test]
+    fn silence_without_promise_is_observed_as_zero() {
+        let mut r = receiver();
+        // Last packet had ttn = 0 ("more coming"): subsequent silence is
+        // evidence of an outage and must be observed.
+        r.on_packet(&header(0, 0, 0), 1_500, t(5));
+        r.process_ticks(t(100));
+        let (observed, gated) = r.observation_counts();
+        assert_eq!(gated, 0);
+        assert_eq!(observed, 5);
+    }
+
+    #[test]
+    fn promise_expires_and_observation_resumes() {
+        let mut r = receiver();
+        r.on_packet(&header(0, 0, 25), 1_500, t(5)); // covered until 30 ms
+        r.process_ticks(t(80));
+        // Tick[0,20): data bytes → observed. Tick[20,40): silent, but the
+        // promise expired at 30 ms, before the tick end → observed as
+        // silence (possible outage). Ticks after: observed.
+        let (observed, gated) = r.observation_counts();
+        assert_eq!(gated, 0);
+        assert_eq!(observed, 4);
+    }
+
+    #[test]
+    fn feedback_tick_counter_advances() {
+        let mut r = receiver();
+        r.process_ticks(t(100));
+        assert_eq!(r.make_feedback().tick, 5);
+        assert_eq!(r.tick_counter(), 5);
+    }
+}

@@ -1,0 +1,215 @@
+//! Cellsim (§4.2): the bidirectional trace-driven path emulator.
+//!
+//! Each direction is a [`DirectedPath`]: a fixed propagation delay (the
+//! paper measures ~20 ms each way, §4.2) followed by the bottleneck queue
+//! and the trace-driven [`TraceLink`]. The two directions are independent
+//! — cellular up- and downlinks have separate, asymmetric schedules.
+
+use std::collections::VecDeque;
+
+use crate::link::{LinkConfig, TraceLink};
+use crate::metrics::{DeliveryRecord, MetricsCollector};
+use crate::packet::Packet;
+use sprout_trace::{Duration, Timestamp, Trace};
+
+/// Configuration of one direction of the emulated path.
+#[derive(Clone, Debug)]
+pub struct PathConfig {
+    /// Bottleneck link (trace, queue policy, loss).
+    pub link: LinkConfig,
+    /// One-way propagation delay before the bottleneck queue.
+    pub prop_delay: Duration,
+}
+
+impl PathConfig {
+    /// The paper's standard condition: 20 ms propagation, unbounded
+    /// DropTail, no random loss.
+    pub fn standard(trace: Trace) -> Self {
+        PathConfig {
+            link: LinkConfig::standard(trace),
+            prop_delay: Duration::from_millis(20),
+        }
+    }
+}
+
+/// One direction of the path: wire delay, then the cellular bottleneck.
+pub struct DirectedPath {
+    prop_delay: Duration,
+    /// Packets on the wire, with the time they reach the bottleneck queue.
+    in_flight: VecDeque<(Timestamp, Packet)>,
+    link: TraceLink,
+    metrics: MetricsCollector,
+}
+
+impl DirectedPath {
+    /// Build one direction from its configuration.
+    pub fn new(cfg: PathConfig) -> Self {
+        DirectedPath {
+            prop_delay: cfg.prop_delay,
+            in_flight: VecDeque::new(),
+            link: TraceLink::new(cfg.link),
+            metrics: MetricsCollector::new(),
+        }
+    }
+
+    /// Hand a packet to this direction at `now` (stamps `sent_at`).
+    pub fn send(&mut self, mut packet: Packet, now: Timestamp) {
+        packet.sent_at = now;
+        self.in_flight.push_back((now + self.prop_delay, packet));
+    }
+
+    /// The next time something happens inside this direction: a wire
+    /// arrival reaching the queue, or a trace delivery opportunity.
+    pub fn next_event(&self) -> Option<Timestamp> {
+        let arrival = self.in_flight.front().map(|(t, _)| *t);
+        let opportunity = self.link.next_opportunity();
+        match (arrival, opportunity) {
+            (Some(a), Some(o)) => Some(a.min(o)),
+            (a, o) => a.or(o),
+        }
+    }
+
+    /// Advance internal state to `now`, processing wire arrivals and
+    /// delivery opportunities in strict time order, and return packets
+    /// delivered to the far end.
+    pub fn advance(&mut self, now: Timestamp) -> Vec<Packet> {
+        let mut delivered = Vec::new();
+        loop {
+            let next_arrival = self.in_flight.front().map(|(t, _)| *t);
+            let next_op = self.link.next_opportunity();
+            // Pick the earliest pending event that is due.
+            let arrival_due = next_arrival.map(|t| t <= now).unwrap_or(false);
+            let op_due = next_op.map(|t| t <= now).unwrap_or(false);
+            match (arrival_due, op_due) {
+                (false, false) => break,
+                (true, false) => self.ingress_one(now),
+                (false, true) => self.service_due(next_op.unwrap(), &mut delivered),
+                (true, true) => {
+                    // Arrivals strictly before the opportunity must be
+                    // queued first; at a tie, enqueue first so the packet
+                    // can use this very opportunity (it reached the queue
+                    // by then).
+                    if next_arrival.unwrap() <= next_op.unwrap() {
+                        self.ingress_one(now);
+                    } else {
+                        self.service_due(next_op.unwrap(), &mut delivered);
+                    }
+                }
+            }
+        }
+        delivered
+    }
+
+    fn ingress_one(&mut self, _now: Timestamp) {
+        if let Some((arrive_at, packet)) = self.in_flight.pop_front() {
+            self.link.ingress(packet, arrive_at);
+        }
+    }
+
+    fn service_due(&mut self, op_time: Timestamp, delivered: &mut Vec<Packet>) {
+        for d in self.link.service(op_time) {
+            self.metrics.record(DeliveryRecord {
+                sent_at: d.packet.sent_at,
+                delivered_at: d.at,
+                size: d.packet.size,
+                flow: d.packet.flow,
+            });
+            delivered.push(d.packet);
+        }
+    }
+
+    /// Delivery log of this direction.
+    pub fn metrics(&self) -> &MetricsCollector {
+        &self.metrics
+    }
+
+    /// The bottleneck link (for queue occupancy, drop counters, trace).
+    pub fn link(&self) -> &TraceLink {
+        &self.link
+    }
+
+    /// One-way propagation delay of this direction.
+    pub fn prop_delay(&self) -> Duration {
+        self.prop_delay
+    }
+
+    /// Bytes currently in flight on the wire (not yet at the queue).
+    pub fn wire_bytes(&self) -> u64 {
+        self.in_flight.iter().map(|(_, p)| p.size as u64).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::FlowId;
+    use sprout_trace::MTU_BYTES;
+
+    fn t(ms: u64) -> Timestamp {
+        Timestamp::from_millis(ms)
+    }
+
+    fn mtu(seq: u64) -> Packet {
+        Packet::opaque(FlowId::PRIMARY, seq, MTU_BYTES)
+    }
+
+    #[test]
+    fn propagation_delays_queue_entry() {
+        // Opportunity at 10 ms, packet sent at 0 with 20 ms propagation:
+        // it misses the 10 ms opportunity and uses the one at 30 ms.
+        let mut path = DirectedPath::new(PathConfig::standard(Trace::from_millis([10, 30])));
+        path.send(mtu(1), t(0));
+        let d = path.advance(t(10));
+        assert!(d.is_empty());
+        let d = path.advance(t(30));
+        assert_eq!(d.len(), 1);
+        assert_eq!(path.metrics().records()[0].delivered_at, t(30));
+        assert_eq!(path.metrics().records()[0].sent_at, t(0));
+    }
+
+    #[test]
+    fn tie_between_arrival_and_opportunity_enqueues_first() {
+        // Arrival lands exactly on an opportunity: the packet crosses
+        // immediately (one-way delay = propagation).
+        let mut path = DirectedPath::new(PathConfig::standard(Trace::from_millis([20])));
+        path.send(mtu(1), t(0));
+        let d = path.advance(t(20));
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].sent_at, t(0));
+    }
+
+    #[test]
+    fn next_event_tracks_both_sources() {
+        let mut path = DirectedPath::new(PathConfig::standard(Trace::from_millis([100])));
+        assert_eq!(path.next_event(), Some(t(100)));
+        path.send(mtu(1), t(0)); // arrival at 20 ms
+        assert_eq!(path.next_event(), Some(t(20)));
+        path.advance(t(50));
+        assert_eq!(path.next_event(), Some(t(100)));
+        path.advance(t(100));
+        assert_eq!(path.next_event(), None);
+    }
+
+    #[test]
+    fn events_process_in_time_order_within_one_advance() {
+        // Opportunity at 25 ms (before the 30 ms arrival) must be wasted
+        // even when advance() is called late, at 100 ms.
+        let mut path = DirectedPath::new(PathConfig::standard(Trace::from_millis([25, 60])));
+        path.send(mtu(1), t(10)); // arrives at queue at 30 ms
+        let d = path.advance(t(100));
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].sent_at, t(10));
+        assert_eq!(path.metrics().records()[0].delivered_at, t(60));
+        assert_eq!(path.link().wasted_opportunities(), 1);
+    }
+
+    #[test]
+    fn wire_bytes_counts_unarrived_packets() {
+        let mut path = DirectedPath::new(PathConfig::standard(Trace::from_millis([100])));
+        path.send(mtu(1), t(0));
+        path.send(mtu(2), t(5));
+        assert_eq!(path.wire_bytes(), 2 * MTU_BYTES as u64);
+        path.advance(t(21)); // first has arrived at queue
+        assert_eq!(path.wire_bytes(), MTU_BYTES as u64);
+    }
+}

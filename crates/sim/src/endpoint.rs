@@ -1,0 +1,221 @@
+//! The sans-IO endpoint abstraction.
+//!
+//! Every protocol in this workspace — Sprout itself, the TCP baselines, the
+//! videoconference app models, the tunnel — is a state machine implementing
+//! [`Endpoint`]. The state machine never touches sockets or clocks; it is
+//! driven by whoever owns it: the virtual-time event loop ([`crate::run`])
+//! in experiments, or a real-socket driver (`sprout-net`) in live use.
+//! This is the smoltcp idiom: explicit `poll(now)`-style interfaces keep
+//! the protocol logic deterministic and testable.
+
+use crate::packet::Packet;
+use sprout_trace::Timestamp;
+
+/// A protocol endpoint driven by packet arrivals and time.
+pub trait Endpoint {
+    /// A packet addressed to this endpoint has arrived.
+    fn on_packet(&mut self, packet: Packet, now: Timestamp);
+
+    /// Give the endpoint a chance to transmit. Returns the packets to hand
+    /// to the network *now*; the driver stamps `sent_at`. Endpoints should
+    /// emit everything they are willing to send at `now` in one call.
+    fn poll(&mut self, now: Timestamp) -> Vec<Packet>;
+
+    /// The next time this endpoint needs to be polled even if no packet
+    /// arrives (tick boundaries, retransmission timers, pacing release
+    /// times). `None` means "only wake me on packet arrival".
+    fn next_wakeup(&self) -> Option<Timestamp>;
+}
+
+impl<T: Endpoint + ?Sized> Endpoint for Box<T> {
+    fn on_packet(&mut self, packet: Packet, now: Timestamp) {
+        (**self).on_packet(packet, now)
+    }
+    fn poll(&mut self, now: Timestamp) -> Vec<Packet> {
+        (**self).poll(now)
+    }
+    fn next_wakeup(&self) -> Option<Timestamp> {
+        (**self).next_wakeup()
+    }
+}
+
+/// An endpoint that discards everything and never transmits. Useful as the
+/// quiet end of one-directional experiments.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct SinkEndpoint {
+    received: u64,
+}
+
+impl SinkEndpoint {
+    /// New sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total bytes received.
+    pub fn received_bytes(&self) -> u64 {
+        self.received
+    }
+}
+
+impl Endpoint for SinkEndpoint {
+    fn on_packet(&mut self, packet: Packet, _now: Timestamp) {
+        self.received += packet.size as u64;
+    }
+    fn poll(&mut self, _now: Timestamp) -> Vec<Packet> {
+        Vec::new()
+    }
+    fn next_wakeup(&self) -> Option<Timestamp> {
+        None
+    }
+}
+
+/// Several independent endpoints sharing one network path, distinguished
+/// by [`crate::packet::FlowId`] — the "direct" (untunneled) configuration of the §5.7
+/// experiment, where a Skype call and a TCP download commingle in the
+/// same per-user cellular queue.
+pub struct MuxEndpoint {
+    children: Vec<(crate::packet::FlowId, Box<dyn Endpoint>)>,
+}
+
+impl MuxEndpoint {
+    /// Empty mux.
+    pub fn new() -> Self {
+        MuxEndpoint {
+            children: Vec::new(),
+        }
+    }
+
+    /// Attach `child` under `flow`. Outgoing packets are re-stamped with
+    /// the flow id; incoming packets are routed by it.
+    pub fn add(&mut self, flow: crate::packet::FlowId, child: Box<dyn Endpoint>) {
+        self.children.push((flow, child));
+    }
+
+    /// Borrow a child endpoint by flow.
+    pub fn child(&self, flow: crate::packet::FlowId) -> Option<&dyn Endpoint> {
+        self.children
+            .iter()
+            .find(|(f, _)| *f == flow)
+            .map(|(_, c)| &**c)
+    }
+}
+
+impl Default for MuxEndpoint {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Endpoint for MuxEndpoint {
+    fn on_packet(&mut self, packet: Packet, now: Timestamp) {
+        if let Some((_, child)) = self.children.iter_mut().find(|(f, _)| *f == packet.flow) {
+            child.on_packet(packet, now);
+        }
+    }
+
+    fn poll(&mut self, now: Timestamp) -> Vec<Packet> {
+        let mut out = Vec::new();
+        for (flow, child) in &mut self.children {
+            for mut p in child.poll(now) {
+                p.flow = *flow;
+                out.push(p);
+            }
+        }
+        out
+    }
+
+    fn next_wakeup(&self) -> Option<Timestamp> {
+        self.children
+            .iter()
+            .filter_map(|(_, c)| c.next_wakeup())
+            .min()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::FlowId;
+
+    #[test]
+    fn sink_counts_bytes_and_stays_silent() {
+        let mut sink = SinkEndpoint::new();
+        sink.on_packet(Packet::opaque(FlowId::PRIMARY, 0, 100), Timestamp::ZERO);
+        sink.on_packet(Packet::opaque(FlowId::PRIMARY, 1, 50), Timestamp::ZERO);
+        assert_eq!(sink.received_bytes(), 150);
+        assert!(sink.poll(Timestamp::ZERO).is_empty());
+        assert_eq!(sink.next_wakeup(), None);
+    }
+
+    #[test]
+    fn boxed_endpoint_delegates() {
+        let mut boxed: Box<dyn Endpoint> = Box::new(SinkEndpoint::new());
+        boxed.on_packet(Packet::opaque(FlowId::PRIMARY, 0, 10), Timestamp::ZERO);
+        assert!(boxed.poll(Timestamp::ZERO).is_empty());
+        assert_eq!(boxed.next_wakeup(), None);
+    }
+}
+
+#[cfg(test)]
+mod mux_tests {
+    use super::*;
+    use crate::packet::FlowId;
+
+    /// Echoes every received packet back and sends one greeting at t=0.
+    struct Chatter {
+        sent_greeting: bool,
+        echoes: Vec<Packet>,
+    }
+    impl Chatter {
+        fn new() -> Self {
+            Chatter {
+                sent_greeting: false,
+                echoes: Vec::new(),
+            }
+        }
+    }
+    impl Endpoint for Chatter {
+        fn on_packet(&mut self, packet: Packet, _now: Timestamp) {
+            self.echoes.push(packet);
+        }
+        fn poll(&mut self, _now: Timestamp) -> Vec<Packet> {
+            let mut out = std::mem::take(&mut self.echoes);
+            if !self.sent_greeting {
+                self.sent_greeting = true;
+                out.push(Packet::opaque(FlowId(99), 0, 100)); // wrong flow id on purpose
+            }
+            out
+        }
+        fn next_wakeup(&self) -> Option<Timestamp> {
+            None
+        }
+    }
+
+    #[test]
+    fn mux_restamps_and_routes_flows() {
+        let mut mux = MuxEndpoint::new();
+        mux.add(FlowId(1), Box::new(Chatter::new()));
+        mux.add(FlowId(2), Box::new(Chatter::new()));
+        let out = mux.poll(Timestamp::ZERO);
+        assert_eq!(out.len(), 2);
+        // Children's flow ids are overwritten by the mux.
+        assert!(out.iter().any(|p| p.flow == FlowId(1)));
+        assert!(out.iter().any(|p| p.flow == FlowId(2)));
+        // Routing: a packet for flow 2 only reaches child 2.
+        mux.on_packet(Packet::opaque(FlowId(2), 7, 10), Timestamp::ZERO);
+        let echoed = mux.poll(Timestamp::ZERO);
+        assert_eq!(echoed.len(), 1);
+        assert_eq!(echoed[0].flow, FlowId(2));
+        assert_eq!(echoed[0].seq, 7);
+    }
+
+    #[test]
+    fn unknown_flow_is_dropped() {
+        let mut mux = MuxEndpoint::new();
+        mux.add(FlowId(1), Box::new(Chatter::new()));
+        let _ = mux.poll(Timestamp::ZERO);
+        mux.on_packet(Packet::opaque(FlowId(5), 0, 10), Timestamp::ZERO);
+        assert!(mux.poll(Timestamp::ZERO).is_empty());
+    }
+}

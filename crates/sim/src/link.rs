@@ -1,0 +1,332 @@
+//! The trace-driven cellular link (§4.2).
+//!
+//! A [`TraceLink`] replays a Saturator trace: at each recorded delivery
+//! opportunity it may release up to one MTU's worth of queued bytes.
+//! Accounting is per byte (footnote 6): fifteen 100-byte packets leave on a
+//! single opportunity, and a 1500-byte packet may need the remainder of one
+//! opportunity plus part of the next if a smaller packet already consumed
+//! budget. Opportunities that find nothing to send are wasted — the queue
+//! cannot "bank" capacity.
+//!
+//! The link optionally drops arriving packets with a fixed Bernoulli
+//! probability (tail drop), emulating shallow-buffered carriers for the
+//! §5.6 loss-resilience experiment.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::codel::{CoDelConfig, CoDelQueue};
+use crate::packet::Packet;
+use crate::queue::{DropTail, Queue};
+use sprout_trace::{Timestamp, Trace, TraceCursor, MTU_BYTES};
+
+/// Queue policy selection for a link.
+#[derive(Clone, Debug, Default)]
+pub enum QueueConfig {
+    /// Unbounded DropTail (the paper's default carrier model).
+    #[default]
+    DropTailUnbounded,
+    /// DropTail bounded to a byte capacity.
+    DropTailBytes(u64),
+    /// CoDel AQM (§5.4).
+    CoDel(CoDelConfig),
+}
+
+impl QueueConfig {
+    fn build(&self) -> Box<dyn Queue> {
+        match self {
+            QueueConfig::DropTailUnbounded => Box::new(DropTail::unbounded()),
+            QueueConfig::DropTailBytes(cap) => Box::new(DropTail::with_capacity_bytes(*cap)),
+            QueueConfig::CoDel(cfg) => Box::new(CoDelQueue::new(*cfg)),
+        }
+    }
+}
+
+/// Configuration of one direction of the emulated path.
+#[derive(Clone, Debug)]
+pub struct LinkConfig {
+    /// Delivery-opportunity schedule.
+    pub trace: Trace,
+    /// Queue policy at the bottleneck.
+    pub queue: QueueConfig,
+    /// Probability an arriving packet is dropped before enqueue
+    /// (§5.6 stochastic loss; 0.0 disables).
+    pub loss_rate: f64,
+    /// Seed for the loss process.
+    pub loss_seed: u64,
+}
+
+impl LinkConfig {
+    /// A loss-free, unbounded-DropTail link over `trace` — the standard
+    /// experimental condition.
+    pub fn standard(trace: Trace) -> Self {
+        LinkConfig {
+            trace,
+            queue: QueueConfig::DropTailUnbounded,
+            loss_rate: 0.0,
+            loss_seed: 0,
+        }
+    }
+}
+
+/// A packet delivered by the link, with the time it crossed.
+#[derive(Debug)]
+pub struct LinkDelivery {
+    /// The delivered packet.
+    pub packet: Packet,
+    /// The delivery-opportunity time at which its last byte crossed.
+    pub at: Timestamp,
+}
+
+/// One direction of the cellular bottleneck.
+pub struct TraceLink {
+    queue: Box<dyn Queue>,
+    cursor: TraceCursor,
+    /// The packet currently being served and how many of its bytes have
+    /// already crossed.
+    in_service: Option<(Packet, u32)>,
+    loss_rate: f64,
+    rng: StdRng,
+    random_drops: u64,
+    wasted_opportunities: u64,
+    used_opportunities: u64,
+}
+
+impl TraceLink {
+    /// Build a link from its configuration.
+    pub fn new(cfg: LinkConfig) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&cfg.loss_rate),
+            "loss rate must be a probability"
+        );
+        TraceLink {
+            queue: cfg.queue.build(),
+            cursor: TraceCursor::new(cfg.trace),
+            in_service: None,
+            loss_rate: cfg.loss_rate,
+            rng: StdRng::seed_from_u64(cfg.loss_seed),
+            random_drops: 0,
+            wasted_opportunities: 0,
+            used_opportunities: 0,
+        }
+    }
+
+    /// A packet reaches the bottleneck queue (after propagation).
+    pub fn ingress(&mut self, packet: Packet, now: Timestamp) {
+        if self.loss_rate > 0.0 && self.rng.gen::<f64>() < self.loss_rate {
+            self.random_drops += 1;
+            return;
+        }
+        self.queue.enqueue(packet, now);
+    }
+
+    /// Time of the next delivery opportunity, if the trace has any left.
+    pub fn next_opportunity(&self) -> Option<Timestamp> {
+        self.cursor.peek()
+    }
+
+    /// Fire all delivery opportunities due at or before `now`, returning
+    /// the packets whose final byte crossed the link.
+    pub fn service(&mut self, now: Timestamp) -> Vec<LinkDelivery> {
+        let mut out = Vec::new();
+        while let Some(op_time) = self.cursor.pop_due(now) {
+            let mut budget = MTU_BYTES;
+            let mut used = false;
+            while budget > 0 {
+                let (packet, served) = match self.in_service.take() {
+                    Some(s) => s,
+                    None => match self.queue.dequeue(op_time) {
+                        Some(p) => (p, 0),
+                        None => break,
+                    },
+                };
+                used = true;
+                let need = packet.size - served;
+                if need <= budget {
+                    budget -= need;
+                    out.push(LinkDelivery {
+                        packet,
+                        at: op_time,
+                    });
+                } else {
+                    self.in_service = Some((packet, served + budget));
+                    budget = 0;
+                }
+            }
+            if used {
+                self.used_opportunities += 1;
+            } else {
+                self.wasted_opportunities += 1;
+            }
+        }
+        out
+    }
+
+    /// Bytes waiting at the bottleneck (including the partially-served
+    /// packet's unsent remainder).
+    pub fn queued_bytes(&self) -> u64 {
+        let partial = self
+            .in_service
+            .as_ref()
+            .map(|(p, served)| (p.size - served) as u64)
+            .unwrap_or(0);
+        self.queue.bytes() + partial
+    }
+
+    /// Packets waiting (including one partially served).
+    pub fn queued_packets(&self) -> usize {
+        self.queue.packets() + usize::from(self.in_service.is_some())
+    }
+
+    /// Packets dropped by the random-loss process.
+    pub fn random_drops(&self) -> u64 {
+        self.random_drops
+    }
+
+    /// Packets dropped by the queue policy (DropTail overflow or CoDel).
+    pub fn queue_drops(&self) -> u64 {
+        self.queue.drops()
+    }
+
+    /// Opportunities that found an empty queue (wasted capacity).
+    pub fn wasted_opportunities(&self) -> u64 {
+        self.wasted_opportunities
+    }
+
+    /// Opportunities that carried at least one byte.
+    pub fn used_opportunities(&self) -> u64 {
+        self.used_opportunities
+    }
+
+    /// The trace this link replays.
+    pub fn trace(&self) -> &Trace {
+        self.cursor.trace()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::FlowId;
+
+    fn t(ms: u64) -> Timestamp {
+        Timestamp::from_millis(ms)
+    }
+
+    fn mtu_pkt(seq: u64) -> Packet {
+        Packet::opaque(FlowId::PRIMARY, seq, MTU_BYTES)
+    }
+
+    #[test]
+    fn one_opportunity_delivers_one_mtu_packet() {
+        let mut link = TraceLink::new(LinkConfig::standard(Trace::from_millis([10, 20])));
+        link.ingress(mtu_pkt(1), t(0));
+        link.ingress(mtu_pkt(2), t(0));
+        let d = link.service(t(10));
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].packet.seq, 1);
+        assert_eq!(d[0].at, t(10));
+        let d = link.service(t(20));
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].packet.seq, 2);
+    }
+
+    #[test]
+    fn footnote6_many_small_packets_share_one_opportunity() {
+        // Fifteen 100-byte packets all leave on a single 1500-byte
+        // opportunity (§4.2 footnote 6).
+        let mut link = TraceLink::new(LinkConfig::standard(Trace::from_millis([10])));
+        for i in 0..15 {
+            link.ingress(Packet::opaque(FlowId::PRIMARY, i, 100), t(0));
+        }
+        let d = link.service(t(10));
+        assert_eq!(d.len(), 15);
+        assert!(d.iter().all(|x| x.at == t(10)));
+    }
+
+    #[test]
+    fn partial_packet_carries_over_to_next_opportunity() {
+        // A 100-byte packet then an MTU packet: the MTU packet gets 1400
+        // bytes of the first opportunity and needs 100 bytes of the second.
+        let mut link = TraceLink::new(LinkConfig::standard(Trace::from_millis([10, 30])));
+        link.ingress(Packet::opaque(FlowId::PRIMARY, 1, 100), t(0));
+        link.ingress(mtu_pkt(2), t(0));
+        let d = link.service(t(10));
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].packet.seq, 1);
+        assert_eq!(link.queued_packets(), 1); // the partially-served MTU
+        assert_eq!(link.queued_bytes(), 100); // its remainder
+        let d = link.service(t(30));
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].packet.seq, 2);
+        assert_eq!(d[0].at, t(30));
+    }
+
+    #[test]
+    fn empty_queue_wastes_opportunities() {
+        let mut link = TraceLink::new(LinkConfig::standard(Trace::from_millis([10, 20, 30])));
+        assert!(link.service(t(25)).is_empty());
+        assert_eq!(link.wasted_opportunities(), 2);
+        link.ingress(mtu_pkt(1), t(26));
+        let d = link.service(t(30));
+        assert_eq!(d.len(), 1);
+        assert_eq!(link.used_opportunities(), 1);
+    }
+
+    #[test]
+    fn wasted_capacity_does_not_accumulate() {
+        // Two opportunities pass with an empty queue; a packet arriving
+        // later must wait for the *next* opportunity, not use banked ones.
+        let mut link = TraceLink::new(LinkConfig::standard(Trace::from_millis([10, 20, 100])));
+        assert!(link.service(t(50)).is_empty());
+        link.ingress(mtu_pkt(1), t(60));
+        assert!(link.service(t(60)).is_empty());
+        let d = link.service(t(100));
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].at, t(100));
+    }
+
+    #[test]
+    fn bernoulli_loss_drops_expected_fraction() {
+        let trace = Trace::from_millis(0..10_000);
+        let mut link = TraceLink::new(LinkConfig {
+            trace,
+            queue: QueueConfig::DropTailUnbounded,
+            loss_rate: 0.10,
+            loss_seed: 99,
+        });
+        for i in 0..10_000 {
+            link.ingress(mtu_pkt(i), t(i));
+        }
+        let frac = link.random_drops() as f64 / 10_000.0;
+        assert!((frac - 0.10).abs() < 0.02, "drop fraction {frac}");
+    }
+
+    #[test]
+    fn zero_loss_rate_never_drops() {
+        let mut link = TraceLink::new(LinkConfig::standard(Trace::from_millis([1])));
+        for i in 0..1_000 {
+            link.ingress(mtu_pkt(i), t(0));
+        }
+        assert_eq!(link.random_drops(), 0);
+    }
+
+    #[test]
+    fn codel_policy_is_wired_through() {
+        let trace = Trace::from_millis((0..2_000).map(|i| i * 20)); // 50 pps
+        let mut link = TraceLink::new(LinkConfig {
+            trace,
+            queue: QueueConfig::CoDel(CoDelConfig::default()),
+            loss_rate: 0.0,
+            loss_seed: 0,
+        });
+        // Overload 4x: 200 MTU/s for 10 s.
+        let mut seq = 0;
+        for ms in (0..10_000u64).step_by(5) {
+            link.ingress(mtu_pkt(seq), t(ms));
+            seq += 1;
+            link.service(t(ms));
+        }
+        assert!(link.queue_drops() > 0, "CoDel should shed persistent load");
+    }
+}

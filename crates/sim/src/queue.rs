@@ -1,0 +1,142 @@
+//! Bottleneck queues: the abstract interface plus the DropTail policy.
+//!
+//! Cellular base stations keep one deep queue per user (§2.1); Cellsim
+//! models that queue explicitly. The queue policy is pluggable so the
+//! evaluation can compare plain DropTail (deep, "bufferbloated") against
+//! CoDel (§5.4), and emulate shallow-buffered carriers via a byte cap.
+
+use std::collections::VecDeque;
+
+use crate::packet::Packet;
+use sprout_trace::Timestamp;
+
+/// A bottleneck queue policy.
+pub trait Queue {
+    /// Offer a packet to the queue at time `now`. The policy may drop it.
+    fn enqueue(&mut self, packet: Packet, now: Timestamp);
+
+    /// Remove the next packet to serve. `now` is the time service begins;
+    /// AQM policies use it to measure sojourn time and may drop packets
+    /// instead of returning them.
+    fn dequeue(&mut self, now: Timestamp) -> Option<Packet>;
+
+    /// Bytes currently queued.
+    fn bytes(&self) -> u64;
+
+    /// Packets currently queued.
+    fn packets(&self) -> usize;
+
+    /// Cumulative count of packets dropped by the policy.
+    fn drops(&self) -> u64;
+}
+
+/// First-in-first-out queue that drops arriving packets once `capacity`
+/// bytes are queued. `capacity = None` gives the unbounded queue of a
+/// deeply buffered cellular carrier (the paper's default: its measured
+/// networks "employ a non-trivial amount of packet buffering", §2.1).
+#[derive(Debug)]
+pub struct DropTail {
+    queue: VecDeque<Packet>,
+    bytes: u64,
+    capacity: Option<u64>,
+    drops: u64,
+}
+
+impl DropTail {
+    /// Unbounded FIFO.
+    pub fn unbounded() -> Self {
+        DropTail {
+            queue: VecDeque::new(),
+            bytes: 0,
+            capacity: None,
+            drops: 0,
+        }
+    }
+
+    /// FIFO bounded at `capacity_bytes`.
+    pub fn with_capacity_bytes(capacity_bytes: u64) -> Self {
+        DropTail {
+            queue: VecDeque::new(),
+            bytes: 0,
+            capacity: Some(capacity_bytes),
+            drops: 0,
+        }
+    }
+}
+
+impl Queue for DropTail {
+    fn enqueue(&mut self, packet: Packet, _now: Timestamp) {
+        if let Some(cap) = self.capacity {
+            if self.bytes + packet.size as u64 > cap {
+                self.drops += 1;
+                return;
+            }
+        }
+        self.bytes += packet.size as u64;
+        self.queue.push_back(packet);
+    }
+
+    fn dequeue(&mut self, _now: Timestamp) -> Option<Packet> {
+        let p = self.queue.pop_front()?;
+        self.bytes -= p.size as u64;
+        Some(p)
+    }
+
+    fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    fn packets(&self) -> usize {
+        self.queue.len()
+    }
+
+    fn drops(&self) -> u64 {
+        self.drops
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::FlowId;
+
+    fn pkt(seq: u64, size: u32) -> Packet {
+        Packet::opaque(FlowId::PRIMARY, seq, size)
+    }
+
+    #[test]
+    fn fifo_order_preserved() {
+        let mut q = DropTail::unbounded();
+        q.enqueue(pkt(1, 100), Timestamp::ZERO);
+        q.enqueue(pkt(2, 100), Timestamp::ZERO);
+        assert_eq!(q.packets(), 2);
+        assert_eq!(q.bytes(), 200);
+        assert_eq!(q.dequeue(Timestamp::ZERO).unwrap().seq, 1);
+        assert_eq!(q.dequeue(Timestamp::ZERO).unwrap().seq, 2);
+        assert!(q.dequeue(Timestamp::ZERO).is_none());
+        assert_eq!(q.bytes(), 0);
+    }
+
+    #[test]
+    fn capacity_causes_tail_drop() {
+        let mut q = DropTail::with_capacity_bytes(250);
+        q.enqueue(pkt(1, 100), Timestamp::ZERO);
+        q.enqueue(pkt(2, 100), Timestamp::ZERO);
+        q.enqueue(pkt(3, 100), Timestamp::ZERO); // would exceed 250
+        assert_eq!(q.packets(), 2);
+        assert_eq!(q.drops(), 1);
+        // Draining frees capacity again.
+        q.dequeue(Timestamp::ZERO);
+        q.enqueue(pkt(4, 100), Timestamp::ZERO);
+        assert_eq!(q.packets(), 2);
+    }
+
+    #[test]
+    fn exactly_full_is_allowed() {
+        let mut q = DropTail::with_capacity_bytes(200);
+        q.enqueue(pkt(1, 100), Timestamp::ZERO);
+        q.enqueue(pkt(2, 100), Timestamp::ZERO);
+        assert_eq!(q.packets(), 2);
+        assert_eq!(q.drops(), 0);
+    }
+}

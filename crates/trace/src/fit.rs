@@ -1,0 +1,244 @@
+//! Fitting the §3.1 link model to an empirical trace — the §7 future-work
+//! direction ("we are eager to explore different stochastic network
+//! models, including ones trained on empirical variations in cellular
+//! link speed").
+//!
+//! Given a captured (or synthetic) trace, [`fit_link_model`] estimates
+//! the doubly-stochastic parameters by the method of moments:
+//!
+//! * the **rate path** is reconstructed from windowed delivery counts;
+//! * **σ** (Brownian noise power) from the variance of rate increments
+//!   over the window length (Var[λ(t+Δ) − λ(t)] = σ²·Δ for Brownian
+//!   motion, measured while the link is not in an outage);
+//! * **λz** (outage escape rate) as the reciprocal mean outage duration;
+//! * the **outage entry rate** from the number of distinct outages per
+//!   non-outage second;
+//! * the **mean/max rates** directly from the rate path.
+//!
+//! The result plugs straight back into [`crate::LinkSimulator`] (to synthesize
+//! more traffic "like" a capture) or into a custom `SproutConfig` (to
+//! run Sprout with a model matched to a deployment).
+
+use crate::synth::LinkModelParams;
+use crate::time::{Duration, Timestamp};
+use crate::trace::Trace;
+
+/// Estimated model parameters plus goodness diagnostics.
+#[derive(Clone, Debug)]
+pub struct FittedModel {
+    /// The estimated generative parameters.
+    pub params: LinkModelParams,
+    /// Number of outages (gaps ≥ the outage threshold) found.
+    pub outages: usize,
+    /// Mean outage duration.
+    pub mean_outage: Duration,
+    /// Fraction of the trace spent in outages.
+    pub outage_fraction: f64,
+    /// Number of rate-path windows used for the σ estimate.
+    pub windows: usize,
+}
+
+/// Configuration of the fitting procedure.
+#[derive(Clone, Debug)]
+pub struct FitConfig {
+    /// Window for the rate-path reconstruction (long enough for a stable
+    /// count, short enough to see the variation; the paper's own caveat
+    /// §3.1 — rates vary faster than the averaging interval needed for a
+    /// good point estimate — is why this is a knob).
+    pub rate_window: Duration,
+    /// A delivery gap at least this long counts as an outage.
+    pub outage_threshold: Duration,
+}
+
+impl Default for FitConfig {
+    fn default() -> Self {
+        FitConfig {
+            rate_window: Duration::from_millis(500),
+            outage_threshold: Duration::from_secs(1),
+        }
+    }
+}
+
+/// Fit the §3.1 model to a trace. Returns `None` for traces too short to
+/// estimate anything (needs ≥ 4 rate windows).
+pub fn fit_link_model(trace: &Trace, cfg: &FitConfig) -> Option<FittedModel> {
+    let total = trace.duration();
+    let w = cfg.rate_window;
+    if total.as_micros() < 4 * w.as_micros() || trace.len() < 8 {
+        return None;
+    }
+
+    // --- outage statistics ---
+    let mut outages = Vec::new();
+    for gap in trace.interarrivals() {
+        if gap >= cfg.outage_threshold {
+            outages.push(gap);
+        }
+    }
+    let outage_time: u64 = outages.iter().map(|d| d.as_micros()).sum();
+    let mean_outage = if outages.is_empty() {
+        Duration::ZERO
+    } else {
+        Duration::from_micros(outage_time / outages.len() as u64)
+    };
+    // λz = 1 / mean outage duration (exponential escape, §3.1).
+    let outage_escape_rate = if mean_outage > Duration::ZERO {
+        1.0 / mean_outage.as_secs_f64()
+    } else {
+        1.0
+    };
+    let non_outage_secs = (total.as_secs_f64() - outage_time as f64 / 1e6).max(1e-3);
+    let outage_entry_rate = outages.len() as f64 / non_outage_secs;
+
+    // --- rate path over non-outage windows ---
+    let nwin = (total.as_micros() / w.as_micros()) as usize;
+    let mut rates = Vec::with_capacity(nwin);
+    for i in 0..nwin {
+        let from = Timestamp::from_micros(i as u64 * w.as_micros());
+        let to = from + w;
+        let count = trace.opportunities_between(from, to);
+        rates.push(count as f64 / w.as_secs_f64());
+    }
+    // Exclude windows inside outages from the mean/σ estimates: they
+    // describe the discrete outage state, not the diffusion.
+    let active: Vec<f64> = rates.iter().copied().filter(|&r| r > 0.0).collect();
+    if active.len() < 4 {
+        return None;
+    }
+    let mean_rate_pps = active.iter().sum::<f64>() / active.len() as f64;
+    let max_rate_pps = active.iter().copied().fold(0.0f64, f64::max);
+
+    // --- σ from increment variance ---
+    // For Brownian λ: Var[λ(t+Δ) − λ(t)] = σ²Δ. The windowed estimate of
+    // λ adds Poisson counting noise with variance ≈ 2·λ/Δ (two windows),
+    // which we subtract.
+    let mut increments = Vec::new();
+    for pair in rates.windows(2) {
+        if pair[0] > 0.0 && pair[1] > 0.0 {
+            increments.push(pair[1] - pair[0]);
+        }
+    }
+    if increments.len() < 3 {
+        return None;
+    }
+    let m = increments.iter().sum::<f64>() / increments.len() as f64;
+    let var = increments.iter().map(|d| (d - m) * (d - m)).sum::<f64>()
+        / (increments.len() - 1) as f64;
+    let dt = w.as_secs_f64();
+    let counting_noise = 2.0 * mean_rate_pps / dt;
+    let sigma = ((var - counting_noise).max(0.0) / dt).sqrt();
+
+    Some(FittedModel {
+        params: LinkModelParams {
+            mean_rate_pps,
+            // Headroom above the observed peak, rounded up.
+            max_rate_pps: (max_rate_pps * 1.25).max(mean_rate_pps * 2.0),
+            sigma: sigma.max(1.0),
+            // The fit cannot separate drift from reversion on a single
+            // trace; report the pure paper model (reversion off). Callers
+            // synthesizing long traces may add their own pull.
+            mean_reversion: 0.0,
+            outage_entry_rate,
+            outage_escape_rate,
+        },
+        outages: outages.len(),
+        mean_outage,
+        outage_fraction: outage_time as f64 / 1e6 / total.as_secs_f64().max(1e-9),
+        windows: active.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::{LinkSimulator, NetProfile};
+
+    #[test]
+    fn too_short_traces_are_rejected() {
+        assert!(fit_link_model(&Trace::from_millis([0, 10, 20]), &FitConfig::default()).is_none());
+    }
+
+    #[test]
+    fn recovers_mean_rate_of_a_steady_poisson_link() {
+        let params = LinkModelParams {
+            mean_rate_pps: 120.0,
+            max_rate_pps: 1000.0,
+            sigma: 2.0,
+            mean_reversion: 50.0, // pinned at the mean
+            outage_entry_rate: 0.0,
+            outage_escape_rate: 1.0,
+        };
+        let trace = LinkSimulator::new(params, 5).generate(Duration::from_secs(120));
+        let fit = fit_link_model(&trace, &FitConfig::default()).unwrap();
+        let mean = fit.params.mean_rate_pps;
+        assert!((mean - 120.0).abs() < 12.0, "mean {mean}");
+        // A pinned link has (almost) no diffusion: σ estimate small.
+        assert!(fit.params.sigma < 25.0, "sigma {}", fit.params.sigma);
+        assert_eq!(fit.outages, 0);
+    }
+
+    #[test]
+    fn detects_diffusion_on_a_wandering_link() {
+        // Same mean, strong Brownian noise: σ estimate must be clearly
+        // larger than for the pinned link.
+        let wander = LinkModelParams {
+            mean_rate_pps: 300.0,
+            max_rate_pps: 1000.0,
+            sigma: 150.0,
+            mean_reversion: 0.5,
+            outage_entry_rate: 0.0,
+            outage_escape_rate: 1.0,
+        };
+        let trace = LinkSimulator::new(wander, 6).generate(Duration::from_secs(180));
+        let fit = fit_link_model(&trace, &FitConfig::default()).unwrap();
+        assert!(
+            fit.params.sigma > 40.0,
+            "diffusion should be visible: sigma {}",
+            fit.params.sigma
+        );
+    }
+
+    #[test]
+    fn outage_statistics_estimate_escape_rate() {
+        // Hand-built trace: dense deliveries with two 2-second holes →
+        // mean outage 2 s → λz ≈ 0.5.
+        let mut ms: Vec<u64> = (0..5_000).map(|i| i * 4).collect(); // 0..20 s
+        ms.extend((5_500..10_500).map(|i| i * 4)); // 22 s .. 42 s
+        ms.extend((11_000..16_000).map(|i| i * 4)); // 44 s .. 64 s
+        let trace = Trace::from_millis(ms);
+        let fit = fit_link_model(&trace, &FitConfig::default()).unwrap();
+        assert_eq!(fit.outages, 2);
+        assert!(
+            (fit.params.outage_escape_rate - 0.5).abs() < 0.05,
+            "escape {}",
+            fit.params.outage_escape_rate
+        );
+        assert!(fit.outage_fraction > 0.05 && fit.outage_fraction < 0.10);
+    }
+
+    #[test]
+    fn round_trip_profile_fit_resynthesize() {
+        // Fit a synthetic LTE trace, resynthesize from the fitted
+        // parameters, and check the resynthesized link has a similar mean
+        // capacity — the §7 "train on empirical variations" loop.
+        let original = NetProfile::VerizonLteDown.generate(Duration::from_secs(180), 9);
+        let fit = fit_link_model(&original, &FitConfig::default()).unwrap();
+        let resynth = LinkSimulator::new(
+            LinkModelParams {
+                // Re-add a mild pull so a 3-minute resynthesis cannot
+                // wander off its mean (the fit reports reversion-free
+                // paper parameters).
+                mean_reversion: 0.5,
+                ..fit.params.clone()
+            },
+            10,
+        )
+        .generate(Duration::from_secs(180));
+        let a = original.average_rate_kbps();
+        let b = resynth.average_rate_kbps();
+        assert!(
+            b > a * 0.5 && b < a * 2.0,
+            "resynthesized capacity {b:.0} kbps vs original {a:.0}"
+        );
+    }
+}

@@ -1,0 +1,149 @@
+//! On-disk trace format, compatible with the Saturator / Cellsim / mahimahi
+//! family of tools: a plain text file with one decimal integer per line,
+//! each the time (in milliseconds from the start of the trace) at which the
+//! link could deliver one MTU-sized packet. Lines starting with `#` are
+//! comments. Real captured traces from the paper's artifact drop in
+//! unchanged.
+
+use std::fs::File;
+use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use crate::time::Timestamp;
+use crate::trace::Trace;
+
+/// Errors arising while reading a trace file.
+#[derive(Debug)]
+pub enum TraceFileError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// A line that is neither a comment, blank, nor a non-negative integer.
+    Malformed {
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// Contents of the offending line.
+        text: String,
+    },
+}
+
+impl std::fmt::Display for TraceFileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceFileError::Io(e) => write!(f, "trace i/o error: {e}"),
+            TraceFileError::Malformed { line, text } => {
+                write!(f, "trace line {line} is not a millisecond timestamp: {text:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceFileError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TraceFileError::Io(e) => Some(e),
+            TraceFileError::Malformed { .. } => None,
+        }
+    }
+}
+
+impl From<io::Error> for TraceFileError {
+    fn from(e: io::Error) -> Self {
+        TraceFileError::Io(e)
+    }
+}
+
+/// Parse a trace from any reader in the Saturator text format.
+pub fn read_trace(reader: impl Read) -> Result<Trace, TraceFileError> {
+    let mut opportunities = Vec::new();
+    for (idx, line) in BufReader::new(reader).lines().enumerate() {
+        let line = line?;
+        let text = line.trim();
+        if text.is_empty() || text.starts_with('#') {
+            continue;
+        }
+        let ms: u64 = text.parse().map_err(|_| TraceFileError::Malformed {
+            line: idx + 1,
+            text: text.to_owned(),
+        })?;
+        opportunities.push(Timestamp::from_millis(ms));
+    }
+    Ok(Trace::new(opportunities))
+}
+
+/// Load a trace file from disk.
+pub fn load_trace(path: impl AsRef<Path>) -> Result<Trace, TraceFileError> {
+    read_trace(File::open(path)?)
+}
+
+/// Serialize a trace in the Saturator text format.
+pub fn write_trace(trace: &Trace, writer: impl Write) -> io::Result<()> {
+    let mut w = BufWriter::new(writer);
+    for &t in trace.opportunities() {
+        writeln!(w, "{}", t.as_millis())?;
+    }
+    w.flush()
+}
+
+/// Save a trace file to disk.
+pub fn save_trace(trace: &Trace, path: impl AsRef<Path>) -> io::Result<()> {
+    write_trace(trace, File::create(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_plain_and_commented_lines() {
+        let input = "# a capture\n10\n\n20\n20\n30\n";
+        let tr = read_trace(input.as_bytes()).unwrap();
+        assert_eq!(tr.len(), 4);
+        assert_eq!(tr.opportunities()[1].as_millis(), 20);
+    }
+
+    #[test]
+    fn rejects_garbage_with_line_number() {
+        let input = "10\nnot-a-number\n30\n";
+        match read_trace(input.as_bytes()) {
+            Err(TraceFileError::Malformed { line, text }) => {
+                assert_eq!(line, 2);
+                assert_eq!(text, "not-a-number");
+            }
+            other => panic!("expected Malformed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_negative_numbers() {
+        assert!(read_trace("-5\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn round_trips_through_bytes() {
+        let tr = Trace::from_millis([0, 5, 5, 7, 1000]);
+        let mut buf = Vec::new();
+        write_trace(&tr, &mut buf).unwrap();
+        let back = read_trace(buf.as_slice()).unwrap();
+        assert_eq!(tr, back);
+    }
+
+    #[test]
+    fn round_trips_through_disk() {
+        let dir = std::env::temp_dir().join("sprout-trace-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("roundtrip.trace");
+        let tr = Trace::from_millis([1, 2, 3, 500, 10_000]);
+        save_trace(&tr, &path).unwrap();
+        let back = load_trace(&path).unwrap();
+        assert_eq!(tr, back);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        match load_trace("/definitely/not/here.trace") {
+            Err(TraceFileError::Io(_)) => {}
+            other => panic!("expected Io, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,58 @@
+//! The same sans-IO Sprout endpoints on real UDP sockets over loopback:
+//! a 3-second live session between two threads, with forecasts flowing
+//! back and data flowing forward in wall-clock time.
+//!
+//! ```text
+//! cargo run --release --example live_udp
+//! ```
+
+use sprout_core::{SproutConfig, SproutEndpoint};
+use sprout_net::UdpDriver;
+use sprout_trace::Duration;
+
+fn main() -> std::io::Result<()> {
+    println!("building forecast tables (shared by both endpoints)...");
+    let cfg = SproutConfig::paper();
+    let mut client = SproutEndpoint::new(cfg.clone());
+    client.set_saturating();
+    let server = SproutEndpoint::new(cfg);
+
+    let mut server_drv = UdpDriver::bind(server, "127.0.0.1:0", None)?;
+    let server_addr = server_drv.local_addr()?;
+    let mut client_drv = UdpDriver::bind(client, "127.0.0.1:0", Some(server_addr))?;
+    println!(
+        "client {} → server {server_addr}",
+        client_drv.local_addr()?
+    );
+
+    let run_for = Duration::from_secs(3);
+    let server_thread = std::thread::spawn(move || {
+        server_drv.run_for(run_for).map(|_| server_drv)
+    });
+    client_drv.run_for(run_for)?;
+    let server_drv = server_thread.join().expect("server thread")?;
+
+    let c = client_drv.stats();
+    let s = server_drv.stats();
+    println!("\nclient sent {} datagrams ({} KB)", c.sent, c.bytes_sent / 1024);
+    println!(
+        "server received {} datagrams ({} KB) and sent {} feedback packets",
+        s.received,
+        s.bytes_received / 1024,
+        s.sent
+    );
+    println!(
+        "server app-level goodput ≈ {:.1} Mbit/s over loopback",
+        server_drv.endpoint().stats().app_bytes_received as f64 * 8.0 / 3.0 / 1e6
+    );
+    println!(
+        "client window at end: {} bytes (driven by the server's live forecasts)",
+        {
+            let now = client_drv.now();
+            client_drv.endpoint_mut().window_bytes(now)
+        }
+    );
+    println!("\nNote: loopback has no cellular dynamics — this example shows the");
+    println!("sans-IO state machines running unmodified over real sockets.");
+    Ok(())
+}

@@ -1,0 +1,22 @@
+//! # sprout-repro — a reproduction of Sprout (NSDI 2013)
+//!
+//! Umbrella crate for the workspace: re-exports the component crates and
+//! hosts the runnable examples (`examples/`) and cross-crate integration
+//! tests (`tests/`).
+//!
+//! * [`sprout_core`] — the Sprout protocol (inference, forecasts, endpoints)
+//! * [`sprout_trace`] — cellular link traces: format, synthesis, analysis
+//! * [`sprout_sim`] — the Cellsim trace-driven network emulator
+//! * [`sprout_baselines`] — TCP variants, app models, omniscient, Saturator
+//! * [`sprout_tunnel`] — SproutTunnel flow isolation (§4.3)
+//! * [`sprout_net`] — real-UDP driver for the sans-IO endpoints
+//!
+//! See README.md for the guided tour and DESIGN.md for the experiment
+//! index.
+
+pub use sprout_baselines;
+pub use sprout_core;
+pub use sprout_net;
+pub use sprout_sim;
+pub use sprout_trace;
+pub use sprout_tunnel;

