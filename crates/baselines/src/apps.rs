@@ -220,8 +220,8 @@ impl Endpoint for VideoAppSender {
         if self.congested_since.is_none()
             && now.saturating_since(self.last_increase) >= Duration::from_secs(1)
         {
-            self.rate_bps = (self.rate_bps * self.profile.increase_per_sec)
-                .min(self.profile.max_rate_bps);
+            self.rate_bps =
+                (self.rate_bps * self.profile.increase_per_sec).min(self.profile.max_rate_bps);
             self.last_increase = now;
         }
         while self.next_frame <= now {
@@ -357,10 +357,7 @@ mod tests {
         }
         let rate = bytes as f64 * 8.0 / 2.0;
         // ~300 kbps start rate, ramping ≤ 15%/s: within [280k, 500k].
-        assert!(
-            rate > 280e3 && rate < 500e3,
-            "observed rate {rate:.0} bps"
-        );
+        assert!(rate > 280e3 && rate < 500e3, "observed rate {rate:.0} bps");
     }
 
     #[test]

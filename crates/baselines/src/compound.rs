@@ -57,7 +57,8 @@ impl Default for Compound {
 impl CongestionControl for Compound {
     fn on_ack(&mut self, newly_acked: u64, rtt: Duration, _now: Timestamp) {
         // Delay-based slow-start exit (deep cellular queues never drop).
-        if self.cwnd < self.ssthresh && crate::reno::slow_start_delay_exit(&mut self.ss_min_rtt, rtt)
+        if self.cwnd < self.ssthresh
+            && crate::reno::slow_start_delay_exit(&mut self.ss_min_rtt, rtt)
         {
             self.ssthresh = self.cwnd;
         }
@@ -171,7 +172,11 @@ mod tests {
         for _ in 0..20 {
             one_rtt(&mut c, ms(400));
         }
-        assert!(c.dwnd() < dwnd_peak * 0.5, "dwnd {} vs {dwnd_peak}", c.dwnd());
+        assert!(
+            c.dwnd() < dwnd_peak * 0.5,
+            "dwnd {} vs {dwnd_peak}",
+            c.dwnd()
+        );
     }
 
     #[test]

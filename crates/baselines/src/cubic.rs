@@ -94,8 +94,7 @@ impl CongestionControl for Cubic {
         self.cwnd += (target - self.cwnd) / self.cwnd * credit;
         // TCP-friendly region (RFC 8312 §4.2), time-based: the window
         // never grows slower than a Reno flow started at the loss event.
-        self.w_est = self.w_max * BETA
-            + 3.0 * (1.0 - BETA) / (1.0 + BETA) * (t / rtt_s);
+        self.w_est = self.w_max * BETA + 3.0 * (1.0 - BETA) / (1.0 + BETA) * (t / rtt_s);
         self.cwnd = self.cwnd.max(self.w_est).max(2.0);
     }
 

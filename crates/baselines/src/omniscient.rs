@@ -118,9 +118,9 @@ mod tests {
             PathConfig::standard(Trace::from_millis([0])),
         );
         sim.run_until(Timestamp::from_secs(25));
-        let delivered = sim
-            .ab_metrics()
-            .delivered_bytes(Timestamp::ZERO, Timestamp::from_secs(25), None);
+        let delivered =
+            sim.ab_metrics()
+                .delivered_bytes(Timestamp::ZERO, Timestamp::from_secs(25), None);
         assert_eq!(delivered, trace.capacity_bytes());
     }
 }

@@ -310,7 +310,8 @@ impl Endpoint for TcpSender {
                     self.recover_until = None;
                 }
             }
-            self.cc.on_ack(newly, now.saturating_since(echo_sent_at), now);
+            self.cc
+                .on_ack(newly, now.saturating_since(echo_sent_at), now);
             // Continuous hole repair: any segment transmitted more than an
             // RTO ago while later data is being acked is presumed lost and
             // re-enters the window, instead of stalling for a global RTO
@@ -545,7 +546,7 @@ mod tests {
         let counter = std::sync::Arc::new(std::sync::atomic::AtomicU32::new(0));
         let mut s = TcpSender::new(Box::new(LossSpySync(counter.clone())));
         let _ = s.poll(t(0)); // 10 segments out
-        // Segment 0 lost: acks echo later segments but cum stays 0.
+                              // Segment 0 lost: acks echo later segments but cum stays 0.
         for i in 1..=4u64 {
             let ack = Packet {
                 flow: FlowId::PRIMARY,

@@ -172,7 +172,11 @@ mod tests {
         for _ in 0..5 {
             one_rtt(&mut v, rtt);
         }
-        assert!((v.window() - w).abs() < 1.01, "held near {w}: {}", v.window());
+        assert!(
+            (v.window() - w).abs() < 1.01,
+            "held near {w}: {}",
+            v.window()
+        );
     }
 
     #[test]

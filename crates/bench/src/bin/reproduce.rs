@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! reproduce <experiment> [--secs N] [--warmup N] [--seed N] [--out DIR]
+//!                        [--threads N] [--quick] [--json]
 //!
 //! experiments:
 //!   fig1     Skype vs Sprout time series (Verizon LTE downlink)
@@ -12,54 +13,118 @@
 //!   loss     s5.6 loss-resilience table
 //!   tunnel   s5.7 SproutTunnel isolation table
 //!   all      everything above
+//!
+//! flags:
+//!   --secs N     virtual seconds per run (default 300)
+//!   --warmup N   warm-up skipped before measurement (default 60)
+//!   --seed N     master seed; all randomness derives from it (default 20130401)
+//!   --out DIR    artifact directory (default results/)
+//!   --threads N  sweep worker threads (default: one per core)
+//!   --quick      shorthand for --secs 90 --warmup 20
+//!   --json       after running, print the sweep JSON artifact(s) to stdout
 //! ```
+//!
+//! Every experiment writes TSV artifacts plus a canonical
+//! `<experiment>_sweep.json` record of the scenario matrix it ran; with
+//! the same seed the JSON is bit-identical for any `--threads` value.
 
 use std::time::Instant;
 
 use sprout_bench::figures::{self, ExperimentConfig};
 use sprout_bench::{summary_table, Scheme};
 
-fn parse_args() -> (String, ExperimentConfig) {
+const EXPERIMENTS: &[&str] = &[
+    "fig1", "fig2", "fig7", "fig8", "fig9", "loss", "tunnel", "all",
+];
+
+const USAGE: &str = "usage: reproduce <experiment> [--secs N] [--warmup N] [--seed N] [--out DIR] [--threads N] [--quick] [--json]
+experiments: fig1 fig2 fig7 fig8 fig9 loss tunnel all";
+
+struct Options {
+    cmd: String,
+    cfg: ExperimentConfig,
+    json: bool,
+}
+
+fn usage_error(msg: &str) -> ! {
+    eprintln!("reproduce: {msg}");
+    eprintln!("{USAGE}");
+    std::process::exit(2);
+}
+
+fn parse_args() -> Options {
     let mut cfg = ExperimentConfig::default();
-    let mut cmd = String::from("all");
+    let mut cmd: Option<String> = None;
+    let mut json = false;
     let mut args = std::env::args().skip(1);
-    let mut positional_seen = false;
     while let Some(arg) = args.next() {
+        let mut numeric = |name: &str| -> u64 {
+            match args.next().map(|v| v.parse::<u64>()) {
+                Some(Ok(v)) => v,
+                Some(Err(_)) => usage_error(&format!("{name} expects a number")),
+                None => usage_error(&format!("{name} expects a value")),
+            }
+        };
         match arg.as_str() {
-            "--secs" => {
-                cfg.run_secs = args
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .expect("--secs N");
-            }
-            "--warmup" => {
-                cfg.warmup_secs = args
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .expect("--warmup N");
-            }
-            "--seed" => {
-                cfg.seed = args.next().and_then(|v| v.parse().ok()).expect("--seed N");
-            }
-            "--out" => {
-                cfg.out_dir = args.next().expect("--out DIR").into();
-            }
+            "--secs" => cfg.run_secs = numeric("--secs"),
+            "--warmup" => cfg.warmup_secs = numeric("--warmup"),
+            "--seed" => cfg.seed = numeric("--seed"),
+            "--threads" => cfg.threads = numeric("--threads") as usize,
+            "--out" => match args.next() {
+                Some(dir) => cfg.out_dir = dir.into(),
+                None => usage_error("--out expects a directory"),
+            },
             "--quick" => {
                 cfg.run_secs = 90;
                 cfg.warmup_secs = 20;
             }
-            other if !positional_seen => {
-                cmd = other.to_string();
-                positional_seen = true;
+            "--json" => json = true,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
             }
-            other => panic!("unexpected argument {other:?}"),
+            other if other.starts_with('-') => {
+                usage_error(&format!("unknown flag {other:?}"));
+            }
+            other if cmd.is_none() => {
+                if !EXPERIMENTS.contains(&other) {
+                    usage_error(&format!("unknown experiment {other:?}"));
+                }
+                cmd = Some(other.to_string());
+            }
+            other => usage_error(&format!("unexpected argument {other:?}")),
         }
     }
-    assert!(
-        cfg.warmup_secs < cfg.run_secs,
-        "warmup must be shorter than the run"
-    );
-    (cmd, cfg)
+    if cfg.warmup_secs >= cfg.run_secs {
+        usage_error("warmup must be shorter than the run");
+    }
+    Options {
+        cmd: cmd.unwrap_or_else(|| "all".to_string()),
+        cfg,
+        json,
+    }
+}
+
+/// The sweep JSON artifacts each experiment records.
+fn artifacts_of(cmd: &str) -> &'static [&'static str] {
+    match cmd {
+        "fig1" => &["fig1"],
+        "fig2" => &["fig2"],
+        "fig7" | "fig8" => &["fig7"],
+        "fig9" => &["fig9"],
+        "loss" => &["loss"],
+        "tunnel" => &["tunnel"],
+        "all" => &["fig1", "fig2", "fig7", "fig9", "loss", "tunnel"],
+        _ => &[],
+    }
+}
+
+fn print_json_artifacts(cfg: &ExperimentConfig, cmd: &str) -> std::io::Result<()> {
+    for name in artifacts_of(cmd) {
+        let path = cfg.sweep_json_path(name);
+        print!("{}", std::fs::read_to_string(path)?);
+    }
+    Ok(())
 }
 
 fn print_fig7_and_tables(cfg: &ExperimentConfig) -> std::io::Result<sprout_bench::Fig7Results> {
@@ -71,9 +136,7 @@ fn print_fig7_and_tables(cfg: &ExperimentConfig) -> std::io::Result<sprout_bench
     );
     for link in sprout_trace::NetProfile::all() {
         println!("\n--- {} ---", link.name());
-        let mut schemes = Scheme::fig7().to_vec();
-        schemes.push(Scheme::CubicCodel);
-        for scheme in schemes {
+        for scheme in figures::fig7_schemes() {
             if let Some(r) = results.get(link, scheme) {
                 println!("  {}", figures::fmt_result(scheme.name(), r));
             }
@@ -141,11 +204,19 @@ fn print_fig7_and_tables(cfg: &ExperimentConfig) -> std::io::Result<sprout_bench
 }
 
 fn main() -> std::io::Result<()> {
-    let (cmd, cfg) = parse_args();
+    let Options { cmd, cfg, json } = parse_args();
     figures::ensure_out_dir(&cfg.out_dir)?;
     println!(
-        "reproduce: {cmd} (runs {}s, warmup {}s, seed {}, out {:?})",
-        cfg.run_secs, cfg.warmup_secs, cfg.seed, cfg.out_dir
+        "reproduce: {cmd} (runs {}s, warmup {}s, seed {}, threads {}, out {:?})",
+        cfg.run_secs,
+        cfg.warmup_secs,
+        cfg.seed,
+        if cfg.threads == 0 {
+            "auto".to_string()
+        } else {
+            cfg.threads.to_string()
+        },
+        cfg.out_dir
     );
 
     match cmd.as_str() {
@@ -292,10 +363,10 @@ fn main() -> std::io::Result<()> {
             );
             println!("\nall experiments done in {:.0?}", t0.elapsed());
         }
-        other => {
-            eprintln!("unknown experiment {other:?}; see the module docs");
-            std::process::exit(2);
-        }
+        other => unreachable!("experiment {other:?} validated in parse_args"),
+    }
+    if json {
+        print_json_artifacts(&cfg, &cmd)?;
     }
     Ok(())
 }

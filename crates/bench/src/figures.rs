@@ -1,22 +1,25 @@
 //! Regeneration of every table and figure in the paper's evaluation
-//! (§5). Each function runs the relevant experiment in virtual time,
-//! writes machine-readable TSV into the output directory, and returns a
-//! structured summary for display.
+//! (§5).
+//!
+//! Each figure **declares** its experiment as a [`ScenarioMatrix`]
+//! cross-product, hands it to the shared [`SweepEngine`] (parallel,
+//! deterministically seeded), and **renders** the returned
+//! [`SweepResult`] rows: machine-readable TSV plus a canonical
+//! `<figure>_sweep.json` record into the output directory, and a
+//! structured summary for display. No figure runs its own scheme×link
+//! loops.
 
-use std::collections::BTreeMap;
 use std::fs;
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
 
-use sprout_baselines::{AppProfile, Cubic, TcpReceiver, TcpSender, VideoAppReceiver, VideoAppSender};
-use sprout_core::{SproutConfig, SproutEndpoint};
-use sprout_sim::{Endpoint, FlowId, MuxEndpoint, PathConfig, Simulation};
-use sprout_trace::{
-    Duration, InterarrivalHistogram, NetProfile, Timestamp, Trace,
-};
-use sprout_tunnel::{TunnelEndpoint, TunnelHost};
+use sprout_trace::{Duration, NetProfile, Trace};
 
-use crate::schemes::{run_scheme, RunConfig, Scheme, SchemeResult};
+use crate::scenario::{ScenarioMatrix, Workload};
+use crate::schemes::{RunConfig, Scheme, SchemeResult};
+use crate::sweep::{self, SweepEngine, SweepResult};
+
+pub use crate::scenario::paired;
 
 /// Global experiment knobs (trace length, warm-up, seed, output dir).
 #[derive(Clone, Debug)]
@@ -26,9 +29,11 @@ pub struct ExperimentConfig {
     pub run_secs: u64,
     /// Warm-up skipped before measurement (§5.1: one minute).
     pub warmup_secs: u64,
-    /// Master seed for trace synthesis.
+    /// Master seed: every stochastic input of every sweep derives from it.
     pub seed: u64,
-    /// Output directory for TSV artifacts.
+    /// Worker threads for the sweep engine (0 = one per core).
+    pub threads: usize,
+    /// Output directory for TSV/JSON artifacts.
     pub out_dir: PathBuf,
 }
 
@@ -38,6 +43,7 @@ impl Default for ExperimentConfig {
             run_secs: 300,
             warmup_secs: 60,
             seed: 20130401, // NSDI 2013
+            threads: 0,
             out_dir: PathBuf::from("results"),
         }
     }
@@ -61,6 +67,16 @@ impl ExperimentConfig {
         Duration::from_secs(self.warmup_secs)
     }
 
+    /// The sweep engine configured by these knobs.
+    pub fn engine(&self) -> SweepEngine {
+        SweepEngine::new(self.seed).with_threads(self.threads)
+    }
+
+    /// Start declaring a matrix with this config's timing.
+    pub fn matrix(&self, name: &str) -> crate::scenario::MatrixBuilder {
+        ScenarioMatrix::builder(name).timing(self.duration(), self.warmup())
+    }
+
     /// The synthetic stand-in for one measured link (deterministic in the
     /// master seed).
     pub fn trace_for(&self, profile: NetProfile) -> Trace {
@@ -68,7 +84,8 @@ impl ExperimentConfig {
     }
 
     /// Data/feedback trace pair for a link under test: the feedback path
-    /// is the same network's other direction.
+    /// is the same network's other direction. (Standalone-cell helper for
+    /// benches and tests; sweeps derive this internally.)
     pub fn run_config(&self, profile: NetProfile) -> RunConfig {
         let data = self.trace_for(profile);
         let feedback = self.trace_for(paired(profile));
@@ -83,19 +100,20 @@ impl ExperimentConfig {
         fs::create_dir_all(&self.out_dir)?;
         fs::File::create(self.out_dir.join(name))
     }
-}
 
-/// The opposite direction of the same network.
-pub fn paired(profile: NetProfile) -> NetProfile {
-    match profile {
-        NetProfile::VerizonLteDown => NetProfile::VerizonLteUp,
-        NetProfile::VerizonLteUp => NetProfile::VerizonLteDown,
-        NetProfile::Verizon3gDown => NetProfile::Verizon3gUp,
-        NetProfile::Verizon3gUp => NetProfile::Verizon3gDown,
-        NetProfile::AttLteDown => NetProfile::AttLteUp,
-        NetProfile::AttLteUp => NetProfile::AttLteDown,
-        NetProfile::TmobileUmtsDown => NetProfile::TmobileUmtsUp,
-        NetProfile::TmobileUmtsUp => NetProfile::TmobileUmtsDown,
+    /// Run `matrix` on the shared engine and record its canonical JSON
+    /// artifact (`<matrix>_sweep.json`).
+    pub fn run_matrix(&self, matrix: &ScenarioMatrix) -> std::io::Result<Vec<SweepResult>> {
+        let results = self.engine().run(matrix);
+        fs::create_dir_all(&self.out_dir)?;
+        let mut f = fs::File::create(self.sweep_json_path(matrix.name()))?;
+        sweep::write_json(&mut f, matrix.name(), self.seed, &results)?;
+        Ok(results)
+    }
+
+    /// Path of the JSON artifact for matrix `name`.
+    pub fn sweep_json_path(&self, name: &str) -> PathBuf {
+        self.out_dir.join(format!("{name}_sweep.json"))
     }
 }
 
@@ -111,55 +129,36 @@ pub struct Fig1Result {
 
 /// Run Figure 1.
 pub fn fig1(cfg: &ExperimentConfig) -> std::io::Result<Fig1Result> {
-    let bin = Duration::from_millis(500);
-    let run = |scheme: Scheme| {
-        let rc = cfg.run_config(NetProfile::VerizonLteDown);
-        let (a, b) = crate::schemes::build_endpoints(scheme, &rc);
-        let mut sim = Simulation::new(
-            a,
-            b,
-            PathConfig::standard(rc.data_trace.clone()),
-            PathConfig::standard(rc.feedback_trace.clone()),
-        );
-        let end = Timestamp::ZERO + rc.duration;
-        sim.run_until(end);
-        let from = Timestamp::ZERO + rc.warmup;
-        let tput = sim.ab_metrics().throughput_series_kbps(bin, from, end);
-        // Per-bin worst arrival delay.
-        let mut delays: BTreeMap<u64, f64> = BTreeMap::new();
-        for (at, d) in sim.ab_metrics().delay_series() {
-            if at < from {
-                continue;
-            }
-            let key = (at.as_micros() - from.as_micros()) / bin.as_micros();
-            let ms = d.as_micros() as f64 / 1e3;
-            let e = delays.entry(key).or_insert(0.0);
-            if ms > *e {
-                *e = ms;
-            }
-        }
-        (tput, delays, rc.data_trace)
-    };
-    let (skype_tput, skype_delay, trace) = run(Scheme::Skype);
-    let (sprout_tput, sprout_delay, _) = run(Scheme::Sprout);
-    let from = Timestamp::ZERO + cfg.warmup();
-    let capacity: Vec<f64> = trace
-        .window(from, Timestamp::ZERO + cfg.duration())
-        .capacity_series_kbps(bin);
+    let matrix = cfg
+        .matrix("fig1")
+        .schemes([Scheme::Skype, Scheme::Sprout])
+        .links([NetProfile::VerizonLteDown])
+        .series_bin(Duration::from_millis(500))
+        .build();
+    let results = cfg.run_matrix(&matrix)?;
+    let (skype, sprout) = (&results[0], &results[1]);
 
-    let mut throughput_rows = Vec::new();
-    let mut delay_rows = Vec::new();
-    for i in 0..skype_tput.len().min(sprout_tput.len()).min(capacity.len()) {
-        let t = i as f64 * 0.5;
-        throughput_rows.push((t, capacity[i], skype_tput[i].1, sprout_tput[i].1));
-        delay_rows.push((
-            t,
-            skype_delay.get(&(i as u64)).copied().unwrap_or(0.0),
-            sprout_delay.get(&(i as u64)).copied().unwrap_or(0.0),
+    let n = skype.series.len().min(sprout.series.len());
+    let mut throughput_rows = Vec::with_capacity(n);
+    let mut delay_rows = Vec::with_capacity(n);
+    for i in 0..n {
+        let (sk, sp) = (&skype.series[i], &sprout.series[i]);
+        // Both cells replay the identical link trace, so either capacity
+        // column works.
+        throughput_rows.push((
+            sk.t_s,
+            sk.capacity_kbps,
+            sk.throughput_kbps,
+            sp.throughput_kbps,
         ));
+        delay_rows.push((sk.t_s, sk.worst_delay_ms, sp.worst_delay_ms));
     }
+
     let mut f = cfg.tsv("fig1_timeseries.tsv")?;
-    writeln!(f, "time_s\tcapacity_kbps\tskype_kbps\tsprout_kbps\tskype_delay_ms\tsprout_delay_ms")?;
+    writeln!(
+        f,
+        "time_s\tcapacity_kbps\tskype_kbps\tsprout_kbps\tskype_delay_ms\tsprout_delay_ms"
+    )?;
     for (i, row) in throughput_rows.iter().enumerate() {
         writeln!(
             f,
@@ -190,19 +189,26 @@ pub fn fig2(cfg: &ExperimentConfig) -> std::io::Result<Fig2Result> {
     // The paper's sample is 1.2 M packets; at ~420 packets/s that is
     // ~48 min of saturation. Scale with run_secs but keep ≥ 10 min.
     let secs = (cfg.run_secs * 10).max(600);
-    let trace = NetProfile::VerizonLteDown.generate(Duration::from_secs(secs), cfg.seed ^ 0xf16);
-    let hist = InterarrivalHistogram::from_trace(&trace, 10, 10_000.0);
+    let matrix = ScenarioMatrix::builder("fig2")
+        .workloads([Workload::InterarrivalProbe])
+        .links([NetProfile::VerizonLteDown])
+        .timing(Duration::from_secs(secs), Duration::ZERO)
+        .build();
+    let results = cfg.run_matrix(&matrix)?;
+    let ia = results[0]
+        .interarrival
+        .as_ref()
+        .expect("probe cells produce interarrival stats");
+
     let mut f = cfg.tsv("fig2_interarrival.tsv")?;
     writeln!(f, "bin_start_ms\tbin_end_ms\tpercent")?;
-    for (lo, hi, pct) in hist.rows() {
-        if pct > 0.0 {
-            writeln!(f, "{lo:.3}\t{hi:.3}\t{pct:.6}")?;
-        }
+    for &(lo, hi, pct) in &ia.rows {
+        writeln!(f, "{lo:.3}\t{hi:.3}\t{pct:.6}")?;
     }
     Ok(Fig2Result {
-        fraction_within_20ms: hist.fraction_within_ms(20.0),
-        tail_slope: hist.tail_power_law_slope(20.0, 5_000.0),
-        samples: hist.total(),
+        fraction_within_20ms: ia.fraction_within_20ms,
+        tail_slope: ia.tail_slope,
+        samples: ia.samples,
     })
 }
 
@@ -236,33 +242,44 @@ impl Fig7Results {
     }
 }
 
+/// The schemes of the Figure 7 sweep: the paper's nine plus Cubic-CoDel
+/// (the intro tables and Figure 8 need it).
+pub fn fig7_schemes() -> Vec<Scheme> {
+    let mut schemes = Scheme::fig7().to_vec();
+    schemes.push(Scheme::CubicCodel);
+    schemes
+}
+
 /// Run the full Figure 7 sweep: every scheme on every link direction.
 pub fn fig7(cfg: &ExperimentConfig) -> std::io::Result<Fig7Results> {
-    let mut schemes = Scheme::fig7().to_vec();
-    schemes.push(Scheme::CubicCodel); // intro table & Fig. 8 need it
-    let mut cells = Vec::new();
+    let matrix = cfg
+        .matrix("fig7")
+        .schemes(fig7_schemes())
+        .links(NetProfile::all())
+        .build();
+    let results = cfg.run_matrix(&matrix)?;
+
     let mut f = cfg.tsv("fig7_comparative.tsv")?;
     writeln!(
         f,
         "link\tscheme\tthroughput_kbps\tp95_delay_ms\tself_inflicted_ms\tomniscient_ms\tutilization"
     )?;
-    for link in NetProfile::all() {
-        let rc = cfg.run_config(link);
-        for &scheme in &schemes {
-            let r = run_scheme(scheme, &rc);
-            writeln!(
-                f,
-                "{}\t{}\t{:.1}\t{:.1}\t{:.1}\t{:.1}\t{:.4}",
-                link.id(),
-                scheme.name(),
-                r.throughput_kbps,
-                r.p95_delay_ms,
-                r.self_inflicted_ms,
-                r.omniscient_ms,
-                r.utilization
-            )?;
-            cells.push((link, scheme, r));
-        }
+    let mut cells = Vec::with_capacity(results.len());
+    for r in &results {
+        let scheme = r.scenario.workload.scheme().expect("scheme matrix");
+        let m = r.metrics.expect("scheme cells produce metrics");
+        writeln!(
+            f,
+            "{}\t{}\t{:.1}\t{:.1}\t{:.1}\t{:.1}\t{:.4}",
+            r.scenario.link.id(),
+            scheme.name(),
+            m.throughput_kbps,
+            m.p95_delay_ms,
+            m.self_inflicted_ms,
+            m.omniscient_ms,
+            m.utilization
+        )?;
+        cells.push((r.scenario.link, scheme, m));
     }
     Ok(Fig7Results { cells })
 }
@@ -288,10 +305,9 @@ pub fn summary_table(results: &Fig7Results, reference: Scheme, rows: &[Scheme]) 
             // Mean of per-link speedups (ratio of throughputs per link).
             let mut ratios = Vec::new();
             for link in NetProfile::all() {
-                if let (Some(a), Some(b)) = (
-                    results.get(link, reference),
-                    results.get(link, scheme),
-                ) {
+                if let (Some(a), Some(b)) =
+                    (results.get(link, reference), results.get(link, scheme))
+                {
                     if b.throughput_kbps > 0.0 {
                         ratios.push(a.throughput_kbps / b.throughput_kbps);
                     }
@@ -316,7 +332,10 @@ pub fn write_summary(
     rows: &[SummaryRow],
 ) -> std::io::Result<()> {
     let mut f = cfg.tsv(name)?;
-    writeln!(f, "scheme\tavg_speedup_vs_ref\tdelay_reduction\tavg_delay_s")?;
+    writeln!(
+        f,
+        "scheme\tavg_speedup_vs_ref\tdelay_reduction\tavg_delay_s"
+    )?;
     for r in rows {
         writeln!(
             f,
@@ -382,21 +401,34 @@ pub struct Fig9Row {
     pub result: SchemeResult,
 }
 
+/// The confidence axis of Figure 9, in the paper's order.
+pub const FIG9_CONFIDENCES: [f64; 5] = [95.0, 75.0, 50.0, 25.0, 5.0];
+
 /// Run Figure 9.
 pub fn fig9(cfg: &ExperimentConfig) -> std::io::Result<Vec<Fig9Row>> {
-    let mut rows = Vec::new();
+    let matrix = cfg
+        .matrix("fig9")
+        .schemes([Scheme::Sprout])
+        .links([NetProfile::TmobileUmtsUp])
+        .confidences_pct(FIG9_CONFIDENCES)
+        .build();
+    let results = cfg.run_matrix(&matrix)?;
+
     let mut f = cfg.tsv("fig9_confidence.tsv")?;
     writeln!(f, "confidence_pct\tthroughput_kbps\tself_inflicted_ms")?;
-    for confidence in [95.0, 75.0, 50.0, 25.0, 5.0] {
-        let mut rc = cfg.run_config(NetProfile::TmobileUmtsUp);
-        rc.sprout = SproutConfig::with_confidence_percent(confidence);
-        let result = run_scheme(Scheme::Sprout, &rc);
+    let mut rows = Vec::with_capacity(results.len());
+    for r in &results {
+        let confidence = r.scenario.confidence_pct.expect("confidence axis");
+        let m = r.metrics.expect("scheme cells produce metrics");
         writeln!(
             f,
             "{confidence:.0}\t{:.1}\t{:.1}",
-            result.throughput_kbps, result.self_inflicted_ms
+            m.throughput_kbps, m.self_inflicted_ms
         )?;
-        rows.push(Fig9Row { confidence, result });
+        rows.push(Fig9Row {
+            confidence,
+            result: m,
+        });
     }
     Ok(rows)
 }
@@ -415,28 +447,32 @@ pub struct LossRow {
 
 /// Run the §5.6 loss table (Verizon LTE, both directions, 0/5/10%).
 pub fn loss_table(cfg: &ExperimentConfig) -> std::io::Result<Vec<LossRow>> {
-    let mut rows = Vec::new();
+    let matrix = cfg
+        .matrix("loss")
+        .schemes([Scheme::Sprout])
+        .links([NetProfile::VerizonLteDown, NetProfile::VerizonLteUp])
+        .loss_rates([0.0, 0.05, 0.10])
+        .build();
+    let results = cfg.run_matrix(&matrix)?;
+
     let mut f = cfg.tsv("loss_resilience.tsv")?;
     writeln!(f, "link\tloss_pct\tthroughput_kbps\tself_inflicted_ms")?;
-    for link in [NetProfile::VerizonLteDown, NetProfile::VerizonLteUp] {
-        for loss in [0.0, 0.05, 0.10] {
-            let mut rc = cfg.run_config(link);
-            rc.loss_rate = loss;
-            let result = run_scheme(Scheme::Sprout, &rc);
-            writeln!(
-                f,
-                "{}\t{:.0}\t{:.1}\t{:.1}",
-                link.id(),
-                loss * 100.0,
-                result.throughput_kbps,
-                result.self_inflicted_ms
-            )?;
-            rows.push(LossRow {
-                link,
-                loss_rate: loss,
-                result,
-            });
-        }
+    let mut rows = Vec::with_capacity(results.len());
+    for r in &results {
+        let m = r.metrics.expect("scheme cells produce metrics");
+        writeln!(
+            f,
+            "{}\t{:.0}\t{:.1}\t{:.1}",
+            r.scenario.link.id(),
+            r.scenario.loss_rate * 100.0,
+            m.throughput_kbps,
+            m.self_inflicted_ms
+        )?;
+        rows.push(LossRow {
+            link: r.scenario.link,
+            loss_rate: r.scenario.loss_rate,
+            result: m,
+        });
     }
     Ok(rows)
 }
@@ -459,107 +495,31 @@ pub struct TunnelComparison {
     pub skype_tunnel_delay_s: f64,
 }
 
-const CUBIC_FLOW: FlowId = FlowId(1);
-const SKYPE_FLOW: FlowId = FlowId(2);
-
-fn make_clients_a() -> Vec<(FlowId, Box<dyn Endpoint>)> {
-    vec![
-        (
-            CUBIC_FLOW,
-            Box::new(TcpSender::new(Box::new(Cubic::new()))) as Box<dyn Endpoint>,
-        ),
-        (
-            SKYPE_FLOW,
-            Box::new(VideoAppSender::new(AppProfile::skype())) as Box<dyn Endpoint>,
-        ),
-    ]
-}
-
-fn make_clients_b() -> Vec<(FlowId, Box<dyn Endpoint>)> {
-    vec![
-        (
-            CUBIC_FLOW,
-            Box::new(TcpReceiver::new()) as Box<dyn Endpoint>,
-        ),
-        (
-            SKYPE_FLOW,
-            Box::new(VideoAppReceiver::new()) as Box<dyn Endpoint>,
-        ),
-    ]
-}
-
 /// Run the §5.7 comparison on the Verizon LTE downlink.
 pub fn tunnel_comparison(cfg: &ExperimentConfig) -> std::io::Result<TunnelComparison> {
-    let rc = cfg.run_config(NetProfile::VerizonLteDown);
-    let from = Timestamp::ZERO + rc.warmup;
-    let end = Timestamp::ZERO + rc.duration;
+    let matrix = cfg
+        .matrix("tunnel")
+        .workloads([Workload::MuxDirect, Workload::MuxTunneled])
+        .links([NetProfile::VerizonLteDown])
+        .build();
+    let results = cfg.run_matrix(&matrix)?;
 
-    // --- direct: both flows share the cellular queue ---
-    let (cubic_direct_kbps, skype_direct_kbps, skype_direct_delay_s) = {
-        let mut a = MuxEndpoint::new();
-        for (flow, ep) in make_clients_a() {
-            a.add(flow, ep);
-        }
-        let mut b = MuxEndpoint::new();
-        for (flow, ep) in make_clients_b() {
-            b.add(flow, ep);
-        }
-        let mut sim = Simulation::new(
-            a,
-            b,
-            PathConfig::standard(rc.data_trace.clone()),
-            PathConfig::standard(rc.feedback_trace.clone()),
-        );
-        sim.run_until(end);
-        let m = sim.ab_metrics();
-        (
-            m.flow_throughput_kbps(CUBIC_FLOW, from, end),
-            m.flow_throughput_kbps(SKYPE_FLOW, from, end),
-            m.flow_p95_delay(SKYPE_FLOW, from, end)
-                .map(|d| d.as_secs_f64())
-                .unwrap_or(f64::NAN),
-        )
+    let flow = |r: &SweepResult, id: u32| -> sweep::FlowSummary {
+        *r.flows
+            .iter()
+            .find(|f| f.flow == id)
+            .expect("mux cells report both flows")
     };
-
-    // --- tunneled: flows isolated inside a Sprout session ---
-    let (cubic_tunnel_kbps, skype_tunnel_kbps, skype_tunnel_delay_s) = {
-        let mut host_a = TunnelHost::new(TunnelEndpoint::new(SproutEndpoint::new(
-            rc.sprout.clone(),
-        )));
-        for (flow, ep) in make_clients_a() {
-            host_a.add_client(flow, ep);
-        }
-        let mut host_b = TunnelHost::new(TunnelEndpoint::new(SproutEndpoint::new(
-            rc.sprout.clone(),
-        )));
-        for (flow, ep) in make_clients_b() {
-            host_b.add_client(flow, ep);
-        }
-        let mut sim = Simulation::new(
-            host_a,
-            host_b,
-            PathConfig::standard(rc.data_trace.clone()),
-            PathConfig::standard(rc.feedback_trace.clone()),
-        );
-        sim.run_until(end);
-        let m = sim.b.deliveries();
-        (
-            m.flow_throughput_kbps(CUBIC_FLOW, from, end),
-            m.flow_throughput_kbps(SKYPE_FLOW, from, end),
-            m.flow_p95_delay(SKYPE_FLOW, from, end)
-                .map(|d| d.as_secs_f64())
-                .unwrap_or(f64::NAN),
-        )
-    };
-
+    let (direct, tunneled) = (&results[0], &results[1]);
     let result = TunnelComparison {
-        cubic_direct_kbps,
-        cubic_tunnel_kbps,
-        skype_direct_kbps,
-        skype_tunnel_kbps,
-        skype_direct_delay_s,
-        skype_tunnel_delay_s,
+        cubic_direct_kbps: flow(direct, sweep::BULK_FLOW.0).throughput_kbps,
+        cubic_tunnel_kbps: flow(tunneled, sweep::BULK_FLOW.0).throughput_kbps,
+        skype_direct_kbps: flow(direct, sweep::INTERACTIVE_FLOW.0).throughput_kbps,
+        skype_tunnel_kbps: flow(tunneled, sweep::INTERACTIVE_FLOW.0).throughput_kbps,
+        skype_direct_delay_s: flow(direct, sweep::INTERACTIVE_FLOW.0).p95_delay_ms / 1e3,
+        skype_tunnel_delay_s: flow(tunneled, sweep::INTERACTIVE_FLOW.0).p95_delay_ms / 1e3,
     };
+
     let mut f = cfg.tsv("tunnel_isolation.tsv")?;
     writeln!(f, "metric\tdirect\tvia_sprout")?;
     writeln!(

@@ -1,14 +1,27 @@
-//! The reproduction harness: a scheme zoo, a uniform experiment runner,
-//! and regeneration functions for every table and figure in the paper's
-//! evaluation (see DESIGN.md §3 for the experiment index).
+//! The reproduction harness: a scheme zoo, the scenario-matrix sweep
+//! engine, and regeneration functions for every table and figure in the
+//! paper's evaluation (see DESIGN.md §3 for the experiment index).
+//!
+//! Architecture: each figure **declares** its cross-product as a
+//! [`ScenarioMatrix`] (schemes × links × loss rates × confidences), the
+//! [`SweepEngine`] executes the cells in parallel with deterministic
+//! per-cell seeding, and the figure functions only **render** the
+//! resulting [`SweepResult`] rows into TSV/JSON artifacts.
 
 #![warn(missing_docs)]
 
 pub mod figures;
+pub mod scenario;
 pub mod schemes;
+pub mod sweep;
 
 pub use figures::{
     fig1, fig2, fig7, fig8, fig9, loss_table, summary_table, tunnel_comparison, ExperimentConfig,
     Fig7Results,
 };
+pub use scenario::{MatrixBuilder, QueueSpec, ResolvedQueue, Scenario, ScenarioMatrix, Workload};
 pub use schemes::{build_endpoints, run_scheme, RunConfig, Scheme, SchemeResult};
+pub use sweep::{
+    sweep_to_json, write_json, FlowSummary, InterarrivalSummary, SeriesRow, SweepEngine,
+    SweepResult,
+};

@@ -1,0 +1,389 @@
+//! Declarative experiment cells.
+//!
+//! The paper's evaluation (§5) is a cross-product: schemes × link
+//! directions × queue disciplines × loss rates × forecast-confidence
+//! settings. A [`Scenario`] names one cell of that product as plain data —
+//! no endpoints, no traces, nothing stateful — so cells can be enumerated,
+//! hashed, serialized, and shipped to worker threads. A
+//! [`ScenarioMatrix`] is the declared cross-product of one experiment
+//! (one per figure/table), built through [`MatrixBuilder`].
+//!
+//! Identity and determinism: every scenario carries a stable `id` (its
+//! position in the matrix declaration order). The sweep engine
+//! (`crate::sweep`) derives all per-cell randomness from
+//! `(master_seed, id)` via [`sprout_trace::derive_seed`], so a matrix
+//! replays bit-identically regardless of thread count or execution order.
+
+use sprout_trace::{Duration, NetProfile};
+
+use crate::schemes::Scheme;
+
+/// The opposite direction of the same network: the feedback path of every
+/// cell is the link's paired reverse direction.
+pub fn paired(profile: NetProfile) -> NetProfile {
+    match profile {
+        NetProfile::VerizonLteDown => NetProfile::VerizonLteUp,
+        NetProfile::VerizonLteUp => NetProfile::VerizonLteDown,
+        NetProfile::Verizon3gDown => NetProfile::Verizon3gUp,
+        NetProfile::Verizon3gUp => NetProfile::Verizon3gDown,
+        NetProfile::AttLteDown => NetProfile::AttLteUp,
+        NetProfile::AttLteUp => NetProfile::AttLteDown,
+        NetProfile::TmobileUmtsDown => NetProfile::TmobileUmtsUp,
+        NetProfile::TmobileUmtsUp => NetProfile::TmobileUmtsDown,
+    }
+}
+
+/// What runs inside a cell.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Workload {
+    /// One scheme saturating the link under test (Figure 7 style).
+    Scheme(Scheme),
+    /// Cubic bulk + Skype commingled in the carrier queue (§5.7 "direct").
+    MuxDirect,
+    /// Cubic bulk + Skype isolated inside a SproutTunnel session (§5.7).
+    MuxTunneled,
+    /// No endpoints: synthesize a saturated trace and analyse its
+    /// interarrival distribution (Figure 2).
+    InterarrivalProbe,
+}
+
+impl Workload {
+    /// Machine-friendly identifier (labels, JSON rows).
+    pub fn id(self) -> &'static str {
+        match self {
+            Workload::Scheme(_) => "scheme",
+            Workload::MuxDirect => "mux-direct",
+            Workload::MuxTunneled => "mux-tunneled",
+            Workload::InterarrivalProbe => "interarrival-probe",
+        }
+    }
+
+    /// The scheme, when the workload is a scheme cell.
+    pub fn scheme(self) -> Option<Scheme> {
+        match self {
+            Workload::Scheme(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// Bottleneck queue discipline of a cell.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum QueueSpec {
+    /// Let the scheme decide: CoDel iff [`Scheme::needs_codel`] (the
+    /// paper runs Cubic-CoDel behind CoDel, everything else behind the
+    /// carrier's deep DropTail queue).
+    #[default]
+    Auto,
+    /// Force unbounded DropTail.
+    DropTail,
+    /// Force CoDel at the bottleneck.
+    CoDel,
+}
+
+impl QueueSpec {
+    /// Resolve to a concrete discipline for `workload`.
+    pub fn resolve(self, workload: Workload) -> ResolvedQueue {
+        match self {
+            QueueSpec::DropTail => ResolvedQueue::DropTail,
+            QueueSpec::CoDel => ResolvedQueue::CoDel,
+            QueueSpec::Auto => match workload.scheme() {
+                Some(s) if s.needs_codel() => ResolvedQueue::CoDel,
+                _ => ResolvedQueue::DropTail,
+            },
+        }
+    }
+}
+
+/// A concrete queue discipline after [`QueueSpec::resolve`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ResolvedQueue {
+    /// Unbounded DropTail.
+    DropTail,
+    /// CoDel AQM.
+    CoDel,
+}
+
+impl ResolvedQueue {
+    /// Machine-friendly identifier.
+    pub fn id(self) -> &'static str {
+        match self {
+            ResolvedQueue::DropTail => "droptail",
+            ResolvedQueue::CoDel => "codel",
+        }
+    }
+}
+
+/// One cell of an experiment matrix: pure data describing what to run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Scenario {
+    /// Stable identity: position in the matrix declaration order. All
+    /// per-cell randomness derives from `(master_seed, id)`.
+    pub id: u64,
+    /// Human/machine-readable cell label, e.g.
+    /// `fig7/vz-lte-down/cubic-codel`.
+    pub label: String,
+    /// What runs in the cell.
+    pub workload: Workload,
+    /// Link direction under test (the feedback path is the paired
+    /// opposite direction of the same network).
+    pub link: NetProfile,
+    /// Bottleneck queue discipline.
+    pub queue: QueueSpec,
+    /// Bernoulli per-direction loss probability (§5.6).
+    pub loss_rate: f64,
+    /// Forecast confidence percent override (None = the paper's 95%).
+    pub confidence_pct: Option<f64>,
+    /// Virtual run time.
+    pub duration: Duration,
+    /// Warm-up skipped before measurement.
+    pub warmup: Duration,
+    /// When set, collect per-bin throughput/delay/capacity series at this
+    /// bin width (Figure 1).
+    pub series_bin: Option<Duration>,
+}
+
+/// A named, ordered set of scenarios — the declared form of one
+/// experiment.
+#[derive(Clone, Debug)]
+pub struct ScenarioMatrix {
+    name: String,
+    cells: Vec<Scenario>,
+}
+
+impl ScenarioMatrix {
+    /// Start declaring a matrix.
+    pub fn builder(name: impl Into<String>) -> MatrixBuilder {
+        MatrixBuilder::new(name)
+    }
+
+    /// The matrix name (figure/table identifier).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The cells, in declaration order (`cells()[i].id == i`).
+    pub fn cells(&self) -> &[Scenario] {
+        &self.cells
+    }
+
+    /// Number of cells.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Whether the matrix is empty.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+}
+
+/// Builder for [`ScenarioMatrix`]: declare axes, take the cross-product.
+///
+/// Cell order — and therefore scenario identity — is the deterministic
+/// nesting `workload × link × loss_rate × confidence`, each axis in its
+/// declared order.
+#[derive(Clone, Debug)]
+pub struct MatrixBuilder {
+    name: String,
+    workloads: Vec<Workload>,
+    links: Vec<NetProfile>,
+    loss_rates: Vec<f64>,
+    confidences: Vec<Option<f64>>,
+    queue: QueueSpec,
+    duration: Duration,
+    warmup: Duration,
+    series_bin: Option<Duration>,
+}
+
+impl MatrixBuilder {
+    fn new(name: impl Into<String>) -> Self {
+        MatrixBuilder {
+            name: name.into(),
+            workloads: Vec::new(),
+            links: Vec::new(),
+            loss_rates: vec![0.0],
+            confidences: vec![None],
+            queue: QueueSpec::Auto,
+            duration: Duration::from_secs(300),
+            warmup: Duration::from_secs(60),
+            series_bin: None,
+        }
+    }
+
+    /// Add scheme workloads.
+    pub fn schemes(mut self, schemes: impl IntoIterator<Item = Scheme>) -> Self {
+        self.workloads
+            .extend(schemes.into_iter().map(Workload::Scheme));
+        self
+    }
+
+    /// Add arbitrary workloads (mux/tunnel/probe cells).
+    pub fn workloads(mut self, workloads: impl IntoIterator<Item = Workload>) -> Self {
+        self.workloads.extend(workloads);
+        self
+    }
+
+    /// Set the link axis.
+    pub fn links(mut self, links: impl IntoIterator<Item = NetProfile>) -> Self {
+        self.links.extend(links);
+        self
+    }
+
+    /// Set the loss-rate axis (replaces the default `[0.0]`).
+    pub fn loss_rates(mut self, rates: impl IntoIterator<Item = f64>) -> Self {
+        self.loss_rates = rates.into_iter().collect();
+        assert!(!self.loss_rates.is_empty(), "loss axis must be non-empty");
+        self
+    }
+
+    /// Set the forecast-confidence axis in percent (replaces the default
+    /// "paper 95%").
+    pub fn confidences_pct(mut self, pct: impl IntoIterator<Item = f64>) -> Self {
+        self.confidences = pct.into_iter().map(Some).collect();
+        assert!(
+            !self.confidences.is_empty(),
+            "confidence axis must be non-empty"
+        );
+        self
+    }
+
+    /// Force a queue discipline for every cell (default: per-scheme Auto).
+    pub fn queue(mut self, queue: QueueSpec) -> Self {
+        self.queue = queue;
+        self
+    }
+
+    /// Set run and warm-up durations.
+    pub fn timing(mut self, duration: Duration, warmup: Duration) -> Self {
+        assert!(warmup < duration, "warmup must be shorter than the run");
+        self.duration = duration;
+        self.warmup = warmup;
+        self
+    }
+
+    /// Collect per-bin time series at this bin width.
+    pub fn series_bin(mut self, bin: Duration) -> Self {
+        self.series_bin = Some(bin);
+        self
+    }
+
+    /// Take the cross-product.
+    pub fn build(self) -> ScenarioMatrix {
+        assert!(
+            !self.workloads.is_empty(),
+            "matrix needs at least one workload"
+        );
+        assert!(!self.links.is_empty(), "matrix needs at least one link");
+        let mut cells = Vec::with_capacity(
+            self.workloads.len()
+                * self.links.len()
+                * self.loss_rates.len()
+                * self.confidences.len(),
+        );
+        for &workload in &self.workloads {
+            for &link in &self.links {
+                for &loss_rate in &self.loss_rates {
+                    for &confidence_pct in &self.confidences {
+                        let id = cells.len() as u64;
+                        let mut label =
+                            format!("{}/{}/{}", self.name, link.id(), workload_tag(workload));
+                        if self.loss_rates.len() > 1 {
+                            label.push_str(&format!("/loss{:.0}", loss_rate * 100.0));
+                        }
+                        if let (Some(pct), true) = (confidence_pct, self.confidences.len() > 1) {
+                            label.push_str(&format!("/conf{pct:.0}"));
+                        }
+                        cells.push(Scenario {
+                            id,
+                            label,
+                            workload,
+                            link,
+                            queue: self.queue,
+                            loss_rate,
+                            confidence_pct,
+                            duration: self.duration,
+                            warmup: self.warmup,
+                            series_bin: self.series_bin,
+                        });
+                    }
+                }
+            }
+        }
+        ScenarioMatrix {
+            name: self.name,
+            cells,
+        }
+    }
+}
+
+fn workload_tag(workload: Workload) -> String {
+    match workload {
+        Workload::Scheme(s) => s
+            .name()
+            .to_ascii_lowercase()
+            .replace(' ', "-")
+            .replace("tcp", "")
+            .trim_matches('-')
+            .to_string(),
+        other => other.id().to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_declaration_order() {
+        let m = ScenarioMatrix::builder("t")
+            .schemes([Scheme::Sprout, Scheme::Cubic])
+            .links(NetProfile::all())
+            .build();
+        assert_eq!(m.len(), 16);
+        for (i, cell) in m.cells().iter().enumerate() {
+            assert_eq!(cell.id, i as u64);
+        }
+        // First axis varies slowest.
+        assert_eq!(m.cells()[0].workload, Workload::Scheme(Scheme::Sprout));
+        assert_eq!(m.cells()[8].workload, Workload::Scheme(Scheme::Cubic));
+    }
+
+    #[test]
+    fn cross_product_covers_all_axes() {
+        let m = ScenarioMatrix::builder("t")
+            .schemes([Scheme::Sprout])
+            .links([NetProfile::VerizonLteDown, NetProfile::VerizonLteUp])
+            .loss_rates([0.0, 0.05, 0.10])
+            .build();
+        assert_eq!(m.len(), 6);
+        let rates: Vec<f64> = m.cells().iter().map(|c| c.loss_rate).collect();
+        assert_eq!(rates, vec![0.0, 0.05, 0.10, 0.0, 0.05, 0.10]);
+    }
+
+    #[test]
+    fn auto_queue_follows_needs_codel() {
+        for scheme in Scheme::fig7().into_iter().chain([Scheme::CubicCodel]) {
+            let resolved = QueueSpec::Auto.resolve(Workload::Scheme(scheme));
+            let expect = if scheme.needs_codel() {
+                ResolvedQueue::CoDel
+            } else {
+                ResolvedQueue::DropTail
+            };
+            assert_eq!(resolved, expect, "{}", scheme.name());
+        }
+    }
+
+    #[test]
+    fn labels_are_unique_within_a_matrix() {
+        let m = ScenarioMatrix::builder("fig7")
+            .schemes(Scheme::fig7())
+            .links(NetProfile::all())
+            .loss_rates([0.0, 0.05])
+            .build();
+        let mut labels: Vec<&str> = m.cells().iter().map(|c| c.label.as_str()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), m.len());
+    }
+}

@@ -2,14 +2,12 @@
 //! them over any emulated link.
 
 use sprout_baselines::{
-    AppProfile, Compound, Cubic, Ledbat, OmniscientSender, Reno, TcpReceiver, TcpSender,
-    VideoAppReceiver, VideoAppSender, Vegas,
+    AppProfile, Compound, Cubic, Ledbat, OmniscientSender, Reno, TcpReceiver, TcpSender, Vegas,
+    VideoAppReceiver, VideoAppSender,
 };
 use sprout_core::{SproutConfig, SproutEndpoint};
-use sprout_sim::{
-    direction_stats, CoDelConfig, Endpoint, PathConfig, QueueConfig, Simulation, SinkEndpoint,
-};
-use sprout_trace::{Duration, Timestamp, Trace};
+use sprout_sim::{Endpoint, SinkEndpoint};
+use sprout_trace::{Duration, Trace};
 
 /// Every transport/application evaluated in the paper, plus Reno.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -93,6 +91,11 @@ pub struct RunConfig {
     pub warmup: Duration,
     /// Bernoulli loss probability on both directions (§5.6).
     pub loss_rate: f64,
+    /// Seed of the data-direction loss process (the sweep engine derives
+    /// it from the cell seed; standalone callers get a fixed default).
+    pub loss_seed_data: u64,
+    /// Seed of the feedback-direction loss process.
+    pub loss_seed_feedback: u64,
     /// Sprout configuration (confidence sweeps override this).
     pub sprout: SproutConfig,
 }
@@ -106,6 +109,8 @@ impl RunConfig {
             duration: Duration::from_secs(300),
             warmup: Duration::from_secs(60),
             loss_rate: 0.0,
+            loss_seed_data: 1_111,
+            loss_seed_feedback: 2_222,
             sprout: SproutConfig::paper(),
         }
     }
@@ -113,7 +118,7 @@ impl RunConfig {
 
 /// Outcome of one experiment cell (the quantities of Figure 7/8 and the
 /// intro tables).
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct SchemeResult {
     /// Average throughput in the measurement window, kbps.
     pub throughput_kbps: f64,
@@ -127,11 +132,22 @@ pub struct SchemeResult {
     pub utilization: f64,
 }
 
+impl SchemeResult {
+    /// Convert a direction's raw stats into the paper's reporting units.
+    pub fn from_stats(stats: &sprout_sim::DirectionStats) -> Self {
+        let ms = |d: Option<Duration>| d.map(|d| d.as_micros() as f64 / 1e3).unwrap_or(f64::NAN);
+        SchemeResult {
+            throughput_kbps: stats.throughput_kbps,
+            p95_delay_ms: ms(stats.p95_delay),
+            self_inflicted_ms: ms(stats.self_inflicted),
+            omniscient_ms: ms(stats.omniscient_p95),
+            utilization: stats.utilization,
+        }
+    }
+}
+
 /// Construct the (sender, receiver) endpoint pair for a scheme.
-pub fn build_endpoints(
-    scheme: Scheme,
-    cfg: &RunConfig,
-) -> (Box<dyn Endpoint>, Box<dyn Endpoint>) {
+pub fn build_endpoints(scheme: Scheme, cfg: &RunConfig) -> (Box<dyn Endpoint>, Box<dyn Endpoint>) {
     match scheme {
         Scheme::Sprout => {
             let mut a = SproutEndpoint::new(cfg.sprout.clone());
@@ -188,40 +204,16 @@ pub fn build_endpoints(
 }
 
 /// Run one scheme over one link and collect the standard metrics.
+///
+/// This is a thin wrapper over the sweep engine's single-cell executor
+/// ([`crate::sweep::run_cell`]); full matrices should go through
+/// [`crate::sweep::SweepEngine`] instead.
 pub fn run_scheme(scheme: Scheme, cfg: &RunConfig) -> SchemeResult {
-    let (a, b) = build_endpoints(scheme, cfg);
-    let mut data_path = PathConfig::standard(cfg.data_trace.clone());
-    let mut feedback_path = PathConfig::standard(cfg.feedback_trace.clone());
-    if scheme.needs_codel() {
-        data_path.link.queue = QueueConfig::CoDel(CoDelConfig::default());
-        feedback_path.link.queue = QueueConfig::CoDel(CoDelConfig::default());
-    }
-    if cfg.loss_rate > 0.0 {
-        data_path.link.loss_rate = cfg.loss_rate;
-        data_path.link.loss_seed = 1_111;
-        feedback_path.link.loss_rate = cfg.loss_rate;
-        feedback_path.link.loss_seed = 2_222;
-    }
-    let mut sim = Simulation::new(a, b, data_path, feedback_path);
-    let end = Timestamp::ZERO + cfg.duration;
-    sim.run_until(end);
-    let stats = direction_stats(sim.ab_path(), Timestamp::ZERO + cfg.warmup, end);
-    SchemeResult {
-        throughput_kbps: stats.throughput_kbps,
-        p95_delay_ms: stats
-            .p95_delay
-            .map(|d| d.as_micros() as f64 / 1e3)
-            .unwrap_or(f64::NAN),
-        self_inflicted_ms: stats
-            .self_inflicted
-            .map(|d| d.as_micros() as f64 / 1e3)
-            .unwrap_or(f64::NAN),
-        omniscient_ms: stats
-            .omniscient_p95
-            .map(|d| d.as_micros() as f64 / 1e3)
-            .unwrap_or(f64::NAN),
-        utilization: stats.utilization,
-    }
+    let workload = crate::scenario::Workload::Scheme(scheme);
+    let queue = crate::scenario::QueueSpec::Auto.resolve(workload);
+    crate::sweep::run_cell(workload, cfg, queue, None)
+        .metrics
+        .expect("scheme cells always produce direction metrics")
 }
 
 #[cfg(test)]
@@ -256,11 +248,7 @@ mod tests {
             Scheme::Omniscient,
         ] {
             let r = run_scheme(scheme, &cfg);
-            assert!(
-                r.throughput_kbps > 0.0,
-                "{}: no throughput",
-                scheme.name()
-            );
+            assert!(r.throughput_kbps > 0.0, "{}: no throughput", scheme.name());
             assert!(
                 r.p95_delay_ms.is_finite() && r.p95_delay_ms >= 20.0,
                 "{}: p95 {:?} must include propagation",

@@ -1,0 +1,669 @@
+//! The scenario-matrix sweep engine.
+//!
+//! [`SweepEngine`] executes every cell of a [`ScenarioMatrix`] and returns
+//! one [`SweepResult`] per cell, in matrix order. Cells fan out across a
+//! small worker pool ([`SweepEngine::threads`]); every stochastic input of
+//! a cell — the link traces, the Bernoulli loss processes — is seeded
+//! deterministically:
+//!
+//! * **link traces** derive from the master seed and the link profile
+//!   alone, so every cell on one link sees *identical* link conditions
+//!   (the controlled variable of Figure 7's scheme comparison);
+//! * **per-cell randomness** (the loss processes) derives from
+//!   `(master_seed, scenario.id)` via [`sprout_trace::derive_seed`], so
+//!   cells are mutually independent but individually reproducible.
+//!
+//! Consequently a sweep is bit-identical for any thread count or
+//! execution order, and [`write_json`] emits a canonical, diffable record
+//! of the whole matrix (the `BENCH_*.json` trajectory format).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use sprout_baselines::{
+    AppProfile, Cubic, TcpReceiver, TcpSender, VideoAppReceiver, VideoAppSender,
+};
+use sprout_core::{SproutConfig, SproutEndpoint};
+use sprout_sim::{
+    direction_stats, CoDelConfig, Endpoint, FlowId, MetricsCollector, MuxEndpoint, PathConfig,
+    QueueConfig, Simulation,
+};
+use sprout_trace::{
+    derive_labeled_seed, Duration, InterarrivalHistogram, NetProfile, Timestamp, Trace,
+};
+use sprout_tunnel::{TunnelEndpoint, TunnelHost};
+
+use crate::scenario::{paired, ResolvedQueue, Scenario, ScenarioMatrix, Workload};
+use crate::schemes::{build_endpoints, RunConfig, SchemeResult};
+
+/// The bulk flow of the §5.7 mux/tunnel cells.
+pub const BULK_FLOW: FlowId = FlowId(1);
+/// The interactive flow of the §5.7 mux/tunnel cells.
+pub const INTERACTIVE_FLOW: FlowId = FlowId(2);
+
+/// Per-flow summary of a mux/tunnel cell.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FlowSummary {
+    /// Flow identifier.
+    pub flow: u32,
+    /// Average throughput in the measurement window, kbps.
+    pub throughput_kbps: f64,
+    /// 95% end-to-end delay, ms (NaN when the flow never delivered).
+    pub p95_delay_ms: f64,
+}
+
+/// One bin of a collected time series (Figure 1).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SeriesRow {
+    /// Bin start relative to the measurement window, seconds.
+    pub t_s: f64,
+    /// Link capacity in the bin, kbps.
+    pub capacity_kbps: f64,
+    /// Achieved throughput in the bin, kbps.
+    pub throughput_kbps: f64,
+    /// Worst per-arrival delay in the bin, ms (0 when nothing arrived).
+    pub worst_delay_ms: f64,
+}
+
+/// Interarrival statistics of a saturated link (Figure 2).
+#[derive(Clone, Debug, PartialEq)]
+pub struct InterarrivalSummary {
+    /// Fraction of interarrivals within 20 ms (paper: 99.99%).
+    pub fraction_within_20ms: f64,
+    /// Power-law slope of the 20 ms–5 s tail (paper: −3.27).
+    pub tail_slope: Option<f64>,
+    /// Total interarrivals measured.
+    pub samples: u64,
+    /// Non-empty histogram bins: (bin start ms, bin end ms, percent).
+    pub rows: Vec<(f64, f64, f64)>,
+}
+
+/// The structured outcome of one scenario cell.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SweepResult {
+    /// The cell that produced this row.
+    pub scenario: Scenario,
+    /// The matrix this cell belongs to.
+    pub matrix: String,
+    /// Queue discipline the cell actually ran behind.
+    pub queue: ResolvedQueue,
+    /// The derived per-cell seed (all cell-local randomness stems from it).
+    pub cell_seed: u64,
+    /// Standard direction metrics (absent for the interarrival probe).
+    pub metrics: Option<SchemeResult>,
+    /// Per-flow metrics (mux/tunnel cells only).
+    pub flows: Vec<FlowSummary>,
+    /// Per-bin series (only when the scenario requested one).
+    pub series: Vec<SeriesRow>,
+    /// Interarrival statistics (probe cells only).
+    pub interarrival: Option<InterarrivalSummary>,
+}
+
+/// Executes scenario matrices over a worker pool.
+#[derive(Clone, Copy, Debug)]
+pub struct SweepEngine {
+    /// Master seed; every stochastic input of the sweep derives from it.
+    pub master_seed: u64,
+    /// Worker threads (0 = one per available core).
+    pub threads: usize,
+}
+
+impl SweepEngine {
+    /// An engine with the given master seed and automatic thread count.
+    pub fn new(master_seed: u64) -> Self {
+        SweepEngine {
+            master_seed,
+            threads: 0,
+        }
+    }
+
+    /// Override the worker count.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    fn effective_threads(&self, cells: usize) -> usize {
+        let auto = || {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        };
+        let n = if self.threads == 0 {
+            auto()
+        } else {
+            self.threads
+        };
+        n.clamp(1, cells.max(1))
+    }
+
+    /// Run every cell of `matrix`; `results[i]` corresponds to
+    /// `matrix.cells()[i]` regardless of thread interleaving.
+    pub fn run(&self, matrix: &ScenarioMatrix) -> Vec<SweepResult> {
+        let cells = matrix.cells();
+        let threads = self.effective_threads(cells.len());
+        let slots: Vec<Mutex<Option<SweepResult>>> =
+            cells.iter().map(|_| Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+
+        // Traces depend only on (master_seed, profile, duration), so all
+        // cells sharing a link replay one synthesis instead of each
+        // regenerating it (fig7: 80 cells but only 8 links × 2 directions).
+        let memo = TraceMemo::for_matrix(matrix, self.master_seed);
+
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= cells.len() {
+                        break;
+                    }
+                    let result =
+                        execute_with_memo(matrix.name(), &cells[i], self.master_seed, &memo);
+                    *slots[i].lock().unwrap() = Some(result);
+                });
+            }
+        });
+
+        slots
+            .into_iter()
+            .map(|slot| slot.into_inner().unwrap().expect("every cell executed"))
+            .collect()
+    }
+}
+
+/// Pre-synthesized link traces shared by every cell of one sweep. Keyed
+/// by `(profile, duration)`; values are byte-identical to what
+/// [`NetProfile::generate`] would produce cell-locally, so memoization
+/// cannot change results.
+struct TraceMemo {
+    traces: std::collections::HashMap<(NetProfile, Duration), Trace>,
+}
+
+impl TraceMemo {
+    fn for_matrix(matrix: &ScenarioMatrix, master_seed: u64) -> Self {
+        let mut traces = std::collections::HashMap::new();
+        for cell in matrix.cells() {
+            if cell.workload == Workload::InterarrivalProbe {
+                continue; // probes use their own derived sub-stream
+            }
+            for profile in [cell.link, paired(cell.link)] {
+                traces
+                    .entry((profile, cell.duration))
+                    .or_insert_with(|| profile.generate(cell.duration, master_seed));
+            }
+        }
+        TraceMemo { traces }
+    }
+
+    fn get(&self, profile: NetProfile, duration: Duration) -> Option<Trace> {
+        self.traces.get(&(profile, duration)).cloned()
+    }
+}
+
+/// Execute one cell. Public so single-cell callers (benches, `run_scheme`)
+/// share the exact code path of full sweeps.
+pub fn execute_scenario(matrix: &str, scenario: &Scenario, master_seed: u64) -> SweepResult {
+    let memo = TraceMemo {
+        traces: std::collections::HashMap::new(),
+    };
+    execute_with_memo(matrix, scenario, master_seed, &memo)
+}
+
+fn execute_with_memo(
+    matrix: &str,
+    scenario: &Scenario,
+    master_seed: u64,
+    memo: &TraceMemo,
+) -> SweepResult {
+    let cell_seed = derive_labeled_seed(master_seed, "cell", scenario.id);
+    let queue = scenario.queue.resolve(scenario.workload);
+
+    if scenario.workload == Workload::InterarrivalProbe {
+        // No endpoints: analyse the saturated link's own delivery process.
+        let trace_seed = derive_labeled_seed(master_seed, "interarrival-probe", 0);
+        let trace = scenario.link.generate(scenario.duration, trace_seed);
+        let hist = InterarrivalHistogram::from_trace(&trace, 10, 10_000.0);
+        return SweepResult {
+            scenario: scenario.clone(),
+            matrix: matrix.to_string(),
+            queue,
+            cell_seed,
+            metrics: None,
+            flows: Vec::new(),
+            series: Vec::new(),
+            interarrival: Some(InterarrivalSummary {
+                fraction_within_20ms: hist.fraction_within_ms(20.0),
+                tail_slope: hist.tail_power_law_slope(20.0, 5_000.0),
+                samples: hist.total(),
+                rows: hist.rows().filter(|&(_, _, pct)| pct > 0.0).collect(),
+            }),
+        };
+    }
+
+    // Link traces derive from the master seed and profile only: every cell
+    // on this link sees the same conditions (the controlled variable).
+    let synth = |profile: NetProfile| {
+        memo.get(profile, scenario.duration)
+            .unwrap_or_else(|| profile.generate(scenario.duration, master_seed))
+    };
+    let data_trace = synth(scenario.link);
+    let feedback_trace = synth(paired(scenario.link));
+    let sprout = match scenario.confidence_pct {
+        Some(pct) => SproutConfig::with_confidence_percent(pct),
+        None => SproutConfig::paper(),
+    };
+    let rc = RunConfig {
+        duration: scenario.duration,
+        warmup: scenario.warmup,
+        loss_rate: scenario.loss_rate,
+        sprout,
+        loss_seed_data: derive_labeled_seed(cell_seed, "loss-data", 0),
+        loss_seed_feedback: derive_labeled_seed(cell_seed, "loss-feedback", 0),
+        ..RunConfig::new(data_trace, feedback_trace)
+    };
+
+    let outcome = run_cell(scenario.workload, &rc, queue, scenario.series_bin);
+    SweepResult {
+        scenario: scenario.clone(),
+        matrix: matrix.to_string(),
+        queue,
+        cell_seed,
+        metrics: outcome.metrics,
+        flows: outcome.flows,
+        series: outcome.series,
+        interarrival: None,
+    }
+}
+
+/// The raw outcome of [`run_cell`].
+#[derive(Clone, Debug, Default)]
+pub struct CellOutcome {
+    /// Standard direction metrics.
+    pub metrics: Option<SchemeResult>,
+    /// Per-flow metrics (mux/tunnel cells).
+    pub flows: Vec<FlowSummary>,
+    /// Collected series (when requested).
+    pub series: Vec<SeriesRow>,
+}
+
+fn path_configs(rc: &RunConfig, queue: ResolvedQueue) -> (PathConfig, PathConfig) {
+    let mut data = PathConfig::standard(rc.data_trace.clone());
+    let mut feedback = PathConfig::standard(rc.feedback_trace.clone());
+    if queue == ResolvedQueue::CoDel {
+        data.link.queue = QueueConfig::CoDel(CoDelConfig::default());
+        feedback.link.queue = QueueConfig::CoDel(CoDelConfig::default());
+    }
+    if rc.loss_rate > 0.0 {
+        data.link.loss_rate = rc.loss_rate;
+        data.link.loss_seed = rc.loss_seed_data;
+        feedback.link.loss_rate = rc.loss_rate;
+        feedback.link.loss_seed = rc.loss_seed_feedback;
+    }
+    (data, feedback)
+}
+
+fn mux_clients_a() -> Vec<(FlowId, Box<dyn Endpoint>)> {
+    vec![
+        (
+            BULK_FLOW,
+            Box::new(TcpSender::new(Box::new(Cubic::new()))) as Box<dyn Endpoint>,
+        ),
+        (
+            INTERACTIVE_FLOW,
+            Box::new(VideoAppSender::new(AppProfile::skype())) as Box<dyn Endpoint>,
+        ),
+    ]
+}
+
+fn mux_clients_b() -> Vec<(FlowId, Box<dyn Endpoint>)> {
+    vec![
+        (BULK_FLOW, Box::new(TcpReceiver::new()) as Box<dyn Endpoint>),
+        (
+            INTERACTIVE_FLOW,
+            Box::new(VideoAppReceiver::new()) as Box<dyn Endpoint>,
+        ),
+    ]
+}
+
+fn flow_summaries(m: &MetricsCollector, from: Timestamp, to: Timestamp) -> Vec<FlowSummary> {
+    [BULK_FLOW, INTERACTIVE_FLOW]
+        .into_iter()
+        .map(|flow| FlowSummary {
+            flow: flow.0,
+            throughput_kbps: m.flow_throughput_kbps(flow, from, to),
+            p95_delay_ms: m
+                .flow_p95_delay(flow, from, to)
+                .map(|d| d.as_micros() as f64 / 1e3)
+                .unwrap_or(f64::NAN),
+        })
+        .collect()
+}
+
+fn collect_series(
+    m: &MetricsCollector,
+    trace: &Trace,
+    bin: Duration,
+    from: Timestamp,
+    to: Timestamp,
+) -> Vec<SeriesRow> {
+    let tput = m.throughput_series_kbps(bin, from, to);
+    let capacity = trace.window(from, to).capacity_series_kbps(bin);
+    // Worst per-arrival delay per bin.
+    let mut worst: Vec<f64> = vec![0.0; tput.len().max(capacity.len())];
+    for (at, d) in m.delay_series() {
+        if at < from || at >= to {
+            continue;
+        }
+        let key = ((at.as_micros() - from.as_micros()) / bin.as_micros()) as usize;
+        if key < worst.len() {
+            worst[key] = worst[key].max(d.as_micros() as f64 / 1e3);
+        }
+    }
+    let n = tput.len().min(capacity.len());
+    let bin_s = bin.as_secs_f64();
+    (0..n)
+        .map(|i| SeriesRow {
+            t_s: i as f64 * bin_s,
+            capacity_kbps: capacity[i],
+            throughput_kbps: tput[i].1,
+            worst_delay_ms: worst[i],
+        })
+        .collect()
+}
+
+/// Run one workload over prepared traces. This is the single execution
+/// path shared by the sweep engine, `run_scheme`, and the benches.
+pub fn run_cell(
+    workload: Workload,
+    rc: &RunConfig,
+    queue: ResolvedQueue,
+    series_bin: Option<Duration>,
+) -> CellOutcome {
+    let from = Timestamp::ZERO + rc.warmup;
+    let end = Timestamp::ZERO + rc.duration;
+    let (data_path, feedback_path) = path_configs(rc, queue);
+
+    match workload {
+        Workload::InterarrivalProbe => {
+            unreachable!("probe cells are handled by execute_scenario")
+        }
+        Workload::Scheme(scheme) => {
+            let (a, b) = build_endpoints(scheme, rc);
+            let mut sim = Simulation::new(a, b, data_path, feedback_path);
+            sim.run_until(end);
+            let stats = direction_stats(sim.ab_path(), from, end);
+            let series = series_bin
+                .map(|bin| collect_series(sim.ab_metrics(), &rc.data_trace, bin, from, end))
+                .unwrap_or_default();
+            CellOutcome {
+                metrics: Some(SchemeResult::from_stats(&stats)),
+                flows: Vec::new(),
+                series,
+            }
+        }
+        Workload::MuxDirect => {
+            let mut a = MuxEndpoint::new();
+            for (flow, ep) in mux_clients_a() {
+                a.add(flow, ep);
+            }
+            let mut b = MuxEndpoint::new();
+            for (flow, ep) in mux_clients_b() {
+                b.add(flow, ep);
+            }
+            let mut sim = Simulation::new(a, b, data_path, feedback_path);
+            sim.run_until(end);
+            let stats = direction_stats(sim.ab_path(), from, end);
+            CellOutcome {
+                metrics: Some(SchemeResult::from_stats(&stats)),
+                flows: flow_summaries(sim.ab_metrics(), from, end),
+                series: Vec::new(),
+            }
+        }
+        Workload::MuxTunneled => {
+            let mut host_a =
+                TunnelHost::new(TunnelEndpoint::new(SproutEndpoint::new(rc.sprout.clone())));
+            for (flow, ep) in mux_clients_a() {
+                host_a.add_client(flow, ep);
+            }
+            let mut host_b =
+                TunnelHost::new(TunnelEndpoint::new(SproutEndpoint::new(rc.sprout.clone())));
+            for (flow, ep) in mux_clients_b() {
+                host_b.add_client(flow, ep);
+            }
+            let mut sim = Simulation::new(host_a, host_b, data_path, feedback_path);
+            sim.run_until(end);
+            let stats = direction_stats(sim.ab_path(), from, end);
+            // Flow metrics come from the far host's post-decapsulation
+            // delivery log: the tunnel's own wire packets are what the
+            // path sees, the clients' packets are what it delivers.
+            CellOutcome {
+                metrics: Some(SchemeResult::from_stats(&stats)),
+                flows: flow_summaries(sim.b.deliveries(), from, end),
+                series: Vec::new(),
+            }
+        }
+    }
+}
+
+// ------------------------------------------------------------------ JSON
+
+fn json_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        // Rust's shortest-roundtrip Display is deterministic, giving
+        // bit-identical files for identical results.
+        out.push_str(&format!("{v}"));
+    } else {
+        out.push_str("null");
+    }
+}
+
+fn json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Render one result as a single-line JSON object with a stable key order.
+pub fn result_to_json(r: &SweepResult) -> String {
+    let mut o = String::with_capacity(256);
+    o.push_str("{\"id\":");
+    o.push_str(&r.scenario.id.to_string());
+    o.push_str(",\"label\":");
+    json_str(&mut o, &r.scenario.label);
+    o.push_str(",\"matrix\":");
+    json_str(&mut o, &r.matrix);
+    o.push_str(",\"workload\":");
+    json_str(&mut o, r.scenario.workload.id());
+    o.push_str(",\"scheme\":");
+    match r.scenario.workload.scheme() {
+        Some(s) => json_str(&mut o, s.name()),
+        None => o.push_str("null"),
+    }
+    o.push_str(",\"link\":");
+    json_str(&mut o, r.scenario.link.id());
+    o.push_str(",\"queue\":");
+    json_str(&mut o, r.queue.id());
+    o.push_str(",\"loss_rate\":");
+    json_f64(&mut o, r.scenario.loss_rate);
+    o.push_str(",\"confidence_pct\":");
+    match r.scenario.confidence_pct {
+        Some(p) => json_f64(&mut o, p),
+        None => o.push_str("null"),
+    }
+    o.push_str(",\"duration_s\":");
+    json_f64(&mut o, r.scenario.duration.as_secs_f64());
+    o.push_str(",\"warmup_s\":");
+    json_f64(&mut o, r.scenario.warmup.as_secs_f64());
+    o.push_str(",\"cell_seed\":");
+    o.push_str(&r.cell_seed.to_string());
+    o.push_str(",\"metrics\":");
+    match &r.metrics {
+        None => o.push_str("null"),
+        Some(m) => {
+            o.push_str("{\"throughput_kbps\":");
+            json_f64(&mut o, m.throughput_kbps);
+            o.push_str(",\"p95_delay_ms\":");
+            json_f64(&mut o, m.p95_delay_ms);
+            o.push_str(",\"self_inflicted_ms\":");
+            json_f64(&mut o, m.self_inflicted_ms);
+            o.push_str(",\"omniscient_ms\":");
+            json_f64(&mut o, m.omniscient_ms);
+            o.push_str(",\"utilization\":");
+            json_f64(&mut o, m.utilization);
+            o.push('}');
+        }
+    }
+    o.push_str(",\"flows\":[");
+    for (i, f) in r.flows.iter().enumerate() {
+        if i > 0 {
+            o.push(',');
+        }
+        o.push_str("{\"flow\":");
+        o.push_str(&f.flow.to_string());
+        o.push_str(",\"throughput_kbps\":");
+        json_f64(&mut o, f.throughput_kbps);
+        o.push_str(",\"p95_delay_ms\":");
+        json_f64(&mut o, f.p95_delay_ms);
+        o.push('}');
+    }
+    o.push_str("],\"series\":[");
+    for (i, s) in r.series.iter().enumerate() {
+        if i > 0 {
+            o.push(',');
+        }
+        o.push('[');
+        json_f64(&mut o, s.t_s);
+        o.push(',');
+        json_f64(&mut o, s.capacity_kbps);
+        o.push(',');
+        json_f64(&mut o, s.throughput_kbps);
+        o.push(',');
+        json_f64(&mut o, s.worst_delay_ms);
+        o.push(']');
+    }
+    o.push(']');
+    o.push_str(",\"interarrival\":");
+    match &r.interarrival {
+        None => o.push_str("null"),
+        Some(ia) => {
+            o.push_str("{\"fraction_within_20ms\":");
+            json_f64(&mut o, ia.fraction_within_20ms);
+            o.push_str(",\"tail_slope\":");
+            match ia.tail_slope {
+                Some(s) => json_f64(&mut o, s),
+                None => o.push_str("null"),
+            }
+            o.push_str(",\"samples\":");
+            o.push_str(&ia.samples.to_string());
+            o.push_str(",\"histogram\":[");
+            for (i, &(lo, hi, pct)) in ia.rows.iter().enumerate() {
+                if i > 0 {
+                    o.push(',');
+                }
+                o.push('[');
+                json_f64(&mut o, lo);
+                o.push(',');
+                json_f64(&mut o, hi);
+                o.push(',');
+                json_f64(&mut o, pct);
+                o.push(']');
+            }
+            o.push_str("]}");
+        }
+    }
+    o.push('}');
+    o
+}
+
+/// Render a whole sweep as a canonical JSON document: header line, then
+/// one line per cell (diffable; bit-identical for identical results).
+pub fn sweep_to_json(matrix_name: &str, master_seed: u64, results: &[SweepResult]) -> String {
+    let mut o = String::new();
+    o.push_str("{\"matrix\":");
+    json_str(&mut o, matrix_name);
+    o.push_str(",\"master_seed\":");
+    o.push_str(&master_seed.to_string());
+    o.push_str(",\"cells\":[\n");
+    for (i, r) in results.iter().enumerate() {
+        o.push_str(&result_to_json(r));
+        if i + 1 < results.len() {
+            o.push(',');
+        }
+        o.push('\n');
+    }
+    o.push_str("]}\n");
+    o
+}
+
+/// Write a sweep's canonical JSON to `writer`.
+pub fn write_json(
+    writer: &mut impl std::io::Write,
+    matrix_name: &str,
+    master_seed: u64,
+    results: &[SweepResult],
+) -> std::io::Result<()> {
+    writer.write_all(sweep_to_json(matrix_name, master_seed, results).as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::ScenarioMatrix;
+    use crate::schemes::Scheme;
+    use sprout_trace::NetProfile;
+
+    fn tiny_matrix() -> ScenarioMatrix {
+        ScenarioMatrix::builder("tiny")
+            .schemes([Scheme::SproutEwma, Scheme::Cubic])
+            .links([NetProfile::TmobileUmtsDown])
+            .timing(Duration::from_secs(30), Duration::from_secs(5))
+            .build()
+    }
+
+    #[test]
+    fn results_are_in_matrix_order() {
+        let m = tiny_matrix();
+        let results = SweepEngine::new(7).with_threads(2).run(&m);
+        assert_eq!(results.len(), m.len());
+        for (i, r) in results.iter().enumerate() {
+            assert_eq!(r.scenario.id, i as u64);
+            assert_eq!(r.scenario, m.cells()[i]);
+        }
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        let m = tiny_matrix();
+        let one = SweepEngine::new(11).with_threads(1).run(&m);
+        let four = SweepEngine::new(11).with_threads(4).run(&m);
+        assert_eq!(
+            sweep_to_json(m.name(), 11, &one),
+            sweep_to_json(m.name(), 11, &four)
+        );
+    }
+
+    #[test]
+    fn simulations_are_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<Simulation<Box<dyn Endpoint>, Box<dyn Endpoint>>>();
+        assert_send::<Scenario>();
+    }
+
+    #[test]
+    fn json_escapes_and_nan() {
+        let mut s = String::new();
+        json_str(&mut s, "a\"b\\c\n");
+        assert_eq!(s, "\"a\\\"b\\\\c\\u000a\"");
+        let mut f = String::new();
+        json_f64(&mut f, f64::NAN);
+        assert_eq!(f, "null");
+    }
+}

@@ -1,0 +1,103 @@
+//! Determinism guarantees of the scenario-matrix sweep engine, and
+//! consistency between the scheme zoo and the matrix builder.
+
+use sprout_bench::{
+    sweep_to_json, QueueSpec, ResolvedQueue, ScenarioMatrix, Scheme, SweepEngine, Workload,
+};
+use sprout_trace::{Duration, NetProfile};
+
+/// A small but representative matrix: two schemes (one needing CoDel),
+/// two loss rates, a confidence override, and a mux cell — every axis the
+/// engine seeds.
+fn mixed_matrix() -> ScenarioMatrix {
+    ScenarioMatrix::builder("determinism")
+        .schemes([Scheme::SproutEwma, Scheme::CubicCodel])
+        .workloads([Workload::MuxDirect])
+        .links([NetProfile::TmobileUmtsDown])
+        .loss_rates([0.0, 0.05])
+        .timing(Duration::from_secs(25), Duration::from_secs(5))
+        .build()
+}
+
+#[test]
+fn same_master_seed_gives_identical_results_across_runs() {
+    let m = mixed_matrix();
+    let a = SweepEngine::new(42).run(&m);
+    let b = SweepEngine::new(42).run(&m);
+    assert_eq!(
+        sweep_to_json(m.name(), 42, &a),
+        sweep_to_json(m.name(), 42, &b),
+        "two runs with one master seed must be bit-identical"
+    );
+}
+
+#[test]
+fn different_master_seeds_give_different_results() {
+    let m = mixed_matrix();
+    let a = SweepEngine::new(1).run(&m);
+    let b = SweepEngine::new(2).run(&m);
+    assert_ne!(
+        sweep_to_json(m.name(), 0, &a),
+        sweep_to_json(m.name(), 0, &b),
+        "the master seed must actually steer the experiment"
+    );
+}
+
+#[test]
+fn thread_count_does_not_change_results() {
+    let m = mixed_matrix();
+    let one = SweepEngine::new(7).with_threads(1).run(&m);
+    for threads in [2, 4, 8] {
+        let n = SweepEngine::new(7).with_threads(threads).run(&m);
+        assert_eq!(
+            sweep_to_json(m.name(), 7, &one),
+            sweep_to_json(m.name(), 7, &n),
+            "--threads {threads} diverged from --threads 1"
+        );
+    }
+}
+
+#[test]
+fn cells_with_loss_use_distinct_derived_seeds() {
+    let m = mixed_matrix();
+    let results = SweepEngine::new(3).run(&m);
+    let mut seeds: Vec<u64> = results.iter().map(|r| r.cell_seed).collect();
+    seeds.sort_unstable();
+    seeds.dedup();
+    assert_eq!(seeds.len(), results.len(), "cell seeds must not collide");
+}
+
+#[test]
+fn fig7_scheme_list_matches_paper_legend() {
+    let schemes = Scheme::fig7();
+    assert_eq!(schemes.len(), 9, "the paper's Figure 7 has nine schemes");
+    assert!(!schemes.contains(&Scheme::CubicCodel));
+    assert!(!schemes.contains(&Scheme::Omniscient));
+    assert!(schemes.contains(&Scheme::Sprout));
+    assert!(schemes.contains(&Scheme::SproutEwma));
+}
+
+#[test]
+fn matrix_builder_queue_resolution_matches_needs_codel() {
+    // The full fig7 matrix (nine schemes + Cubic-CoDel over eight links):
+    // the builder's Auto queue must agree with Scheme::needs_codel for
+    // every cell.
+    let mut schemes = Scheme::fig7().to_vec();
+    schemes.push(Scheme::CubicCodel);
+    let m = ScenarioMatrix::builder("fig7-consistency")
+        .schemes(schemes)
+        .links(NetProfile::all())
+        .build();
+    assert_eq!(m.len(), 80);
+    for cell in m.cells() {
+        let scheme = cell.workload.scheme().expect("scheme matrix");
+        let resolved = cell.queue.resolve(cell.workload);
+        assert_eq!(
+            resolved == ResolvedQueue::CoDel,
+            scheme.needs_codel(),
+            "{} queue resolution disagrees with needs_codel",
+            scheme.name()
+        );
+        assert_eq!(cell.queue, QueueSpec::Auto);
+    }
+}

@@ -254,7 +254,8 @@ impl Endpoint for SproutEndpoint {
         };
         self.stats.packets_received += 1;
         self.stats.app_bytes_received += header.payload_len as u64;
-        if header.datagram && packet.payload.len() >= header.encoded_len() + header.payload_len as usize
+        if header.datagram
+            && packet.payload.len() >= header.encoded_len() + header.payload_len as usize
         {
             let bytes = header.payload_of(&packet.payload).to_vec();
             self.delivered_datagrams.push(Bytes::from(bytes));
@@ -320,8 +321,13 @@ impl Endpoint for SproutEndpoint {
         // count against the sequence space and queue estimate.
         if out.is_empty() && (self.need_feedback || self.sender.heartbeat_due(now)) {
             let heartbeat = self.sender.heartbeat_due(now);
-            let pkt =
-                self.build_packet(PacketBody::Padding(0), heartbeat, Some(feedback), Duration::ZERO, now);
+            let pkt = self.build_packet(
+                PacketBody::Padding(0),
+                heartbeat,
+                Some(feedback),
+                Duration::ZERO,
+                now,
+            );
             self.stats.control_packets_sent += 1;
             out.push(pkt);
         }

@@ -81,19 +81,19 @@ impl ForecastTables {
     /// cache. Tables depend only on the model geometry, not the percentile,
     /// so Fig-9 style confidence sweeps share one build.
     pub fn get(cfg: &SproutConfig) -> Arc<ForecastTables> {
-        static CACHE: OnceLock<Mutex<HashMap<TableKey, Arc<ForecastTables>>>> = OnceLock::new();
+        // Per-key OnceLock slots: the first caller of a key builds while
+        // holding only that key's slot, so concurrent sweep workers neither
+        // duplicate a build (it costs seconds at paper scale) nor block
+        // callers wanting a different geometry.
+        type Slot = Arc<OnceLock<Arc<ForecastTables>>>;
+        static CACHE: OnceLock<Mutex<HashMap<TableKey, Slot>>> = OnceLock::new();
         let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
         let key = cfg.table_key();
-        if let Some(hit) = cache.lock().unwrap().get(&key) {
-            return Arc::clone(hit);
-        }
-        // Build outside the lock: builds can take a second at paper scale
-        // and concurrent tests shouldn't serialize on it. A racing build
-        // of the same key is wasted work but harmless.
-        let kernel = TransitionKernel::new(cfg);
-        let built = Arc::new(ForecastTables::build(cfg, &kernel));
-        let mut guard = cache.lock().unwrap();
-        Arc::clone(guard.entry(key).or_insert(built))
+        let slot = Arc::clone(cache.lock().unwrap().entry(key).or_default());
+        Arc::clone(slot.get_or_init(|| {
+            let kernel = TransitionKernel::new(cfg);
+            Arc::new(ForecastTables::build(cfg, &kernel))
+        }))
     }
 
     /// Build the tables by per-start-bin dynamic programming.
@@ -302,8 +302,7 @@ fn build_one_start(
                 continue; // outage bin: volume unchanged
             }
             conv[..=new_c_hi].fill(0.0);
-            for c in 0..=c_hi {
-                let p = row[c];
+            for (c, &p) in row.iter().enumerate().take(c_hi + 1) {
                 if p == 0.0 {
                     continue;
                 }
@@ -512,7 +511,7 @@ mod tests {
                     let frac = units - units.floor();
                     // P(volume ≤ c | bin j): lands at lo w.p. 1−frac,
                     // lo+1 w.p. frac.
-                    let cdf = if lo + 1 <= c {
+                    let cdf = if lo < c {
                         1.0
                     } else if lo <= c {
                         1.0 - frac

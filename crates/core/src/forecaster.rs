@@ -223,7 +223,10 @@ mod tests {
         // delivered volume (8 ticks × 3000 = 24000).
         let last = *fc.last().unwrap();
         assert!(last > 0, "forecast must be positive after steady input");
-        assert!(last <= 24_000, "cautious forecast {last} must not exceed truth");
+        assert!(
+            last <= 24_000,
+            "cautious forecast {last} must not exceed truth"
+        );
         for w in fc.windows(2) {
             assert!(w[0] <= w[1]);
         }
@@ -309,6 +312,9 @@ mod tests {
             assert!(f.bytes_per_tick() >= before);
         }
         assert!(f.bytes_per_tick() <= ceiling + 1e-9);
-        assert!((f.bytes_per_tick() - ceiling).abs() < 1.0, "reaches ceiling");
+        assert!(
+            (f.bytes_per_tick() - ceiling).abs() < 1.0,
+            "reaches ceiling"
+        );
     }
 }

@@ -40,8 +40,7 @@ impl TransitionKernel {
         let step = cfg.bin_width_pps();
         // Per-tick Brownian standard deviation: σ·√τ (§3.1).
         let sigma_tick = cfg.sigma * cfg.tick_secs().sqrt();
-        let half_width = ((4.0 * sigma_tick / step).ceil() as usize)
-            .clamp(1, cfg.num_bins - 1);
+        let half_width = ((4.0 * sigma_tick / step).ceil() as usize).clamp(1, cfg.num_bins - 1);
         let mut weights = Vec::with_capacity(2 * half_width + 1);
         for d in -(half_width as i64)..=(half_width as i64) {
             let lo = (d as f64 - 0.5) * step;
@@ -107,8 +106,7 @@ impl TransitionKernel {
         // zero probability of landing exactly on it; outage probability
         // accumulates through observation of silence instead), and mass
         // pushed past the grid ceiling folds back down.
-        for i in 1..self.num_bins {
-            let p = src[i];
+        for (i, &p) in src.iter().enumerate().take(self.num_bins).skip(1) {
             if p == 0.0 {
                 continue;
             }
@@ -325,7 +323,7 @@ mod tests {
     fn assert_is_distribution(d: &[f64]) {
         let sum: f64 = d.iter().sum();
         assert!((sum - 1.0).abs() < 1e-9, "sum {sum}");
-        assert!(d.iter().all(|&p| p >= 0.0 && p <= 1.0 + 1e-12));
+        assert!(d.iter().all(|&p| (0.0..=1.0 + 1e-12).contains(&p)));
     }
 
     #[test]
@@ -484,7 +482,11 @@ mod tests {
         // Paper config: σ√τ = 200·√0.02 ≈ 28.3 pps; bins are 3.92 pps wide;
         // ±4σ ≈ ±29 bins.
         let k = TransitionKernel::new(&SproutConfig::paper());
-        assert!(k.half_width() >= 28 && k.half_width() <= 30, "{}", k.half_width());
+        assert!(
+            k.half_width() >= 28 && k.half_width() <= 30,
+            "{}",
+            k.half_width()
+        );
     }
 
     #[test]

@@ -272,7 +272,7 @@ mod tests {
         s.advance(t(141));
         let w = s.window_bytes(t(141));
         assert_eq!(w, 3_000); // one tick × 2 pkts × 1500
-        // Past the horizon: nothing deliverable.
+                              // Past the horizon: nothing deliverable.
         s.advance(t(161));
         assert_eq!(s.window_bytes(t(161)), 0);
     }
@@ -287,7 +287,7 @@ mod tests {
         // An old forecast (tick 9) arrives late and must not clobber.
         s.on_feedback(&fb(6_000, 9, 1), t(2));
         assert_eq!(s.queue_estimate(), 6_000); // unchanged by stale fb
-        // Fresh forecast re-anchors.
+                                               // Fresh forecast re-anchors.
         s.on_feedback(&fb(6_000, 11, 1), t(3));
         assert_eq!(s.queue_estimate(), 0);
     }

@@ -248,7 +248,7 @@ mod tests {
             sent_at: Timestamp::from_micros(5_500_123),
             heartbeat: false,
             datagram: false,
-            forecast: with_forecast.then(|| WireForecast {
+            forecast: with_forecast.then_some(WireForecast {
                 recv_or_lost_bytes: 119_999_000,
                 tick: 275,
                 cumulative_units: [3, 7, 11, 14, 18, 21, 25, 29],

@@ -172,8 +172,7 @@ mod tests {
 
         let mut server_drv = UdpDriver::bind(server, "127.0.0.1:0", None).unwrap();
         let server_addr = server_drv.local_addr().unwrap();
-        let mut client_drv =
-            UdpDriver::bind(client, "127.0.0.1:0", Some(server_addr)).unwrap();
+        let mut client_drv = UdpDriver::bind(client, "127.0.0.1:0", Some(server_addr)).unwrap();
 
         let server_thread = std::thread::spawn(move || {
             server_drv.run_for(Duration::from_millis(1_000)).unwrap();

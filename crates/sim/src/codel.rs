@@ -243,8 +243,8 @@ mod tests {
         assert!(drop_times.len() >= 3);
         // The control law spaces drops by interval/sqrt(count): gaps shrink.
         let first_gap = drop_times[1].saturating_since(drop_times[0]);
-        let last_gap = drop_times[drop_times.len() - 1]
-            .saturating_since(drop_times[drop_times.len() - 2]);
+        let last_gap =
+            drop_times[drop_times.len() - 1].saturating_since(drop_times[drop_times.len() - 2]);
         assert!(
             last_gap <= first_gap,
             "gaps should not grow: first {first_gap}, last {last_gap}"

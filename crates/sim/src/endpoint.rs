@@ -12,7 +12,11 @@ use crate::packet::Packet;
 use sprout_trace::Timestamp;
 
 /// A protocol endpoint driven by packet arrivals and time.
-pub trait Endpoint {
+///
+/// `Send` is a supertrait so whole simulations — including `Box<dyn
+/// Endpoint>` trait objects — can move onto worker threads; the sweep
+/// engine in `sprout-bench` executes scenario cells in parallel.
+pub trait Endpoint: Send {
     /// A packet addressed to this endpoint has arrived.
     fn on_packet(&mut self, packet: Packet, now: Timestamp);
 

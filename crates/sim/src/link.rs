@@ -321,10 +321,8 @@ mod tests {
             loss_seed: 0,
         });
         // Overload 4x: 200 MTU/s for 10 s.
-        let mut seq = 0;
-        for ms in (0..10_000u64).step_by(5) {
-            link.ingress(mtu_pkt(seq), t(ms));
-            seq += 1;
+        for (seq, ms) in (0..10_000u64).step_by(5).enumerate() {
+            link.ingress(mtu_pkt(seq as u64), t(ms));
             link.service(t(ms));
         }
         assert!(link.queue_drops() > 0, "CoDel should shed persistent load");

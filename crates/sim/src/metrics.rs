@@ -254,7 +254,20 @@ pub fn omniscient_delay_percentile(
     if lo >= hi {
         return None;
     }
-    let mut segments = Vec::with_capacity(hi - lo + 1);
+    let mut segments = Vec::with_capacity(hi - lo + 2);
+    // If an opportunity gap straddles the window start, the instantaneous
+    // delay is already ramping when measurement begins: continue it from
+    // the last pre-window opportunity, exactly as the measured-delay
+    // estimator (`delay_segments`) seeds itself from pre-window arrivals.
+    // Skipping this prefix would understate the floor and turn an outage
+    // at the warmup boundary into phantom self-inflicted delay.
+    if lo > 0 && ops[lo] > from {
+        let last_before = ops[lo - 1];
+        segments.push((
+            ops[lo].saturating_since(from),
+            prop_delay + from.saturating_since(last_before),
+        ));
+    }
     let mut cursor = ops[lo];
     for &t in &ops[lo + 1..hi] {
         if t > cursor {
@@ -319,7 +332,7 @@ mod tests {
         m.record(rec(0, 100));
         m.record(rec(50, 200));
         m.record(rec(100, 1_100)); // outside [0, 1000)
-        // 2 × 1500 B × 8 / 1 s = 24 kbps.
+                                   // 2 × 1500 B × 8 / 1 s = 24 kbps.
         assert!((m.throughput_kbps(t(0), t(1_000)) - 24.0).abs() < 1e-9);
     }
 
@@ -332,10 +345,7 @@ mod tests {
             m.record(rec(i * 10, i * 10 + 30));
         }
         let p95 = m.p95_delay(t(0), t(10_030)).unwrap();
-        assert!(
-            p95 >= d(38) && p95 <= d(40),
-            "expected ~39.5 ms, got {p95}"
-        );
+        assert!(p95 >= d(38) && p95 <= d(40), "expected ~39.5 ms, got {p95}");
     }
 
     #[test]
@@ -346,9 +356,7 @@ mod tests {
         m.record(rec(80, 100));
         m.record(rec(5_080, 5_100));
         // p99.9 over [0, 5.2 s): dominated by the tail of the long ramp.
-        let p999 = m
-            .delay_percentile(99.9, t(0), t(5_200), None)
-            .unwrap();
+        let p999 = m.delay_percentile(99.9, t(0), t(5_200), None).unwrap();
         assert!(p999 > d(4_900), "got {p999}");
         // Median is near half the ramp.
         let p50 = m.delay_percentile(50.0, t(0), t(5_200), None).unwrap();
@@ -390,8 +398,7 @@ mod tests {
         // Opportunities every 100 ms, prop 20 ms: delay ramps 20→120 ms;
         // p95 = 20 + 95 = 115 ms.
         let trace = Trace::from_millis((0..100).map(|i| i * 100));
-        let p95 =
-            omniscient_p95_delay(&trace, d(20), t(0), t(9_900)).unwrap();
+        let p95 = omniscient_p95_delay(&trace, d(20), t(0), t(9_900)).unwrap();
         assert!(p95 >= d(114) && p95 <= d(116), "got {p95}");
     }
 

@@ -11,7 +11,10 @@ use crate::packet::Packet;
 use sprout_trace::Timestamp;
 
 /// A bottleneck queue policy.
-pub trait Queue {
+///
+/// `Send` so links (and the simulations holding them) can run on worker
+/// threads.
+pub trait Queue: Send {
     /// Offer a packet to the queue at time `now`. The policy may drop it.
     fn enqueue(&mut self, packet: Packet, now: Timestamp);
 

@@ -55,7 +55,12 @@ impl InterarrivalHistogram {
         let total = self.total.max(1) as f64;
         self.edges_ms
             .iter()
-            .zip(self.edges_ms.iter().skip(1).chain(std::iter::once(&f64::INFINITY)))
+            .zip(
+                self.edges_ms
+                    .iter()
+                    .skip(1)
+                    .chain(std::iter::once(&f64::INFINITY)),
+            )
             .zip(self.counts.iter())
             .map(move |((&lo, &hi), &c)| (lo, hi, 100.0 * c as f64 / total))
     }
@@ -170,7 +175,11 @@ pub fn summarize(trace: &Trace) -> TraceSummary {
 
 /// Instantaneous rate estimate over sliding windows — used by Figure 1's
 /// capacity staircase and by tests that compare protocols against capacity.
-pub fn windowed_rate_kbps(trace: &Trace, window: Duration, step: Duration) -> Vec<(Timestamp, f64)> {
+pub fn windowed_rate_kbps(
+    trace: &Trace,
+    window: Duration,
+    step: Duration,
+) -> Vec<(Timestamp, f64)> {
     assert!(window > Duration::ZERO && step > Duration::ZERO);
     let mut out = Vec::new();
     let end = trace.duration();
@@ -214,10 +223,7 @@ mod tests {
         let tr = NetProfile::VerizonLteDown.generate(Duration::from_secs(300), 2);
         let h = InterarrivalHistogram::from_trace(&tr, 10, 10_000.0);
         assert!(h.fraction_within_ms(20.0) > 0.95);
-        let max_gap = tr
-            .interarrivals()
-            .max()
-            .unwrap_or(Duration::ZERO);
+        let max_gap = tr.interarrivals().max().unwrap_or(Duration::ZERO);
         assert!(
             max_gap > Duration::from_millis(300),
             "expected a heavy tail, max gap {max_gap}"

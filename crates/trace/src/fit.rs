@@ -122,8 +122,8 @@ pub fn fit_link_model(trace: &Trace, cfg: &FitConfig) -> Option<FittedModel> {
         return None;
     }
     let m = increments.iter().sum::<f64>() / increments.len() as f64;
-    let var = increments.iter().map(|d| (d - m) * (d - m)).sum::<f64>()
-        / (increments.len() - 1) as f64;
+    let var =
+        increments.iter().map(|d| (d - m) * (d - m)).sum::<f64>() / (increments.len() - 1) as f64;
     let dt = w.as_secs_f64();
     let counting_noise = 2.0 * mean_rate_pps / dt;
     let sigma = ((var - counting_noise).max(0.0) / dt).sqrt();

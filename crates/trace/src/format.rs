@@ -31,7 +31,10 @@ impl std::fmt::Display for TraceFileError {
         match self {
             TraceFileError::Io(e) => write!(f, "trace i/o error: {e}"),
             TraceFileError::Malformed { line, text } => {
-                write!(f, "trace line {line} is not a millisecond timestamp: {text:?}")
+                write!(
+                    f,
+                    "trace line {line} is not a millisecond timestamp: {text:?}"
+                )
             }
         }
     }

@@ -18,6 +18,7 @@
 pub mod analysis;
 pub mod fit;
 pub mod format;
+pub mod seed;
 pub mod synth;
 pub mod time;
 #[allow(clippy::module_inception)]
@@ -26,6 +27,7 @@ mod trace;
 pub use analysis::{outage_stats, summarize, InterarrivalHistogram, OutageStats, TraceSummary};
 pub use fit::{fit_link_model, FitConfig, FittedModel};
 pub use format::{load_trace, read_trace, save_trace, write_trace, TraceFileError};
+pub use seed::{derive_labeled_seed, derive_seed};
 pub use synth::{LinkModelParams, LinkSimulator, NetProfile};
 pub use time::{Duration, Timestamp, MTU_BYTES, TICK};
 pub use trace::{Trace, TraceCursor};

@@ -162,10 +162,10 @@ impl NetProfile {
     /// Generate this link's standard synthetic trace: `duration` long,
     /// deterministic in `seed`.
     pub fn generate(self, duration: Duration, seed: u64) -> Trace {
-        // Offset the seed per profile so "seed 1" still gives the eight
-        // links independent sample paths.
-        let mix = self as u64 as u64 * 0x9e37_79b9_7f4a_7c15;
-        LinkSimulator::new(self.params(), seed ^ mix).generate(duration)
+        // Derive a per-profile sub-stream so "seed 1" still gives the
+        // eight links independent sample paths.
+        let derived = crate::seed::derive_labeled_seed(seed, "trace-synth", self as u64);
+        LinkSimulator::new(self.params(), derived).generate(duration)
     }
 }
 

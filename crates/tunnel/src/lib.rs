@@ -345,7 +345,11 @@ mod tests {
         let _wire = t.poll_wire(Timestamp::ZERO);
         // With the EWMA's startup window at least two packets fit, and
         // round-robin must take them from both flows before repeating one.
-        assert!(t.stats().forwarded >= 2, "forwarded {}", t.stats().forwarded);
+        assert!(
+            t.stats().forwarded >= 2,
+            "forwarded {}",
+            t.stats().forwarded
+        );
         let f1 = t.flow_queue_len(FlowId(1));
         let f2 = t.flow_queue_len(FlowId(2));
         assert!(
@@ -451,6 +455,10 @@ mod tests {
         let _ = total_flow2;
         // Total backlog respects the cap after enforcement.
         let cap = 8 * 1_500;
-        assert!(t.queued_bytes() <= cap, "backlog {} > cap", t.queued_bytes());
+        assert!(
+            t.queued_bytes() <= cap,
+            "backlog {} > cap",
+            t.queued_bytes()
+        );
     }
 }

@@ -20,21 +20,20 @@ fn main() -> std::io::Result<()> {
     let mut server_drv = UdpDriver::bind(server, "127.0.0.1:0", None)?;
     let server_addr = server_drv.local_addr()?;
     let mut client_drv = UdpDriver::bind(client, "127.0.0.1:0", Some(server_addr))?;
-    println!(
-        "client {} → server {server_addr}",
-        client_drv.local_addr()?
-    );
+    println!("client {} → server {server_addr}", client_drv.local_addr()?);
 
     let run_for = Duration::from_secs(3);
-    let server_thread = std::thread::spawn(move || {
-        server_drv.run_for(run_for).map(|_| server_drv)
-    });
+    let server_thread = std::thread::spawn(move || server_drv.run_for(run_for).map(|_| server_drv));
     client_drv.run_for(run_for)?;
     let server_drv = server_thread.join().expect("server thread")?;
 
     let c = client_drv.stats();
     let s = server_drv.stats();
-    println!("\nclient sent {} datagrams ({} KB)", c.sent, c.bytes_sent / 1024);
+    println!(
+        "\nclient sent {} datagrams ({} KB)",
+        c.sent,
+        c.bytes_sent / 1024
+    );
     println!(
         "server received {} datagrams ({} KB) and sent {} feedback packets",
         s.received,

@@ -66,8 +66,6 @@ fn main() {
             .unwrap_or_default()
     );
     println!("link utilization:     {:>7.0}%", stats.utilization * 100.0);
-    println!(
-        "\nSprout's target: ≤100 ms queueing with 95% probability — the"
-    );
+    println!("\nSprout's target: ≤100 ms queueing with 95% probability — the");
     println!("self-inflicted delay above is what the forecast bought you.");
 }

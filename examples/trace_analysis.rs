@@ -60,11 +60,25 @@ fn main() {
     println!("\n== fitted link model (§7: models trained on empirical variations) ==");
     match sprout_trace::fit_link_model(&trace, &sprout_trace::FitConfig::default()) {
         Some(fit) => {
-            println!("mean rate:     {:.0} pps ({:.0} kbps)", fit.params.mean_rate_pps, fit.params.mean_rate_pps * 12.0);
-            println!("sigma:         {:.0} pps/sqrt(s) (paper freezes 200)", fit.params.sigma);
-            println!("outage escape: {:.2} /s (paper freezes 1.0)", fit.params.outage_escape_rate);
-            println!("outage entry:  {:.3} /s over {} outages ({:.1}% of the trace)",
-                fit.params.outage_entry_rate, fit.outages, fit.outage_fraction * 100.0);
+            println!(
+                "mean rate:     {:.0} pps ({:.0} kbps)",
+                fit.params.mean_rate_pps,
+                fit.params.mean_rate_pps * 12.0
+            );
+            println!(
+                "sigma:         {:.0} pps/sqrt(s) (paper freezes 200)",
+                fit.params.sigma
+            );
+            println!(
+                "outage escape: {:.2} /s (paper freezes 1.0)",
+                fit.params.outage_escape_rate
+            );
+            println!(
+                "outage entry:  {:.3} /s over {} outages ({:.1}% of the trace)",
+                fit.params.outage_entry_rate,
+                fit.outages,
+                fit.outage_fraction * 100.0
+            );
         }
         None => println!("trace too short to fit"),
     }
@@ -82,9 +96,8 @@ fn main() {
     );
     sim.run_until(Timestamp::from_secs(secs));
     let captured = sim.b.captured_trace();
-    let window = |tr: &Trace| {
-        tr.opportunities_between(Timestamp::from_secs(10), Timestamp::from_secs(secs))
-    };
+    let window =
+        |tr: &Trace| tr.opportunities_between(Timestamp::from_secs(10), Timestamp::from_secs(secs));
     let truth = window(&trace);
     let got = window(&captured);
     println!(

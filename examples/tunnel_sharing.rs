@@ -6,7 +6,9 @@
 //! cargo run --release --example tunnel_sharing
 //! ```
 
-use sprout_baselines::{AppProfile, Cubic, TcpReceiver, TcpSender, VideoAppReceiver, VideoAppSender};
+use sprout_baselines::{
+    AppProfile, Cubic, TcpReceiver, TcpSender, VideoAppReceiver, VideoAppSender,
+};
 use sprout_core::{SproutConfig, SproutEndpoint};
 use sprout_sim::{FlowId, MuxEndpoint, PathConfig, Simulation};
 use sprout_trace::{Duration, NetProfile, Timestamp};
@@ -56,7 +58,12 @@ fn main() {
     let mut host_b = TunnelHost::new(TunnelEndpoint::new(SproutEndpoint::new(cfg)));
     host_b.add_client(CUBIC, Box::new(TcpReceiver::new()));
     host_b.add_client(SKYPE, Box::new(VideoAppReceiver::new()));
-    let mut sim = Simulation::new(host_a, host_b, PathConfig::standard(down), PathConfig::standard(up));
+    let mut sim = Simulation::new(
+        host_a,
+        host_b,
+        PathConfig::standard(down),
+        PathConfig::standard(up),
+    );
     sim.run_until(Timestamp::from_secs(secs));
     let m = sim.b.deliveries();
     let tunneled = (

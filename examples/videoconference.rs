@@ -46,12 +46,19 @@ fn run_one(
         print!("{:>6}", w);
     }
     println!();
-    let stats = direction_stats(sim.ab_path(), Timestamp::from_secs(5), Timestamp::from_secs(secs));
+    let stats = direction_stats(
+        sim.ab_path(),
+        Timestamp::from_secs(5),
+        Timestamp::from_secs(secs),
+    );
     println!(
         "  => {:.0} kbps, 95% end-to-end delay {}, self-inflicted {}",
         stats.throughput_kbps,
         stats.p95_delay.map(|d| d.to_string()).unwrap_or_default(),
-        stats.self_inflicted.map(|d| d.to_string()).unwrap_or_default(),
+        stats
+            .self_inflicted
+            .map(|d| d.to_string())
+            .unwrap_or_default(),
     );
 }
 

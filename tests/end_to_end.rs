@@ -108,7 +108,11 @@ fn sprout_beats_cubic_on_delay_by_an_order_of_magnitude() {
     );
     // Cubic wastes some capacity re-probing after the trace's outages,
     // but still runs the link far harder than it should for its delay.
-    assert!(cubic.utilization > 0.6, "cubic fills the pipe: {}", cubic.utilization);
+    assert!(
+        cubic.utilization > 0.6,
+        "cubic fills the pipe: {}",
+        cubic.utilization
+    );
     assert!(sprout.throughput_kbps > 0.1 * cubic.throughput_kbps);
 }
 
@@ -197,8 +201,7 @@ fn runs_are_deterministic() {
         let up = NetProfile::AttLteDown.generate(Duration::from_secs(30), 98);
         let cfg = SproutConfig::paper();
         let (a, b) = sprout_pair(&cfg);
-        let mut sim =
-            Simulation::new(a, b, PathConfig::standard(down), PathConfig::standard(up));
+        let mut sim = Simulation::new(a, b, PathConfig::standard(down), PathConfig::standard(up));
         sim.run_until(Timestamp::from_secs(30));
         (
             sim.ab_metrics().records().len(),

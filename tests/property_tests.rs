@@ -124,7 +124,7 @@ proptest! {
         for (i, gap) in gaps_ms.iter().enumerate() {
             q.enqueue(Packet::opaque(FlowId::PRIMARY, i as u64, 1_500), now);
             offered += 1;
-            now = now + Duration::from_millis(*gap);
+            now += Duration::from_millis(*gap);
             // Drain slowly: one dequeue per enqueue keeps a standing queue
             // when gaps are small.
             if i % 2 == 0 {

@@ -1,6 +1,8 @@
 //! Integration tests for SproutTunnel (§4.3/§5.7) across crates.
 
-use sprout_baselines::{AppProfile, Cubic, TcpReceiver, TcpSender, VideoAppReceiver, VideoAppSender};
+use sprout_baselines::{
+    AppProfile, Cubic, TcpReceiver, TcpSender, VideoAppReceiver, VideoAppSender,
+};
 use sprout_core::{SproutConfig, SproutEndpoint};
 use sprout_sim::{FlowId, MuxEndpoint, PathConfig, Simulation};
 use sprout_trace::{Duration, NetProfile, Timestamp};

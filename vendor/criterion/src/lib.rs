@@ -1,0 +1,95 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! Provides the `Criterion`/`Bencher` API surface and the
+//! `criterion_group!`/`criterion_main!` macros the workspace's bench
+//! targets use, backed by a plain wall-clock timing loop. No statistics,
+//! no HTML reports — enough to compile and to print per-iteration times.
+
+use std::time::{Duration, Instant};
+
+/// Re-export for code that uses `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// The benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Number of samples collected per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Run one named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            iters: self.sample_size as u64,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        let per_iter = if b.iters > 0 {
+            b.elapsed / b.iters as u32
+        } else {
+            Duration::ZERO
+        };
+        println!("bench {name:48} {per_iter:>12.2?}/iter ({} iters)", b.iters);
+        self
+    }
+}
+
+/// Passed to each benchmark closure; `iter` times the hot loop.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `routine` over the configured number of iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Define a benchmark group (both the simple and `name/config/targets`
+/// forms of the upstream macro).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
