@@ -214,8 +214,7 @@ impl Endpoint for VideoAppSender {
         }
     }
 
-    fn poll(&mut self, now: Timestamp) -> Vec<Packet> {
-        let mut out = Vec::new();
+    fn poll_into(&mut self, now: Timestamp, out: &mut Vec<Packet>) {
         // Gentle multiplicative ramp while not congested.
         if self.congested_since.is_none()
             && now.saturating_since(self.last_increase) >= Duration::from_secs(1)
@@ -246,7 +245,6 @@ impl Endpoint for VideoAppSender {
             }
             self.next_frame += self.profile.frame_interval;
         }
-        out
     }
 
     fn next_wakeup(&self) -> Option<Timestamp> {
@@ -307,8 +305,8 @@ impl Endpoint for VideoAppReceiver {
         }
     }
 
-    fn poll(&mut self, now: Timestamp) -> Vec<Packet> {
-        let mut out = std::mem::take(&mut self.pending);
+    fn poll_into(&mut self, now: Timestamp, out: &mut Vec<Packet>) {
+        out.append(&mut self.pending);
         while self.next_report <= now {
             out.push(Packet {
                 flow: self.flow,
@@ -320,7 +318,6 @@ impl Endpoint for VideoAppReceiver {
             self.worst_delay = Duration::ZERO;
             self.next_report += self.report_interval;
         }
-        out
     }
 
     fn next_wakeup(&self) -> Option<Timestamp> {

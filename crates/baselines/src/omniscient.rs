@@ -54,8 +54,7 @@ impl OmniscientSender {
 impl Endpoint for OmniscientSender {
     fn on_packet(&mut self, _packet: Packet, _now: Timestamp) {}
 
-    fn poll(&mut self, now: Timestamp) -> Vec<Packet> {
-        let mut out = Vec::new();
+    fn poll_into(&mut self, now: Timestamp, out: &mut Vec<Packet>) {
         while let Some(send_at) = self.next_send_time() {
             if send_at > now {
                 break;
@@ -64,7 +63,6 @@ impl Endpoint for OmniscientSender {
             out.push(Packet::opaque(self.flow, self.seq, MTU_BYTES));
             self.seq += 1;
         }
-        out
     }
 
     fn next_wakeup(&self) -> Option<Timestamp> {

@@ -97,8 +97,7 @@ impl Endpoint for SaturatorSender {
         }
     }
 
-    fn poll(&mut self, now: Timestamp) -> Vec<Packet> {
-        let mut out = Vec::new();
+    fn poll_into(&mut self, now: Timestamp, out: &mut Vec<Packet>) {
         while self.next_seq.saturating_sub(self.acked) < self.window {
             out.push(Packet {
                 flow: self.flow,
@@ -109,7 +108,6 @@ impl Endpoint for SaturatorSender {
             });
             self.next_seq += 1;
         }
-        out
     }
 
     fn next_wakeup(&self) -> Option<Timestamp> {
@@ -165,8 +163,8 @@ impl Endpoint for SaturatorReceiver {
         });
     }
 
-    fn poll(&mut self, _now: Timestamp) -> Vec<Packet> {
-        std::mem::take(&mut self.pending)
+    fn poll_into(&mut self, _now: Timestamp, out: &mut Vec<Packet>) {
+        out.append(&mut self.pending);
     }
 
     fn next_wakeup(&self) -> Option<Timestamp> {

@@ -348,8 +348,8 @@ impl Endpoint for TcpSender {
         }
     }
 
-    fn poll(&mut self, now: Timestamp) -> Vec<Packet> {
-        let mut out = std::mem::take(&mut self.pending_retx);
+    fn poll_into(&mut self, now: Timestamp, out: &mut Vec<Packet>) {
+        out.append(&mut self.pending_retx);
         // RTO?
         if let Some(deadline) = self.rto_deadline {
             if now >= deadline && !self.outstanding.is_empty() {
@@ -371,16 +371,15 @@ impl Endpoint for TcpSender {
         while self.in_flight() < cwnd {
             if let Some(&seq) = self.lost.iter().next() {
                 self.lost.remove(&seq);
-                self.transmit(seq, now, &mut out);
+                self.transmit(seq, now, out);
             } else if self.next_seq < self.cum_ack + MAX_WINDOW_SEGMENTS as u64 {
                 let seq = self.next_seq;
                 self.next_seq += 1;
-                self.transmit(seq, now, &mut out);
+                self.transmit(seq, now, out);
             } else {
                 break; // receive-window limited
             }
         }
-        out
     }
 
     fn next_wakeup(&self) -> Option<Timestamp> {
@@ -453,8 +452,8 @@ impl Endpoint for TcpReceiver {
         });
     }
 
-    fn poll(&mut self, _now: Timestamp) -> Vec<Packet> {
-        std::mem::take(&mut self.pending_acks)
+    fn poll_into(&mut self, _now: Timestamp, out: &mut Vec<Packet>) {
+        out.append(&mut self.pending_acks);
     }
 
     fn next_wakeup(&self) -> Option<Timestamp> {

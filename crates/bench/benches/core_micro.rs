@@ -4,7 +4,16 @@
 //! forecast must complete far faster than the 20 ms tick budget.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use sprout_core::{ForecastTables, RateModel, SproutConfig, TransitionKernel};
+use sprout_core::{ForecastScratch, ForecastTables, RateModel, SproutConfig, TransitionKernel};
+
+fn converged_model(cfg: &SproutConfig) -> RateModel {
+    let mut model = RateModel::new(cfg.clone());
+    for _ in 0..50 {
+        model.evolve();
+        model.observe(8.0);
+    }
+    model
+}
 
 fn bench_model_tick(c: &mut Criterion) {
     let cfg = SproutConfig::paper();
@@ -17,16 +26,42 @@ fn bench_model_tick(c: &mut Criterion) {
     });
 }
 
+fn bench_evolve_only(c: &mut Criterion) {
+    // The CSR scatter walk in isolation (the transition half of a tick).
+    let mut model = RateModel::new(SproutConfig::paper());
+    c.bench_function("model_evolve_only", |b| b.iter(|| model.evolve()));
+}
+
+fn bench_observe_only(c: &mut Criterion) {
+    // The Poisson-likelihood update in isolation.
+    let mut model = converged_model(&SproutConfig::paper());
+    c.bench_function("model_observe_only", |b| {
+        b.iter(|| model.observe(std::hint::black_box(8.0)))
+    });
+}
+
 fn bench_forecast(c: &mut Criterion) {
     let cfg = SproutConfig::paper();
     let tables = ForecastTables::get(&cfg);
-    let mut model = RateModel::new(cfg.clone());
-    for _ in 0..50 {
-        model.evolve();
-        model.observe(8.0);
-    }
+    let model = converged_model(&cfg);
+    // The allocating convenience API (kept for comparability with the
+    // pre-optimization baseline)...
     c.bench_function("forecast_95pct_8ticks", |b| {
         b.iter(|| tables.forecast(std::hint::black_box(model.distribution()), 5.0))
+    });
+    // ...and the scratch-reusing hot path the endpoint actually runs.
+    let mut scratch = ForecastScratch::default();
+    c.bench_function("forecast_into_95pct_8ticks", |b| {
+        b.iter(|| {
+            tables
+                .forecast_into(
+                    std::hint::black_box(model.distribution()),
+                    5.0,
+                    &mut scratch,
+                )
+                .cumulative_units
+                .len()
+        })
     });
 }
 
@@ -43,6 +78,7 @@ fn bench_table_build_small(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = bench_model_tick, bench_forecast, bench_table_build_small
+    targets = bench_model_tick, bench_evolve_only, bench_observe_only, bench_forecast,
+        bench_table_build_small
 }
 criterion_main!(benches);

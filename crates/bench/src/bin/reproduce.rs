@@ -3,6 +3,8 @@
 //! ```text
 //! reproduce <experiment> [--secs N] [--warmup N] [--seed N] [--out DIR]
 //!                        [--threads N] [--quick] [--json]
+//!                        [--cache-dir DIR] [--no-cache]
+//!                        [--bench] [--bench-baseline FILE]
 //!
 //! experiments:
 //!   fig1     Skype vs Sprout time series (Verizon LTE downlink)
@@ -22,28 +24,40 @@
 //!   --threads N  sweep worker threads (default: one per core)
 //!   --quick      shorthand for --secs 90 --warmup 20
 //!   --json       after running, print the sweep JSON artifact(s) to stdout
+//!   --cache-dir DIR  artifact cache location (default .sprout-cache,
+//!                    or the SPROUT_CACHE_DIR environment variable)
+//!   --no-cache   disable the artifact cache for this run
+//!   --bench      run the perf-trajectory mode instead of an experiment:
+//!                execute the canonical bench matrix + hot-path
+//!                microbenchmarks and write BENCH_sweep.json
+//!   --bench-baseline FILE  compare the --bench report against FILE;
+//!                exit 1 on >20% timing regression or any metric drift
 //! ```
 //!
 //! Every experiment writes TSV artifacts plus a canonical
 //! `<experiment>_sweep.json` record of the scenario matrix it ran; with
-//! the same seed the JSON is bit-identical for any `--threads` value.
+//! the same seed the JSON is bit-identical for any `--threads` value,
+//! and identical whether the artifact cache is cold, warm, or disabled.
 
+use std::path::PathBuf;
 use std::time::Instant;
 
 use sprout_bench::figures::{self, ExperimentConfig};
-use sprout_bench::{summary_table, Scheme};
+use sprout_bench::{perf, summary_table, Scheme};
 
 const EXPERIMENTS: &[&str] = &[
     "fig1", "fig2", "fig7", "fig8", "fig9", "loss", "tunnel", "all",
 ];
 
-const USAGE: &str = "usage: reproduce <experiment> [--secs N] [--warmup N] [--seed N] [--out DIR] [--threads N] [--quick] [--json]
+const USAGE: &str = "usage: reproduce <experiment> [--secs N] [--warmup N] [--seed N] [--out DIR] [--threads N] [--quick] [--json] [--cache-dir DIR] [--no-cache] [--bench] [--bench-baseline FILE]
 experiments: fig1 fig2 fig7 fig8 fig9 loss tunnel all";
 
 struct Options {
     cmd: String,
     cfg: ExperimentConfig,
     json: bool,
+    bench: bool,
+    bench_baseline: Option<PathBuf>,
 }
 
 fn usage_error(msg: &str) -> ! {
@@ -56,6 +70,8 @@ fn parse_args() -> Options {
     let mut cfg = ExperimentConfig::default();
     let mut cmd: Option<String> = None;
     let mut json = false;
+    let mut bench = false;
+    let mut bench_baseline = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut numeric = |name: &str| -> u64 {
@@ -79,6 +95,16 @@ fn parse_args() -> Options {
                 cfg.warmup_secs = 20;
             }
             "--json" => json = true,
+            "--bench" => bench = true,
+            "--bench-baseline" => match args.next() {
+                Some(path) => bench_baseline = Some(PathBuf::from(path)),
+                None => usage_error("--bench-baseline expects a file"),
+            },
+            "--cache-dir" => match args.next() {
+                Some(dir) => sprout_cache::set_dir(dir),
+                None => usage_error("--cache-dir expects a directory"),
+            },
+            "--no-cache" => sprout_cache::disable(),
             "--help" | "-h" => {
                 println!("{USAGE}");
                 std::process::exit(0);
@@ -98,10 +124,18 @@ fn parse_args() -> Options {
     if cfg.warmup_secs >= cfg.run_secs {
         usage_error("warmup must be shorter than the run");
     }
+    if bench_baseline.is_some() && !bench {
+        usage_error("--bench-baseline requires --bench");
+    }
+    if bench && cmd.is_some() {
+        usage_error("--bench runs its own matrix; drop the experiment name");
+    }
     Options {
         cmd: cmd.unwrap_or_else(|| "all".to_string()),
         cfg,
         json,
+        bench,
+        bench_baseline,
     }
 }
 
@@ -203,9 +237,72 @@ fn print_fig7_and_tables(cfg: &ExperimentConfig) -> std::io::Result<sprout_bench
     Ok(results)
 }
 
+/// `--bench`: run the canonical bench matrix plus microbenchmarks,
+/// record `BENCH_sweep.json` (and the matrix's canonical sweep JSON),
+/// optionally enforcing a baseline.
+fn run_bench(cfg: &ExperimentConfig, baseline: Option<&std::path::Path>) -> std::io::Result<()> {
+    sprout_core::reset_table_cache_counters();
+    sprout_trace::reset_trace_cache_counters();
+    let matrix = perf::bench_matrix(cfg);
+    let (results, stats) = cfg.engine().run_with_stats(&matrix);
+    let mut canonical = std::fs::File::create(cfg.sweep_json_path(matrix.name()))?;
+    sprout_bench::write_json(&mut canonical, matrix.name(), cfg.seed, &results)?;
+
+    println!("== bench matrix ({} cells) ==", results.len());
+    for r in &results {
+        println!("  {:32} {:>8.1} ms", r.scenario.label, r.wall_ms);
+    }
+    println!(
+        "  total {:.1} ms | table cache {}h/{}m | trace cache {}h/{}m",
+        stats.total_wall_ms,
+        stats.table_cache.hits,
+        stats.table_cache.misses,
+        stats.trace_cache.hits,
+        stats.trace_cache.misses,
+    );
+    let micro = perf::run_micro_benches();
+    println!("== microbenches ==");
+    for m in &micro {
+        println!("  {:24} {:>12.0} ns/iter", m.key, m.ns_per_iter);
+    }
+
+    let report = sprout_bench::BenchReport {
+        seed: cfg.seed,
+        results,
+        stats,
+        micro,
+    };
+    let path = cfg.out_dir.join("BENCH_sweep.json");
+    std::fs::write(&path, sprout_bench::bench_report_to_json(&report))?;
+    println!("bench trajectory written to {path:?}");
+
+    if let Some(baseline_path) = baseline {
+        let baseline_json = std::fs::read_to_string(baseline_path)?;
+        let violations = sprout_bench::check_regression(&report, &baseline_json, 0.20);
+        if !violations.is_empty() {
+            eprintln!("regression against {baseline_path:?}:");
+            for v in &violations {
+                eprintln!("  {v}");
+            }
+            std::process::exit(1);
+        }
+        println!("within 20% of baseline {baseline_path:?}");
+    }
+    Ok(())
+}
+
 fn main() -> std::io::Result<()> {
-    let Options { cmd, cfg, json } = parse_args();
+    let Options {
+        cmd,
+        cfg,
+        json,
+        bench,
+        bench_baseline,
+    } = parse_args();
     figures::ensure_out_dir(&cfg.out_dir)?;
+    if bench {
+        return run_bench(&cfg, bench_baseline.as_deref());
+    }
     println!(
         "reproduce: {cmd} (runs {}s, warmup {}s, seed {}, threads {}, out {:?})",
         cfg.run_secs,

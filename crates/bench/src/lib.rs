@@ -11,6 +11,7 @@
 #![warn(missing_docs)]
 
 pub mod figures;
+pub mod perf;
 pub mod scenario;
 pub mod schemes;
 pub mod sweep;
@@ -19,9 +20,10 @@ pub use figures::{
     fig1, fig2, fig7, fig8, fig9, loss_table, summary_table, tunnel_comparison, ExperimentConfig,
     Fig7Results,
 };
+pub use perf::{bench_report_to_json, check_regression, BenchReport, MicroBench};
 pub use scenario::{MatrixBuilder, QueueSpec, ResolvedQueue, Scenario, ScenarioMatrix, Workload};
 pub use schemes::{build_endpoints, run_scheme, RunConfig, Scheme, SchemeResult};
 pub use sweep::{
     sweep_to_json, write_json, FlowSummary, InterarrivalSummary, SeriesRow, SweepEngine,
-    SweepResult,
+    SweepResult, SweepStats,
 };

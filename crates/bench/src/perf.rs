@@ -1,0 +1,348 @@
+//! The `BENCH_sweep.json` performance trajectory.
+//!
+//! `reproduce --bench` runs a small canonical scenario matrix plus a set
+//! of hot-path microbenchmarks and writes one JSON document recording:
+//!
+//! * per-cell wall time and the deterministic per-cell metrics (the
+//!   metrics double as a cross-machine determinism check — they must
+//!   match the committed baseline *exactly* for the same seed);
+//! * sweep-level wall time and artifact-cache traffic (hits mean the
+//!   run skipped forecast-table DP / trace synthesis);
+//! * nanoseconds-per-iteration for the forecast, model-tick, and
+//!   table-build hot paths.
+//!
+//! [`check_regression`] compares a fresh report against a recorded
+//! baseline: timing fields may drift up to a tolerance (CI uses 20%),
+//! deterministic metric fields must be identical. CI archives the file
+//! as an artifact so the repository accumulates a perf trajectory.
+
+use std::time::Instant;
+
+use sprout_core::{ForecastScratch, ForecastTables, RateModel, SproutConfig, TransitionKernel};
+use sprout_trace::NetProfile;
+
+use crate::figures::ExperimentConfig;
+use crate::scenario::ScenarioMatrix;
+use crate::schemes::Scheme;
+use crate::sweep::{json_f64, json_str, SweepResult, SweepStats};
+
+/// One microbenchmark sample.
+#[derive(Clone, Debug)]
+pub struct MicroBench {
+    /// Stable metric key (doubles as the JSON field name).
+    pub key: &'static str,
+    /// Nanoseconds per iteration.
+    pub ns_per_iter: f64,
+}
+
+/// A full `--bench` run: the sweep's results and stats plus the
+/// microbenchmark samples.
+#[derive(Debug)]
+pub struct BenchReport {
+    /// Master seed the bench matrix ran with.
+    pub seed: u64,
+    /// Results of the bench matrix, in matrix order.
+    pub results: Vec<SweepResult>,
+    /// Sweep-level wall time and cache traffic.
+    pub stats: SweepStats,
+    /// Hot-path microbenchmarks.
+    pub micro: Vec<MicroBench>,
+}
+
+/// The canonical bench matrix: Sprout across the Figure-9 confidence
+/// axis on the T-Mobile 3G uplink — small enough for CI, broad enough
+/// to exercise forecast tables, trace synthesis, and the full endpoint
+/// hot path.
+pub fn bench_matrix(cfg: &ExperimentConfig) -> ScenarioMatrix {
+    cfg.matrix("bench")
+        .schemes([Scheme::Sprout])
+        .links([NetProfile::TmobileUmtsUp])
+        .confidences_pct(crate::figures::FIG9_CONFIDENCES)
+        .build()
+}
+
+/// Best-of-runs timing loop: times `iters` iterations of `f`, `runs`
+/// times, and reports the fastest run (the minimum suppresses scheduler
+/// noise without a statistics engine — remember it when reasoning about
+/// baseline variance).
+fn time_ns<O>(runs: usize, iters: usize, mut f: impl FnMut() -> O) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..runs {
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(f());
+        }
+        let ns = t0.elapsed().as_nanos() as f64 / iters as f64;
+        if ns < best {
+            best = ns;
+        }
+    }
+    best
+}
+
+/// Run the hot-path microbenchmarks at paper scale (except the table
+/// build, which uses the scaled-down test config — the paper-scale build
+/// is a one-time cost measured by the sweep's cold-cache wall time).
+pub fn run_micro_benches() -> Vec<MicroBench> {
+    let cfg = SproutConfig::paper();
+    let tables = ForecastTables::get(&cfg);
+    let mut model = RateModel::new(cfg.clone());
+    for _ in 0..50 {
+        model.evolve();
+        model.observe(8.0);
+    }
+    let mut scratch = ForecastScratch::default();
+    let forecast_ns = time_ns(5, 200, || {
+        tables
+            .forecast_into(model.distribution(), 5.0, &mut scratch)
+            .cumulative_units
+            .len()
+    });
+    let model_tick_ns = time_ns(5, 200, || {
+        model.evolve();
+        model.observe(std::hint::black_box(8.0));
+    });
+    let small = SproutConfig::test_small();
+    let kernel = TransitionKernel::new(&small);
+    let table_build_ns = time_ns(2, 3, || ForecastTables::build(&small, &kernel));
+    vec![
+        MicroBench {
+            key: "forecast_ns",
+            ns_per_iter: forecast_ns,
+        },
+        MicroBench {
+            key: "model_tick_ns",
+            ns_per_iter: model_tick_ns,
+        },
+        MicroBench {
+            key: "table_build_small_ns",
+            ns_per_iter: table_build_ns,
+        },
+    ]
+}
+
+/// Render a bench report as one stable-key-order JSON document
+/// (`BENCH_sweep.json`).
+pub fn bench_report_to_json(report: &BenchReport) -> String {
+    let mut o = String::with_capacity(1024);
+    o.push_str("{\"bench_version\":1,\"seed\":");
+    o.push_str(&report.seed.to_string());
+    o.push_str(",\"cells\":[\n");
+    for (i, r) in report.results.iter().enumerate() {
+        o.push_str("{\"label\":");
+        json_str(&mut o, &r.scenario.label);
+        o.push_str(",\"wall_ms\":");
+        json_f64(&mut o, r.wall_ms);
+        if let Some(m) = &r.metrics {
+            o.push_str(",\"throughput_kbps\":");
+            json_f64(&mut o, m.throughput_kbps);
+            o.push_str(",\"self_inflicted_ms\":");
+            json_f64(&mut o, m.self_inflicted_ms);
+        }
+        o.push('}');
+        if i + 1 < report.results.len() {
+            o.push(',');
+        }
+        o.push('\n');
+    }
+    o.push_str("],\"total_wall_ms\":");
+    json_f64(&mut o, report.stats.total_wall_ms);
+    let cache = |o: &mut String, c: sprout_cache::CacheCounters| {
+        o.push_str("{\"hits\":");
+        o.push_str(&c.hits.to_string());
+        o.push_str(",\"misses\":");
+        o.push_str(&c.misses.to_string());
+        o.push_str(",\"stores\":");
+        o.push_str(&c.stores.to_string());
+        o.push('}');
+    };
+    o.push_str(",\"cache\":{\"table\":");
+    cache(&mut o, report.stats.table_cache);
+    o.push_str(",\"trace\":");
+    cache(&mut o, report.stats.trace_cache);
+    o.push_str("},\"micro\":{");
+    for (i, m) in report.micro.iter().enumerate() {
+        if i > 0 {
+            o.push(',');
+        }
+        o.push('"');
+        o.push_str(m.key);
+        o.push_str("\":");
+        json_f64(&mut o, m.ns_per_iter);
+    }
+    o.push_str("}}\n");
+    o
+}
+
+/// Extract the first number following `"key":` in a JSON document. Good
+/// enough for the flat, uniquely-keyed fields of `BENCH_sweep.json`
+/// (this workspace is offline — no serde).
+fn find_number(json: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let at = json.find(&needle)? + needle.len();
+    let rest = &json[at..];
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == 'E'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Compare a fresh bench report against a recorded baseline document.
+///
+/// * Timing metrics (`total_wall_ms` and each microbenchmark) may be up
+///   to `tolerance` (e.g. `0.20`) slower than the baseline.
+/// * Deterministic metrics (per-cell throughput, exact to the printed
+///   digit for the same seed) must match the baseline exactly; a
+///   mismatch means behavior changed and the baseline needs a deliberate
+///   update.
+///
+/// Returns the list of violations (empty = pass).
+pub fn check_regression(report: &BenchReport, baseline_json: &str, tolerance: f64) -> Vec<String> {
+    let mut violations = Vec::new();
+    let mut check_timing = |key: &str, current: f64| {
+        match find_number(baseline_json, key) {
+            Some(base) if base > 0.0 => {
+                if current > base * (1.0 + tolerance) {
+                    violations.push(format!(
+                        "{key}: {current:.0} exceeds baseline {base:.0} by more than {:.0}%",
+                        tolerance * 100.0
+                    ));
+                }
+            }
+            _ => violations.push(format!("{key}: missing from baseline")),
+        };
+    };
+    check_timing("total_wall_ms", report.stats.total_wall_ms);
+    for m in &report.micro {
+        check_timing(m.key, m.ns_per_iter);
+    }
+    // Determinism: each cell's throughput must equal the value the
+    // baseline records under the *same label* (same seed ⇒ same
+    // simulated bytes ⇒ exact f64 round trip) — a whole-document
+    // substring match would let swapped cells pass.
+    for r in &report.results {
+        if let Some(m) = &r.metrics {
+            match cell_throughput(baseline_json, &r.scenario.label) {
+                None => violations.push(format!(
+                    "{}: cell missing from baseline (matrix changed — regenerate BENCH_sweep.json deliberately)",
+                    r.scenario.label
+                )),
+                Some(base) if base != m.throughput_kbps => violations.push(format!(
+                    "{}: throughput {} kbps differs from baseline {base} (nondeterminism or behavior change — regenerate BENCH_sweep.json deliberately)",
+                    r.scenario.label, m.throughput_kbps
+                )),
+                Some(_) => {}
+            }
+        }
+    }
+    violations
+}
+
+/// The `throughput_kbps` the baseline records for the cell labelled
+/// `label`. Cell objects in `BENCH_sweep.json` are flat (no nested
+/// braces), so the cell ends at the first `}` after its label.
+fn cell_throughput(json: &str, label: &str) -> Option<f64> {
+    let mut needle = String::from("\"label\":");
+    json_str(&mut needle, label);
+    let at = json.find(&needle)? + needle.len();
+    let rest = &json[at..];
+    let end = rest.find('}').unwrap_or(rest.len());
+    find_number(&rest[..end], "throughput_kbps")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sweep::SweepEngine;
+
+    fn tiny_report() -> BenchReport {
+        let cfg = ExperimentConfig {
+            run_secs: 12,
+            warmup_secs: 2,
+            seed: 7,
+            ..ExperimentConfig::default()
+        };
+        let matrix = bench_matrix(&cfg);
+        let (results, stats) = SweepEngine::new(cfg.seed).run_with_stats(&matrix);
+        BenchReport {
+            seed: cfg.seed,
+            results,
+            stats,
+            micro: vec![
+                MicroBench {
+                    key: "forecast_ns",
+                    ns_per_iter: 1000.0,
+                },
+                MicroBench {
+                    key: "model_tick_ns",
+                    ns_per_iter: 2000.0,
+                },
+                MicroBench {
+                    key: "table_build_small_ns",
+                    ns_per_iter: 3000.0,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn report_round_trips_through_regression_check() {
+        let report = tiny_report();
+        let json = bench_report_to_json(&report);
+        assert!(json.contains("\"cache\""));
+        assert!(json.contains("\"forecast_ns\""));
+        // A report always passes against its own rendering.
+        let violations = check_regression(&report, &json, 0.20);
+        assert!(violations.is_empty(), "{violations:?}");
+    }
+
+    #[test]
+    fn slower_run_fails_against_tight_baseline() {
+        let mut report = tiny_report();
+        let json = bench_report_to_json(&report);
+        report.micro[0].ns_per_iter *= 2.0; // 100% slower than baseline
+        let violations = check_regression(&report, &json, 0.20);
+        assert!(
+            violations.iter().any(|v| v.contains("forecast_ns")),
+            "{violations:?}"
+        );
+    }
+
+    #[test]
+    fn swapped_cells_fail_determinism_check() {
+        // Both values still appear in the baseline document — only the
+        // per-label comparison catches the swap.
+        let mut report = tiny_report();
+        let json = bench_report_to_json(&report);
+        let (a, b) = (0, report.results.len() - 1);
+        let tmp = report.results[a].metrics;
+        report.results[a].metrics = report.results[b].metrics;
+        report.results[b].metrics = tmp;
+        let violations = check_regression(&report, &json, 1000.0);
+        assert!(
+            violations
+                .iter()
+                .any(|v| v.contains("differs from baseline")),
+            "{violations:?}"
+        );
+    }
+
+    #[test]
+    fn changed_metrics_fail_determinism_check() {
+        let report = tiny_report();
+        let mut json = bench_report_to_json(&report);
+        // Corrupt every digit so the throughput strings cannot match.
+        json = json.replace(['1', '2', '3', '4'], "9");
+        let violations = check_regression(&report, &json, 1000.0);
+        assert!(!violations.is_empty());
+    }
+
+    #[test]
+    fn find_number_parses_fields() {
+        let doc = r#"{"a":12.5,"b":-3e2,"nested":{"c":7}}"#;
+        assert_eq!(find_number(doc, "a"), Some(12.5));
+        assert_eq!(find_number(doc, "b"), Some(-300.0));
+        assert_eq!(find_number(doc, "c"), Some(7.0));
+        assert_eq!(find_number(doc, "missing"), None);
+    }
+}

@@ -97,6 +97,24 @@ pub struct SweepResult {
     pub series: Vec<SeriesRow>,
     /// Interarrival statistics (probe cells only).
     pub interarrival: Option<InterarrivalSummary>,
+    /// Wall-clock execution time of this cell, milliseconds. Measured,
+    /// not simulated — deliberately **excluded** from the canonical
+    /// sweep JSON (which must stay bit-identical across machines and
+    /// thread counts); the `BENCH_sweep.json` trajectory records it.
+    pub wall_ms: f64,
+}
+
+/// Execution statistics of one sweep run: wall time plus the disk-cache
+/// traffic the run generated. Cache counters are process-global deltas,
+/// so run sweeps one at a time when attributing traffic to a run.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SweepStats {
+    /// Wall-clock time of the whole `run` call, milliseconds.
+    pub total_wall_ms: f64,
+    /// Forecast-table disk-cache traffic during the run.
+    pub table_cache: sprout_cache::CacheCounters,
+    /// Trace-synthesis disk-cache traffic during the run.
+    pub trace_cache: sprout_cache::CacheCounters,
 }
 
 /// Executes scenario matrices over a worker pool.
@@ -135,6 +153,23 @@ impl SweepEngine {
             self.threads
         };
         n.clamp(1, cells.max(1))
+    }
+
+    /// Run every cell of `matrix` and report execution statistics
+    /// alongside the results: per-cell wall time lands in each
+    /// [`SweepResult::wall_ms`], sweep-level wall time and disk-cache
+    /// traffic in the returned [`SweepStats`].
+    pub fn run_with_stats(&self, matrix: &ScenarioMatrix) -> (Vec<SweepResult>, SweepStats) {
+        let table0 = sprout_core::table_cache_counters();
+        let trace0 = sprout_trace::trace_cache_counters();
+        let t0 = std::time::Instant::now();
+        let results = self.run(matrix);
+        let stats = SweepStats {
+            total_wall_ms: t0.elapsed().as_secs_f64() * 1e3,
+            table_cache: sprout_core::table_cache_counters().since(table0),
+            trace_cache: sprout_trace::trace_cache_counters().since(trace0),
+        };
+        (results, stats)
     }
 
     /// Run every cell of `matrix`; `results[i]` corresponds to
@@ -216,6 +251,7 @@ fn execute_with_memo(
     master_seed: u64,
     memo: &TraceMemo,
 ) -> SweepResult {
+    let started = std::time::Instant::now();
     let cell_seed = derive_labeled_seed(master_seed, "cell", scenario.id);
     let queue = scenario.queue.resolve(scenario.workload);
 
@@ -238,6 +274,7 @@ fn execute_with_memo(
                 samples: hist.total(),
                 rows: hist.rows().filter(|&(_, _, pct)| pct > 0.0).collect(),
             }),
+            wall_ms: started.elapsed().as_secs_f64() * 1e3,
         };
     }
 
@@ -273,6 +310,7 @@ fn execute_with_memo(
         flows: outcome.flows,
         series: outcome.series,
         interarrival: None,
+        wall_ms: started.elapsed().as_secs_f64() * 1e3,
     }
 }
 
@@ -448,7 +486,7 @@ pub fn run_cell(
 
 // ------------------------------------------------------------------ JSON
 
-fn json_f64(out: &mut String, v: f64) {
+pub(crate) fn json_f64(out: &mut String, v: f64) {
     if v.is_finite() {
         // Rust's shortest-roundtrip Display is deterministic, giving
         // bit-identical files for identical results.
@@ -458,7 +496,7 @@ fn json_f64(out: &mut String, v: f64) {
     }
 }
 
-fn json_str(out: &mut String, s: &str) {
+pub(crate) fn json_str(out: &mut String, s: &str) {
     out.push('"');
     for c in s.chars() {
         match c {

@@ -1,0 +1,538 @@
+//! Content-addressed on-disk artifact cache.
+//!
+//! Sprout's expensive precomputations — the forecast CDF tables (seconds
+//! of dynamic programming at paper scale) and synthesized link traces
+//! (minutes of virtual time at 1 ms steps) — are pure functions of their
+//! input configuration. This crate gives them a shared persistence layer
+//! so a second `reproduce` run skips the work entirely:
+//!
+//! * **Content addressing.** An artifact is stored under a file name
+//!   derived from a 64-bit hash of its *full* key bytes (the serialized
+//!   input configuration). The complete key is also stored inside the
+//!   file and compared byte-for-byte on load, so a hash collision can
+//!   never serve the wrong artifact.
+//! * **Integrity.** Every file carries a magic tag, the artifact kind's
+//!   schema version, and an FNV-1a checksum over key and payload.
+//!   Corrupt, truncated, or version-mismatched files are treated as
+//!   misses; the caller rebuilds and the fresh store overwrites them.
+//! * **Atomicity.** Stores write to a unique temp file and `rename` into
+//!   place, so concurrent builders (threads or whole processes) racing
+//!   on the same key are harmless — last writer wins with identical
+//!   bytes, and readers never observe a partial file.
+//! * **Configuration.** The cache root resolves, in order: programmatic
+//!   override ([`set_dir`] / [`disable`]), the `SPROUT_CACHE_DIR`
+//!   environment variable (empty, `0`, or `off` disables), then
+//!   `./.sprout-cache` under the working directory (kept inside the
+//!   checkout so CI can cache it and `git clean` can wipe it).
+//!
+//! Cached artifacts are byte-exact re-encodings of what the builder
+//! produced (f32 bit patterns, integer timestamps), so results are
+//! bit-identical whether the cache is cold, warm, or disabled.
+
+#![warn(missing_docs)]
+
+use std::io::{Read, Write};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Magic tag opening every cache file.
+const MAGIC: &[u8; 8] = b"SPROUTAC";
+
+/// Header length: magic(8) + version(4) + key_len(4) + payload_len(8) +
+/// checksum(8).
+const HEADER_LEN: usize = 32;
+
+/// FNV-1a 64-bit over one byte stream, continuing from `state`.
+fn fnv1a(mut state: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        state ^= b as u64;
+        state = state.wrapping_mul(0x100_0000_01b3);
+    }
+    state
+}
+
+/// FNV-1a offset basis.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// How the cache root was overridden (None = no override in effect).
+static OVERRIDE: Mutex<Option<RootOverride>> = Mutex::new(None);
+
+#[derive(Clone, Debug)]
+enum RootOverride {
+    Disabled,
+    Dir(PathBuf),
+}
+
+/// Point the cache at an explicit directory (the `--cache-dir` flag).
+/// Takes precedence over `SPROUT_CACHE_DIR` and the defaults.
+pub fn set_dir(dir: impl Into<PathBuf>) {
+    *OVERRIDE.lock().unwrap() = Some(RootOverride::Dir(dir.into()));
+}
+
+/// Disable the cache entirely (the `--no-cache` flag): loads miss without
+/// touching the filesystem and stores are dropped.
+pub fn disable() {
+    *OVERRIDE.lock().unwrap() = Some(RootOverride::Disabled);
+}
+
+/// Clear any programmatic override, returning to environment/default
+/// resolution (used by tests).
+pub fn reset_override() {
+    *OVERRIDE.lock().unwrap() = None;
+}
+
+/// The directory artifacts are stored in, or `None` when the cache is
+/// disabled. Resolved fresh on every call so overrides apply immediately.
+pub fn resolved_dir() -> Option<PathBuf> {
+    if let Some(over) = OVERRIDE.lock().unwrap().clone() {
+        return match over {
+            RootOverride::Disabled => None,
+            RootOverride::Dir(d) => Some(d),
+        };
+    }
+    match std::env::var("SPROUT_CACHE_DIR") {
+        Ok(v) if v.is_empty() || v == "0" || v.eq_ignore_ascii_case("off") => None,
+        Ok(v) => Some(PathBuf::from(v)),
+        Err(_) => Some(PathBuf::from(".sprout-cache")),
+    }
+}
+
+/// Monotonically increasing counters of one artifact kind's cache
+/// traffic. Loads and stores attempted while the cache is disabled are
+/// not counted (the kind is bypassed, not missing).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheCounters {
+    /// Loads served from disk.
+    pub hits: u64,
+    /// Loads that found nothing usable (absent, corrupt, wrong version,
+    /// key mismatch).
+    pub misses: u64,
+    /// Artifacts written to disk.
+    pub stores: u64,
+}
+
+impl CacheCounters {
+    /// Component-wise difference against an earlier snapshot.
+    pub fn since(self, earlier: CacheCounters) -> CacheCounters {
+        CacheCounters {
+            hits: self.hits - earlier.hits,
+            misses: self.misses - earlier.misses,
+            stores: self.stores - earlier.stores,
+        }
+    }
+}
+
+/// One kind of cached artifact (forecast tables, synthesized traces, …),
+/// carrying its own schema version and traffic counters. Declare as a
+/// `static`:
+///
+/// ```
+/// use sprout_cache::ArtifactKind;
+/// static TABLES: ArtifactKind = ArtifactKind::new("forecast-table", 1);
+/// ```
+///
+/// Bump the version whenever the payload encoding *or* the semantics of
+/// the builder change; old files then read as misses and are rebuilt.
+#[derive(Debug)]
+pub struct ArtifactKind {
+    name: &'static str,
+    version: u32,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    stores: AtomicU64,
+}
+
+impl ArtifactKind {
+    /// Declare an artifact kind. `name` must be filesystem-safe
+    /// (lowercase words and dashes).
+    pub const fn new(name: &'static str, version: u32) -> Self {
+        ArtifactKind {
+            name,
+            version,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            stores: AtomicU64::new(0),
+        }
+    }
+
+    /// The kind's name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Current traffic counters.
+    pub fn counters(&self) -> CacheCounters {
+        CacheCounters {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            stores: self.stores.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Reset the counters to zero (tests, bench runs).
+    pub fn reset_counters(&self) {
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+        self.stores.store(0, Ordering::Relaxed);
+    }
+
+    /// File path an artifact with `key` lives at, under `dir`.
+    fn path_for(&self, dir: &std::path::Path, key: &[u8]) -> PathBuf {
+        let hash = fnv1a(fnv1a(FNV_OFFSET, self.name.as_bytes()), key);
+        dir.join(format!("{}-v{}-{hash:016x}.bin", self.name, self.version))
+    }
+
+    /// Load the artifact stored under `key`. Returns the payload only if
+    /// the file exists, parses, matches this kind's version, stores the
+    /// identical key, and passes its checksum. `None` when the cache is
+    /// disabled (uncounted) or on any miss (counted).
+    pub fn load(&self, key: &[u8]) -> Option<Vec<u8>> {
+        let dir = resolved_dir()?;
+        match self.try_load(&dir, key) {
+            Some(payload) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(payload)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    fn try_load(&self, dir: &std::path::Path, key: &[u8]) -> Option<Vec<u8>> {
+        let mut file = std::fs::File::open(self.path_for(dir, key)).ok()?;
+        let mut header = [0u8; HEADER_LEN];
+        file.read_exact(&mut header).ok()?;
+        if &header[0..8] != MAGIC {
+            return None;
+        }
+        let version = u32::from_le_bytes(header[8..12].try_into().unwrap());
+        if version != self.version {
+            return None;
+        }
+        let key_len = u32::from_le_bytes(header[12..16].try_into().unwrap()) as usize;
+        let payload_len = u64::from_le_bytes(header[16..24].try_into().unwrap()) as usize;
+        let checksum = u64::from_le_bytes(header[24..32].try_into().unwrap());
+        if key_len != key.len() {
+            return None;
+        }
+        let mut body = Vec::new();
+        file.read_to_end(&mut body).ok()?;
+        if body.len() != key_len + payload_len {
+            return None;
+        }
+        let (stored_key, payload) = body.split_at(key_len);
+        if stored_key != key {
+            return None;
+        }
+        if fnv1a(fnv1a(FNV_OFFSET, key), payload) != checksum {
+            return None;
+        }
+        Some(payload.to_vec())
+    }
+
+    /// Store `payload` under `key`, atomically (temp file + rename).
+    /// Best-effort: IO failures and a disabled cache return `false`
+    /// without error — the artifact simply is not persisted.
+    pub fn store(&self, key: &[u8], payload: &[u8]) -> bool {
+        let Some(dir) = resolved_dir() else {
+            return false;
+        };
+        if std::fs::create_dir_all(&dir).is_err() {
+            return false;
+        }
+        let final_path = self.path_for(&dir, key);
+        // Unique temp name per storer: pid + a process-wide counter.
+        static TEMP_SEQ: AtomicU64 = AtomicU64::new(0);
+        let temp_path = dir.join(format!(
+            ".tmp-{}-{}-{}",
+            std::process::id(),
+            TEMP_SEQ.fetch_add(1, Ordering::Relaxed),
+            final_path.file_name().unwrap().to_string_lossy()
+        ));
+        let checksum = fnv1a(fnv1a(FNV_OFFSET, key), payload);
+        let write = (|| -> std::io::Result<()> {
+            let mut f = std::fs::File::create(&temp_path)?;
+            f.write_all(MAGIC)?;
+            f.write_all(&self.version.to_le_bytes())?;
+            f.write_all(&(key.len() as u32).to_le_bytes())?;
+            f.write_all(&(payload.len() as u64).to_le_bytes())?;
+            f.write_all(&checksum.to_le_bytes())?;
+            f.write_all(key)?;
+            f.write_all(payload)?;
+            f.sync_all().ok(); // best-effort durability
+            Ok(())
+        })();
+        if write.is_err() {
+            let _ = std::fs::remove_file(&temp_path);
+            return false;
+        }
+        match std::fs::rename(&temp_path, &final_path) {
+            Ok(()) => {
+                self.stores.fetch_add(1, Ordering::Relaxed);
+                true
+            }
+            Err(_) => {
+                let _ = std::fs::remove_file(&temp_path);
+                false
+            }
+        }
+    }
+}
+
+/// A little-endian byte encoder for building cache keys and payloads
+/// with explicit, stable layouts.
+#[derive(Debug, Default)]
+pub struct ByteWriter {
+    buf: Vec<u8>,
+}
+
+impl ByteWriter {
+    /// Empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Writer with preallocated capacity.
+    pub fn with_capacity(n: usize) -> Self {
+        ByteWriter {
+            buf: Vec::with_capacity(n),
+        }
+    }
+
+    /// Append a `u32`.
+    pub fn u32(&mut self, v: u32) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Append a `u64`.
+    pub fn u64(&mut self, v: u64) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Append an `f32`'s raw bits.
+    pub fn f32(&mut self, v: f32) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_bits().to_le_bytes());
+        self
+    }
+
+    /// Append a length-prefixed string.
+    pub fn str(&mut self, s: &str) -> &mut Self {
+        self.u32(s.len() as u32);
+        self.buf.extend_from_slice(s.as_bytes());
+        self
+    }
+
+    /// The accumulated bytes.
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// A little-endian reader mirroring [`ByteWriter`]; every method returns
+/// `None` on underrun so decoders degrade into cache misses.
+#[derive(Debug)]
+pub struct ByteReader<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> ByteReader<'a> {
+    /// Read from `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        ByteReader { buf }
+    }
+
+    /// Remaining unread bytes.
+    pub fn remaining(&self) -> usize {
+        self.buf.len()
+    }
+
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        if self.buf.len() < n {
+            return None;
+        }
+        let (head, tail) = self.buf.split_at(n);
+        self.buf = tail;
+        Some(head)
+    }
+
+    /// Read a `u32`.
+    pub fn u32(&mut self) -> Option<u32> {
+        Some(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Read a `u64`.
+    pub fn u64(&mut self) -> Option<u64> {
+        Some(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Read an `f32` from raw bits.
+    pub fn f32(&mut self) -> Option<f32> {
+        Some(f32::from_bits(self.u32()?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU32;
+
+    /// Serialize tests that mutate the process-global override.
+    static LOCK: Mutex<()> = Mutex::new(());
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        static N: AtomicU32 = AtomicU32::new(0);
+        let d = std::env::temp_dir().join(format!(
+            "sprout-cache-test-{}-{}-{tag}",
+            std::process::id(),
+            N.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn round_trip_and_counters() {
+        let _g = LOCK.lock().unwrap();
+        set_dir(temp_dir("roundtrip"));
+        static KIND: ArtifactKind = ArtifactKind::new("test-roundtrip", 1);
+        KIND.reset_counters();
+        assert_eq!(KIND.load(b"key"), None);
+        assert!(KIND.store(b"key", b"payload bytes"));
+        assert_eq!(KIND.load(b"key").as_deref(), Some(&b"payload bytes"[..]));
+        assert_eq!(KIND.load(b"other"), None);
+        let c = KIND.counters();
+        assert_eq!((c.hits, c.misses, c.stores), (1, 2, 1));
+        reset_override();
+    }
+
+    #[test]
+    fn disabled_cache_bypasses_without_counting() {
+        let _g = LOCK.lock().unwrap();
+        disable();
+        static KIND: ArtifactKind = ArtifactKind::new("test-disabled", 1);
+        KIND.reset_counters();
+        assert!(!KIND.store(b"k", b"v"));
+        assert_eq!(KIND.load(b"k"), None);
+        assert_eq!(KIND.counters(), CacheCounters::default());
+        reset_override();
+    }
+
+    #[test]
+    fn corrupt_file_is_a_miss() {
+        let _g = LOCK.lock().unwrap();
+        let dir = temp_dir("corrupt");
+        set_dir(&dir);
+        static KIND: ArtifactKind = ArtifactKind::new("test-corrupt", 1);
+        assert!(KIND.store(b"k", b"good payload"));
+        // Flip a payload byte on disk.
+        let path = KIND.path_for(&dir, b"k");
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xff;
+        std::fs::write(&path, bytes).unwrap();
+        assert_eq!(KIND.load(b"k"), None, "corrupt file must read as a miss");
+        // A fresh store overwrites and heals it.
+        assert!(KIND.store(b"k", b"good payload"));
+        assert_eq!(KIND.load(b"k").as_deref(), Some(&b"good payload"[..]));
+        reset_override();
+    }
+
+    #[test]
+    fn version_bump_invalidates() {
+        let _g = LOCK.lock().unwrap();
+        let dir = temp_dir("version");
+        set_dir(&dir);
+        static V1: ArtifactKind = ArtifactKind::new("test-version", 1);
+        static V2: ArtifactKind = ArtifactKind::new("test-version", 2);
+        assert!(V1.store(b"k", b"v1 payload"));
+        // Same kind name at version 2 hashes to a different file; even if
+        // a v1 file is copied onto the v2 path, the header version check
+        // rejects it.
+        assert_eq!(V2.load(b"k"), None);
+        let v1_path = V1.path_for(&dir, b"k");
+        let v2_path = V2.path_for(&dir, b"k");
+        std::fs::copy(&v1_path, &v2_path).unwrap();
+        assert_eq!(V2.load(b"k"), None, "stale version must not load");
+        reset_override();
+    }
+
+    #[test]
+    fn truncated_file_is_a_miss() {
+        let _g = LOCK.lock().unwrap();
+        let dir = temp_dir("truncated");
+        set_dir(&dir);
+        static KIND: ArtifactKind = ArtifactKind::new("test-truncated", 1);
+        assert!(KIND.store(b"k", b"0123456789"));
+        let path = KIND.path_for(&dir, b"k");
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 3]).unwrap();
+        assert_eq!(KIND.load(b"k"), None);
+        reset_override();
+    }
+
+    #[test]
+    fn env_and_override_resolution() {
+        let _g = LOCK.lock().unwrap();
+        reset_override();
+        // Whatever the environment says, an explicit override wins.
+        set_dir("/tmp/explicit-cache-dir");
+        assert_eq!(
+            resolved_dir(),
+            Some(PathBuf::from("/tmp/explicit-cache-dir"))
+        );
+        disable();
+        assert_eq!(resolved_dir(), None);
+        reset_override();
+        // With no override, resolution follows the environment: a
+        // disabling SPROUT_CACHE_DIR (empty/0/off) yields None, anything
+        // else (including unset → ./.sprout-cache) yields a directory.
+        let env_disabled = matches!(
+            std::env::var("SPROUT_CACHE_DIR").as_deref(),
+            Ok("") | Ok("0") | Ok("off") | Ok("OFF") | Ok("Off")
+        );
+        assert_eq!(resolved_dir().is_none(), env_disabled);
+    }
+
+    #[test]
+    fn byte_writer_reader_round_trip() {
+        let mut w = ByteWriter::new();
+        w.u32(7).u64(1 << 40).f32(1.5).str("hello");
+        let bytes = w.finish();
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(r.u32(), Some(7));
+        assert_eq!(r.u64(), Some(1 << 40));
+        assert_eq!(r.f32(), Some(1.5));
+        assert_eq!(r.u32(), Some(5));
+        assert_eq!(r.remaining(), 5);
+        assert_eq!(r.u64(), None, "underrun returns None");
+    }
+
+    #[test]
+    fn concurrent_stores_of_same_key_are_safe() {
+        let _g = LOCK.lock().unwrap();
+        set_dir(temp_dir("concurrent"));
+        static KIND: ArtifactKind = ArtifactKind::new("test-concurrent", 1);
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    for _ in 0..20 {
+                        assert!(KIND.store(b"shared", b"identical payload"));
+                        if let Some(p) = KIND.load(b"shared") {
+                            assert_eq!(p, b"identical payload");
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(
+            KIND.load(b"shared").as_deref(),
+            Some(&b"identical payload"[..])
+        );
+        reset_override();
+    }
+}

@@ -266,13 +266,15 @@ impl Endpoint for SproutEndpoint {
         }
     }
 
-    fn poll(&mut self, now: Timestamp) -> Vec<Packet> {
+    fn poll_into(&mut self, now: Timestamp, out: &mut Vec<Packet>) {
         if self.receiver.process_ticks(now) > 0 {
             self.need_feedback = true;
         }
         self.sender.advance(now);
 
-        let mut out = Vec::new();
+        // `out` may carry other endpoints' packets; everything from
+        // `start` on is this flight.
+        let start = out.len();
         // One feedback block per poll, shared by every packet in the
         // flight (the receiver keeps only the freshest tick anyway).
         let feedback = self.receiver.make_feedback();
@@ -319,7 +321,7 @@ impl Endpoint for SproutEndpoint {
         // Control packets bypass the window (they are ~60 bytes and carry
         // the feedback that un-sticks the whole session), but they do
         // count against the sequence space and queue estimate.
-        if out.is_empty() && (self.need_feedback || self.sender.heartbeat_due(now)) {
+        if out.len() == start && (self.need_feedback || self.sender.heartbeat_due(now)) {
             let heartbeat = self.sender.heartbeat_due(now);
             let pkt = self.build_packet(
                 PacketBody::Padding(0),
@@ -331,7 +333,7 @@ impl Endpoint for SproutEndpoint {
             self.stats.control_packets_sent += 1;
             out.push(pkt);
         }
-        if !out.is_empty() {
+        if out.len() > start {
             self.need_feedback = false;
             // The final packet of every flight announces when we will
             // speak next (§3.2: "for a flight of several packets, the
@@ -343,7 +345,6 @@ impl Endpoint for SproutEndpoint {
                 patch_time_to_next(last, ttn);
             }
         }
-        out
     }
 
     fn next_wakeup(&self) -> Option<Timestamp> {

@@ -34,8 +34,26 @@
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex, OnceLock};
 
+use sprout_cache::{ArtifactKind, ByteReader, ByteWriter, CacheCounters};
+
 use crate::config::{SproutConfig, TableKey};
-use crate::model::TransitionKernel;
+use crate::model::{ScatterMatrix, TransitionKernel};
+
+/// On-disk persistence of built tables. Version covers both the byte
+/// layout of [`ForecastTables::to_bytes`] and the DP semantics — bump it
+/// whenever either changes, or stale files would silently load.
+static TABLE_ARTIFACT: ArtifactKind = ArtifactKind::new("forecast-table", 1);
+
+/// Disk-cache traffic counters for forecast tables (hits mean a
+/// `ForecastTables::get` skipped the DP entirely).
+pub fn table_cache_counters() -> CacheCounters {
+    TABLE_ARTIFACT.counters()
+}
+
+/// Reset the forecast-table cache counters (bench/test harnesses).
+pub fn reset_table_cache_counters() {
+    TABLE_ARTIFACT.reset_counters()
+}
 
 /// Resolution of the cumulative-volume axis: quarter-MTU units. Finer
 /// than whole packets so slow links (1–2 packets per tick) don't lose
@@ -46,7 +64,7 @@ pub const UNITS_PER_MTU: u64 = 4;
 /// quarter-MTU [`UNITS_PER_MTU`] units) predicted at the configured
 /// percentile to be delivered within the first `t+1` ticks from the
 /// forecast's reference time.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct Forecast {
     /// Cumulative volume in quarter-MTU units, one entry per horizon
     /// tick; non-decreasing.
@@ -90,10 +108,69 @@ impl ForecastTables {
         let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
         let key = cfg.table_key();
         let slot = Arc::clone(cache.lock().unwrap().entry(key).or_default());
-        Arc::clone(slot.get_or_init(|| {
-            let kernel = TransitionKernel::new(cfg);
-            Arc::new(ForecastTables::build(cfg, &kernel))
-        }))
+        Arc::clone(slot.get_or_init(|| Arc::new(ForecastTables::load_or_build(cfg))))
+    }
+
+    /// Fetch the tables for `cfg` from the on-disk artifact cache, or
+    /// build them (persisting the result for the next process). Bypasses
+    /// the in-memory layer — [`ForecastTables::get`] is the usual entry
+    /// point; this one exists for cache tooling and tests.
+    pub fn load_or_build(cfg: &SproutConfig) -> ForecastTables {
+        cfg.validate();
+        let key = cfg.table_key().cache_key_bytes();
+        if let Some(bytes) = TABLE_ARTIFACT.load(&key) {
+            if let Some(t) = ForecastTables::from_bytes(&bytes) {
+                // The decoded dims are part of the key, but stay defensive:
+                // a mismatch means a corrupt entry that beat the checksum.
+                if t.num_bins == cfg.num_bins
+                    && t.horizon == cfg.horizon_ticks
+                    && t.count_max == cfg.count_max
+                {
+                    return t;
+                }
+            }
+        }
+        let kernel = TransitionKernel::new(cfg);
+        let tables = ForecastTables::build(cfg, &kernel);
+        TABLE_ARTIFACT.store(&key, &tables.to_bytes());
+        tables
+    }
+
+    /// Serialize to the on-disk payload: three dimensions then the raw
+    /// f32 bit patterns of the CDF strip. Bit-exact round trip, so cached
+    /// and freshly built tables produce identical forecasts.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = ByteWriter::with_capacity(24 + 4 * self.cdf.len());
+        w.u64(self.num_bins as u64)
+            .u64(self.horizon as u64)
+            .u64(self.count_max as u64);
+        for &v in &self.cdf {
+            w.f32(v);
+        }
+        w.finish()
+    }
+
+    /// Decode a [`ForecastTables::to_bytes`] payload; `None` on any
+    /// dimension/length mismatch (treated as a cache miss upstream).
+    pub fn from_bytes(bytes: &[u8]) -> Option<ForecastTables> {
+        let mut r = ByteReader::new(bytes);
+        let num_bins = r.u64()? as usize;
+        let horizon = r.u64()? as usize;
+        let count_max = r.u64()? as usize;
+        let cells = num_bins.checked_mul(horizon)?.checked_mul(count_max)?;
+        if r.remaining() != 4 * cells {
+            return None;
+        }
+        let mut cdf = Vec::with_capacity(cells);
+        for _ in 0..cells {
+            cdf.push(r.f32()?);
+        }
+        Some(ForecastTables {
+            num_bins,
+            horizon,
+            count_max,
+            cdf,
+        })
     }
 
     /// Build the tables by per-start-bin dynamic programming.
@@ -117,8 +194,8 @@ impl ForecastTables {
             })
             .collect();
 
-        // Explicit transition rows (destination, weight), computed once.
-        let scatter_rows: Vec<Vec<(usize, f64)>> = (0..n).map(|j| kernel.scatter_row(j)).collect();
+        // The CSR transition matrix, shared read-only by every worker.
+        let scatter = kernel.scatter();
 
         // The DP over start bins is embarrassingly parallel; chunk it over
         // the available cores with scoped threads (no extra dependencies).
@@ -139,25 +216,14 @@ impl ForecastTables {
                 let start0 = base;
                 base += take;
                 let shifts = &shifts;
-                let scatter_rows = &scatter_rows;
                 handles.push(scope.spawn(move || {
-                    let hw = kernel_half_width(scatter_rows);
                     let mut joint = vec![0.0f64; n * cm];
                     let mut next = vec![0.0f64; n * cm];
                     let mut conv = vec![0.0f64; cm];
                     for (off, slot) in head.iter_mut().enumerate() {
                         let start = start0 + off;
                         *slot = build_one_start(
-                            start,
-                            n,
-                            horizon,
-                            cm,
-                            hw,
-                            shifts,
-                            scatter_rows,
-                            &mut joint,
-                            &mut next,
-                            &mut conv,
+                            start, horizon, cm, shifts, scatter, &mut joint, &mut next, &mut conv,
                         );
                     }
                 }));
@@ -205,53 +271,127 @@ impl ForecastTables {
     }
 
     /// Compute the cautious forecast for `posterior` at `percentile`
-    /// (e.g. 5.0 for the paper's 95%-confidence forecast).
+    /// (e.g. 5.0 for the paper's 95%-confidence forecast). Allocating
+    /// convenience wrapper over [`ForecastTables::forecast_into`].
     pub fn forecast(&self, posterior: &[f64], percentile: f64) -> Forecast {
+        let mut scratch = ForecastScratch::default();
+        self.forecast_into(posterior, percentile, &mut scratch)
+            .clone()
+    }
+
+    /// The allocation-free forecast hot path: every per-tick working set
+    /// lives in `scratch`, which the caller keeps between ticks.
+    ///
+    /// Two structural properties make this fast:
+    ///
+    /// * **Live-bin masking.** Converged posteriors concentrate their
+    ///   mass in a narrow band of rate bins; the rest sit at or near the
+    ///   likelihood floor. Bins holding ≤ [`MASS_EPSILON`] are dropped
+    ///   once up front — their combined contribution to any mixture CDF
+    ///   value is below `num_bins × MASS_EPSILON ≈ 3e-10`, orders of
+    ///   magnitude under any percentile of interest — so every probe of
+    ///   the search sums only the live bins.
+    /// * **Warm-started galloping search.** `C_t` is non-decreasing in
+    ///   `t`, so `P(C_{t+1} ≤ c) ≤ P(C_t ≤ c)` holds per start bin and
+    ///   therefore for (masked) mixtures; the percentile index can only
+    ///   grow from one tick to the next. Each tick's search starts at the
+    ///   previous tick's answer and gallops (1, 2, 4, …) to bracket the
+    ///   new index before binary-searching the bracket — a handful of
+    ///   probes instead of `log2(count_max)` from scratch, since the
+    ///   index advances by at most one tick's volume.
+    pub fn forecast_into<'a>(
+        &self,
+        posterior: &[f64],
+        percentile: f64,
+        scratch: &'a mut ForecastScratch,
+    ) -> &'a Forecast {
         assert!(percentile > 0.0 && percentile < 100.0);
+        assert_eq!(posterior.len(), self.num_bins);
         let want = percentile / 100.0;
-        let mut cumulative = Vec::with_capacity(self.horizon);
+
+        scratch.live_idx.clear();
+        scratch.live_w.clear();
+        for (i, &p) in posterior.iter().enumerate() {
+            if p > MASS_EPSILON {
+                scratch.live_idx.push(i as u32);
+                scratch.live_w.push(p);
+            }
+        }
+
+        let cum = &mut scratch.out.cumulative_units;
+        cum.clear();
+        cum.reserve(self.horizon);
+        let mut prev = 0usize;
         for t in 0..self.horizon {
-            // Smallest c with mixture CDF ≥ want: the link delivers at
-            // least c units with probability ≥ 1 − want.
-            let mut lo = 0usize;
-            let mut hi = self.count_max - 1;
-            while lo < hi {
-                let mid = lo + (hi - lo) / 2;
-                if self.mixture_cdf(posterior, t, mid) >= want {
-                    hi = mid;
-                } else {
-                    lo = mid + 1;
-                }
+            let c = self.percentile_index(t, want, prev, &scratch.live_idx, &scratch.live_w);
+            cum.push(c as u32);
+            prev = c;
+        }
+        &scratch.out
+    }
+
+    /// Mixture CDF over the pre-masked live bins only.
+    fn live_mixture_cdf(&self, tick: usize, count: usize, idx: &[u32], w: &[f64]) -> f64 {
+        let row = &self.cdf[(tick * self.count_max + count) * self.num_bins..][..self.num_bins];
+        idx.iter()
+            .zip(w.iter())
+            .map(|(&i, &p)| p * row[i as usize] as f64)
+            .sum()
+    }
+
+    /// Smallest `c ≥ start` with masked mixture CDF ≥ `want` at `tick`
+    /// (clamped to the count axis). `start` must be a valid warm start,
+    /// i.e. a lower bound on the answer.
+    fn percentile_index(
+        &self,
+        tick: usize,
+        want: f64,
+        start: usize,
+        idx: &[u32],
+        w: &[f64],
+    ) -> usize {
+        let last = self.count_max - 1;
+        if self.live_mixture_cdf(tick, start, idx, w) >= want {
+            return start;
+        }
+        // Gallop: invariant cdf(lo) < want; stop when a probe reaches
+        // `want` (or the axis end, which the table clamps to ≈ 1).
+        let mut lo = start;
+        let mut step = 1usize;
+        let hi = loop {
+            let cand = (lo + step).min(last);
+            if cand == last || self.live_mixture_cdf(tick, cand, idx, w) >= want {
+                break cand;
             }
-            cumulative.push(lo as u32);
-        }
-        // Cumulative volume is non-decreasing by construction of C_t, but
-        // guard against f32 rounding at the percentile boundary.
-        for t in 1..cumulative.len() {
-            if cumulative[t] < cumulative[t - 1] {
-                cumulative[t] = cumulative[t - 1];
+            lo = cand;
+            step *= 2;
+        };
+        // Binary search in (lo, hi]: smallest c with cdf ≥ want.
+        let (mut lo, mut hi) = (lo, hi);
+        while hi - lo > 1 {
+            let mid = lo + (hi - lo) / 2;
+            if self.live_mixture_cdf(tick, mid, idx, w) >= want {
+                hi = mid;
+            } else {
+                lo = mid;
             }
         }
-        Forecast {
-            cumulative_units: cumulative,
-        }
+        hi
     }
 }
 
-/// Largest offset any transition row reaches (the Brownian half-width).
-fn kernel_half_width(scatter_rows: &[Vec<(usize, f64)>]) -> usize {
-    scatter_rows
-        .iter()
-        .enumerate()
-        .map(|(j, row)| {
-            row.iter()
-                .map(|&(dst, _)| dst.abs_diff(j))
-                .max()
-                .unwrap_or(0)
-        })
-        .max()
-        .unwrap_or(1)
-        .max(1)
+/// Posterior mass below which a bin is dropped from the forecast's
+/// mixture sums. With 256 bins the total dropped mass is ≤ 2.6e-10 —
+/// invisible next to the coarsest percentile the protocol uses.
+pub const MASS_EPSILON: f64 = 1e-12;
+
+/// Reusable working memory for [`ForecastTables::forecast_into`]: the
+/// live-bin mask and the output forecast, kept allocated between ticks.
+#[derive(Debug, Default)]
+pub struct ForecastScratch {
+    live_idx: Vec<u32>,
+    live_w: Vec<f64>,
+    out: Forecast,
 }
 
 /// The DP for a single starting bin: returns the conditional CDF strip
@@ -259,16 +399,16 @@ fn kernel_half_width(scatter_rows: &[Vec<(usize, f64)>]) -> usize {
 #[allow(clippy::too_many_arguments)]
 fn build_one_start(
     start: usize,
-    n: usize,
     horizon: usize,
     cm: usize,
-    hw: usize,
     shifts: &[(usize, f64)],
-    scatter_rows: &[Vec<(usize, f64)>],
+    scatter: &ScatterMatrix,
     joint: &mut Vec<f64>,
     next: &mut Vec<f64>,
     conv: &mut [f64],
 ) -> Vec<f32> {
+    let n = scatter.num_bins();
+    let hw = scatter.max_reach();
     joint.fill(0.0);
     next.fill(0.0);
     joint[start * cm] = 1.0;
@@ -289,7 +429,7 @@ fn build_one_start(
         for v in next[jl * cm..(jh + 1) * cm].iter_mut() {
             *v = 0.0;
         }
-        evolve_rows(scatter_rows, joint, next, jl, jh, c_hi, cm);
+        evolve_rows(scatter, joint, next, jl, jh, c_hi, cm);
         std::mem::swap(joint, next);
 
         // --- advance the volume axis per bin (quarter-MTU units) ---
@@ -333,11 +473,11 @@ fn build_one_start(
     strip
 }
 
-/// Apply the precomputed transition rows to bins `[j_lo, j_hi]` of the
-/// joint distribution, writing into `next`. Only counts `0..=c_hi` carry
+/// Apply the CSR transition rows to bins `[j_lo, j_hi]` of the joint
+/// distribution, writing into `next`. Only counts `0..=c_hi` carry
 /// mass; the count axis stays contiguous so the inner loop vectorizes.
 fn evolve_rows(
-    scatter_rows: &[Vec<(usize, f64)>],
+    scatter: &ScatterMatrix,
     joint: &[f64],
     next: &mut [f64],
     j_lo: usize,
@@ -350,7 +490,9 @@ fn evolve_rows(
         if src.iter().all(|&p| p == 0.0) {
             continue;
         }
-        for &(dst_bin, w) in &scatter_rows[j] {
+        let (dests, weights) = scatter.row(j);
+        for (&dst_bin, &w) in dests.iter().zip(weights.iter()) {
+            let dst_bin = dst_bin as usize;
             let dst = &mut next[dst_bin * cm..dst_bin * cm + c_hi + 1];
             for (d, &s) in dst.iter_mut().zip(src.iter()) {
                 *d += w * s;

@@ -6,7 +6,7 @@
 use std::sync::Arc;
 
 use crate::config::SproutConfig;
-use crate::forecast::ForecastTables;
+use crate::forecast::{ForecastScratch, ForecastTables};
 use crate::model::RateModel;
 
 /// What the receiver saw during one tick: `bytes` of data arrived while
@@ -31,9 +31,21 @@ pub trait Forecaster: Send {
     /// Advance one tick, optionally incorporating an observation.
     fn tick(&mut self, observation: Option<TickObservation>);
 
-    /// Cumulative bytes the link is predicted to deliver within the first
-    /// `t+1` ticks from now, for `t` in `0..horizon`. Non-decreasing.
-    fn forecast_cumulative_bytes(&self) -> Vec<u64>;
+    /// Fill `out` (cleared first) with the cumulative bytes the link is
+    /// predicted to deliver within the first `t+1` ticks from now, for
+    /// `t` in `0..horizon`. Non-decreasing. Takes `&mut self` so
+    /// implementations can reuse internal scratch buffers — this runs in
+    /// the receiver's per-poll hot path.
+    fn forecast_cumulative_bytes_into(&mut self, out: &mut Vec<u64>);
+
+    /// Allocating convenience form of
+    /// [`Forecaster::forecast_cumulative_bytes_into`] (tests,
+    /// diagnostics).
+    fn forecast_cumulative_bytes(&mut self) -> Vec<u64> {
+        let mut out = Vec::new();
+        self.forecast_cumulative_bytes_into(&mut out);
+        out
+    }
 
     /// Number of ticks covered by the forecast.
     fn horizon(&self) -> usize;
@@ -48,6 +60,7 @@ pub struct BayesianForecaster {
     cfg: SproutConfig,
     model: RateModel,
     tables: Arc<ForecastTables>,
+    scratch: ForecastScratch,
 }
 
 impl BayesianForecaster {
@@ -56,7 +69,12 @@ impl BayesianForecaster {
         cfg.validate();
         let tables = ForecastTables::get(&cfg);
         let model = RateModel::new(cfg.clone());
-        BayesianForecaster { cfg, model, tables }
+        BayesianForecaster {
+            cfg,
+            model,
+            tables,
+            scratch: ForecastScratch::default(),
+        }
     }
 
     /// The underlying posterior (diagnostics and tests).
@@ -74,13 +92,14 @@ impl Forecaster for BayesianForecaster {
         }
     }
 
-    fn forecast_cumulative_bytes(&self) -> Vec<u64> {
-        let f = self
-            .tables
-            .forecast(self.model.distribution(), self.cfg.forecast_percentile);
-        (0..f.horizon())
-            .map(|t| f.cumulative_bytes(t, self.cfg.mtu_bytes))
-            .collect()
+    fn forecast_cumulative_bytes_into(&mut self, out: &mut Vec<u64>) {
+        let f = self.tables.forecast_into(
+            self.model.distribution(),
+            self.cfg.forecast_percentile,
+            &mut self.scratch,
+        );
+        out.clear();
+        out.extend((0..f.horizon()).map(|t| f.cumulative_bytes(t, self.cfg.mtu_bytes)));
     }
 
     fn horizon(&self) -> usize {
@@ -182,10 +201,9 @@ impl Forecaster for EwmaForecaster {
         }
     }
 
-    fn forecast_cumulative_bytes(&self) -> Vec<u64> {
-        (1..=self.cfg.horizon_ticks)
-            .map(|k| (self.bytes_per_tick * k as f64) as u64)
-            .collect()
+    fn forecast_cumulative_bytes_into(&mut self, out: &mut Vec<u64>) {
+        out.clear();
+        out.extend((1..=self.cfg.horizon_ticks).map(|k| (self.bytes_per_tick * k as f64) as u64));
     }
 
     fn horizon(&self) -> usize {

@@ -51,9 +51,11 @@ pub mod wire;
 
 pub use config::SproutConfig;
 pub use endpoint::{EndpointStats, SproutEndpoint};
-pub use forecast::{Forecast, ForecastTables};
+pub use forecast::{
+    reset_table_cache_counters, table_cache_counters, Forecast, ForecastScratch, ForecastTables,
+};
 pub use forecaster::{BayesianForecaster, EwmaForecaster, Forecaster};
-pub use model::{RateModel, TransitionKernel};
+pub use model::{RateModel, ScatterMatrix, TransitionKernel};
 pub use receiver::{IntervalSet, SproutReceiver};
 pub use sender::SproutSender;
 pub use wire::{SproutHeader, WireError, WireForecast};

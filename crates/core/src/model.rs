@@ -14,6 +14,68 @@ use std::sync::Arc;
 use crate::config::SproutConfig;
 use crate::stats::{normal_mass, poisson_ln_pmf};
 
+/// The per-tick transition matrix in CSR (compressed sparse row) form:
+/// one flat `(destination, weight)` stream with per-row extents, so the
+/// hot loops of [`TransitionKernel::evolve_into`] and the forecast-table
+/// DP walk contiguous memory instead of a `Vec` of `Vec`s. Boundary
+/// reflections are already folded in (duplicate destinations merged), and
+/// rows list destinations in ascending order.
+#[derive(Debug)]
+pub struct ScatterMatrix {
+    num_bins: usize,
+    /// Row `j` spans `row_ptr[j]..row_ptr[j+1]` of `dests`/`weights`.
+    row_ptr: Vec<u32>,
+    dests: Vec<u32>,
+    weights: Vec<f64>,
+    /// Largest `|dst − j|` over all rows — how far one tick can move
+    /// probability mass (the DP's reachable-window growth rate).
+    max_reach: usize,
+}
+
+impl ScatterMatrix {
+    fn from_rows(num_bins: usize, rows: impl Iterator<Item = Vec<(usize, f64)>>) -> Self {
+        let mut row_ptr = Vec::with_capacity(num_bins + 1);
+        let mut dests = Vec::new();
+        let mut weights = Vec::new();
+        let mut max_reach = 1usize;
+        row_ptr.push(0u32);
+        for (j, row) in rows.enumerate() {
+            for (dst, w) in row {
+                max_reach = max_reach.max(dst.abs_diff(j));
+                dests.push(dst as u32);
+                weights.push(w);
+            }
+            row_ptr.push(dests.len() as u32);
+        }
+        assert_eq!(row_ptr.len(), num_bins + 1);
+        ScatterMatrix {
+            num_bins,
+            row_ptr,
+            dests,
+            weights,
+            max_reach,
+        }
+    }
+
+    /// Number of rate bins (rows and columns).
+    pub fn num_bins(&self) -> usize {
+        self.num_bins
+    }
+
+    /// The outgoing `(destinations, weights)` of bin `j`, destinations
+    /// ascending.
+    pub fn row(&self, j: usize) -> (&[u32], &[f64]) {
+        let lo = self.row_ptr[j] as usize;
+        let hi = self.row_ptr[j + 1] as usize;
+        (&self.dests[lo..hi], &self.weights[lo..hi])
+    }
+
+    /// Largest per-tick bin displacement (≥ 1).
+    pub fn max_reach(&self) -> usize {
+        self.max_reach
+    }
+}
+
 /// Precomputed per-tick evolution operator: a banded Gaussian kernel for
 /// the Brownian step plus the special sticky-outage row for bin 0.
 #[derive(Debug)]
@@ -21,16 +83,12 @@ pub struct TransitionKernel {
     num_bins: usize,
     /// Half-width of the banded kernel, in bins (±4σ).
     half_width: usize,
-    /// Gaussian weights for offsets `-half_width ..= half_width`,
-    /// normalized to sum to 1.
-    weights: Vec<f64>,
-    /// Probability of leaving the outage state within one tick:
-    /// `1 − exp(−λz·τ)`.
-    escape_prob: f64,
-    /// Distribution over *positive* bins entered upon escaping an outage:
-    /// the Brownian kernel from bin 0 restricted to offsets ≥ 1,
-    /// renormalized.
-    escape_row: Vec<f64>,
+    /// The whole operator flattened to CSR — the Gaussian Brownian band
+    /// (reflected at both boundaries) for positive bins and the sticky
+    /// outage/escape mixture for bin 0. This is the only runtime
+    /// representation; `evolve_into` and the forecast-table builder both
+    /// walk it.
+    scatter: ScatterMatrix,
 }
 
 impl TransitionKernel {
@@ -63,12 +121,15 @@ impl TransitionKernel {
             escape_row = vec![1.0];
         }
         let escape_prob = 1.0 - (-cfg.outage_escape_rate * cfg.tick_secs()).exp();
+        let n = cfg.num_bins;
+        let scatter = ScatterMatrix::from_rows(
+            n,
+            (0..n).map(|j| compute_row(j, n, half_width, &weights, escape_prob, &escape_row)),
+        );
         TransitionKernel {
             num_bins: cfg.num_bins,
             half_width,
-            weights,
-            escape_prob,
-            escape_row,
+            scatter,
         }
     }
 
@@ -77,81 +138,93 @@ impl TransitionKernel {
         self.half_width
     }
 
+    /// The operator flattened to CSR (the forecast-table builder and the
+    /// hot evolve loop consume this form).
+    pub fn scatter(&self) -> &ScatterMatrix {
+        &self.scatter
+    }
+
     /// Apply one tick of evolution: `dst = T(src)`. `dst` is overwritten.
     /// Probability is conserved exactly up to floating-point rounding
     /// (out-of-range Brownian mass clamps to the edge bins).
+    ///
+    /// Walks the precomputed CSR rows — the sticky-outage row 0 and the
+    /// reflected Brownian rows are already folded into the matrix — so
+    /// the inner loop is a contiguous multiply-accumulate with no
+    /// per-weight reflection arithmetic.
     pub fn evolve_into(&self, src: &[f64], dst: &mut [f64]) {
         assert_eq!(src.len(), self.num_bins);
         assert_eq!(dst.len(), self.num_bins);
         dst.fill(0.0);
-        let n = self.num_bins as i64;
-        let hw = self.half_width as i64;
-
-        // Sticky outage state (§3.1): stay at 0 with prob exp(−λz·τ);
-        // otherwise escape into the positive bins.
-        let p0 = src[0];
-        if p0 > 0.0 {
-            dst[0] += p0 * (1.0 - self.escape_prob);
-            let escape_mass = p0 * self.escape_prob;
-            for (k, &w) in self.escape_row.iter().enumerate() {
-                let j = ((k + 1) as i64).min(n - 1) as usize;
-                dst[j] += escape_mass * w;
-            }
-        }
-
-        // Brownian blur for the positive bins. Both boundaries reflect:
-        // mass pushed below the lowest positive rate folds back up rather
-        // than entering the outage state (λ = 0 is a *discrete* sticky
-        // state of the paper's model, §3.1 — a continuous diffusion has
-        // zero probability of landing exactly on it; outage probability
-        // accumulates through observation of silence instead), and mass
-        // pushed past the grid ceiling folds back down.
-        for (i, &p) in src.iter().enumerate().take(self.num_bins).skip(1) {
+        for (j, &p) in src.iter().enumerate() {
             if p == 0.0 {
                 continue;
             }
-            let i = i as i64;
-            for (k, &w) in self.weights.iter().enumerate() {
-                let j = reflect_positive(i + k as i64 - hw, n);
-                dst[j] += p * w;
+            let (dests, weights) = self.scatter.row(j);
+            for (&d, &w) in dests.iter().zip(weights.iter()) {
+                dst[d as usize] += p * w;
             }
         }
     }
 
     /// The outgoing transition row of bin `j` as explicit
     /// `(destination bin, probability)` pairs with boundary-clamped mass
-    /// merged. Used by the forecast-table builder, which needs the row
-    /// structure rather than a whole-vector evolve.
+    /// merged (a borrowing view into the CSR matrix, materialized for
+    /// callers wanting owned pairs).
     pub fn scatter_row(&self, j: usize) -> Vec<(usize, f64)> {
         assert!(j < self.num_bins);
-        if j == 0 {
-            let mut row = Vec::with_capacity(self.escape_row.len() + 1);
-            row.push((0, 1.0 - self.escape_prob));
-            for (k, &w) in self.escape_row.iter().enumerate() {
-                let dst = (k + 1).min(self.num_bins - 1);
-                match row.last_mut() {
-                    Some((d, acc)) if *d == dst => *acc += self.escape_prob * w,
-                    _ => row.push((dst, self.escape_prob * w)),
-                }
-            }
-            return row;
-        }
-        let n = self.num_bins as i64;
-        let hw = self.half_width as i64;
-        let mut acc = vec![0.0f64; self.num_bins];
-        let mut lo = self.num_bins - 1;
-        let mut hi = 1;
-        for (k, &w) in self.weights.iter().enumerate() {
-            let dst = reflect_positive((j as i64) + k as i64 - hw, n);
-            acc[dst] += w;
-            lo = lo.min(dst);
-            hi = hi.max(dst);
-        }
-        (lo..=hi)
-            .filter(|&d| acc[d] > 0.0)
-            .map(|d| (d, acc[d]))
+        let (dests, weights) = self.scatter.row(j);
+        dests
+            .iter()
+            .zip(weights.iter())
+            .map(|(&d, &w)| (d as usize, w))
             .collect()
     }
+}
+
+/// One CSR row of the transition operator: the sticky-outage mixture for
+/// bin 0 (§3.1), the reflected Brownian band for positive bins. Both
+/// boundaries reflect: mass pushed below the lowest positive rate folds
+/// back up rather than entering the outage state (λ = 0 is a *discrete*
+/// sticky state of the paper's model — a continuous diffusion has zero
+/// probability of landing exactly on it; outage probability accumulates
+/// through observation of silence instead), and mass pushed past the
+/// grid ceiling folds back down.
+fn compute_row(
+    j: usize,
+    num_bins: usize,
+    half_width: usize,
+    weights: &[f64],
+    escape_prob: f64,
+    escape_row: &[f64],
+) -> Vec<(usize, f64)> {
+    if j == 0 {
+        let mut row = Vec::with_capacity(escape_row.len() + 1);
+        row.push((0, 1.0 - escape_prob));
+        for (k, &w) in escape_row.iter().enumerate() {
+            let dst = (k + 1).min(num_bins - 1);
+            match row.last_mut() {
+                Some((d, acc)) if *d == dst => *acc += escape_prob * w,
+                _ => row.push((dst, escape_prob * w)),
+            }
+        }
+        return row;
+    }
+    let n = num_bins as i64;
+    let hw = half_width as i64;
+    let mut acc = vec![0.0f64; num_bins];
+    let mut lo = num_bins - 1;
+    let mut hi = 1;
+    for (k, &w) in weights.iter().enumerate() {
+        let dst = reflect_positive((j as i64) + k as i64 - hw, n);
+        acc[dst] += w;
+        lo = lo.min(dst);
+        hi = hi.max(dst);
+    }
+    (lo..=hi)
+        .filter(|&d| acc[d] > 0.0)
+        .map(|d| (d, acc[d]))
+        .collect()
 }
 
 /// Reflect a bin index into the positive range `[1, n-1]`. The lower
@@ -475,6 +548,55 @@ mod tests {
         let p50 = m.percentile_rate_pps(50.0);
         let p95 = m.percentile_rate_pps(95.0);
         assert!(p5 <= p50 && p50 <= p95, "{p5} {p50} {p95}");
+    }
+
+    #[test]
+    fn csr_rows_are_stochastic_and_match_scatter_row() {
+        let k = TransitionKernel::new(&small());
+        let s = k.scatter();
+        assert_eq!(s.num_bins(), small().num_bins);
+        assert!(s.max_reach() >= k.half_width());
+        for j in 0..s.num_bins() {
+            let (dests, weights) = s.row(j);
+            assert!(!dests.is_empty());
+            // Rows are probability distributions with ascending,
+            // deduplicated destinations.
+            let sum: f64 = weights.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-9, "row {j} sums to {sum}");
+            assert!(dests.windows(2).all(|w| w[0] < w[1]), "row {j} not sorted");
+            // The materialized view agrees.
+            let owned = k.scatter_row(j);
+            assert_eq!(owned.len(), dests.len());
+            for ((d, w), (&cd, &cw)) in owned.iter().zip(dests.iter().zip(weights.iter())) {
+                assert_eq!(*d, cd as usize);
+                assert_eq!(*w, cw);
+            }
+        }
+    }
+
+    #[test]
+    fn evolve_into_matches_manual_row_application() {
+        let cfg = small();
+        let k = TransitionKernel::new(&cfg);
+        let n = cfg.num_bins;
+        // An arbitrary distribution touching the outage bin, the bulk,
+        // and both boundaries.
+        let mut src = vec![0.0; n];
+        src[0] = 0.25;
+        src[1] = 0.10;
+        src[n / 2] = 0.40;
+        src[n - 1] = 0.25;
+        let mut dst = vec![0.0; n];
+        k.evolve_into(&src, &mut dst);
+        let mut manual = vec![0.0; n];
+        for (j, &p) in src.iter().enumerate() {
+            for (d, w) in k.scatter_row(j) {
+                manual[d] += p * w;
+            }
+        }
+        for (a, b) in dst.iter().zip(manual.iter()) {
+            assert!((a - b).abs() < 1e-15, "{a} vs {b}");
+        }
     }
 
     #[test]

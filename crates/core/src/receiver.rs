@@ -109,6 +109,13 @@ pub struct SproutReceiver {
     /// Count of gated (skipped) observations, for diagnostics/ablation.
     gated_ticks: u64,
     observed_ticks: u64,
+    /// The forecast units of the current tick, computed once per tick
+    /// and reused by every `make_feedback` call until the next tick
+    /// completes (the forecaster's state only changes on ticks; a loaded
+    /// sender polls many times per tick).
+    cached_units: Option<[u16; WIRE_HORIZON]>,
+    /// Reusable buffer for the forecaster's cumulative-bytes output.
+    fc_scratch: Vec<u64>,
 }
 
 impl SproutReceiver {
@@ -140,6 +147,8 @@ impl SproutReceiver {
             received: IntervalSet::new(),
             gated_ticks: 0,
             observed_ticks: 0,
+            cached_units: None,
+            fc_scratch: Vec::new(),
         }
     }
 
@@ -272,6 +281,10 @@ impl SproutReceiver {
             self.tick_end += self.cfg.tick;
             processed += 1;
         }
+        if processed > 0 {
+            // The forecaster advanced: the cached feedback units are stale.
+            self.cached_units = None;
+        }
         processed
     }
 
@@ -281,17 +294,29 @@ impl SproutReceiver {
         self.horizon + self.received.len_above(self.horizon)
     }
 
-    /// Assemble the current feedback block for piggybacking.
-    pub fn make_feedback(&self) -> WireForecast {
-        let fc = self.forecaster.forecast_cumulative_bytes();
-        let unit = self.cfg.mtu_bytes as u64 / crate::forecast::UNITS_PER_MTU;
-        let mut cumulative_units = [0u16; WIRE_HORIZON];
-        for (i, slot) in cumulative_units.iter_mut().enumerate() {
-            // Clamp into the wire's fixed 8-tick format: shorter horizons
-            // extend flat, longer ones truncate.
-            let idx = i.min(fc.len() - 1);
-            *slot = (fc[idx] / unit).min(u16::MAX as u64) as u16;
-        }
+    /// Assemble the current feedback block for piggybacking. The
+    /// forecast units are computed once per tick and cached; only the
+    /// received-or-lost total (which moves with every arrival) is
+    /// re-read per call.
+    pub fn make_feedback(&mut self) -> WireForecast {
+        let cumulative_units = match self.cached_units {
+            Some(units) => units,
+            None => {
+                self.forecaster
+                    .forecast_cumulative_bytes_into(&mut self.fc_scratch);
+                let fc = &self.fc_scratch;
+                let unit = self.cfg.mtu_bytes as u64 / crate::forecast::UNITS_PER_MTU;
+                let mut units = [0u16; WIRE_HORIZON];
+                for (i, slot) in units.iter_mut().enumerate() {
+                    // Clamp into the wire's fixed 8-tick format: shorter
+                    // horizons extend flat, longer ones truncate.
+                    let idx = i.min(fc.len() - 1);
+                    *slot = (fc[idx] / unit).min(u16::MAX as u64) as u16;
+                }
+                self.cached_units = Some(units);
+                units
+            }
+        };
         WireForecast {
             recv_or_lost_bytes: self.recv_or_lost_bytes(),
             tick: self.tick_counter,

@@ -71,9 +71,18 @@ impl DirectedPath {
 
     /// Advance internal state to `now`, processing wire arrivals and
     /// delivery opportunities in strict time order, and return packets
-    /// delivered to the far end.
+    /// delivered to the far end. Allocating convenience form of
+    /// [`DirectedPath::advance_into`].
     pub fn advance(&mut self, now: Timestamp) -> Vec<Packet> {
         let mut delivered = Vec::new();
+        self.advance_into(now, &mut delivered);
+        delivered
+    }
+
+    /// Advance internal state to `now`, appending packets delivered to
+    /// the far end onto `delivered` (not cleared; the event loop reuses
+    /// one buffer across steps).
+    pub fn advance_into(&mut self, now: Timestamp, delivered: &mut Vec<Packet>) {
         loop {
             let next_arrival = self.in_flight.front().map(|(t, _)| *t);
             let next_op = self.link.next_opportunity();
@@ -83,7 +92,7 @@ impl DirectedPath {
             match (arrival_due, op_due) {
                 (false, false) => break,
                 (true, false) => self.ingress_one(now),
-                (false, true) => self.service_due(next_op.unwrap(), &mut delivered),
+                (false, true) => self.service_due(next_op.unwrap(), delivered),
                 (true, true) => {
                     // Arrivals strictly before the opportunity must be
                     // queued first; at a tie, enqueue first so the packet
@@ -92,12 +101,11 @@ impl DirectedPath {
                     if next_arrival.unwrap() <= next_op.unwrap() {
                         self.ingress_one(now);
                     } else {
-                        self.service_due(next_op.unwrap(), &mut delivered);
+                        self.service_due(next_op.unwrap(), delivered);
                     }
                 }
             }
         }
-        delivered
     }
 
     fn ingress_one(&mut self, _now: Timestamp) {

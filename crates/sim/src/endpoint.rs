@@ -20,10 +20,21 @@ pub trait Endpoint: Send {
     /// A packet addressed to this endpoint has arrived.
     fn on_packet(&mut self, packet: Packet, now: Timestamp);
 
-    /// Give the endpoint a chance to transmit. Returns the packets to hand
-    /// to the network *now*; the driver stamps `sent_at`. Endpoints should
-    /// emit everything they are willing to send at `now` in one call.
-    fn poll(&mut self, now: Timestamp) -> Vec<Packet>;
+    /// Give the endpoint a chance to transmit: *append* every packet the
+    /// endpoint is willing to send at `now` to `out` (which may already
+    /// hold other endpoints' packets — do not clear or reorder it). The
+    /// driver stamps `sent_at`. This is the required method so the event
+    /// loop can recycle one buffer across all endpoints and steps instead
+    /// of allocating a fresh `Vec` per poll tick.
+    fn poll_into(&mut self, now: Timestamp, out: &mut Vec<Packet>);
+
+    /// Allocating convenience form of [`Endpoint::poll_into`] (tests,
+    /// examples, drivers outside the hot loop).
+    fn poll(&mut self, now: Timestamp) -> Vec<Packet> {
+        let mut out = Vec::new();
+        self.poll_into(now, &mut out);
+        out
+    }
 
     /// The next time this endpoint needs to be polled even if no packet
     /// arrives (tick boundaries, retransmission timers, pacing release
@@ -34,6 +45,9 @@ pub trait Endpoint: Send {
 impl<T: Endpoint + ?Sized> Endpoint for Box<T> {
     fn on_packet(&mut self, packet: Packet, now: Timestamp) {
         (**self).on_packet(packet, now)
+    }
+    fn poll_into(&mut self, now: Timestamp, out: &mut Vec<Packet>) {
+        (**self).poll_into(now, out)
     }
     fn poll(&mut self, now: Timestamp) -> Vec<Packet> {
         (**self).poll(now)
@@ -66,9 +80,7 @@ impl Endpoint for SinkEndpoint {
     fn on_packet(&mut self, packet: Packet, _now: Timestamp) {
         self.received += packet.size as u64;
     }
-    fn poll(&mut self, _now: Timestamp) -> Vec<Packet> {
-        Vec::new()
-    }
+    fn poll_into(&mut self, _now: Timestamp, _out: &mut Vec<Packet>) {}
     fn next_wakeup(&self) -> Option<Timestamp> {
         None
     }
@@ -118,15 +130,16 @@ impl Endpoint for MuxEndpoint {
         }
     }
 
-    fn poll(&mut self, now: Timestamp) -> Vec<Packet> {
-        let mut out = Vec::new();
+    fn poll_into(&mut self, now: Timestamp, out: &mut Vec<Packet>) {
         for (flow, child) in &mut self.children {
-            for mut p in child.poll(now) {
+            // Re-stamp only this child's packets: everything it appended
+            // beyond the high-water mark it was handed.
+            let start = out.len();
+            child.poll_into(now, out);
+            for p in &mut out[start..] {
                 p.flow = *flow;
-                out.push(p);
             }
         }
-        out
     }
 
     fn next_wakeup(&self) -> Option<Timestamp> {
@@ -183,13 +196,12 @@ mod mux_tests {
         fn on_packet(&mut self, packet: Packet, _now: Timestamp) {
             self.echoes.push(packet);
         }
-        fn poll(&mut self, _now: Timestamp) -> Vec<Packet> {
-            let mut out = std::mem::take(&mut self.echoes);
+        fn poll_into(&mut self, _now: Timestamp, out: &mut Vec<Packet>) {
+            out.append(&mut self.echoes);
             if !self.sent_greeting {
                 self.sent_greeting = true;
                 out.push(Packet::opaque(FlowId(99), 0, 100)); // wrong flow id on purpose
             }
-            out
         }
         fn next_wakeup(&self) -> Option<Timestamp> {
             None

@@ -28,6 +28,8 @@ pub use analysis::{outage_stats, summarize, InterarrivalHistogram, OutageStats, 
 pub use fit::{fit_link_model, FitConfig, FittedModel};
 pub use format::{load_trace, read_trace, save_trace, write_trace, TraceFileError};
 pub use seed::{derive_labeled_seed, derive_seed};
-pub use synth::{LinkModelParams, LinkSimulator, NetProfile};
+pub use synth::{
+    reset_trace_cache_counters, trace_cache_counters, LinkModelParams, LinkSimulator, NetProfile,
+};
 pub use time::{Duration, Timestamp, MTU_BYTES, TICK};
 pub use trace::{Trace, TraceCursor};

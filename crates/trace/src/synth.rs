@@ -19,9 +19,73 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rand_distr_poisson::sample_poisson;
+use sprout_cache::{ArtifactKind, ByteReader, ByteWriter, CacheCounters};
 
 use crate::time::{Duration, Timestamp};
 use crate::trace::Trace;
+
+/// On-disk persistence of synthesized traces. The version covers the
+/// payload encoding *and* the synthesis algorithm (model parameters, RNG
+/// stream layout) — bump it if either changes, or stale traces would load
+/// silently.
+static TRACE_ARTIFACT: ArtifactKind = ArtifactKind::new("trace-synth", 1);
+
+/// Disk-cache traffic counters for trace synthesis (hits mean a
+/// [`NetProfile::generate`] call skipped the millisecond-step simulation).
+pub fn trace_cache_counters() -> CacheCounters {
+    TRACE_ARTIFACT.counters()
+}
+
+/// Reset the trace cache counters (bench/test harnesses).
+pub fn reset_trace_cache_counters() {
+    TRACE_ARTIFACT.reset_counters()
+}
+
+/// Encode a trace's delivery opportunities: count, first timestamp, then
+/// `u32` deltas (microseconds). Deltas beyond `u32::MAX` (> 71 virtual
+/// minutes of continuous outage — unreachable for these links) make the
+/// trace uncacheable and return `None`.
+fn encode_trace(trace: &Trace) -> Option<Vec<u8>> {
+    let ops = trace.opportunities();
+    let mut w = ByteWriter::with_capacity(16 + 4 * ops.len());
+    w.u64(ops.len() as u64);
+    let mut prev: Option<Timestamp> = None;
+    for &t in ops {
+        match prev {
+            None => {
+                w.u64(t.as_micros());
+            }
+            Some(p) => {
+                let delta = t.as_micros() - p.as_micros();
+                if delta > u32::MAX as u64 {
+                    return None;
+                }
+                w.u32(delta as u32);
+            }
+        }
+        prev = Some(t);
+    }
+    Some(w.finish())
+}
+
+/// Decode an [`encode_trace`] payload; `None` on any shape mismatch.
+fn decode_trace(bytes: &[u8]) -> Option<Trace> {
+    let mut r = ByteReader::new(bytes);
+    let count = r.u64()? as usize;
+    let mut ops = Vec::with_capacity(count);
+    if count > 0 {
+        let mut at = r.u64()?;
+        ops.push(Timestamp::from_micros(at));
+        for _ in 1..count {
+            at += r.u32()? as u64;
+            ops.push(Timestamp::from_micros(at));
+        }
+    }
+    if r.remaining() != 0 {
+        return None;
+    }
+    Some(Trace::new(ops))
+}
 
 /// Parameters of the doubly-stochastic link model.
 #[derive(Clone, Debug, PartialEq)]
@@ -161,11 +225,32 @@ impl NetProfile {
 
     /// Generate this link's standard synthetic trace: `duration` long,
     /// deterministic in `seed`.
+    ///
+    /// Results are persisted in the content-addressed artifact cache
+    /// keyed by `(profile, duration, seed)`: a second process asking for
+    /// the same trace decodes the recorded event stream (bit-identical
+    /// to a fresh synthesis) instead of re-running the millisecond-step
+    /// simulation. Set `SPROUT_CACHE_DIR` / `sprout_cache::disable()` to
+    /// redirect or turn this off.
     pub fn generate(self, duration: Duration, seed: u64) -> Trace {
+        let key = {
+            let mut w = ByteWriter::with_capacity(32);
+            w.str(self.id()).u64(duration.as_micros()).u64(seed);
+            w.finish()
+        };
+        if let Some(bytes) = TRACE_ARTIFACT.load(&key) {
+            if let Some(trace) = decode_trace(&bytes) {
+                return trace;
+            }
+        }
         // Derive a per-profile sub-stream so "seed 1" still gives the
         // eight links independent sample paths.
         let derived = crate::seed::derive_labeled_seed(seed, "trace-synth", self as u64);
-        LinkSimulator::new(self.params(), derived).generate(duration)
+        let trace = LinkSimulator::new(self.params(), derived).generate(duration);
+        if let Some(encoded) = encode_trace(&trace) {
+            TRACE_ARTIFACT.store(&key, &encoded);
+        }
+        trace
     }
 }
 
@@ -311,6 +396,21 @@ fn gaussian(rng: &mut impl Rng) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn trace_encode_decode_round_trips_bit_exact() {
+        let trace = NetProfile::TmobileUmtsDown.generate(Duration::from_secs(20), 99);
+        let encoded = encode_trace(&trace).expect("per-ms traces always encode");
+        let decoded = decode_trace(&encoded).expect("fresh encoding decodes");
+        assert_eq!(trace, decoded);
+        // Empty and single-event traces survive too.
+        for t in [Trace::new(vec![]), Trace::from_millis([1234])] {
+            let d = decode_trace(&encode_trace(&t).unwrap()).unwrap();
+            assert_eq!(t, d);
+        }
+        // Truncated payloads degrade into misses, not panics.
+        assert!(decode_trace(&encoded[..encoded.len() - 1]).is_none());
+    }
 
     #[test]
     fn generation_is_deterministic_in_seed() {

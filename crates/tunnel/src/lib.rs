@@ -206,11 +206,20 @@ impl TunnelEndpoint {
         out
     }
 
-    /// Produce Sprout wire packets to transmit toward the network.
-    pub fn poll_wire(&mut self, now: Timestamp) -> Vec<Packet> {
+    /// Produce Sprout wire packets to transmit toward the network,
+    /// appending to `out` (the event loop's recycled buffer).
+    pub fn poll_wire_into(&mut self, now: Timestamp, out: &mut Vec<Packet>) {
         self.enforce_cap(now);
         self.fill_window(now);
-        self.sprout.poll(now)
+        self.sprout.poll_into(now, out);
+    }
+
+    /// Allocating convenience form of
+    /// [`TunnelEndpoint::poll_wire_into`].
+    pub fn poll_wire(&mut self, now: Timestamp) -> Vec<Packet> {
+        let mut out = Vec::new();
+        self.poll_wire_into(now, &mut out);
+        out
     }
 
     /// Next wakeup of the underlying Sprout machinery.
@@ -229,6 +238,9 @@ pub struct TunnelHost {
     /// End-to-end delivery log of decapsulated client packets (client
     /// `sent_at` → local delivery time), for per-flow §5.7 metrics.
     deliveries: sprout_sim::MetricsCollector,
+    /// Recycled buffer for client polls (client packets are re-stamped
+    /// and injected locally, so they cannot share the wire buffer).
+    client_scratch: Vec<Packet>,
 }
 
 impl TunnelHost {
@@ -238,6 +250,7 @@ impl TunnelHost {
             tunnel,
             clients: Vec::new(),
             deliveries: sprout_sim::MetricsCollector::new(),
+            client_scratch: Vec::new(),
         }
     }
 
@@ -282,15 +295,16 @@ impl Endpoint for TunnelHost {
         }
     }
 
-    fn poll(&mut self, now: Timestamp) -> Vec<Packet> {
+    fn poll_into(&mut self, now: Timestamp, out: &mut Vec<Packet>) {
         for (flow, client) in &mut self.clients {
-            for mut p in client.poll(now) {
+            client.poll_into(now, &mut self.client_scratch);
+            for mut p in self.client_scratch.drain(..) {
                 p.flow = *flow;
                 p.sent_at = now; // end-to-end timing starts at the client
                 self.tunnel.inject_local(p, now);
             }
         }
-        self.tunnel.poll_wire(now)
+        self.tunnel.poll_wire_into(now, out)
     }
 
     fn next_wakeup(&self) -> Option<Timestamp> {
@@ -368,14 +382,12 @@ mod tests {
         }
         impl Endpoint for Pulser {
             fn on_packet(&mut self, _p: Packet, _n: Timestamp) {}
-            fn poll(&mut self, now: Timestamp) -> Vec<Packet> {
-                let mut out = Vec::new();
+            fn poll_into(&mut self, now: Timestamp, out: &mut Vec<Packet>) {
                 while self.next <= now {
                     out.push(Packet::opaque(FlowId(3), self.seq, 400));
                     self.seq += 1;
                     self.next += Duration::from_millis(50);
                 }
-                out
             }
             fn next_wakeup(&self) -> Option<Timestamp> {
                 Some(self.next)

@@ -10,11 +10,14 @@
 //! * [`sprout_baselines`] — TCP variants, app models, omniscient, Saturator
 //! * [`sprout_tunnel`] — SproutTunnel flow isolation (§4.3)
 //! * [`sprout_net`] — real-UDP driver for the sans-IO endpoints
+//! * [`sprout_cache`] — content-addressed artifact cache (forecast
+//!   tables, synthesized traces)
 //!
 //! See README.md for the guided tour and DESIGN.md for the experiment
 //! index.
 
 pub use sprout_baselines;
+pub use sprout_cache;
 pub use sprout_core;
 pub use sprout_net;
 pub use sprout_sim;

@@ -77,8 +77,7 @@ fn tunnel_does_not_reorder_within_a_flow() {
     }
     impl Endpoint for Burst {
         fn on_packet(&mut self, _p: Packet, _n: Timestamp) {}
-        fn poll(&mut self, now: Timestamp) -> Vec<Packet> {
-            let mut out = Vec::new();
+        fn poll_into(&mut self, now: Timestamp, out: &mut Vec<Packet>) {
             // 4 packets per poll for the first second.
             if now <= Timestamp::from_secs(1) && self.sent < 200 {
                 for _ in 0..4 {
@@ -86,7 +85,6 @@ fn tunnel_does_not_reorder_within_a_flow() {
                     self.sent += 1;
                 }
             }
-            out
         }
         fn next_wakeup(&self) -> Option<Timestamp> {
             Some(Timestamp::from_millis(20))
