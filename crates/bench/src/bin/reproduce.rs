@@ -4,6 +4,7 @@
 //! reproduce <experiment> [--secs N] [--warmup N] [--seed N] [--out DIR]
 //!                        [--threads N] [--quick] [--json]
 //!                        [--cache-dir DIR] [--no-cache]
+//!                        [--shard I/N] [--merge] [--resume]
 //!                        [--bench] [--bench-baseline FILE]
 //!
 //! experiments:
@@ -22,11 +23,20 @@
 //!   --seed N     master seed; all randomness derives from it (default 20130401)
 //!   --out DIR    artifact directory (default results/)
 //!   --threads N  sweep worker threads (default: one per core)
-//!   --quick      shorthand for --secs 90 --warmup 20
+//!   --quick      shorthand for --secs 90 --warmup 20 (explicit --secs /
+//!                --warmup flags win regardless of order)
 //!   --json       after running, print the sweep JSON artifact(s) to stdout
 //!   --cache-dir DIR  artifact cache location (default .sprout-cache,
 //!                    or the SPROUT_CACHE_DIR environment variable)
 //!   --no-cache   disable the artifact cache for this run
+//!   --shard I/N  execute only cells with scenario id ≡ I (mod N),
+//!                depositing results in the shared cell cache; no
+//!                figures or sweep artifacts are rendered
+//!   --merge      serve every cell from the cell cache (error naming any
+//!                absent cell) and render the full figures/artifacts —
+//!                byte-identical to a single-process run
+//!   --resume     like --merge, but execute whatever the cache is
+//!                missing instead of failing (restart a killed sweep)
 //!   --bench      run the perf-trajectory mode instead of an experiment:
 //!                execute the canonical bench matrix + hot-path
 //!                microbenchmarks and write BENCH_sweep.json
@@ -37,19 +47,21 @@
 //! Every experiment writes TSV artifacts plus a canonical
 //! `<experiment>_sweep.json` record of the scenario matrix it ran; with
 //! the same seed the JSON is bit-identical for any `--threads` value,
-//! and identical whether the artifact cache is cold, warm, or disabled.
+//! identical whether the artifact cache is cold, warm, or disabled, and
+//! identical whether the sweep ran in one process or as `--shard` slices
+//! merged afterwards.
 
 use std::path::PathBuf;
 use std::time::Instant;
 
 use sprout_bench::figures::{self, ExperimentConfig};
-use sprout_bench::{perf, summary_table, Scheme};
+use sprout_bench::{perf, summary_table, CellCachePolicy, Scheme, ShardSpec};
 
 const EXPERIMENTS: &[&str] = &[
     "fig1", "fig2", "fig7", "fig8", "fig9", "loss", "tunnel", "all",
 ];
 
-const USAGE: &str = "usage: reproduce <experiment> [--secs N] [--warmup N] [--seed N] [--out DIR] [--threads N] [--quick] [--json] [--cache-dir DIR] [--no-cache] [--bench] [--bench-baseline FILE]
+const USAGE: &str = "usage: reproduce <experiment> [--secs N] [--warmup N] [--seed N] [--out DIR] [--threads N] [--quick] [--json] [--cache-dir DIR] [--no-cache] [--shard I/N] [--merge] [--resume] [--bench] [--bench-baseline FILE]
 experiments: fig1 fig2 fig7 fig8 fig9 loss tunnel all";
 
 struct Options {
@@ -72,6 +84,12 @@ fn parse_args() -> Options {
     let mut json = false;
     let mut bench = false;
     let mut bench_baseline = None;
+    let mut quick = false;
+    let mut explicit_secs = false;
+    let mut explicit_warmup = false;
+    let mut merge = false;
+    let mut resume = false;
+    let mut no_cache = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut numeric = |name: &str| -> u64 {
@@ -82,18 +100,21 @@ fn parse_args() -> Options {
             }
         };
         match arg.as_str() {
-            "--secs" => cfg.run_secs = numeric("--secs"),
-            "--warmup" => cfg.warmup_secs = numeric("--warmup"),
+            "--secs" => {
+                cfg.run_secs = numeric("--secs");
+                explicit_secs = true;
+            }
+            "--warmup" => {
+                cfg.warmup_secs = numeric("--warmup");
+                explicit_warmup = true;
+            }
             "--seed" => cfg.seed = numeric("--seed"),
             "--threads" => cfg.threads = numeric("--threads") as usize,
             "--out" => match args.next() {
                 Some(dir) => cfg.out_dir = dir.into(),
                 None => usage_error("--out expects a directory"),
             },
-            "--quick" => {
-                cfg.run_secs = 90;
-                cfg.warmup_secs = 20;
-            }
+            "--quick" => quick = true,
             "--json" => json = true,
             "--bench" => bench = true,
             "--bench-baseline" => match args.next() {
@@ -104,7 +125,21 @@ fn parse_args() -> Options {
                 Some(dir) => sprout_cache::set_dir(dir),
                 None => usage_error("--cache-dir expects a directory"),
             },
-            "--no-cache" => sprout_cache::disable(),
+            "--no-cache" => {
+                no_cache = true;
+                sprout_cache::disable();
+            }
+            "--shard" => match args.next() {
+                Some(spec) => match ShardSpec::parse(&spec) {
+                    Some(shard) => cfg.shard = shard,
+                    None => usage_error(&format!(
+                        "--shard expects I/N with I < N (e.g. 0/2), got {spec:?}"
+                    )),
+                },
+                None => usage_error("--shard expects a spec like 0/2"),
+            },
+            "--merge" => merge = true,
+            "--resume" => resume = true,
             "--help" | "-h" => {
                 println!("{USAGE}");
                 std::process::exit(0);
@@ -121,8 +156,22 @@ fn parse_args() -> Options {
             other => usage_error(&format!("unexpected argument {other:?}")),
         }
     }
+    // --quick fills in whatever the user did not set explicitly, so
+    // `--warmup 100 --quick` is the contradiction it looks like (and is
+    // rejected below) rather than being silently clobbered to 20 s.
+    if quick {
+        if !explicit_secs {
+            cfg.run_secs = 90;
+        }
+        if !explicit_warmup {
+            cfg.warmup_secs = 20;
+        }
+    }
     if cfg.warmup_secs >= cfg.run_secs {
-        usage_error("warmup must be shorter than the run");
+        usage_error(&format!(
+            "warmup ({}s) must be shorter than the run ({}s): the measurement window would be empty",
+            cfg.warmup_secs, cfg.run_secs
+        ));
     }
     if bench_baseline.is_some() && !bench {
         usage_error("--bench-baseline requires --bench");
@@ -130,6 +179,28 @@ fn parse_args() -> Options {
     if bench && cmd.is_some() {
         usage_error("--bench runs its own matrix; drop the experiment name");
     }
+    if merge && resume {
+        usage_error("--merge and --resume are mutually exclusive");
+    }
+    if bench && (merge || resume || !cfg.shard.is_full()) {
+        usage_error("--bench measures execution; it cannot combine with --shard/--merge/--resume");
+    }
+    if merge && !cfg.shard.is_full() {
+        usage_error("--merge reassembles the whole matrix; drop --shard");
+    }
+    if no_cache && (merge || resume || !cfg.shard.is_full()) {
+        usage_error("--shard/--merge/--resume need the artifact cache; drop --no-cache");
+    }
+    if json && !cfg.shard.is_full() {
+        usage_error("--shard runs write no sweep artifacts; --json has nothing to print");
+    }
+    cfg.cell_policy = if merge {
+        CellCachePolicy::Merge
+    } else if resume {
+        CellCachePolicy::Resume
+    } else {
+        CellCachePolicy::Execute
+    };
     Options {
         cmd: cmd.unwrap_or_else(|| "all".to_string()),
         cfg,
@@ -243,6 +314,7 @@ fn print_fig7_and_tables(cfg: &ExperimentConfig) -> std::io::Result<sprout_bench
 fn run_bench(cfg: &ExperimentConfig, baseline: Option<&std::path::Path>) -> std::io::Result<()> {
     sprout_core::reset_table_cache_counters();
     sprout_trace::reset_trace_cache_counters();
+    sprout_bench::reset_cell_cache_counters();
     let matrix = perf::bench_matrix(cfg);
     let (results, stats) = cfg.engine().run_with_stats(&matrix);
     let mut canonical = std::fs::File::create(cfg.sweep_json_path(matrix.name()))?;
@@ -291,7 +363,50 @@ fn run_bench(cfg: &ExperimentConfig, baseline: Option<&std::path::Path>) -> std:
     Ok(())
 }
 
-fn main() -> std::io::Result<()> {
+/// `--shard I/N`: execute this process's slice of each matrix the
+/// experiment declares, depositing finished cells in the shared cell
+/// cache. Renders no figures and writes no sweep artifacts — a later
+/// `--merge` (or `--resume`) run assembles those from the cache.
+fn run_shard(cfg: &ExperimentConfig, cmd: &str) -> std::io::Result<()> {
+    let engine = cfg.engine();
+    for matrix in figures::matrices_for(cfg, cmd) {
+        let t0 = Instant::now();
+        let results = engine
+            .try_run(&matrix)
+            .map_err(|e| std::io::Error::other(e.to_string()))?;
+        println!(
+            "{}: shard {}/{} finished {} of {} cells in {:.0?}",
+            matrix.name(),
+            cfg.shard.index,
+            cfg.shard.count,
+            results.len(),
+            matrix.len(),
+            t0.elapsed()
+        );
+    }
+    Ok(())
+}
+
+/// The stable cell-cache summary line (CI greps it to assert a resumed
+/// run executed nothing).
+fn print_cell_cache_line() {
+    let c = sprout_bench::cell_cache_counters();
+    println!(
+        "cell cache: {} hits, {} misses, {} stores",
+        c.hits, c.misses, c.stores
+    );
+}
+
+fn main() {
+    if let Err(e) = run() {
+        // One readable message (merge misses span several lines), not
+        // the Debug dump `Termination` would produce.
+        eprintln!("reproduce: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn run() -> std::io::Result<()> {
     let Options {
         cmd,
         cfg,
@@ -302,6 +417,11 @@ fn main() -> std::io::Result<()> {
     figures::ensure_out_dir(&cfg.out_dir)?;
     if bench {
         return run_bench(&cfg, bench_baseline.as_deref());
+    }
+    if !cfg.shard.is_full() {
+        let r = run_shard(&cfg, &cmd);
+        print_cell_cache_line();
+        return r;
     }
     println!(
         "reproduce: {cmd} (runs {}s, warmup {}s, seed {}, threads {}, out {:?})",
@@ -462,6 +582,7 @@ fn main() -> std::io::Result<()> {
         }
         other => unreachable!("experiment {other:?} validated in parse_args"),
     }
+    print_cell_cache_line();
     if json {
         print_json_artifacts(&cfg, &cmd)?;
     }

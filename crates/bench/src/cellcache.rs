@@ -1,0 +1,306 @@
+//! Per-cell result persistence: the `cell-result` artifact kind.
+//!
+//! A [`SweepResult`] is a pure function of `(engine version, matrix
+//! declaration, scenario, master seed)` — everything else (thread count,
+//! shard assignment, execution order) is guaranteed not to matter by the
+//! sweep engine's determinism contract. This module persists finished
+//! cells in the shared `sprout-cache` store under exactly that key, with
+//! the same checksummed/atomic/versioned guarantees forecast tables and
+//! synthesized traces already enjoy. It is what makes sweeps:
+//!
+//! * **shardable** — processes running disjoint shards of one matrix
+//!   against one cache directory each deposit their cells; a merge pass
+//!   reassembles the canonical sweep from the cache alone;
+//! * **resumable** — a killed or partially-failed sweep reruns with
+//!   [`CellCachePolicy::Resume`](crate::sweep::CellCachePolicy) and only
+//!   executes the cells that never completed.
+//!
+//! The payload deliberately **excludes** [`SweepResult::wall_ms`]: wall
+//! time is a property of one execution, not of the cell, and the
+//! canonical sweep JSON excludes it for the same reason. Cached loads
+//! report `wall_ms = 0.0`, which also makes "served from cache" visible
+//! in `BENCH_sweep.json` trajectories.
+
+use sprout_cache::{ArtifactKind, ByteReader, ByteWriter, CacheCounters};
+
+use crate::scenario::{ResolvedQueue, Scenario};
+use crate::schemes::SchemeResult;
+use crate::sweep::{FlowSummary, InterarrivalSummary, SeriesRow, SweepResult};
+
+/// On-disk persistence of sweep cells. The version covers the payload
+/// encoding only; simulation-semantics changes are keyed separately by
+/// [`ENGINE_VERSION`].
+static CELL_ARTIFACT: ArtifactKind = ArtifactKind::new("cell-result", 1);
+
+/// Version of the sweep engine's *execution semantics*. Bump whenever a
+/// change makes the same `(matrix, scenario, master_seed)` produce
+/// different results — endpoint behavior, seed derivation, metrics
+/// definitions — so stale cell results read as misses instead of
+/// silently resurfacing pre-change numbers.
+pub const ENGINE_VERSION: u32 = 1;
+
+/// Disk-cache traffic counters for cell results (hits mean a sweep
+/// served a whole cell without simulating it).
+pub fn cell_cache_counters() -> CacheCounters {
+    CELL_ARTIFACT.counters()
+}
+
+/// Reset the cell cache counters (bench/test harnesses).
+pub fn reset_cell_cache_counters() {
+    CELL_ARTIFACT.reset_counters()
+}
+
+/// The full content address of one cell's result. The cache layer stores
+/// these bytes verbatim and compares them on load, so two cells collide
+/// only if every component below is identical.
+fn cell_key(
+    matrix_name: &str,
+    matrix_fingerprint: u64,
+    scenario: &Scenario,
+    master_seed: u64,
+) -> Vec<u8> {
+    let mut w = ByteWriter::with_capacity(128);
+    w.u32(ENGINE_VERSION);
+    w.str(matrix_name);
+    w.u64(matrix_fingerprint);
+    w.u64(master_seed);
+    scenario.canonical_bytes(&mut w);
+    w.finish()
+}
+
+fn encode_result(r: &SweepResult) -> Vec<u8> {
+    let mut w = ByteWriter::with_capacity(256 + 40 * r.series.len());
+    w.bool(r.queue == ResolvedQueue::CoDel);
+    w.u64(r.cell_seed);
+    w.bool(r.metrics.is_some());
+    if let Some(m) = &r.metrics {
+        w.f64(m.throughput_kbps)
+            .f64(m.p95_delay_ms)
+            .f64(m.self_inflicted_ms)
+            .f64(m.omniscient_ms)
+            .f64(m.utilization);
+    }
+    w.u32(r.flows.len() as u32);
+    for f in &r.flows {
+        w.u32(f.flow).f64(f.throughput_kbps).f64(f.p95_delay_ms);
+    }
+    w.u32(r.series.len() as u32);
+    for s in &r.series {
+        w.f64(s.t_s)
+            .f64(s.capacity_kbps)
+            .f64(s.throughput_kbps)
+            .f64(s.worst_delay_ms);
+    }
+    w.bool(r.interarrival.is_some());
+    if let Some(ia) = &r.interarrival {
+        w.f64(ia.fraction_within_20ms);
+        w.bool(ia.tail_slope.is_some());
+        w.f64(ia.tail_slope.unwrap_or(0.0));
+        w.u64(ia.samples);
+        w.u32(ia.rows.len() as u32);
+        for &(lo, hi, pct) in &ia.rows {
+            w.f64(lo).f64(hi).f64(pct);
+        }
+    }
+    w.finish()
+}
+
+fn decode_result(scenario: &Scenario, matrix_name: &str, bytes: &[u8]) -> Option<SweepResult> {
+    let mut r = ByteReader::new(bytes);
+    let queue = if r.bool()? {
+        ResolvedQueue::CoDel
+    } else {
+        ResolvedQueue::DropTail
+    };
+    let cell_seed = r.u64()?;
+    let metrics = if r.bool()? {
+        Some(SchemeResult {
+            throughput_kbps: r.f64()?,
+            p95_delay_ms: r.f64()?,
+            self_inflicted_ms: r.f64()?,
+            omniscient_ms: r.f64()?,
+            utilization: r.f64()?,
+        })
+    } else {
+        None
+    };
+    let n_flows = r.u32()? as usize;
+    let mut flows = Vec::with_capacity(n_flows);
+    for _ in 0..n_flows {
+        flows.push(FlowSummary {
+            flow: r.u32()?,
+            throughput_kbps: r.f64()?,
+            p95_delay_ms: r.f64()?,
+        });
+    }
+    let n_series = r.u32()? as usize;
+    let mut series = Vec::with_capacity(n_series);
+    for _ in 0..n_series {
+        series.push(SeriesRow {
+            t_s: r.f64()?,
+            capacity_kbps: r.f64()?,
+            throughput_kbps: r.f64()?,
+            worst_delay_ms: r.f64()?,
+        });
+    }
+    let interarrival = if r.bool()? {
+        let fraction_within_20ms = r.f64()?;
+        let has_slope = r.bool()?;
+        let slope = r.f64()?;
+        let samples = r.u64()?;
+        let n_rows = r.u32()? as usize;
+        let mut rows = Vec::with_capacity(n_rows);
+        for _ in 0..n_rows {
+            rows.push((r.f64()?, r.f64()?, r.f64()?));
+        }
+        Some(InterarrivalSummary {
+            fraction_within_20ms,
+            tail_slope: has_slope.then_some(slope),
+            samples,
+            rows,
+        })
+    } else {
+        None
+    };
+    if r.remaining() != 0 {
+        return None;
+    }
+    Some(SweepResult {
+        scenario: scenario.clone(),
+        matrix: matrix_name.to_string(),
+        queue,
+        cell_seed,
+        metrics,
+        flows,
+        series,
+        interarrival,
+        wall_ms: 0.0,
+    })
+}
+
+/// Load the cached result of one cell, if present and intact.
+pub fn load_cell(
+    matrix_name: &str,
+    matrix_fingerprint: u64,
+    scenario: &Scenario,
+    master_seed: u64,
+) -> Option<SweepResult> {
+    let key = cell_key(matrix_name, matrix_fingerprint, scenario, master_seed);
+    let payload = CELL_ARTIFACT.load(&key)?;
+    decode_result(scenario, matrix_name, &payload)
+}
+
+/// Persist one executed cell (best-effort; a disabled cache is a no-op).
+pub fn store_cell(matrix_fingerprint: u64, master_seed: u64, result: &SweepResult) -> bool {
+    let key = cell_key(
+        &result.matrix,
+        matrix_fingerprint,
+        &result.scenario,
+        master_seed,
+    );
+    CELL_ARTIFACT.store(&key, &encode_result(result))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::Workload;
+    use crate::schemes::Scheme;
+    use sprout_trace::{Duration, NetProfile};
+
+    fn sample_scenario() -> Scenario {
+        Scenario {
+            id: 3,
+            label: "t/vz-lte-down/sprout".into(),
+            workload: Workload::Scheme(Scheme::Sprout),
+            link: NetProfile::VerizonLteDown,
+            queue: crate::scenario::QueueSpec::Auto,
+            loss_rate: 0.05,
+            confidence_pct: Some(75.0),
+            duration: Duration::from_secs(30),
+            warmup: Duration::from_secs(5),
+            series_bin: Some(Duration::from_millis(500)),
+        }
+    }
+
+    fn sample_result() -> SweepResult {
+        SweepResult {
+            scenario: sample_scenario(),
+            matrix: "t".into(),
+            queue: ResolvedQueue::DropTail,
+            cell_seed: 0xdead_beef,
+            metrics: Some(SchemeResult {
+                throughput_kbps: 1234.5,
+                p95_delay_ms: f64::NAN, // NaN must survive the round trip
+                self_inflicted_ms: 42.0,
+                omniscient_ms: 20.0,
+                utilization: 0.93,
+            }),
+            flows: vec![FlowSummary {
+                flow: 1,
+                throughput_kbps: 100.0,
+                p95_delay_ms: 17.0,
+            }],
+            series: vec![SeriesRow {
+                t_s: 0.5,
+                capacity_kbps: 5000.0,
+                throughput_kbps: 4500.0,
+                worst_delay_ms: 12.0,
+            }],
+            interarrival: Some(InterarrivalSummary {
+                fraction_within_20ms: 0.9999,
+                tail_slope: None,
+                samples: 7,
+                rows: vec![(0.0, 10.0, 99.0)],
+            }),
+            wall_ms: 123.0,
+        }
+    }
+
+    #[test]
+    fn result_encoding_round_trips_excluding_wall_time() {
+        let r = sample_result();
+        let bytes = encode_result(&r);
+        let back = decode_result(&r.scenario, "t", &bytes).expect("decodes");
+        let mut expect = r.clone();
+        expect.wall_ms = 0.0; // wall time is per-execution, not cached
+                              // NaN != NaN, so compare through the canonical JSON rendering,
+                              // which is the representation the bit-identity guarantee is about.
+        assert_eq!(
+            crate::sweep::result_to_json(&back),
+            crate::sweep::result_to_json(&expect)
+        );
+        assert_eq!(back.wall_ms, 0.0);
+    }
+
+    #[test]
+    fn truncated_payload_decodes_to_none() {
+        let r = sample_result();
+        let bytes = encode_result(&r);
+        for cut in [0, 1, bytes.len() / 2, bytes.len() - 1] {
+            assert!(
+                decode_result(&r.scenario, "t", &bytes[..cut]).is_none(),
+                "truncation at {cut} must not decode"
+            );
+        }
+        let mut padded = bytes.clone();
+        padded.push(0);
+        assert!(
+            decode_result(&r.scenario, "t", &padded).is_none(),
+            "trailing bytes must not decode"
+        );
+    }
+
+    #[test]
+    fn keys_separate_matrices_seeds_and_cells() {
+        let s = sample_scenario();
+        let base = cell_key("t", 1, &s, 7);
+        assert_eq!(base, cell_key("t", 1, &s, 7));
+        assert_ne!(base, cell_key("u", 1, &s, 7));
+        assert_ne!(base, cell_key("t", 2, &s, 7));
+        assert_ne!(base, cell_key("t", 1, &s, 8));
+        let mut other = s.clone();
+        other.loss_rate = 0.10;
+        assert_ne!(base, cell_key("t", 1, &other, 7));
+    }
+}

@@ -17,7 +17,7 @@ use sprout_trace::{Duration, NetProfile, Trace};
 
 use crate::scenario::{ScenarioMatrix, Workload};
 use crate::schemes::{RunConfig, Scheme, SchemeResult};
-use crate::sweep::{self, SweepEngine, SweepResult};
+use crate::sweep::{self, CellCachePolicy, ShardSpec, SweepEngine, SweepResult};
 
 pub use crate::scenario::paired;
 
@@ -33,6 +33,10 @@ pub struct ExperimentConfig {
     pub seed: u64,
     /// Worker threads for the sweep engine (0 = one per core).
     pub threads: usize,
+    /// The slice of each matrix this process runs (`--shard I/N`).
+    pub shard: ShardSpec,
+    /// Cell-result cache policy (`--resume` / `--merge`).
+    pub cell_policy: CellCachePolicy,
     /// Output directory for TSV/JSON artifacts.
     pub out_dir: PathBuf,
 }
@@ -44,6 +48,8 @@ impl Default for ExperimentConfig {
             warmup_secs: 60,
             seed: 20130401, // NSDI 2013
             threads: 0,
+            shard: ShardSpec::FULL,
+            cell_policy: CellCachePolicy::Execute,
             out_dir: PathBuf::from("results"),
         }
     }
@@ -69,7 +75,10 @@ impl ExperimentConfig {
 
     /// The sweep engine configured by these knobs.
     pub fn engine(&self) -> SweepEngine {
-        SweepEngine::new(self.seed).with_threads(self.threads)
+        SweepEngine::new(self.seed)
+            .with_threads(self.threads)
+            .with_shard(self.shard)
+            .with_policy(self.cell_policy)
     }
 
     /// Start declaring a matrix with this config's timing.
@@ -102,9 +111,20 @@ impl ExperimentConfig {
     }
 
     /// Run `matrix` on the shared engine and record its canonical JSON
-    /// artifact (`<matrix>_sweep.json`).
+    /// artifact (`<matrix>_sweep.json`). Refuses to run with a partial
+    /// shard — a shard's results would masquerade as the whole sweep;
+    /// shard runs go through [`SweepEngine::try_run`] directly and rely
+    /// on the cell cache (then a merge) for assembly.
     pub fn run_matrix(&self, matrix: &ScenarioMatrix) -> std::io::Result<Vec<SweepResult>> {
-        let results = self.engine().run(matrix);
+        if !self.shard.is_full() {
+            return Err(std::io::Error::other(
+                "partial shard runs cannot write canonical sweep artifacts",
+            ));
+        }
+        let results = self
+            .engine()
+            .try_run(matrix)
+            .map_err(|e| std::io::Error::other(e.to_string()))?;
         fs::create_dir_all(&self.out_dir)?;
         let mut f = fs::File::create(self.sweep_json_path(matrix.name()))?;
         sweep::write_json(&mut f, matrix.name(), self.seed, &results)?;
@@ -127,14 +147,18 @@ pub struct Fig1Result {
     pub delay_rows: Vec<(f64, f64, f64)>,
 }
 
-/// Run Figure 1.
-pub fn fig1(cfg: &ExperimentConfig) -> std::io::Result<Fig1Result> {
-    let matrix = cfg
-        .matrix("fig1")
+/// The Figure 1 matrix: Skype vs Sprout with 500 ms series collection.
+pub fn fig1_matrix(cfg: &ExperimentConfig) -> ScenarioMatrix {
+    cfg.matrix("fig1")
         .schemes([Scheme::Skype, Scheme::Sprout])
         .links([NetProfile::VerizonLteDown])
         .series_bin(Duration::from_millis(500))
-        .build();
+        .build()
+}
+
+/// Run Figure 1.
+pub fn fig1(cfg: &ExperimentConfig) -> std::io::Result<Fig1Result> {
+    let matrix = fig1_matrix(cfg);
     let results = cfg.run_matrix(&matrix)?;
     let (skype, sprout) = (&results[0], &results[1]);
 
@@ -184,16 +208,21 @@ pub struct Fig2Result {
     pub samples: u64,
 }
 
-/// Run Figure 2 on a long saturated Verizon LTE downlink.
-pub fn fig2(cfg: &ExperimentConfig) -> std::io::Result<Fig2Result> {
-    // The paper's sample is 1.2 M packets; at ~420 packets/s that is
-    // ~48 min of saturation. Scale with run_secs but keep ≥ 10 min.
+/// The Figure 2 matrix: a saturated-link interarrival probe. The paper's
+/// sample is 1.2 M packets; at ~420 packets/s that is ~48 min of
+/// saturation, so the probe scales with `run_secs` but keeps ≥ 10 min.
+pub fn fig2_matrix(cfg: &ExperimentConfig) -> ScenarioMatrix {
     let secs = (cfg.run_secs * 10).max(600);
-    let matrix = ScenarioMatrix::builder("fig2")
+    ScenarioMatrix::builder("fig2")
         .workloads([Workload::InterarrivalProbe])
         .links([NetProfile::VerizonLteDown])
         .timing(Duration::from_secs(secs), Duration::ZERO)
-        .build();
+        .build()
+}
+
+/// Run Figure 2 on a long saturated Verizon LTE downlink.
+pub fn fig2(cfg: &ExperimentConfig) -> std::io::Result<Fig2Result> {
+    let matrix = fig2_matrix(cfg);
     let results = cfg.run_matrix(&matrix)?;
     let ia = results[0]
         .interarrival
@@ -250,13 +279,17 @@ pub fn fig7_schemes() -> Vec<Scheme> {
     schemes
 }
 
-/// Run the full Figure 7 sweep: every scheme on every link direction.
-pub fn fig7(cfg: &ExperimentConfig) -> std::io::Result<Fig7Results> {
-    let matrix = cfg
-        .matrix("fig7")
+/// The Figure 7 matrix: every scheme on every link direction.
+pub fn fig7_matrix(cfg: &ExperimentConfig) -> ScenarioMatrix {
+    cfg.matrix("fig7")
         .schemes(fig7_schemes())
         .links(NetProfile::all())
-        .build();
+        .build()
+}
+
+/// Run the full Figure 7 sweep: every scheme on every link direction.
+pub fn fig7(cfg: &ExperimentConfig) -> std::io::Result<Fig7Results> {
+    let matrix = fig7_matrix(cfg);
     let results = cfg.run_matrix(&matrix)?;
 
     let mut f = cfg.tsv("fig7_comparative.tsv")?;
@@ -404,14 +437,18 @@ pub struct Fig9Row {
 /// The confidence axis of Figure 9, in the paper's order.
 pub const FIG9_CONFIDENCES: [f64; 5] = [95.0, 75.0, 50.0, 25.0, 5.0];
 
-/// Run Figure 9.
-pub fn fig9(cfg: &ExperimentConfig) -> std::io::Result<Vec<Fig9Row>> {
-    let matrix = cfg
-        .matrix("fig9")
+/// The Figure 9 matrix: Sprout across the confidence axis.
+pub fn fig9_matrix(cfg: &ExperimentConfig) -> ScenarioMatrix {
+    cfg.matrix("fig9")
         .schemes([Scheme::Sprout])
         .links([NetProfile::TmobileUmtsUp])
         .confidences_pct(FIG9_CONFIDENCES)
-        .build();
+        .build()
+}
+
+/// Run Figure 9.
+pub fn fig9(cfg: &ExperimentConfig) -> std::io::Result<Vec<Fig9Row>> {
+    let matrix = fig9_matrix(cfg);
     let results = cfg.run_matrix(&matrix)?;
 
     let mut f = cfg.tsv("fig9_confidence.tsv")?;
@@ -445,14 +482,18 @@ pub struct LossRow {
     pub result: SchemeResult,
 }
 
-/// Run the §5.6 loss table (Verizon LTE, both directions, 0/5/10%).
-pub fn loss_table(cfg: &ExperimentConfig) -> std::io::Result<Vec<LossRow>> {
-    let matrix = cfg
-        .matrix("loss")
+/// The §5.6 loss matrix (Verizon LTE, both directions, 0/5/10%).
+pub fn loss_matrix(cfg: &ExperimentConfig) -> ScenarioMatrix {
+    cfg.matrix("loss")
         .schemes([Scheme::Sprout])
         .links([NetProfile::VerizonLteDown, NetProfile::VerizonLteUp])
         .loss_rates([0.0, 0.05, 0.10])
-        .build();
+        .build()
+}
+
+/// Run the §5.6 loss table (Verizon LTE, both directions, 0/5/10%).
+pub fn loss_table(cfg: &ExperimentConfig) -> std::io::Result<Vec<LossRow>> {
+    let matrix = loss_matrix(cfg);
     let results = cfg.run_matrix(&matrix)?;
 
     let mut f = cfg.tsv("loss_resilience.tsv")?;
@@ -495,13 +536,17 @@ pub struct TunnelComparison {
     pub skype_tunnel_delay_s: f64,
 }
 
-/// Run the §5.7 comparison on the Verizon LTE downlink.
-pub fn tunnel_comparison(cfg: &ExperimentConfig) -> std::io::Result<TunnelComparison> {
-    let matrix = cfg
-        .matrix("tunnel")
+/// The §5.7 tunnel matrix: mux'd flows direct vs through SproutTunnel.
+pub fn tunnel_matrix(cfg: &ExperimentConfig) -> ScenarioMatrix {
+    cfg.matrix("tunnel")
         .workloads([Workload::MuxDirect, Workload::MuxTunneled])
         .links([NetProfile::VerizonLteDown])
-        .build();
+        .build()
+}
+
+/// Run the §5.7 comparison on the Verizon LTE downlink.
+pub fn tunnel_comparison(cfg: &ExperimentConfig) -> std::io::Result<TunnelComparison> {
+    let matrix = tunnel_matrix(cfg);
     let results = cfg.run_matrix(&matrix)?;
 
     let flow = |r: &SweepResult, id: u32| -> sweep::FlowSummary {
@@ -541,6 +586,29 @@ pub fn tunnel_comparison(cfg: &ExperimentConfig) -> std::io::Result<TunnelCompar
 }
 
 // -------------------------------------------------------------- helpers
+
+/// The matrices one `reproduce` experiment runs (fig8 derives from the
+/// fig7 sweep; `all` is every distinct matrix). Shard workers iterate
+/// this to execute their slice of each matrix without rendering figures.
+pub fn matrices_for(cfg: &ExperimentConfig, experiment: &str) -> Vec<ScenarioMatrix> {
+    match experiment {
+        "fig1" => vec![fig1_matrix(cfg)],
+        "fig2" => vec![fig2_matrix(cfg)],
+        "fig7" | "fig8" => vec![fig7_matrix(cfg)],
+        "fig9" => vec![fig9_matrix(cfg)],
+        "loss" => vec![loss_matrix(cfg)],
+        "tunnel" => vec![tunnel_matrix(cfg)],
+        "all" => vec![
+            fig1_matrix(cfg),
+            fig2_matrix(cfg),
+            fig7_matrix(cfg),
+            fig9_matrix(cfg),
+            loss_matrix(cfg),
+            tunnel_matrix(cfg),
+        ],
+        other => panic!("unknown experiment {other:?}"),
+    }
+}
 
 /// Render a `SchemeResult` row for console output.
 pub fn fmt_result(name: &str, r: &SchemeResult) -> String {

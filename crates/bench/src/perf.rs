@@ -160,6 +160,8 @@ pub fn bench_report_to_json(report: &BenchReport) -> String {
     cache(&mut o, report.stats.table_cache);
     o.push_str(",\"trace\":");
     cache(&mut o, report.stats.trace_cache);
+    o.push_str(",\"cell\":");
+    cache(&mut o, report.stats.cell_cache);
     o.push_str("},\"micro\":{");
     for (i, m) in report.micro.iter().enumerate() {
         if i > 0 {

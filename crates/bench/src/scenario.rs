@@ -82,6 +82,15 @@ pub enum QueueSpec {
 }
 
 impl QueueSpec {
+    /// Machine-friendly identifier (canonical encodings).
+    pub fn id(self) -> &'static str {
+        match self {
+            QueueSpec::Auto => "auto",
+            QueueSpec::DropTail => "droptail",
+            QueueSpec::CoDel => "codel",
+        }
+    }
+
     /// Resolve to a concrete discipline for `workload`.
     pub fn resolve(self, workload: Workload) -> ResolvedQueue {
         match self {
@@ -143,6 +152,36 @@ pub struct Scenario {
     pub series_bin: Option<Duration>,
 }
 
+impl Scenario {
+    /// Append this cell's canonical encoding to `w`: every field, in
+    /// declaration order, with floats as raw bits. This byte string is
+    /// the cell's *identity* — the cell-result cache keys on it — so it
+    /// must change whenever any field that can influence results changes.
+    /// Extend it in lockstep when `Scenario` grows fields.
+    pub fn canonical_bytes(&self, w: &mut sprout_cache::ByteWriter) {
+        w.u64(self.id);
+        w.str(&self.label);
+        w.str(self.workload.id());
+        w.str(self.workload.scheme().map(|s| s.name()).unwrap_or(""));
+        w.str(self.link.id());
+        w.str(self.queue.id());
+        w.f64(self.loss_rate);
+        w.bool(self.confidence_pct.is_some());
+        w.f64(self.confidence_pct.unwrap_or(0.0));
+        w.u64(self.duration.as_micros());
+        w.u64(self.warmup.as_micros());
+        w.bool(self.series_bin.is_some());
+        w.u64(self.series_bin.map(|b| b.as_micros()).unwrap_or(0));
+    }
+
+    /// Stable 64-bit fingerprint of [`Self::canonical_bytes`].
+    pub fn fingerprint(&self) -> u64 {
+        let mut w = sprout_cache::ByteWriter::with_capacity(96);
+        self.canonical_bytes(&mut w);
+        sprout_cache::fingerprint64(&w.finish())
+    }
+}
+
 /// A named, ordered set of scenarios — the declared form of one
 /// experiment.
 #[derive(Clone, Debug)]
@@ -157,9 +196,37 @@ impl ScenarioMatrix {
         MatrixBuilder::new(name)
     }
 
+    /// Assemble a matrix from explicit cells (shard tooling and tests).
+    /// Preserves the builder's invariant that `cells()[i].id == i`.
+    pub fn from_cells(name: impl Into<String>, cells: Vec<Scenario>) -> Self {
+        for (i, cell) in cells.iter().enumerate() {
+            assert_eq!(
+                cell.id, i as u64,
+                "cell ids must equal their position in the matrix"
+            );
+        }
+        ScenarioMatrix {
+            name: name.into(),
+            cells,
+        }
+    }
+
     /// The matrix name (figure/table identifier).
     pub fn name(&self) -> &str {
         &self.name
+    }
+
+    /// Stable fingerprint of the whole declaration: the name plus every
+    /// cell's canonical encoding. Two matrices share a fingerprint only
+    /// if they would run exactly the same sweep.
+    pub fn fingerprint(&self) -> u64 {
+        let mut w = sprout_cache::ByteWriter::with_capacity(64 + 96 * self.cells.len());
+        w.str(&self.name);
+        w.u64(self.cells.len() as u64);
+        for cell in &self.cells {
+            cell.canonical_bytes(&mut w);
+        }
+        sprout_cache::fingerprint64(&w.finish())
     }
 
     /// The cells, in declaration order (`cells()[i].id == i`).
@@ -372,6 +439,63 @@ mod tests {
             };
             assert_eq!(resolved, expect, "{}", scheme.name());
         }
+    }
+
+    #[test]
+    fn fingerprints_are_stable_and_distinguish_cells() {
+        let m = ScenarioMatrix::builder("t")
+            .schemes([Scheme::Sprout, Scheme::Cubic])
+            .links([NetProfile::VerizonLteDown])
+            .loss_rates([0.0, 0.05])
+            .build();
+        assert_eq!(m.fingerprint(), m.fingerprint());
+        let mut prints: Vec<u64> = m.cells().iter().map(|c| c.fingerprint()).collect();
+        prints.sort_unstable();
+        prints.dedup();
+        assert_eq!(prints.len(), m.len(), "cell fingerprints must not collide");
+
+        // Any field change moves the fingerprint.
+        let mut cell = m.cells()[0].clone();
+        let base = cell.fingerprint();
+        cell.loss_rate = 0.07;
+        assert_ne!(cell.fingerprint(), base);
+        cell.loss_rate = m.cells()[0].loss_rate;
+        cell.confidence_pct = Some(0.0);
+        assert_ne!(
+            cell.fingerprint(),
+            base,
+            "Some(0.0) must differ from None despite the 0.0 sentinel"
+        );
+
+        // A different matrix declaration has a different fingerprint.
+        let other = ScenarioMatrix::builder("t")
+            .schemes([Scheme::Sprout, Scheme::Cubic])
+            .links([NetProfile::VerizonLteDown])
+            .loss_rates([0.0, 0.06])
+            .build();
+        assert_ne!(m.fingerprint(), other.fingerprint());
+    }
+
+    #[test]
+    fn from_cells_preserves_position_ids() {
+        let m = ScenarioMatrix::builder("t")
+            .schemes([Scheme::Sprout])
+            .links([NetProfile::VerizonLteDown, NetProfile::VerizonLteUp])
+            .build();
+        let rebuilt = ScenarioMatrix::from_cells("t", m.cells().to_vec());
+        assert_eq!(rebuilt.fingerprint(), m.fingerprint());
+    }
+
+    #[test]
+    #[should_panic(expected = "cell ids must equal their position")]
+    fn from_cells_rejects_misnumbered_cells() {
+        let m = ScenarioMatrix::builder("t")
+            .schemes([Scheme::Sprout])
+            .links([NetProfile::VerizonLteDown, NetProfile::VerizonLteUp])
+            .build();
+        let mut cells = m.cells().to_vec();
+        cells.swap(0, 1);
+        ScenarioMatrix::from_cells("t", cells);
     }
 
     #[test]

@@ -16,7 +16,19 @@
 //! Consequently a sweep is bit-identical for any thread count or
 //! execution order, and [`write_json`] emits a canonical, diffable record
 //! of the whole matrix (the `BENCH_*.json` trajectory format).
+//!
+//! **Sharding and resumption.** Because every cell is a pure function of
+//! `(engine version, matrix, scenario, master_seed)`, the engine can
+//! split one matrix across processes ([`ShardSpec`]) and persist each
+//! finished cell in the shared artifact cache (`crate::cellcache`). A
+//! [`CellCachePolicy::Resume`] run serves cached cells and executes only
+//! the rest; [`CellCachePolicy::Merge`] reassembles a complete sweep from
+//! the cache alone, bit-identical to a single-shot run. Panicking cells
+//! are isolated per cell: survivors finish (and are cached), and the
+//! failure names every offending `scenario.id` instead of poisoning the
+//! whole sweep.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -115,7 +127,140 @@ pub struct SweepStats {
     pub table_cache: sprout_cache::CacheCounters,
     /// Trace-synthesis disk-cache traffic during the run.
     pub trace_cache: sprout_cache::CacheCounters,
+    /// Cell-result disk-cache traffic during the run (hits mean whole
+    /// cells were served without simulating).
+    pub cell_cache: sprout_cache::CacheCounters,
 }
+
+/// Which slice of a matrix one process owns. Cells are dealt round-robin
+/// by scenario id (`id % count == index`), so every shard gets a
+/// near-equal share of each workload/link stripe.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ShardSpec {
+    /// This process's shard, `0 <= index < count`.
+    pub index: usize,
+    /// Total number of shards.
+    pub count: usize,
+}
+
+impl ShardSpec {
+    /// The whole matrix in one process (the default).
+    pub const FULL: ShardSpec = ShardSpec { index: 0, count: 1 };
+
+    /// Shard `index` of `count`.
+    pub fn new(index: usize, count: usize) -> Self {
+        assert!(count > 0, "shard count must be positive");
+        assert!(index < count, "shard index must be < count");
+        ShardSpec { index, count }
+    }
+
+    /// Parse the CLI form `I/N` (e.g. `0/2`). `None` on any malformed or
+    /// out-of-range spec.
+    pub fn parse(spec: &str) -> Option<Self> {
+        let (i, n) = spec.split_once('/')?;
+        let index: usize = i.parse().ok()?;
+        let count: usize = n.parse().ok()?;
+        (count > 0 && index < count).then(|| ShardSpec::new(index, count))
+    }
+
+    /// Whether this shard owns scenario `id`.
+    pub fn owns(&self, id: u64) -> bool {
+        id % self.count as u64 == self.index as u64
+    }
+
+    /// Whether this spec covers the whole matrix.
+    pub fn is_full(&self) -> bool {
+        self.count == 1
+    }
+}
+
+impl Default for ShardSpec {
+    fn default() -> Self {
+        ShardSpec::FULL
+    }
+}
+
+/// How a sweep uses the per-cell result cache. Executed cells are always
+/// *stored* (best-effort, no-op when the cache is disabled); the policy
+/// governs *loading*.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum CellCachePolicy {
+    /// Execute every owned cell (the default — recomputation is itself
+    /// the determinism check the CI smoke relies on).
+    #[default]
+    Execute,
+    /// Serve cells already in the cache, execute the rest (`--resume`).
+    Resume,
+    /// Serve every owned cell from the cache; any miss is an error
+    /// naming the absent cells (`--merge`).
+    Merge,
+}
+
+/// One cell that panicked during execution.
+#[derive(Clone, Debug)]
+pub struct CellFailure {
+    /// The failing cell's stable identity.
+    pub scenario_id: u64,
+    /// Its human-readable label.
+    pub label: String,
+    /// The panic message.
+    pub message: String,
+}
+
+/// Why a sweep could not produce a complete result set.
+#[derive(Clone, Debug)]
+pub enum SweepError {
+    /// One or more cells panicked. Surviving cells finished and were
+    /// persisted to the cell cache, so a `Resume` rerun only redoes the
+    /// failures.
+    CellsPanicked(Vec<CellFailure>),
+    /// A [`CellCachePolicy::Merge`] run found cells absent from the
+    /// cache (a shard has not run yet, or the cache was keyed under a
+    /// different matrix/seed/engine version).
+    MissingCells {
+        /// The matrix being merged.
+        matrix: String,
+        /// Labels of every absent cell.
+        labels: Vec<String>,
+    },
+}
+
+impl std::fmt::Display for SweepError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SweepError::CellsPanicked(failures) => {
+                writeln!(f, "{} sweep cell(s) panicked:", failures.len())?;
+                for c in failures {
+                    writeln!(
+                        f,
+                        "  scenario {} ({}): {}",
+                        c.scenario_id, c.label, c.message
+                    )?;
+                }
+                write!(
+                    f,
+                    "surviving cells were cached; rerun with resume to redo only the failures"
+                )
+            }
+            SweepError::MissingCells { matrix, labels } => {
+                writeln!(
+                    f,
+                    "merge of {matrix:?}: {} cell(s) absent from the result cache:",
+                    labels.len()
+                )?;
+                for l in labels {
+                    writeln!(f, "  {l}")?;
+                }
+                write!(
+                    f,
+                    "run the missing shard(s) against this cache directory, or resume instead of merging"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for SweepError {}
 
 /// Executes scenario matrices over a worker pool.
 #[derive(Clone, Copy, Debug)]
@@ -124,6 +269,10 @@ pub struct SweepEngine {
     pub master_seed: u64,
     /// Worker threads (0 = one per available core).
     pub threads: usize,
+    /// The slice of each matrix this engine owns.
+    pub shard: ShardSpec,
+    /// How the per-cell result cache is consulted.
+    pub policy: CellCachePolicy,
 }
 
 impl SweepEngine {
@@ -132,12 +281,26 @@ impl SweepEngine {
         SweepEngine {
             master_seed,
             threads: 0,
+            shard: ShardSpec::FULL,
+            policy: CellCachePolicy::Execute,
         }
     }
 
     /// Override the worker count.
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads;
+        self
+    }
+
+    /// Restrict the engine to one shard of each matrix.
+    pub fn with_shard(mut self, shard: ShardSpec) -> Self {
+        self.shard = shard;
+        self
+    }
+
+    /// Set the cell-result cache policy.
+    pub fn with_policy(mut self, policy: CellCachePolicy) -> Self {
+        self.policy = policy;
         self
     }
 
@@ -162,48 +325,139 @@ impl SweepEngine {
     pub fn run_with_stats(&self, matrix: &ScenarioMatrix) -> (Vec<SweepResult>, SweepStats) {
         let table0 = sprout_core::table_cache_counters();
         let trace0 = sprout_trace::trace_cache_counters();
+        let cell0 = crate::cellcache::cell_cache_counters();
         let t0 = std::time::Instant::now();
         let results = self.run(matrix);
         let stats = SweepStats {
             total_wall_ms: t0.elapsed().as_secs_f64() * 1e3,
             table_cache: sprout_core::table_cache_counters().since(table0),
             trace_cache: sprout_trace::trace_cache_counters().since(trace0),
+            cell_cache: crate::cellcache::cell_cache_counters().since(cell0),
         };
         (results, stats)
     }
 
-    /// Run every cell of `matrix`; `results[i]` corresponds to
-    /// `matrix.cells()[i]` regardless of thread interleaving.
+    /// Run every owned cell of `matrix`; panics with the aggregated
+    /// [`SweepError`] on failure. Library callers that want to keep
+    /// surviving results should use [`Self::try_run`].
     pub fn run(&self, matrix: &ScenarioMatrix) -> Vec<SweepResult> {
-        let cells = matrix.cells();
-        let threads = self.effective_threads(cells.len());
-        let slots: Vec<Mutex<Option<SweepResult>>> =
-            cells.iter().map(|_| Mutex::new(None)).collect();
-        let next = AtomicUsize::new(0);
+        self.try_run(matrix).unwrap_or_else(|e| panic!("{e}"))
+    }
 
-        // Traces depend only on (master_seed, profile, duration), so all
-        // cells sharing a link replay one synthesis instead of each
-        // regenerating it (fig7: 80 cells but only 8 links × 2 directions).
-        let memo = TraceMemo::for_matrix(matrix, self.master_seed);
+    /// Run every cell of `matrix` this engine's shard owns, in matrix
+    /// order: `results[k]` corresponds to the k-th owned cell regardless
+    /// of thread interleaving (for the default full shard, `results[i]`
+    /// is `matrix.cells()[i]`).
+    ///
+    /// Depending on [`Self::policy`], cells may be served from the
+    /// per-cell result cache instead of executing; every *executed* cell
+    /// is persisted there (best-effort). A panicking cell does not take
+    /// the sweep down: the other cells complete (and are cached) and the
+    /// returned [`SweepError::CellsPanicked`] names each failure.
+    pub fn try_run(&self, matrix: &ScenarioMatrix) -> Result<Vec<SweepResult>, SweepError> {
+        let matrix_fp = matrix.fingerprint();
+        let owned: Vec<&Scenario> = matrix
+            .cells()
+            .iter()
+            .filter(|c| self.shard.owns(c.id))
+            .collect();
 
-        std::thread::scope(|scope| {
-            for _ in 0..threads {
-                scope.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= cells.len() {
-                        break;
-                    }
-                    let result =
-                        execute_with_memo(matrix.name(), &cells[i], self.master_seed, &memo);
-                    *slots[i].lock().unwrap() = Some(result);
-                });
+        // Phase 1: serve what the cache already holds (policy permitting).
+        let mut results: Vec<Option<SweepResult>> = vec![None; owned.len()];
+        let mut pending: Vec<usize> = Vec::new();
+        for (k, cell) in owned.iter().enumerate() {
+            let cached = match self.policy {
+                CellCachePolicy::Execute => None,
+                CellCachePolicy::Resume | CellCachePolicy::Merge => {
+                    crate::cellcache::load_cell(matrix.name(), matrix_fp, cell, self.master_seed)
+                }
+            };
+            match cached {
+                Some(r) => results[k] = Some(r),
+                None => pending.push(k),
             }
-        });
+        }
+        if self.policy == CellCachePolicy::Merge && !pending.is_empty() {
+            return Err(SweepError::MissingCells {
+                matrix: matrix.name().to_string(),
+                labels: pending.iter().map(|&k| owned[k].label.clone()).collect(),
+            });
+        }
 
-        slots
+        // Phase 2: execute the rest over the worker pool. Traces depend
+        // only on (master_seed, profile, duration), so all pending cells
+        // sharing a link replay one synthesis instead of each
+        // regenerating it (fig7: 80 cells but only 8 links × 2
+        // directions); fully-cached sweeps synthesize nothing at all.
+        let mut failures: Vec<CellFailure> = Vec::new();
+        if !pending.is_empty() {
+            let memo = TraceMemo::for_cells(pending.iter().map(|&k| owned[k]), self.master_seed);
+            let threads = self.effective_threads(pending.len());
+            let slots: Vec<Mutex<Option<Result<SweepResult, CellFailure>>>> =
+                pending.iter().map(|_| Mutex::new(None)).collect();
+            let next = AtomicUsize::new(0);
+
+            std::thread::scope(|scope| {
+                for _ in 0..threads {
+                    scope.spawn(|| loop {
+                        let j = next.fetch_add(1, Ordering::Relaxed);
+                        if j >= pending.len() {
+                            break;
+                        }
+                        let cell = owned[pending[j]];
+                        let outcome = catch_unwind(AssertUnwindSafe(|| {
+                            execute_with_memo(matrix.name(), cell, self.master_seed, &memo)
+                        }));
+                        let entry = match outcome {
+                            Ok(result) => {
+                                crate::cellcache::store_cell(matrix_fp, self.master_seed, &result);
+                                Ok(result)
+                            }
+                            Err(payload) => Err(CellFailure {
+                                scenario_id: cell.id,
+                                label: cell.label.clone(),
+                                message: panic_message(payload.as_ref()),
+                            }),
+                        };
+                        *slots[j].lock().unwrap() = Some(entry);
+                    });
+                }
+            });
+
+            for (j, slot) in slots.into_iter().enumerate() {
+                // Worker panics were caught per cell, so the slot mutex
+                // cannot be poisoned and every slot was filled.
+                match slot
+                    .into_inner()
+                    .unwrap()
+                    .expect("every pending cell visited")
+                {
+                    Ok(r) => results[pending[j]] = Some(r),
+                    Err(failure) => failures.push(failure),
+                }
+            }
+        }
+
+        if !failures.is_empty() {
+            failures.sort_by_key(|f| f.scenario_id);
+            return Err(SweepError::CellsPanicked(failures));
+        }
+        Ok(results
             .into_iter()
-            .map(|slot| slot.into_inner().unwrap().expect("every cell executed"))
-            .collect()
+            .map(|r| r.expect("every owned cell resolved"))
+            .collect())
+    }
+}
+
+/// Best-effort rendering of a panic payload (the common `&str`/`String`
+/// payloads; anything else gets a placeholder).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
     }
 }
 
@@ -216,9 +470,9 @@ struct TraceMemo {
 }
 
 impl TraceMemo {
-    fn for_matrix(matrix: &ScenarioMatrix, master_seed: u64) -> Self {
+    fn for_cells<'a>(cells: impl IntoIterator<Item = &'a Scenario>, master_seed: u64) -> Self {
         let mut traces = std::collections::HashMap::new();
-        for cell in matrix.cells() {
+        for cell in cells {
             if cell.workload == Workload::InterarrivalProbe {
                 continue; // probes use their own derived sub-stream
             }
@@ -386,9 +640,23 @@ fn collect_series(
     to: Timestamp,
 ) -> Vec<SeriesRow> {
     let tput = m.throughput_series_kbps(bin, from, to);
-    let capacity = trace.window(from, to).capacity_series_kbps(bin);
+    let mut capacity = trace.window(from, to).capacity_series_kbps(bin);
+    // The throughput series covers every bin of [from, to); the capacity
+    // series ends at the window's last delivery opportunity and so can
+    // fall short. Reconcile to the full measurement window — trailing
+    // opportunity-free bins carry zero capacity — so no bin (and no
+    // worst-delay sample landing in one) is silently dropped.
+    let n = tput.len();
+    debug_assert!(
+        capacity.len() <= n,
+        "capacity series ({} bins) outran the measurement window ({} bins)",
+        capacity.len(),
+        n
+    );
+    capacity.truncate(n);
+    capacity.resize(n, 0.0);
     // Worst per-arrival delay per bin.
-    let mut worst: Vec<f64> = vec![0.0; tput.len().max(capacity.len())];
+    let mut worst: Vec<f64> = vec![0.0; n];
     for (at, d) in m.delay_series() {
         if at < from || at >= to {
             continue;
@@ -398,7 +666,6 @@ fn collect_series(
             worst[key] = worst[key].max(d.as_micros() as f64 / 1e3);
         }
     }
-    let n = tput.len().min(capacity.len());
     let bin_s = bin.as_secs_f64();
     (0..n)
         .map(|i| SeriesRow {
@@ -686,6 +953,24 @@ mod tests {
             sweep_to_json(m.name(), 11, &one),
             sweep_to_json(m.name(), 11, &four)
         );
+    }
+
+    #[test]
+    fn series_covers_every_bin_of_the_measurement_window() {
+        // 21 s run − 5 s warmup over 500 ms bins ⇒ exactly 32 rows; the
+        // capacity series may end at the link's last delivery opportunity
+        // but must be padded, not truncate the throughput/delay rows.
+        let m = ScenarioMatrix::builder("series")
+            .schemes([Scheme::Cubic])
+            .links([NetProfile::TmobileUmtsDown])
+            .timing(Duration::from_secs(21), Duration::from_secs(5))
+            .series_bin(Duration::from_millis(500))
+            .build();
+        let results = SweepEngine::new(13).run(&m);
+        assert_eq!(results[0].series.len(), 32);
+        for (i, row) in results[0].series.iter().enumerate() {
+            assert_eq!(row.t_s, i as f64 * 0.5);
+        }
     }
 
     #[test]

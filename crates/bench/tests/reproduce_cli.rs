@@ -1,0 +1,98 @@
+//! Argument validation of the `reproduce` binary: every rejected
+//! combination must exit 2 via the usage path before any simulation
+//! starts, so these tests are instant.
+
+use std::process::Command;
+
+fn reproduce(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_reproduce"))
+        .args(args)
+        .output()
+        .expect("spawn reproduce")
+}
+
+fn exit_code(args: &[&str]) -> i32 {
+    reproduce(args).status.code().expect("no signal")
+}
+
+#[test]
+fn help_exits_zero() {
+    assert_eq!(exit_code(&["--help"]), 0);
+}
+
+#[test]
+fn empty_measurement_window_is_rejected() {
+    // Straight contradiction.
+    assert_eq!(exit_code(&["fig9", "--warmup", "100", "--secs", "50"]), 2);
+    // Equality leaves nothing to measure either.
+    assert_eq!(exit_code(&["fig9", "--warmup", "90", "--secs", "90"]), 2);
+    let out = reproduce(&["fig9", "--warmup", "100", "--secs", "50"]);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("measurement window"),
+        "stderr should explain the rejection: {stderr}"
+    );
+}
+
+#[test]
+fn quick_does_not_clobber_explicit_timing() {
+    // --quick defaults secs to 90; an explicit warmup of 100 (in either
+    // flag order) now contradicts it instead of being silently reset.
+    assert_eq!(exit_code(&["fig9", "--quick", "--warmup", "100"]), 2);
+    assert_eq!(exit_code(&["fig9", "--warmup", "100", "--quick"]), 2);
+    // An explicit --secs above the explicit warmup resolves it. Keep the
+    // run's side effects (out dir, cell cache) in a temp directory.
+    let tmp = std::env::temp_dir().join(format!("reproduce-cli-test-{}", std::process::id()));
+    let out = reproduce(&[
+        "fig9",
+        "--warmup",
+        "100",
+        "--secs",
+        "120",
+        "--quick",
+        "--shard",
+        "999999/1000000",
+        "--out",
+        &tmp.join("out").to_string_lossy(),
+        "--cache-dir",
+        &tmp.join("cache").to_string_lossy(),
+    ]);
+    // Shard 999999/1000000 owns none of fig9's five cells, so this
+    // parses, runs nothing, and exits 0 — proving validation passed.
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let _ = std::fs::remove_dir_all(&tmp);
+}
+
+#[test]
+fn shard_specs_are_validated() {
+    for bad in ["2/2", "0/0", "x/2", "2", "1/2/3", ""] {
+        assert_eq!(exit_code(&["fig9", "--shard", bad]), 2, "--shard {bad:?}");
+    }
+    assert_eq!(exit_code(&["fig9", "--shard"]), 2);
+}
+
+#[test]
+fn incompatible_flag_combinations_are_rejected() {
+    for combo in [
+        vec!["fig9", "--merge", "--resume"],
+        vec!["fig9", "--merge", "--shard", "0/2"],
+        vec!["fig9", "--shard", "0/2", "--no-cache"],
+        vec!["fig9", "--merge", "--no-cache"],
+        vec!["fig9", "--resume", "--no-cache"],
+        vec!["fig9", "--shard", "0/2", "--json"],
+        vec!["--bench", "--resume"],
+        vec!["--bench", "--merge"],
+        vec!["--bench", "--shard", "0/2"],
+        vec!["--bench", "fig9"],
+        vec!["fig9", "--bench-baseline", "x.json"],
+    ] {
+        assert_eq!(exit_code(&combo), 2, "{combo:?} must be a usage error");
+    }
+}
+
+#[test]
+fn unknown_experiments_and_flags_are_rejected() {
+    assert_eq!(exit_code(&["fig99"]), 2);
+    assert_eq!(exit_code(&["fig9", "--frobnicate"]), 2);
+    assert_eq!(exit_code(&["fig9", "--secs", "abc"]), 2);
+}

@@ -1,0 +1,223 @@
+//! Sharded, resumable sweeps against the per-cell result cache:
+//! shard + merge and kill-mid-sweep + resume must both reassemble JSON
+//! bit-identical to a single-shot run, and a panicking cell must not
+//! take its siblings (or their cached results) down with it.
+//!
+//! These tests mutate the process-global cache override, so they live in
+//! their own integration-test binary and serialize on one lock.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Mutex;
+
+use sprout_bench::{
+    cell_cache_counters, sweep_to_json, CellCachePolicy, QueueSpec, Scenario, ScenarioMatrix,
+    Scheme, ShardSpec, SweepEngine, SweepError, Workload,
+};
+use sprout_cache::CacheCounters;
+use sprout_trace::{Duration, NetProfile};
+
+/// Serializes tests (they share the global cache-dir override).
+static LOCK: Mutex<()> = Mutex::new(());
+
+fn temp_cache_dir(tag: &str) -> PathBuf {
+    static N: AtomicU32 = AtomicU32::new(0);
+    let d = std::env::temp_dir().join(format!(
+        "sprout-shard-test-{}-{}-{tag}",
+        std::process::id(),
+        N.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+fn tiny_matrix() -> ScenarioMatrix {
+    ScenarioMatrix::builder("shardtest")
+        .schemes([Scheme::Cubic, Scheme::Vegas])
+        .links([NetProfile::TmobileUmtsDown])
+        .loss_rates([0.0, 0.03])
+        .timing(Duration::from_secs(20), Duration::from_secs(4))
+        .build()
+}
+
+/// Cell-cache traffic since `before`.
+fn cell_traffic_since(before: CacheCounters) -> CacheCounters {
+    cell_cache_counters().since(before)
+}
+
+#[test]
+fn two_shards_plus_merge_match_single_shot_with_zero_executions() {
+    let _g = LOCK.lock().unwrap();
+    let m = tiny_matrix();
+
+    // Single-shot baseline in its own cache directory.
+    sprout_cache::set_dir(temp_cache_dir("single"));
+    let single = SweepEngine::new(11).with_threads(1).run(&m);
+    let want = sweep_to_json(m.name(), 11, &single);
+
+    // Two shard processes' worth of work against one shared directory,
+    // at different thread counts.
+    sprout_cache::set_dir(temp_cache_dir("shared"));
+    SweepEngine::new(11)
+        .with_threads(1)
+        .with_shard(ShardSpec::new(0, 2))
+        .run(&m);
+    SweepEngine::new(11)
+        .with_threads(4)
+        .with_shard(ShardSpec::new(1, 2))
+        .run(&m);
+
+    // Merge: every cell served from the cache, nothing executed.
+    let before = cell_cache_counters();
+    let merged = SweepEngine::new(11)
+        .with_threads(4)
+        .with_policy(CellCachePolicy::Merge)
+        .run(&m);
+    let traffic = cell_traffic_since(before);
+    assert_eq!(sweep_to_json(m.name(), 11, &merged), want);
+    assert_eq!(traffic.hits, m.len() as u64, "merge must hit every cell");
+    assert_eq!(traffic.misses, 0);
+    assert_eq!(traffic.stores, 0, "merge executes (and stores) nothing");
+
+    sprout_cache::reset_override();
+}
+
+#[test]
+fn killed_sweep_resumes_bit_identically_and_only_runs_missing_cells() {
+    let _g = LOCK.lock().unwrap();
+    let m = tiny_matrix();
+
+    sprout_cache::set_dir(temp_cache_dir("resume-baseline"));
+    let single = SweepEngine::new(5).with_threads(1).run(&m);
+    let want = sweep_to_json(m.name(), 5, &single);
+
+    // "Kill" a sweep after half its cells: only shard 0 ever ran.
+    sprout_cache::set_dir(temp_cache_dir("resume"));
+    let done = SweepEngine::new(5)
+        .with_shard(ShardSpec::new(0, 2))
+        .run(&m)
+        .len() as u64;
+
+    let before = cell_cache_counters();
+    let resumed = SweepEngine::new(5)
+        .with_threads(4)
+        .with_policy(CellCachePolicy::Resume)
+        .run(&m);
+    let traffic = cell_traffic_since(before);
+    assert_eq!(sweep_to_json(m.name(), 5, &resumed), want);
+    assert_eq!(traffic.hits, done, "finished cells come from the cache");
+    assert_eq!(traffic.misses, m.len() as u64 - done);
+    assert_eq!(traffic.stores, m.len() as u64 - done, "only misses execute");
+
+    // A second resume serves everything.
+    let before = cell_cache_counters();
+    let again = SweepEngine::new(5)
+        .with_policy(CellCachePolicy::Resume)
+        .run(&m);
+    let traffic = cell_traffic_since(before);
+    assert_eq!(sweep_to_json(m.name(), 5, &again), want);
+    assert_eq!((traffic.misses, traffic.stores), (0, 0));
+
+    sprout_cache::reset_override();
+}
+
+#[test]
+fn merge_without_all_shards_names_the_missing_cells() {
+    let _g = LOCK.lock().unwrap();
+    let m = tiny_matrix();
+    sprout_cache::set_dir(temp_cache_dir("partial-merge"));
+    SweepEngine::new(3).with_shard(ShardSpec::new(0, 2)).run(&m);
+
+    let err = SweepEngine::new(3)
+        .with_policy(CellCachePolicy::Merge)
+        .try_run(&m)
+        .expect_err("half the cells are absent");
+    match err {
+        SweepError::MissingCells { matrix, labels } => {
+            assert_eq!(matrix, "shardtest");
+            let expect: Vec<&str> = m
+                .cells()
+                .iter()
+                .filter(|c| ShardSpec::new(1, 2).owns(c.id))
+                .map(|c| c.label.as_str())
+                .collect();
+            assert_eq!(labels, expect);
+        }
+        other => panic!("expected MissingCells, got {other:?}"),
+    }
+
+    // A different seed never sees the cached cells either.
+    let err = SweepEngine::new(4)
+        .with_policy(CellCachePolicy::Merge)
+        .try_run(&m)
+        .expect_err("other seeds must not be served seed-3 results");
+    assert!(matches!(err, SweepError::MissingCells { ref labels, .. } if labels.len() == m.len()));
+
+    sprout_cache::reset_override();
+}
+
+/// A matrix whose middle cell panics during setup: a negative confidence
+/// override trips `SproutConfig::with_confidence_percent`'s assertion.
+fn poisoned_matrix() -> ScenarioMatrix {
+    let cell = |id: u64, confidence: Option<f64>| Scenario {
+        id,
+        label: format!("poison/cell{id}"),
+        workload: Workload::Scheme(Scheme::Cubic),
+        link: NetProfile::TmobileUmtsDown,
+        queue: QueueSpec::Auto,
+        loss_rate: 0.0,
+        confidence_pct: confidence,
+        duration: Duration::from_secs(12),
+        warmup: Duration::from_secs(2),
+        series_bin: None,
+    };
+    ScenarioMatrix::from_cells(
+        "poison",
+        vec![cell(0, None), cell(1, Some(-5.0)), cell(2, None)],
+    )
+}
+
+#[test]
+fn panicking_cell_is_isolated_and_resume_redoes_only_it() {
+    let _g = LOCK.lock().unwrap();
+    // Silence the default per-panic backtrace chatter for this test; the
+    // engine catches the unwind either way.
+    let hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+
+    sprout_cache::set_dir(temp_cache_dir("poison"));
+    let m = poisoned_matrix();
+    let before = cell_cache_counters();
+    let err = SweepEngine::new(9)
+        .with_threads(2)
+        .try_run(&m)
+        .expect_err("the poisoned cell must fail the sweep");
+    let traffic = cell_traffic_since(before);
+    match &err {
+        SweepError::CellsPanicked(failures) => {
+            assert_eq!(failures.len(), 1, "only the poisoned cell fails");
+            assert_eq!(failures[0].scenario_id, 1);
+            assert_eq!(failures[0].label, "poison/cell1");
+            let shown = err.to_string();
+            assert!(shown.contains("scenario 1"), "{shown}");
+        }
+        other => panic!("expected CellsPanicked, got {other:?}"),
+    }
+    assert_eq!(traffic.stores, 2, "survivors must be cached");
+
+    // Resuming reruns only the failed cell (which fails again — the
+    // poison is deterministic — but touches nothing else).
+    let before = cell_cache_counters();
+    let err = SweepEngine::new(9)
+        .with_policy(CellCachePolicy::Resume)
+        .try_run(&m)
+        .expect_err("still poisoned");
+    let traffic = cell_traffic_since(before);
+    assert!(matches!(err, SweepError::CellsPanicked(ref f) if f.len() == 1));
+    assert_eq!(traffic.hits, 2, "survivors served from the cache");
+    assert_eq!(traffic.misses, 1, "only the failed cell re-executes");
+    assert_eq!(traffic.stores, 0);
+
+    std::panic::set_hook(hook);
+    sprout_cache::reset_override();
+}

@@ -2,7 +2,8 @@
 //! consistency between the scheme zoo and the matrix builder.
 
 use sprout_bench::{
-    sweep_to_json, QueueSpec, ResolvedQueue, ScenarioMatrix, Scheme, SweepEngine, Workload,
+    sweep_to_json, QueueSpec, ResolvedQueue, ScenarioMatrix, Scheme, ShardSpec, SweepEngine,
+    Workload,
 };
 use sprout_trace::{Duration, NetProfile};
 
@@ -54,6 +55,49 @@ fn thread_count_does_not_change_results() {
             sweep_to_json(m.name(), 7, &n),
             "--threads {threads} diverged from --threads 1"
         );
+    }
+}
+
+#[test]
+fn shards_partition_the_matrix_and_reassemble_bit_identically() {
+    let m = mixed_matrix();
+    let full = SweepEngine::new(7).with_threads(1).run(&m);
+
+    // Interleave the two shards' results back into matrix order; the
+    // reassembly must be bit-identical to the single-shot run even when
+    // the shards use different thread counts.
+    let shard0 = SweepEngine::new(7)
+        .with_threads(1)
+        .with_shard(ShardSpec::new(0, 2))
+        .run(&m);
+    let shard1 = SweepEngine::new(7)
+        .with_threads(4)
+        .with_shard(ShardSpec::new(1, 2))
+        .run(&m);
+    assert_eq!(shard0.len() + shard1.len(), m.len());
+    let mut merged = Vec::new();
+    let (mut i0, mut i1) = (shard0.into_iter(), shard1.into_iter());
+    for cell in m.cells() {
+        let next = if ShardSpec::new(0, 2).owns(cell.id) {
+            i0.next()
+        } else {
+            i1.next()
+        };
+        merged.push(next.expect("every cell owned by exactly one shard"));
+    }
+    assert_eq!(
+        sweep_to_json(m.name(), 7, &full),
+        sweep_to_json(m.name(), 7, &merged),
+        "sharded execution must reassemble the single-shot sweep"
+    );
+}
+
+#[test]
+fn shard_spec_parses_cli_form() {
+    assert_eq!(ShardSpec::parse("0/2"), Some(ShardSpec::new(0, 2)));
+    assert_eq!(ShardSpec::parse("3/8"), Some(ShardSpec::new(3, 8)));
+    for bad in ["2/2", "0/0", "a/2", "0", "/", "1/", "-1/2", "0/2/3"] {
+        assert_eq!(ShardSpec::parse(bad), None, "{bad:?} must not parse");
     }
 }
 

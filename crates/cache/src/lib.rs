@@ -55,6 +55,13 @@ fn fnv1a(mut state: u64, bytes: &[u8]) -> u64 {
 /// FNV-1a offset basis.
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 
+/// Stable 64-bit fingerprint of a byte string (FNV-1a, the same function
+/// the cache uses for file addressing). Frozen: recorded artifact keys
+/// depend on it.
+pub fn fingerprint64(bytes: &[u8]) -> u64 {
+    fnv1a(FNV_OFFSET, bytes)
+}
+
 /// How the cache root was overridden (None = no override in effect).
 static OVERRIDE: Mutex<Option<RootOverride>> = Mutex::new(None);
 
@@ -320,6 +327,18 @@ impl ByteWriter {
         self
     }
 
+    /// Append an `f64`'s raw bits (NaN payloads round-trip exactly).
+    pub fn f64(&mut self, v: f64) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_bits().to_le_bytes());
+        self
+    }
+
+    /// Append a `bool` as one byte.
+    pub fn bool(&mut self, v: bool) -> &mut Self {
+        self.buf.push(v as u8);
+        self
+    }
+
     /// Append a length-prefixed string.
     pub fn str(&mut self, s: &str) -> &mut Self {
         self.u32(s.len() as u32);
@@ -373,6 +392,20 @@ impl<'a> ByteReader<'a> {
     /// Read an `f32` from raw bits.
     pub fn f32(&mut self) -> Option<f32> {
         Some(f32::from_bits(self.u32()?))
+    }
+
+    /// Read an `f64` from raw bits.
+    pub fn f64(&mut self) -> Option<f64> {
+        Some(f64::from_bits(self.u64()?))
+    }
+
+    /// Read a `bool`; bytes other than 0/1 are a decode error.
+    pub fn bool(&mut self) -> Option<bool> {
+        match self.take(1)?[0] {
+            0 => Some(false),
+            1 => Some(true),
+            _ => None,
+        }
     }
 }
 
@@ -510,6 +543,30 @@ mod tests {
         assert_eq!(r.u32(), Some(5));
         assert_eq!(r.remaining(), 5);
         assert_eq!(r.u64(), None, "underrun returns None");
+    }
+
+    #[test]
+    fn f64_and_bool_round_trip_exactly() {
+        let mut w = ByteWriter::new();
+        w.f64(f64::NAN).f64(-0.0).bool(true).bool(false);
+        let bytes = w.finish();
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(r.f64().map(f64::to_bits), Some(f64::NAN.to_bits()));
+        assert_eq!(r.f64().map(f64::to_bits), Some((-0.0f64).to_bits()));
+        assert_eq!(r.bool(), Some(true));
+        assert_eq!(r.bool(), Some(false));
+        assert_eq!(r.bool(), None);
+        // Garbage bool bytes are decode errors, not values.
+        let mut bad = ByteReader::new(&[7u8]);
+        assert_eq!(bad.bool(), None);
+    }
+
+    #[test]
+    fn fingerprint64_is_stable_and_input_sensitive() {
+        assert_eq!(fingerprint64(b"abc"), fingerprint64(b"abc"));
+        assert_ne!(fingerprint64(b"abc"), fingerprint64(b"abd"));
+        // Frozen value: cell-result cache keys depend on this function.
+        assert_eq!(fingerprint64(b""), FNV_OFFSET);
     }
 
     #[test]
