@@ -19,6 +19,45 @@ use bytes::{Buf, BufMut, Bytes, BytesMut};
 use sprout_sim::{Endpoint, FlowId, Packet};
 use sprout_trace::{Duration, Timestamp, MTU_BYTES};
 
+/// One of the paper's modeled interactive applications, as a nameable
+/// value: the app-workload axis of the scenario matrix refers to apps by
+/// this enum and builds the sender/receiver pair from
+/// [`VideoApp::profile`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum VideoApp {
+    /// Skype ([`AppProfile::skype`]).
+    Skype,
+    /// FaceTime ([`AppProfile::facetime`]).
+    Facetime,
+    /// Google Hangout ([`AppProfile::hangout`]).
+    Hangout,
+}
+
+impl VideoApp {
+    /// All modeled apps, in the paper's order.
+    pub fn all() -> [VideoApp; 3] {
+        [VideoApp::Skype, VideoApp::Facetime, VideoApp::Hangout]
+    }
+
+    /// Machine-friendly identifier (labels, canonical encodings).
+    pub fn id(self) -> &'static str {
+        match self {
+            VideoApp::Skype => "skype",
+            VideoApp::Facetime => "facetime",
+            VideoApp::Hangout => "hangout",
+        }
+    }
+
+    /// The behavioural profile of this app.
+    pub fn profile(self) -> AppProfile {
+        match self {
+            VideoApp::Skype => AppProfile::skype(),
+            VideoApp::Facetime => AppProfile::facetime(),
+            VideoApp::Hangout => AppProfile::hangout(),
+        }
+    }
+}
+
 /// Behavioural parameters of one application model.
 #[derive(Clone, Debug)]
 pub struct AppProfile {

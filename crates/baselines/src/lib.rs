@@ -17,7 +17,7 @@ pub mod saturator;
 pub mod transport;
 pub mod vegas;
 
-pub use apps::{AppProfile, VideoAppReceiver, VideoAppSender};
+pub use apps::{AppProfile, VideoApp, VideoAppReceiver, VideoAppSender};
 pub use compound::Compound;
 pub use cubic::Cubic;
 pub use ledbat::Ledbat;

@@ -15,7 +15,11 @@
 //!   fig9     forecast-confidence sweep (T-Mobile 3G uplink)
 //!   loss     s5.6 loss-resilience table
 //!   tunnel   s5.7 SproutTunnel isolation table
-//!   all      everything above
+//!   soak     long-horizon matrix: all schemes + app workloads x links x
+//!            queue depths x propagation delays at paper-length (17 min)
+//!            runs; defaults to --secs 1020 and is sized for --shard
+//!            workers sharing a cache directory (not part of `all`)
+//!   all      everything above except soak
 //!
 //! flags:
 //!   --secs N     virtual seconds per run (default 300)
@@ -42,6 +46,11 @@
 //!                microbenchmarks and write BENCH_sweep.json
 //!   --bench-baseline FILE  compare the --bench report against FILE;
 //!                exit 1 on >20% timing regression or any metric drift
+//!
+//! soak axis flags (soak only; comma-separated lists):
+//!   --links LIST        link ids, e.g. vz-lte-down,tmo-3g-up
+//!   --prop-delays LIST  one-way propagation delays in ms, e.g. 10,25,50
+//!   --queues LIST       queue specs: auto, droptail, codel, bytes:N
 //! ```
 //!
 //! Every experiment writes TSV artifacts plus a canonical
@@ -55,14 +64,16 @@ use std::path::PathBuf;
 use std::time::Instant;
 
 use sprout_bench::figures::{self, ExperimentConfig};
-use sprout_bench::{perf, summary_table, CellCachePolicy, Scheme, ShardSpec};
+use sprout_bench::{perf, summary_table, CellCachePolicy, QueueSpec, Scheme, ShardSpec};
+use sprout_trace::NetProfile;
 
 const EXPERIMENTS: &[&str] = &[
-    "fig1", "fig2", "fig7", "fig8", "fig9", "loss", "tunnel", "all",
+    "fig1", "fig2", "fig7", "fig8", "fig9", "loss", "tunnel", "soak", "all",
 ];
 
-const USAGE: &str = "usage: reproduce <experiment> [--secs N] [--warmup N] [--seed N] [--out DIR] [--threads N] [--quick] [--json] [--cache-dir DIR] [--no-cache] [--shard I/N] [--merge] [--resume] [--bench] [--bench-baseline FILE]
-experiments: fig1 fig2 fig7 fig8 fig9 loss tunnel all";
+const USAGE: &str = "usage: reproduce <experiment> [--secs N] [--warmup N] [--seed N] [--out DIR] [--threads N] [--quick] [--json] [--cache-dir DIR] [--no-cache] [--shard I/N] [--merge] [--resume] [--bench] [--bench-baseline FILE] [--links LIST] [--prop-delays LIST] [--queues LIST]
+experiments: fig1 fig2 fig7 fig8 fig9 loss tunnel soak all (soak is not part of all)
+soak axis flags: --links vz-lte-down,... | --prop-delays 10,25,... (one-way ms) | --queues auto|droptail|codel|bytes:N,...";
 
 struct Options {
     cmd: String,
@@ -78,6 +89,54 @@ fn usage_error(msg: &str) -> ! {
     std::process::exit(2);
 }
 
+/// `Some(values)` only when every value is distinct: a duplicated axis
+/// value would cross into duplicate cells with identical labels, each
+/// simulated and cached separately.
+fn all_distinct<T: PartialEq>(values: Vec<T>) -> Option<Vec<T>> {
+    let distinct = values
+        .iter()
+        .enumerate()
+        .all(|(i, v)| !values[..i].contains(v));
+    distinct.then_some(values)
+}
+
+/// Parse `--links`: a comma-separated list of distinct link ids.
+fn parse_links(spec: &str) -> Option<Vec<NetProfile>> {
+    spec.split(',')
+        .map(|part| NetProfile::all().into_iter().find(|p| p.id() == part))
+        .collect::<Option<Vec<_>>>()
+        .and_then(all_distinct)
+}
+
+/// Parse `--prop-delays`: comma-separated distinct one-way delays in
+/// whole ms, each in [1, 10_000].
+fn parse_prop_delays(spec: &str) -> Option<Vec<u64>> {
+    spec.split(',')
+        .map(|part| match part.parse::<u64>() {
+            Ok(ms) if (1..=10_000).contains(&ms) => Some(ms),
+            _ => None,
+        })
+        .collect::<Option<Vec<_>>>()
+        .and_then(all_distinct)
+}
+
+/// Parse `--queues`: comma-separated distinct specs from `auto`,
+/// `droptail`, `codel`, or `bytes:N` (a DropTail byte cap, N ≥ 1).
+fn parse_queues(spec: &str) -> Option<Vec<QueueSpec>> {
+    spec.split(',')
+        .map(|part| match part {
+            "auto" => Some(QueueSpec::Auto),
+            "droptail" => Some(QueueSpec::DropTail),
+            "codel" => Some(QueueSpec::CoDel),
+            _ => match part.strip_prefix("bytes:")?.parse::<u64>() {
+                Ok(cap) if cap >= 1 => Some(QueueSpec::DropTailBytes(cap)),
+                _ => None,
+            },
+        })
+        .collect::<Option<Vec<_>>>()
+        .and_then(all_distinct)
+}
+
 fn parse_args() -> Options {
     let mut cfg = ExperimentConfig::default();
     let mut cmd: Option<String> = None;
@@ -90,6 +149,7 @@ fn parse_args() -> Options {
     let mut merge = false;
     let mut resume = false;
     let mut no_cache = false;
+    let mut axis_flags = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut numeric = |name: &str| -> u64 {
@@ -140,6 +200,33 @@ fn parse_args() -> Options {
             },
             "--merge" => merge = true,
             "--resume" => resume = true,
+            "--links" => match args.next().as_deref().and_then(parse_links) {
+                Some(links) => {
+                    cfg.soak.links = links;
+                    axis_flags = true;
+                }
+                None => usage_error(
+                    "--links expects a comma-separated list of distinct link ids (e.g. vz-lte-down,tmo-3g-up)",
+                ),
+            },
+            "--prop-delays" => match args.next().as_deref().and_then(parse_prop_delays) {
+                Some(ms) => {
+                    cfg.soak.prop_delays_ms = ms;
+                    axis_flags = true;
+                }
+                None => usage_error(
+                    "--prop-delays expects comma-separated distinct one-way delays in ms, each in 1..=10000 (e.g. 10,25,50)",
+                ),
+            },
+            "--queues" => match args.next().as_deref().and_then(parse_queues) {
+                Some(queues) => {
+                    cfg.soak.queues = queues;
+                    axis_flags = true;
+                }
+                None => usage_error(
+                    "--queues expects comma-separated distinct specs from auto|droptail|codel|bytes:N (e.g. auto,bytes:75000)",
+                ),
+            },
             "--help" | "-h" => {
                 println!("{USAGE}");
                 std::process::exit(0);
@@ -167,16 +254,34 @@ fn parse_args() -> Options {
             cfg.warmup_secs = 20;
         }
     }
-    if cfg.warmup_secs >= cfg.run_secs {
+    let explicit_cmd = cmd.is_some();
+    let cmd = cmd.unwrap_or_else(|| "all".to_string());
+    if axis_flags && cmd != "soak" {
+        usage_error("--links/--prop-delays/--queues configure the soak matrix; they require the soak experiment");
+    }
+    // The paper-length soak default lives on `SoakAxes::secs` (so the
+    // library builds the identical matrix); an explicit --secs or
+    // --quick hands timing back to the global knobs.
+    if explicit_secs || quick {
+        cfg.soak.secs = None;
+    }
+    // Validate against the run length the experiment will actually use
+    // (soak defaults to SOAK_SECS independently of --secs).
+    let effective_secs = if cmd == "soak" {
+        cfg.soak.secs.unwrap_or(cfg.run_secs)
+    } else {
+        cfg.run_secs
+    };
+    if cfg.warmup_secs >= effective_secs {
         usage_error(&format!(
             "warmup ({}s) must be shorter than the run ({}s): the measurement window would be empty",
-            cfg.warmup_secs, cfg.run_secs
+            cfg.warmup_secs, effective_secs
         ));
     }
     if bench_baseline.is_some() && !bench {
         usage_error("--bench-baseline requires --bench");
     }
-    if bench && cmd.is_some() {
+    if bench && explicit_cmd {
         usage_error("--bench runs its own matrix; drop the experiment name");
     }
     if merge && resume {
@@ -202,7 +307,7 @@ fn parse_args() -> Options {
         CellCachePolicy::Execute
     };
     Options {
-        cmd: cmd.unwrap_or_else(|| "all".to_string()),
+        cmd,
         cfg,
         json,
         bench,
@@ -219,6 +324,7 @@ fn artifacts_of(cmd: &str) -> &'static [&'static str] {
         "fig9" => &["fig9"],
         "loss" => &["loss"],
         "tunnel" => &["tunnel"],
+        "soak" => &["soak"],
         "all" => &["fig1", "fig2", "fig7", "fig9", "loss", "tunnel"],
         _ => &[],
     }
@@ -423,9 +529,14 @@ fn run() -> std::io::Result<()> {
         print_cell_cache_line();
         return r;
     }
+    let effective_secs = if cmd == "soak" {
+        cfg.soak.secs.unwrap_or(cfg.run_secs)
+    } else {
+        cfg.run_secs
+    };
     println!(
         "reproduce: {cmd} (runs {}s, warmup {}s, seed {}, threads {}, out {:?})",
-        cfg.run_secs,
+        effective_secs,
         cfg.warmup_secs,
         cfg.seed,
         if cfg.threads == 0 {
@@ -526,6 +637,27 @@ fn run() -> std::io::Result<()> {
                 r.skype_tunnel_delay_s,
                 100.0 * (r.skype_tunnel_delay_s / r.skype_direct_delay_s - 1.0)
             );
+        }
+        "soak" => {
+            let t0 = Instant::now();
+            let matrix_len = figures::soak_matrix(&cfg).len();
+            println!(
+                "soak: {matrix_len} cells ({} links x {} delays x {} queues; kill/resume with --resume, farm out with --shard I/N)",
+                cfg.soak.links.len(),
+                cfg.soak.prop_delays_ms.len(),
+                cfg.soak.queues.len()
+            );
+            let rows = figures::soak(&cfg)?;
+            println!(
+                "\n== soak: per-workload means over {matrix_len} cells ({:.0?}) ==",
+                t0.elapsed()
+            );
+            for r in rows {
+                println!(
+                    "  {:24} {:>4} cells  {:>7.0} kbps  self-inflicted {:>8.0} ms",
+                    r.workload, r.cells, r.mean_throughput_kbps, r.mean_self_inflicted_ms
+                );
+            }
         }
         "all" => {
             let t0 = Instant::now();

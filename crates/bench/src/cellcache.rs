@@ -37,7 +37,12 @@ static CELL_ARTIFACT: ArtifactKind = ArtifactKind::new("cell-result", 1);
 /// different results — endpoint behavior, seed derivation, metrics
 /// definitions — so stale cell results read as misses instead of
 /// silently resurfacing pre-change numbers.
-pub const ENGINE_VERSION: u32 = 1;
+///
+/// v2: the default DropTail queue became an explicit deep capacity
+/// (`DEEP_QUEUE_BYTES`) instead of unbounded, and cells gained
+/// prop-delay / queue-depth / app-workload axes (new `Scenario` fields
+/// and a richer `ResolvedQueue` payload encoding).
+pub const ENGINE_VERSION: u32 = 2;
 
 /// Disk-cache traffic counters for cell results (hits mean a sweep
 /// served a whole cell without simulating it).
@@ -59,8 +64,27 @@ fn cell_key(
     scenario: &Scenario,
     master_seed: u64,
 ) -> Vec<u8> {
+    cell_key_versioned(
+        ENGINE_VERSION,
+        matrix_name,
+        matrix_fingerprint,
+        scenario,
+        master_seed,
+    )
+}
+
+/// [`cell_key`] under an explicit engine version, so tests can prove
+/// cells stored by an older engine are *missed* (re-executed), never
+/// wrongly served.
+fn cell_key_versioned(
+    engine_version: u32,
+    matrix_name: &str,
+    matrix_fingerprint: u64,
+    scenario: &Scenario,
+    master_seed: u64,
+) -> Vec<u8> {
     let mut w = ByteWriter::with_capacity(128);
-    w.u32(ENGINE_VERSION);
+    w.u32(engine_version);
     w.str(matrix_name);
     w.u64(matrix_fingerprint);
     w.u64(master_seed);
@@ -70,7 +94,12 @@ fn cell_key(
 
 fn encode_result(r: &SweepResult) -> Vec<u8> {
     let mut w = ByteWriter::with_capacity(256 + 40 * r.series.len());
-    w.bool(r.queue == ResolvedQueue::CoDel);
+    let (queue_tag, queue_cap) = match r.queue {
+        ResolvedQueue::DropTail => (0u32, 0u64),
+        ResolvedQueue::CoDel => (1, 0),
+        ResolvedQueue::DropTailBytes(cap) => (2, cap),
+    };
+    w.u32(queue_tag).u64(queue_cap);
     w.u64(r.cell_seed);
     w.bool(r.metrics.is_some());
     if let Some(m) = &r.metrics {
@@ -107,10 +136,11 @@ fn encode_result(r: &SweepResult) -> Vec<u8> {
 
 fn decode_result(scenario: &Scenario, matrix_name: &str, bytes: &[u8]) -> Option<SweepResult> {
     let mut r = ByteReader::new(bytes);
-    let queue = if r.bool()? {
-        ResolvedQueue::CoDel
-    } else {
-        ResolvedQueue::DropTail
+    let queue = match (r.u32()?, r.u64()?) {
+        (0, _) => ResolvedQueue::DropTail,
+        (1, _) => ResolvedQueue::CoDel,
+        (2, cap) => ResolvedQueue::DropTailBytes(cap),
+        _ => return None,
     };
     let cell_seed = r.u64()?;
     let metrics = if r.bool()? {
@@ -215,6 +245,7 @@ mod tests {
             workload: Workload::Scheme(Scheme::Sprout),
             link: NetProfile::VerizonLteDown,
             queue: crate::scenario::QueueSpec::Auto,
+            prop_delay: Duration::from_millis(20),
             loss_rate: 0.05,
             confidence_pct: Some(75.0),
             duration: Duration::from_secs(30),
@@ -289,6 +320,39 @@ mod tests {
             decode_result(&r.scenario, "t", &padded).is_none(),
             "trailing bytes must not decode"
         );
+    }
+
+    #[test]
+    fn pre_bump_engine_versions_are_cache_misses_not_stale_hits() {
+        // Cells persisted by an older engine must be *missed* (and thus
+        // re-executed by a resume/merge), never served: the key leads
+        // with ENGINE_VERSION, so the bump retires every old cell.
+        let dir =
+            std::env::temp_dir().join(format!("sprout-engine-version-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        sprout_cache::set_dir(&dir);
+
+        let r = sample_result();
+        let (fp, seed) = (0xfeed, 7);
+        for old_version in [0, ENGINE_VERSION - 1] {
+            let old_key = cell_key_versioned(old_version, "t", fp, &r.scenario, seed);
+            assert!(
+                CELL_ARTIFACT.store(&old_key, &encode_result(&r)),
+                "storing under engine version {old_version}"
+            );
+        }
+        assert!(
+            load_cell("t", fp, &r.scenario, seed).is_none(),
+            "cells keyed under a pre-bump engine version must be misses"
+        );
+        assert!(store_cell(fp, seed, &r));
+        assert!(
+            load_cell("t", fp, &r.scenario, seed).is_some(),
+            "the current engine version serves its own cells"
+        );
+
+        sprout_cache::reset_override();
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -13,13 +13,53 @@ use std::fs;
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
 
+use sprout_baselines::VideoApp;
 use sprout_trace::{Duration, NetProfile, Trace};
 
-use crate::scenario::{ScenarioMatrix, Workload};
+use crate::scenario::{QueueSpec, ScenarioMatrix, Workload};
 use crate::schemes::{RunConfig, Scheme, SchemeResult};
 use crate::sweep::{self, CellCachePolicy, ShardSpec, SweepEngine, SweepResult};
 
 pub use crate::scenario::paired;
+
+/// The shallow per-user buffer of the soak matrix's queue axis: 50 MTU
+/// (≈ one RTT of a few Mbit/s), the thin-buffered carrier end of the
+/// bufferbloat spectrum the per-user buffer-depth literature (C2TCP)
+/// sweeps.
+pub const SHALLOW_QUEUE_BYTES: u64 = 75_000;
+
+/// The axes of the long-horizon soak matrix that are overridable from
+/// the CLI (`--links`, `--prop-delays`, `--queues`).
+#[derive(Clone, Debug)]
+pub struct SoakAxes {
+    /// Link directions under test.
+    pub links: Vec<NetProfile>,
+    /// One-way propagation delays, ms (min-RTT is 2× each).
+    pub prop_delays_ms: Vec<u64>,
+    /// Queue disciplines.
+    pub queues: Vec<QueueSpec>,
+    /// Soak run length override, seconds. Defaults to the paper-length
+    /// [`SOAK_SECS`] so *every* soak entry point — CLI, library,
+    /// `matrices_for` shard workers — declares the identical matrix
+    /// (and therefore the identical cache keys); `None` inherits the
+    /// global `ExperimentConfig` timing (`--secs`/`--quick` set this).
+    pub secs: Option<u64>,
+}
+
+impl Default for SoakAxes {
+    fn default() -> Self {
+        SoakAxes {
+            links: NetProfile::all().to_vec(),
+            prop_delays_ms: vec![10, 25, 50, 100],
+            queues: vec![
+                QueueSpec::Auto,
+                QueueSpec::DropTailBytes(SHALLOW_QUEUE_BYTES),
+                QueueSpec::CoDel,
+            ],
+            secs: Some(SOAK_SECS),
+        }
+    }
+}
 
 /// Global experiment knobs (trace length, warm-up, seed, output dir).
 #[derive(Clone, Debug)]
@@ -39,6 +79,8 @@ pub struct ExperimentConfig {
     pub cell_policy: CellCachePolicy,
     /// Output directory for TSV/JSON artifacts.
     pub out_dir: PathBuf,
+    /// Axes of the `soak` experiment (CLI-overridable).
+    pub soak: SoakAxes,
 }
 
 impl Default for ExperimentConfig {
@@ -51,6 +93,7 @@ impl Default for ExperimentConfig {
             shard: ShardSpec::FULL,
             cell_policy: CellCachePolicy::Execute,
             out_dir: PathBuf::from("results"),
+            soak: SoakAxes::default(),
         }
     }
 }
@@ -585,6 +628,137 @@ pub fn tunnel_comparison(cfg: &ExperimentConfig) -> std::io::Result<TunnelCompar
     Ok(result)
 }
 
+// ----------------------------------------------------------------- soak
+
+/// The paper's trace length: ~17 minutes of virtual time (§4.1). The
+/// `soak` experiment defaults to this where the other figures use 300 s.
+pub const SOAK_SECS: u64 = 1_020;
+
+/// The carriers the soak matrix runs each video app over: Sprout (the
+/// §4.3 tunnel) and Cubic (the §5.7 "direct" commingling, generalized).
+pub const SOAK_APP_CARRIERS: [Scheme; 2] = [Scheme::Sprout, Scheme::Cubic];
+
+/// The long-horizon soak matrix: the nine Figure-7 schemes plus every
+/// video app over Sprout and Cubic, crossed with links × queue depths ×
+/// propagation delays at paper-length runs. Cubic-CoDel is deliberately
+/// *not* a tenth scheme here: its endpoints are Cubic's, so the
+/// explicit `Cubic × CoDel` cells of the queue axis already are its
+/// soak representation, and listing it would re-simulate every
+/// `Auto`-resolved-to-CoDel cell the axis produces. Far too large for
+/// one sitting by design — run it as `--shard I/N` workers sharing one
+/// cache directory, then `--merge`.
+pub fn soak_matrix(cfg: &ExperimentConfig) -> ScenarioMatrix {
+    ScenarioMatrix::builder("soak")
+        .timing(
+            Duration::from_secs(cfg.soak.secs.unwrap_or(cfg.run_secs)),
+            Duration::from_secs(cfg.warmup_secs),
+        )
+        .schemes(Scheme::fig7())
+        .apps(VideoApp::all(), SOAK_APP_CARRIERS)
+        .links(cfg.soak.links.iter().copied())
+        .queues(cfg.soak.queues.iter().copied())
+        .prop_delays_ms(cfg.soak.prop_delays_ms.iter().copied())
+        .build()
+}
+
+/// Aggregate view of one workload across every soak cell it appears in.
+pub struct SoakRow {
+    /// The workload's label tag (scheme or `app-over-carrier`).
+    pub workload: String,
+    /// Cells aggregated.
+    pub cells: usize,
+    /// Mean throughput across the workload's cells, kbps.
+    pub mean_throughput_kbps: f64,
+    /// Mean self-inflicted delay across the workload's cells, ms.
+    pub mean_self_inflicted_ms: f64,
+}
+
+/// Run the soak matrix and render `soak_matrix.tsv` (one row per cell,
+/// every axis spelled out) plus a per-workload aggregate summary.
+pub fn soak(cfg: &ExperimentConfig) -> std::io::Result<Vec<SoakRow>> {
+    let matrix = soak_matrix(cfg);
+    let results = cfg.run_matrix(&matrix)?;
+
+    let mut f = cfg.tsv("soak_matrix.tsv")?;
+    writeln!(
+        f,
+        "label\tworkload\tlink\tqueue\tprop_delay_ms\tthroughput_kbps\tp95_delay_ms\tself_inflicted_ms\tutilization\tapp_kbps\tapp_p95_ms"
+    )?;
+    for r in &results {
+        let m = r.metrics.expect("soak cells produce direction metrics");
+        let app = r
+            .flows
+            .iter()
+            .find(|fl| fl.flow == sweep::INTERACTIVE_FLOW.0);
+        writeln!(
+            f,
+            "{}\t{}\t{}\t{}\t{}\t{:.1}\t{:.1}\t{:.1}\t{:.4}\t{:.1}\t{:.1}",
+            r.scenario.label,
+            r.scenario.workload.canonical_detail(),
+            r.scenario.link.id(),
+            r.queue.id(),
+            r.scenario.prop_delay.as_micros() / 1_000,
+            m.throughput_kbps,
+            m.p95_delay_ms,
+            m.self_inflicted_ms,
+            m.utilization,
+            app.map(|fl| fl.throughput_kbps).unwrap_or(f64::NAN),
+            app.map(|fl| fl.p95_delay_ms).unwrap_or(f64::NAN),
+        )?;
+    }
+
+    // Aggregate per workload, in matrix declaration order. The
+    // self-inflicted mean averages the *finite* samples only — a cell
+    // whose measurement window saw no deliveries (NaN p95) must not be
+    // counted as a zero-delay sample.
+    struct Acc {
+        workload: String,
+        cells: usize,
+        throughput_sum: f64,
+        self_inflicted_sum: f64,
+        self_inflicted_samples: usize,
+    }
+    let mut accs: Vec<Acc> = Vec::new();
+    for r in &results {
+        let tag = r.scenario.workload.canonical_detail();
+        let m = r.metrics.expect("soak cells produce direction metrics");
+        let acc = match accs.iter_mut().find(|a| a.workload == tag) {
+            Some(a) => a,
+            None => {
+                accs.push(Acc {
+                    workload: tag,
+                    cells: 0,
+                    throughput_sum: 0.0,
+                    self_inflicted_sum: 0.0,
+                    self_inflicted_samples: 0,
+                });
+                accs.last_mut().expect("just pushed")
+            }
+        };
+        acc.cells += 1;
+        acc.throughput_sum += m.throughput_kbps;
+        if m.self_inflicted_ms.is_finite() {
+            acc.self_inflicted_sum += m.self_inflicted_ms;
+            acc.self_inflicted_samples += 1;
+        }
+    }
+    Ok(accs
+        .into_iter()
+        .map(|a| SoakRow {
+            cells: a.cells,
+            mean_throughput_kbps: a.throughput_sum / a.cells as f64,
+            mean_self_inflicted_ms: if a.self_inflicted_samples == 0 {
+                // No cell of this workload produced a valid delay:
+                // surface NaN (like the per-cell TSV), not a fake 0 ms.
+                f64::NAN
+            } else {
+                a.self_inflicted_sum / a.self_inflicted_samples as f64
+            },
+            workload: a.workload,
+        })
+        .collect())
+}
+
 // -------------------------------------------------------------- helpers
 
 /// The matrices one `reproduce` experiment runs (fig8 derives from the
@@ -598,6 +772,9 @@ pub fn matrices_for(cfg: &ExperimentConfig, experiment: &str) -> Vec<ScenarioMat
         "fig9" => vec![fig9_matrix(cfg)],
         "loss" => vec![loss_matrix(cfg)],
         "tunnel" => vec![tunnel_matrix(cfg)],
+        "soak" => vec![soak_matrix(cfg)],
+        // "all" deliberately excludes soak: the soak matrix is sized for
+        // sharded, resumable execution, not a single sitting.
         "all" => vec![
             fig1_matrix(cfg),
             fig2_matrix(cfg),

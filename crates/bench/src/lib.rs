@@ -19,12 +19,13 @@ pub mod sweep;
 
 pub use cellcache::{cell_cache_counters, reset_cell_cache_counters, ENGINE_VERSION};
 pub use figures::{
-    fig1, fig2, fig7, fig8, fig9, loss_table, summary_table, tunnel_comparison, ExperimentConfig,
-    Fig7Results,
+    fig1, fig2, fig7, fig8, fig9, loss_table, soak, soak_matrix, summary_table, tunnel_comparison,
+    ExperimentConfig, Fig7Results, SoakAxes, SHALLOW_QUEUE_BYTES, SOAK_SECS,
 };
 pub use perf::{bench_report_to_json, check_regression, BenchReport, MicroBench};
 pub use scenario::{MatrixBuilder, QueueSpec, ResolvedQueue, Scenario, ScenarioMatrix, Workload};
 pub use schemes::{build_endpoints, run_scheme, RunConfig, Scheme, SchemeResult};
+pub use sprout_baselines::VideoApp;
 pub use sweep::{
     sweep_to_json, write_json, CellCachePolicy, CellFailure, FlowSummary, InterarrivalSummary,
     SeriesRow, ShardSpec, SweepEngine, SweepError, SweepResult, SweepStats,

@@ -14,6 +14,7 @@
 //! `(master_seed, id)` via [`sprout_trace::derive_seed`], so a matrix
 //! replays bit-identically regardless of thread count or execution order.
 
+use sprout_baselines::VideoApp;
 use sprout_trace::{Duration, NetProfile};
 
 use crate::schemes::Scheme;
@@ -38,6 +39,19 @@ pub fn paired(profile: NetProfile) -> NetProfile {
 pub enum Workload {
     /// One scheme saturating the link under test (Figure 7 style).
     Scheme(Scheme),
+    /// A video application carried over a transport scheme (the §5.2
+    /// apps as first-class matrix citizens). Over Sprout/Sprout-EWMA the
+    /// app rides inside a SproutTunnel session (§4.3); over any other
+    /// transport the app's open-loop flow shares the carrier queue with
+    /// a bulk flow of that scheme (§5.7 "direct", generalized).
+    App {
+        /// The modeled application.
+        app: VideoApp,
+        /// The transport carrying (or competing with) the app's flow.
+        /// Must itself be a transport — not an app model, not the
+        /// omniscient protocol.
+        over: Scheme,
+    },
     /// Cubic bulk + Skype commingled in the carrier queue (§5.7 "direct").
     MuxDirect,
     /// Cubic bulk + Skype isolated inside a SproutTunnel session (§5.7).
@@ -52,6 +66,7 @@ impl Workload {
     pub fn id(self) -> &'static str {
         match self {
             Workload::Scheme(_) => "scheme",
+            Workload::App { .. } => "app",
             Workload::MuxDirect => "mux-direct",
             Workload::MuxTunneled => "mux-tunneled",
             Workload::InterarrivalProbe => "interarrival-probe",
@@ -65,38 +80,78 @@ impl Workload {
             _ => None,
         }
     }
+
+    /// The app and its carrier, when the workload is an app cell.
+    pub fn app(self) -> Option<(VideoApp, Scheme)> {
+        match self {
+            Workload::App { app, over } => Some((app, over)),
+            _ => None,
+        }
+    }
+
+    /// The transport scheme whose queue preference governs
+    /// [`QueueSpec::Auto`]: the scheme itself for scheme cells, the
+    /// carrier for app cells.
+    pub fn carrier_scheme(self) -> Option<Scheme> {
+        match self {
+            Workload::Scheme(s) => Some(s),
+            Workload::App { over, .. } => Some(over),
+            _ => None,
+        }
+    }
+
+    /// The workload's contribution to a cell's canonical identity beyond
+    /// the variant tag: the scheme name, or `app+carrier` for app cells.
+    pub fn canonical_detail(self) -> String {
+        match self {
+            Workload::Scheme(s) => s.name().to_string(),
+            Workload::App { app, over } => format!("{}+{}", app.id(), over.name()),
+            _ => String::new(),
+        }
+    }
 }
 
 /// Bottleneck queue discipline of a cell.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
 pub enum QueueSpec {
-    /// Let the scheme decide: CoDel iff [`Scheme::needs_codel`] (the
-    /// paper runs Cubic-CoDel behind CoDel, everything else behind the
-    /// carrier's deep DropTail queue).
+    /// Let the scheme decide: CoDel iff the carrier scheme's
+    /// [`Scheme::needs_codel`] (the paper runs Cubic-CoDel behind CoDel,
+    /// everything else behind the carrier's deep DropTail queue).
     #[default]
     Auto,
-    /// Force unbounded DropTail.
+    /// Force the deep default DropTail
+    /// ([`sprout_sim::DEEP_QUEUE_BYTES`] — explicit capacity, behaves as
+    /// unbounded for every real scheme).
     DropTail,
+    /// Force DropTail bounded at this byte capacity (the per-user
+    /// buffer-depth axis: shallow caps emulate thin-buffered carriers,
+    /// deep caps bufferbloat).
+    DropTailBytes(u64),
     /// Force CoDel at the bottleneck.
     CoDel,
 }
 
 impl QueueSpec {
-    /// Machine-friendly identifier (canonical encodings).
-    pub fn id(self) -> &'static str {
+    /// Machine-friendly identifier (labels, canonical encodings).
+    pub fn id(self) -> String {
         match self {
-            QueueSpec::Auto => "auto",
-            QueueSpec::DropTail => "droptail",
-            QueueSpec::CoDel => "codel",
+            QueueSpec::Auto => "auto".to_string(),
+            QueueSpec::DropTail => "droptail".to_string(),
+            QueueSpec::DropTailBytes(cap) => format!("droptail-{cap}b"),
+            QueueSpec::CoDel => "codel".to_string(),
         }
     }
 
-    /// Resolve to a concrete discipline for `workload`.
+    /// Resolve to a concrete discipline for `workload`. `Auto` and
+    /// `DropTail` both land on the *explicit* deep default capacity —
+    /// never an unbounded queue — so the byte-cap path is the only
+    /// DropTail path sweeps exercise.
     pub fn resolve(self, workload: Workload) -> ResolvedQueue {
         match self {
             QueueSpec::DropTail => ResolvedQueue::DropTail,
+            QueueSpec::DropTailBytes(cap) => ResolvedQueue::DropTailBytes(cap),
             QueueSpec::CoDel => ResolvedQueue::CoDel,
-            QueueSpec::Auto => match workload.scheme() {
+            QueueSpec::Auto => match workload.carrier_scheme() {
                 Some(s) if s.needs_codel() => ResolvedQueue::CoDel,
                 _ => ResolvedQueue::DropTail,
             },
@@ -107,18 +162,23 @@ impl QueueSpec {
 /// A concrete queue discipline after [`QueueSpec::resolve`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum ResolvedQueue {
-    /// Unbounded DropTail.
+    /// The deep default DropTail: capacity
+    /// [`sprout_sim::DEEP_QUEUE_BYTES`], indistinguishable from
+    /// unbounded for real schemes but explicit and finite.
     DropTail,
+    /// DropTail bounded at this byte capacity.
+    DropTailBytes(u64),
     /// CoDel AQM.
     CoDel,
 }
 
 impl ResolvedQueue {
     /// Machine-friendly identifier.
-    pub fn id(self) -> &'static str {
+    pub fn id(self) -> String {
         match self {
-            ResolvedQueue::DropTail => "droptail",
-            ResolvedQueue::CoDel => "codel",
+            ResolvedQueue::DropTail => "droptail".to_string(),
+            ResolvedQueue::DropTailBytes(cap) => format!("droptail-{cap}b"),
+            ResolvedQueue::CoDel => "codel".to_string(),
         }
     }
 }
@@ -139,6 +199,9 @@ pub struct Scenario {
     pub link: NetProfile,
     /// Bottleneck queue discipline.
     pub queue: QueueSpec,
+    /// One-way propagation delay of each direction (the paper's
+    /// standard condition is 20 ms each way; min-RTT = 2× this).
+    pub prop_delay: Duration,
     /// Bernoulli per-direction loss probability (§5.6).
     pub loss_rate: f64,
     /// Forecast confidence percent override (None = the paper's 95%).
@@ -162,9 +225,10 @@ impl Scenario {
         w.u64(self.id);
         w.str(&self.label);
         w.str(self.workload.id());
-        w.str(self.workload.scheme().map(|s| s.name()).unwrap_or(""));
+        w.str(&self.workload.canonical_detail());
         w.str(self.link.id());
-        w.str(self.queue.id());
+        w.str(&self.queue.id());
+        w.u64(self.prop_delay.as_micros());
         w.f64(self.loss_rate);
         w.bool(self.confidence_pct.is_some());
         w.f64(self.confidence_pct.unwrap_or(0.0));
@@ -248,16 +312,19 @@ impl ScenarioMatrix {
 /// Builder for [`ScenarioMatrix`]: declare axes, take the cross-product.
 ///
 /// Cell order — and therefore scenario identity — is the deterministic
-/// nesting `workload × link × loss_rate × confidence`, each axis in its
-/// declared order.
+/// nesting `workload × link × queue × prop_delay × loss_rate ×
+/// confidence`, each axis in its declared order. Single-valued axes add
+/// no label component, so matrices that don't use an axis keep their
+/// historical labels.
 #[derive(Clone, Debug)]
 pub struct MatrixBuilder {
     name: String,
     workloads: Vec<Workload>,
     links: Vec<NetProfile>,
+    queues: Vec<QueueSpec>,
+    prop_delays: Vec<Duration>,
     loss_rates: Vec<f64>,
     confidences: Vec<Option<f64>>,
-    queue: QueueSpec,
     duration: Duration,
     warmup: Duration,
     series_bin: Option<Duration>,
@@ -269,9 +336,10 @@ impl MatrixBuilder {
             name: name.into(),
             workloads: Vec::new(),
             links: Vec::new(),
+            queues: vec![QueueSpec::Auto],
+            prop_delays: vec![Duration::from_millis(20)],
             loss_rates: vec![0.0],
             confidences: vec![None],
-            queue: QueueSpec::Auto,
             duration: Duration::from_secs(300),
             warmup: Duration::from_secs(60),
             series_bin: None,
@@ -282,6 +350,29 @@ impl MatrixBuilder {
     pub fn schemes(mut self, schemes: impl IntoIterator<Item = Scheme>) -> Self {
         self.workloads
             .extend(schemes.into_iter().map(Workload::Scheme));
+        self
+    }
+
+    /// Add app-over-transport workloads: the cross-product of `apps` and
+    /// `carriers` (§5.2 apps riding §4.3 tunnels or sharing a §5.7
+    /// carrier queue). Carriers must be transports.
+    pub fn apps(
+        mut self,
+        apps: impl IntoIterator<Item = sprout_baselines::VideoApp>,
+        carriers: impl IntoIterator<Item = Scheme>,
+    ) -> Self {
+        let carriers: Vec<Scheme> = carriers.into_iter().collect();
+        for over in &carriers {
+            assert!(
+                over.is_transport(),
+                "app carrier must be a transport scheme, got {}",
+                over.name()
+            );
+        }
+        for app in apps {
+            self.workloads
+                .extend(carriers.iter().map(|&over| Workload::App { app, over }));
+        }
         self
     }
 
@@ -317,7 +408,28 @@ impl MatrixBuilder {
 
     /// Force a queue discipline for every cell (default: per-scheme Auto).
     pub fn queue(mut self, queue: QueueSpec) -> Self {
-        self.queue = queue;
+        self.queues = vec![queue];
+        self
+    }
+
+    /// Set the queue-discipline axis (replaces the default `[Auto]`):
+    /// deep-vs-shallow bufferbloat comparisons cross `Auto`,
+    /// `DropTailBytes(..)` caps, and `CoDel` here.
+    pub fn queues(mut self, queues: impl IntoIterator<Item = QueueSpec>) -> Self {
+        self.queues = queues.into_iter().collect();
+        assert!(!self.queues.is_empty(), "queue axis must be non-empty");
+        self
+    }
+
+    /// Set the one-way propagation-delay axis in milliseconds (replaces
+    /// the default `[20]`, the paper's standard condition; min-RTT is 2×
+    /// each value).
+    pub fn prop_delays_ms(mut self, ms: impl IntoIterator<Item = u64>) -> Self {
+        self.prop_delays = ms.into_iter().map(Duration::from_millis).collect();
+        assert!(
+            !self.prop_delays.is_empty(),
+            "prop-delay axis must be non-empty"
+        );
         self
     }
 
@@ -345,34 +457,56 @@ impl MatrixBuilder {
         let mut cells = Vec::with_capacity(
             self.workloads.len()
                 * self.links.len()
+                * self.queues.len()
+                * self.prop_delays.len()
                 * self.loss_rates.len()
                 * self.confidences.len(),
         );
         for &workload in &self.workloads {
             for &link in &self.links {
-                for &loss_rate in &self.loss_rates {
-                    for &confidence_pct in &self.confidences {
-                        let id = cells.len() as u64;
-                        let mut label =
-                            format!("{}/{}/{}", self.name, link.id(), workload_tag(workload));
-                        if self.loss_rates.len() > 1 {
-                            label.push_str(&format!("/loss{:.0}", loss_rate * 100.0));
+                for &queue in &self.queues {
+                    for &prop_delay in &self.prop_delays {
+                        for &loss_rate in &self.loss_rates {
+                            for &confidence_pct in &self.confidences {
+                                let id = cells.len() as u64;
+                                let mut label = format!(
+                                    "{}/{}/{}",
+                                    self.name,
+                                    link.id(),
+                                    workload_tag(workload)
+                                );
+                                if self.queues.len() > 1 {
+                                    label.push_str(&format!("/q-{}", queue.id()));
+                                }
+                                if self.prop_delays.len() > 1 {
+                                    label.push_str(&format!(
+                                        "/d{}ms",
+                                        prop_delay.as_micros() / 1_000
+                                    ));
+                                }
+                                if self.loss_rates.len() > 1 {
+                                    label.push_str(&format!("/loss{:.0}", loss_rate * 100.0));
+                                }
+                                if let (Some(pct), true) =
+                                    (confidence_pct, self.confidences.len() > 1)
+                                {
+                                    label.push_str(&format!("/conf{pct:.0}"));
+                                }
+                                cells.push(Scenario {
+                                    id,
+                                    label,
+                                    workload,
+                                    link,
+                                    queue,
+                                    prop_delay,
+                                    loss_rate,
+                                    confidence_pct,
+                                    duration: self.duration,
+                                    warmup: self.warmup,
+                                    series_bin: self.series_bin,
+                                });
+                            }
                         }
-                        if let (Some(pct), true) = (confidence_pct, self.confidences.len() > 1) {
-                            label.push_str(&format!("/conf{pct:.0}"));
-                        }
-                        cells.push(Scenario {
-                            id,
-                            label,
-                            workload,
-                            link,
-                            queue: self.queue,
-                            loss_rate,
-                            confidence_pct,
-                            duration: self.duration,
-                            warmup: self.warmup,
-                            series_bin: self.series_bin,
-                        });
                     }
                 }
             }
@@ -384,15 +518,21 @@ impl MatrixBuilder {
     }
 }
 
+/// The lowercase, hyphenated label form of a scheme name.
+fn scheme_tag(scheme: Scheme) -> String {
+    scheme
+        .name()
+        .to_ascii_lowercase()
+        .replace(' ', "-")
+        .replace("tcp", "")
+        .trim_matches('-')
+        .to_string()
+}
+
 fn workload_tag(workload: Workload) -> String {
     match workload {
-        Workload::Scheme(s) => s
-            .name()
-            .to_ascii_lowercase()
-            .replace(' ', "-")
-            .replace("tcp", "")
-            .trim_matches('-')
-            .to_string(),
+        Workload::Scheme(s) => scheme_tag(s),
+        Workload::App { app, over } => format!("{}-over-{}", app.id(), scheme_tag(over)),
         other => other.id().to_string(),
     }
 }
@@ -496,6 +636,62 @@ mod tests {
         let mut cells = m.cells().to_vec();
         cells.swap(0, 1);
         ScenarioMatrix::from_cells("t", cells);
+    }
+
+    #[test]
+    fn new_axes_cross_and_fingerprint_distinctly() {
+        let m = ScenarioMatrix::builder("t")
+            .schemes([Scheme::Sprout])
+            .apps([VideoApp::Skype], [Scheme::Sprout, Scheme::Cubic])
+            .links([NetProfile::VerizonLteDown])
+            .queues([
+                QueueSpec::Auto,
+                QueueSpec::DropTailBytes(75_000),
+                QueueSpec::CoDel,
+            ])
+            .prop_delays_ms([10, 50])
+            .build();
+        // 3 workloads × 1 link × 3 queues × 2 delays.
+        assert_eq!(m.len(), 18);
+        let mut prints: Vec<u64> = m.cells().iter().map(|c| c.fingerprint()).collect();
+        prints.sort_unstable();
+        prints.dedup();
+        assert_eq!(prints.len(), m.len(), "axis values must not collide");
+        let mut labels: Vec<&str> = m.cells().iter().map(|c| c.label.as_str()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), m.len(), "axis labels must be unique");
+        assert!(
+            m.cells()
+                .iter()
+                .any(|c| c.label == "t/vz-lte-down/skype-over-cubic/q-droptail-75000b/d10ms"),
+            "app/queue/delay label layout"
+        );
+        // A prop-delay change alone moves the fingerprint.
+        let mut cell = m.cells()[0].clone();
+        let base = cell.fingerprint();
+        cell.prop_delay = Duration::from_millis(21);
+        assert_ne!(cell.fingerprint(), base);
+    }
+
+    #[test]
+    fn auto_queue_for_app_cells_follows_the_carrier() {
+        let over_codel = Workload::App {
+            app: VideoApp::Skype,
+            over: Scheme::CubicCodel,
+        };
+        assert_eq!(QueueSpec::Auto.resolve(over_codel), ResolvedQueue::CoDel);
+        let over_cubic = Workload::App {
+            app: VideoApp::Skype,
+            over: Scheme::Cubic,
+        };
+        assert_eq!(QueueSpec::Auto.resolve(over_cubic), ResolvedQueue::DropTail);
+    }
+
+    #[test]
+    #[should_panic(expected = "app carrier must be a transport")]
+    fn app_carriers_cannot_be_apps() {
+        let _ = ScenarioMatrix::builder("t").apps([VideoApp::Skype], [Scheme::Facetime]);
     }
 
     #[test]

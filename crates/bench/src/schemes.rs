@@ -76,6 +76,24 @@ impl Scheme {
     pub fn needs_codel(self) -> bool {
         matches!(self, Scheme::CubicCodel)
     }
+
+    /// Whether the scheme is a transport that can carry (or contend
+    /// with) other traffic — as opposed to an application model or the
+    /// omniscient reference. Only transports are valid app-workload
+    /// carriers.
+    pub fn is_transport(self) -> bool {
+        !matches!(
+            self,
+            Scheme::Skype | Scheme::Facetime | Scheme::Hangout | Scheme::Omniscient
+        )
+    }
+
+    /// Whether an app workload over this scheme rides inside a
+    /// SproutTunnel session (§4.3); apps over any other transport share
+    /// the carrier queue with a bulk flow of it (§5.7 "direct").
+    pub fn tunnels_apps(self) -> bool {
+        matches!(self, Scheme::Sprout | Scheme::SproutEwma)
+    }
 }
 
 /// One experiment cell: a scheme over one link direction.
@@ -89,6 +107,8 @@ pub struct RunConfig {
     pub duration: Duration,
     /// Warm-up skipped before measuring (§5.1 skips the first minute).
     pub warmup: Duration,
+    /// One-way propagation delay of each direction (the paper's ~20 ms).
+    pub prop_delay: Duration,
     /// Bernoulli loss probability on both directions (§5.6).
     pub loss_rate: f64,
     /// Seed of the data-direction loss process (the sweep engine derives
@@ -108,6 +128,7 @@ impl RunConfig {
             feedback_trace,
             duration: Duration::from_secs(300),
             warmup: Duration::from_secs(60),
+            prop_delay: Duration::from_millis(20),
             loss_rate: 0.0,
             loss_seed_data: 1_111,
             loss_seed_feedback: 2_222,
@@ -194,10 +215,7 @@ pub fn build_endpoints(scheme: Scheme, cfg: &RunConfig) -> (Box<dyn Endpoint>, B
             Box::new(VideoAppReceiver::new()),
         ),
         Scheme::Omniscient => (
-            Box::new(OmniscientSender::new(
-                &cfg.data_trace,
-                Duration::from_millis(20),
-            )),
+            Box::new(OmniscientSender::new(&cfg.data_trace, cfg.prop_delay)),
             Box::new(SinkEndpoint::new()),
         ),
     }

@@ -38,7 +38,7 @@ use sprout_baselines::{
 use sprout_core::{SproutConfig, SproutEndpoint};
 use sprout_sim::{
     direction_stats, CoDelConfig, Endpoint, FlowId, MetricsCollector, MuxEndpoint, PathConfig,
-    QueueConfig, Simulation,
+    QueueConfig, Simulation, DEEP_QUEUE_BYTES,
 };
 use sprout_trace::{
     derive_labeled_seed, Duration, InterarrivalHistogram, NetProfile, Timestamp, Trace,
@@ -46,7 +46,7 @@ use sprout_trace::{
 use sprout_tunnel::{TunnelEndpoint, TunnelHost};
 
 use crate::scenario::{paired, ResolvedQueue, Scenario, ScenarioMatrix, Workload};
-use crate::schemes::{build_endpoints, RunConfig, SchemeResult};
+use crate::schemes::{build_endpoints, RunConfig, Scheme, SchemeResult};
 
 /// The bulk flow of the §5.7 mux/tunnel cells.
 pub const BULK_FLOW: FlowId = FlowId(1);
@@ -547,6 +547,7 @@ fn execute_with_memo(
     let rc = RunConfig {
         duration: scenario.duration,
         warmup: scenario.warmup,
+        prop_delay: scenario.prop_delay,
         loss_rate: scenario.loss_rate,
         sprout,
         loss_seed_data: derive_labeled_seed(cell_seed, "loss-data", 0),
@@ -580,12 +581,19 @@ pub struct CellOutcome {
 }
 
 fn path_configs(rc: &RunConfig, queue: ResolvedQueue) -> (PathConfig, PathConfig) {
-    let mut data = PathConfig::standard(rc.data_trace.clone());
-    let mut feedback = PathConfig::standard(rc.feedback_trace.clone());
-    if queue == ResolvedQueue::CoDel {
-        data.link.queue = QueueConfig::CoDel(CoDelConfig::default());
-        feedback.link.queue = QueueConfig::CoDel(CoDelConfig::default());
-    }
+    let mut data = PathConfig::standard(rc.data_trace.clone()).with_prop_delay(rc.prop_delay);
+    let mut feedback =
+        PathConfig::standard(rc.feedback_trace.clone()).with_prop_delay(rc.prop_delay);
+    // Both directions run the resolved discipline: the paper's carriers
+    // keep one (deep) per-user queue in each direction, and the queue
+    // axis models that per-user buffer depth symmetrically.
+    let queue_config = || match queue {
+        ResolvedQueue::DropTail => QueueConfig::DropTailBytes(DEEP_QUEUE_BYTES),
+        ResolvedQueue::DropTailBytes(cap) => QueueConfig::DropTailBytes(cap),
+        ResolvedQueue::CoDel => QueueConfig::CoDel(CoDelConfig::default()),
+    };
+    data.link.queue = queue_config();
+    feedback.link.queue = queue_config();
     if rc.loss_rate > 0.0 {
         data.link.loss_rate = rc.loss_rate;
         data.link.loss_seed = rc.loss_seed_data;
@@ -618,9 +626,15 @@ fn mux_clients_b() -> Vec<(FlowId, Box<dyn Endpoint>)> {
     ]
 }
 
-fn flow_summaries(m: &MetricsCollector, from: Timestamp, to: Timestamp) -> Vec<FlowSummary> {
-    [BULK_FLOW, INTERACTIVE_FLOW]
-        .into_iter()
+fn flow_summaries(
+    flows: &[FlowId],
+    m: &MetricsCollector,
+    from: Timestamp,
+    to: Timestamp,
+) -> Vec<FlowSummary> {
+    flows
+        .iter()
+        .copied()
         .map(|flow| FlowSummary {
             flow: flow.0,
             throughput_kbps: m.flow_throughput_kbps(flow, from, to),
@@ -707,6 +721,68 @@ pub fn run_cell(
                 series,
             }
         }
+        Workload::App { app, over } => {
+            assert!(
+                over.is_transport(),
+                "app carrier must be a transport scheme, got {}",
+                over.name()
+            );
+            if over.tunnels_apps() {
+                // Over Sprout the app rides inside a SproutTunnel
+                // session (§4.3): the path carries Sprout wire packets,
+                // the far host decapsulates the app's flow.
+                let tunnel = |rc: &RunConfig| {
+                    let sprout = if over == Scheme::SproutEwma {
+                        SproutEndpoint::new_ewma(rc.sprout.clone())
+                    } else {
+                        SproutEndpoint::new(rc.sprout.clone())
+                    };
+                    TunnelHost::new(TunnelEndpoint::new(sprout))
+                };
+                let mut host_a = tunnel(rc);
+                host_a.add_client(
+                    INTERACTIVE_FLOW,
+                    Box::new(VideoAppSender::new(app.profile())),
+                );
+                let mut host_b = tunnel(rc);
+                host_b.add_client(INTERACTIVE_FLOW, Box::new(VideoAppReceiver::new()));
+                let mut sim = Simulation::new(host_a, host_b, data_path, feedback_path);
+                sim.run_until(end);
+                let stats = direction_stats(sim.ab_path(), from, end);
+                CellOutcome {
+                    metrics: Some(SchemeResult::from_stats(&stats)),
+                    flows: flow_summaries(&[INTERACTIVE_FLOW], sim.b.deliveries(), from, end),
+                    series: Vec::new(),
+                }
+            } else {
+                // Over any other transport the app's open-loop flow
+                // shares the carrier queue with a bulk flow of that
+                // scheme (§5.7 "direct", generalized from Cubic+Skype).
+                let (bulk_a, bulk_b) = build_endpoints(over, rc);
+                let mut a = MuxEndpoint::new();
+                a.add(BULK_FLOW, bulk_a);
+                a.add(
+                    INTERACTIVE_FLOW,
+                    Box::new(VideoAppSender::new(app.profile())),
+                );
+                let mut b = MuxEndpoint::new();
+                b.add(BULK_FLOW, bulk_b);
+                b.add(INTERACTIVE_FLOW, Box::new(VideoAppReceiver::new()));
+                let mut sim = Simulation::new(a, b, data_path, feedback_path);
+                sim.run_until(end);
+                let stats = direction_stats(sim.ab_path(), from, end);
+                CellOutcome {
+                    metrics: Some(SchemeResult::from_stats(&stats)),
+                    flows: flow_summaries(
+                        &[BULK_FLOW, INTERACTIVE_FLOW],
+                        sim.ab_metrics(),
+                        from,
+                        end,
+                    ),
+                    series: Vec::new(),
+                }
+            }
+        }
         Workload::MuxDirect => {
             let mut a = MuxEndpoint::new();
             for (flow, ep) in mux_clients_a() {
@@ -721,7 +797,7 @@ pub fn run_cell(
             let stats = direction_stats(sim.ab_path(), from, end);
             CellOutcome {
                 metrics: Some(SchemeResult::from_stats(&stats)),
-                flows: flow_summaries(sim.ab_metrics(), from, end),
+                flows: flow_summaries(&[BULK_FLOW, INTERACTIVE_FLOW], sim.ab_metrics(), from, end),
                 series: Vec::new(),
             }
         }
@@ -744,7 +820,12 @@ pub fn run_cell(
             // path sees, the clients' packets are what it delivers.
             CellOutcome {
                 metrics: Some(SchemeResult::from_stats(&stats)),
-                flows: flow_summaries(sim.b.deliveries(), from, end),
+                flows: flow_summaries(
+                    &[BULK_FLOW, INTERACTIVE_FLOW],
+                    sim.b.deliveries(),
+                    from,
+                    end,
+                ),
                 series: Vec::new(),
             }
         }
@@ -792,10 +873,22 @@ pub fn result_to_json(r: &SweepResult) -> String {
         Some(s) => json_str(&mut o, s.name()),
         None => o.push_str("null"),
     }
+    o.push_str(",\"app\":");
+    match r.scenario.workload.app() {
+        Some((app, _)) => json_str(&mut o, app.id()),
+        None => o.push_str("null"),
+    }
+    o.push_str(",\"over\":");
+    match r.scenario.workload.app() {
+        Some((_, over)) => json_str(&mut o, over.name()),
+        None => o.push_str("null"),
+    }
     o.push_str(",\"link\":");
     json_str(&mut o, r.scenario.link.id());
     o.push_str(",\"queue\":");
-    json_str(&mut o, r.queue.id());
+    json_str(&mut o, &r.queue.id());
+    o.push_str(",\"prop_delay_ms\":");
+    json_f64(&mut o, r.scenario.prop_delay.as_micros() as f64 / 1e3);
     o.push_str(",\"loss_rate\":");
     json_f64(&mut o, r.scenario.loss_rate);
     o.push_str(",\"confidence_pct\":");

@@ -1,0 +1,207 @@
+//! The new scenario axes, end to end: the deep default queue must be
+//! behaviorally identical to the unbounded queue it replaced, shallow
+//! byte caps must actually bind (and be accounted), the propagation
+//! delay must shift the omniscient floor exactly and floor measured
+//! RTTs, and app-over-transport cells must run over Sprout and over a
+//! baseline scheme.
+
+use sprout_baselines::{Cubic, TcpReceiver, TcpSender};
+use sprout_bench::sweep::{run_cell, BULK_FLOW, INTERACTIVE_FLOW};
+use sprout_bench::{
+    build_endpoints, ResolvedQueue, RunConfig, ScenarioMatrix, Scheme, SchemeResult, SweepEngine,
+    VideoApp, Workload,
+};
+use sprout_sim::{direction_stats, PathConfig, QueueConfig, Simulation};
+use sprout_trace::{Duration, NetProfile, Timestamp};
+
+fn quick_rc(link: NetProfile, secs: u64) -> RunConfig {
+    let data = link.generate(Duration::from_secs(secs), 7);
+    let feedback = sprout_bench::figures::paired(link).generate(Duration::from_secs(secs), 7);
+    RunConfig {
+        duration: Duration::from_secs(secs),
+        warmup: Duration::from_secs(secs / 6),
+        ..RunConfig::new(data, feedback)
+    }
+}
+
+/// Run one scheme over paths configured by hand (the pre-axes execution
+/// shape), so tests can pin the engine's resolved queues against
+/// explicit queue configs.
+fn run_with_queues(scheme: Scheme, rc: &RunConfig, queue: &QueueConfig) -> SchemeResult {
+    let (a, b) = build_endpoints(scheme, rc);
+    let mut data = PathConfig::standard(rc.data_trace.clone()).with_prop_delay(rc.prop_delay);
+    let mut feedback =
+        PathConfig::standard(rc.feedback_trace.clone()).with_prop_delay(rc.prop_delay);
+    data.link.queue = queue.clone();
+    feedback.link.queue = queue.clone();
+    let mut sim = Simulation::new(a, b, data, feedback);
+    let end = Timestamp::ZERO + rc.duration;
+    sim.run_until(end);
+    SchemeResult::from_stats(&direction_stats(
+        sim.ab_path(),
+        Timestamp::ZERO + rc.warmup,
+        end,
+    ))
+}
+
+/// Regression for the `QueueSpec` unification: the deep default
+/// capacity that `Auto`/`DropTail` now resolve to must reproduce the
+/// old unbounded-queue behavior exactly on a Figure-7 cell — Cubic, the
+/// sweep's worst queue-builder, on the paper's headline link.
+#[test]
+fn deep_default_queue_matches_old_unbounded_fig7_behavior() {
+    let rc = quick_rc(NetProfile::VerizonLteDown, 60);
+    let old = run_with_queues(Scheme::Cubic, &rc, &QueueConfig::DropTailUnbounded);
+    let new = run_cell(
+        Workload::Scheme(Scheme::Cubic),
+        &rc,
+        ResolvedQueue::DropTail,
+        None,
+    )
+    .metrics
+    .expect("scheme cells produce metrics");
+    assert_eq!(
+        old, new,
+        "the explicit deep default capacity must be indistinguishable from unbounded"
+    );
+    assert!(new.p95_delay_ms > 100.0, "cubic must still bufferbloat");
+}
+
+/// The shallow end of the queue-depth axis must actually bind: a small
+/// byte cap changes Cubic's results and registers drops at the link.
+#[test]
+fn shallow_byte_cap_binds_and_is_accounted() {
+    let rc = quick_rc(NetProfile::VerizonLteDown, 60);
+    let deep = run_cell(
+        Workload::Scheme(Scheme::Cubic),
+        &rc,
+        ResolvedQueue::DropTail,
+        None,
+    )
+    .metrics
+    .unwrap();
+    let shallow = run_cell(
+        Workload::Scheme(Scheme::Cubic),
+        &rc,
+        ResolvedQueue::DropTailBytes(30_000),
+        None,
+    )
+    .metrics
+    .unwrap();
+    assert!(
+        shallow.p95_delay_ms < deep.p95_delay_ms,
+        "a 20-MTU buffer must curb Cubic's standing-queue delay ({} vs {})",
+        shallow.p95_delay_ms,
+        deep.p95_delay_ms
+    );
+
+    // Same condition at the sim layer: the cap's drops are counted.
+    let (a, b) = build_endpoints(Scheme::Cubic, &rc);
+    let mut data = PathConfig::standard(rc.data_trace.clone());
+    data.link.queue = QueueConfig::DropTailBytes(30_000);
+    let mut sim = Simulation::new(a, b, data, PathConfig::standard(rc.feedback_trace.clone()));
+    sim.run_until(Timestamp::ZERO + rc.duration);
+    assert!(
+        sim.ab_path().link().queue_drops() > 0,
+        "an overdriven 30 kB cap must tail-drop"
+    );
+}
+
+/// The prop-delay axis moves the omniscient floor by exactly the
+/// configured difference and floors every measured delay.
+#[test]
+fn prop_delay_shifts_floor_exactly_and_floors_p95() {
+    let base = quick_rc(NetProfile::TmobileUmtsDown, 40);
+    let run = |d_ms: u64| {
+        let rc = RunConfig {
+            prop_delay: Duration::from_millis(d_ms),
+            ..base.clone()
+        };
+        run_cell(
+            Workload::Scheme(Scheme::SproutEwma),
+            &rc,
+            ResolvedQueue::DropTail,
+            None,
+        )
+        .metrics
+        .unwrap()
+    };
+    let (near, far) = (run(20), run(100));
+    assert!(
+        (far.omniscient_ms - near.omniscient_ms - 80.0).abs() < 1e-9,
+        "omniscient floor must shift by exactly 80 ms ({} -> {})",
+        near.omniscient_ms,
+        far.omniscient_ms
+    );
+    assert!(near.p95_delay_ms >= 20.0 && far.p95_delay_ms >= 100.0);
+}
+
+/// End-to-end RTT floor: with one-way propagation `d` in each
+/// direction, no measured round trip beats 2·d.
+#[test]
+fn measured_rtt_never_beats_twice_the_one_way_delay() {
+    let d = Duration::from_millis(40);
+    let down = NetProfile::TmobileUmtsDown.generate(Duration::from_secs(30), 5);
+    let up = NetProfile::TmobileUmtsUp.generate(Duration::from_secs(30), 6);
+    let mut sim = Simulation::new(
+        TcpSender::new(Box::new(Cubic::new())),
+        TcpReceiver::new(),
+        PathConfig::standard(down).with_prop_delay(d),
+        PathConfig::standard(up).with_prop_delay(d),
+    );
+    sim.run_until(Timestamp::from_millis(30_000));
+    let min_rtt = sim.a.rtt().min_rtt().expect("the transfer measured RTTs");
+    assert!(
+        min_rtt >= Duration::from_millis(80),
+        "min RTT {min_rtt} beat the 2x40 ms propagation floor"
+    );
+}
+
+/// Acceptance: the video apps run as workloads over Sprout (inside a
+/// SproutTunnel) and over a baseline transport (sharing the carrier
+/// queue with a bulk flow), on the engine's normal execution path.
+#[test]
+fn app_workloads_run_over_sprout_and_over_cubic() {
+    let m = ScenarioMatrix::builder("apps")
+        .apps([VideoApp::Skype], [Scheme::Sprout, Scheme::Cubic])
+        .links([NetProfile::VerizonLteDown])
+        .timing(Duration::from_secs(30), Duration::from_secs(5))
+        .build();
+    let results = SweepEngine::new(3).run(&m);
+    assert_eq!(results.len(), 2);
+
+    let over_sprout = &results[0];
+    assert_eq!(
+        over_sprout.scenario.workload.app(),
+        Some((VideoApp::Skype, Scheme::Sprout))
+    );
+    assert_eq!(
+        over_sprout.flows.len(),
+        1,
+        "tunneled app cells report the app flow only"
+    );
+    let app_flow = &over_sprout.flows[0];
+    assert_eq!(app_flow.flow, INTERACTIVE_FLOW.0);
+    assert!(
+        app_flow.throughput_kbps > 0.0,
+        "the app's frames got through"
+    );
+    assert!(app_flow.p95_delay_ms.is_finite());
+
+    let over_cubic = &results[1];
+    assert_eq!(
+        over_cubic.scenario.workload.app(),
+        Some((VideoApp::Skype, Scheme::Cubic))
+    );
+    let flows: Vec<u32> = over_cubic.flows.iter().map(|f| f.flow).collect();
+    assert_eq!(
+        flows,
+        vec![BULK_FLOW.0, INTERACTIVE_FLOW.0],
+        "mux app cells report bulk and app flows"
+    );
+    assert!(over_cubic.flows.iter().all(|f| f.throughput_kbps > 0.0));
+    assert!(
+        over_cubic.metrics.unwrap().throughput_kbps > over_sprout.metrics.unwrap().throughput_kbps,
+        "cubic bulk saturates the link harder than a lone tunneled app"
+    );
+}

@@ -96,3 +96,77 @@ fn unknown_experiments_and_flags_are_rejected() {
     assert_eq!(exit_code(&["fig9", "--frobnicate"]), 2);
     assert_eq!(exit_code(&["fig9", "--secs", "abc"]), 2);
 }
+
+#[test]
+fn soak_axis_flag_values_are_validated() {
+    // --prop-delays: one-way ms, each in 1..=10000, no duplicates
+    // (duplicated axis values would cross into identical-label cells).
+    for bad in ["0", "abc", "", "10,,20", "10,0", "20000", "-5", "20,20"] {
+        assert_eq!(
+            exit_code(&["soak", "--prop-delays", bad]),
+            2,
+            "--prop-delays {bad:?}"
+        );
+    }
+    assert_eq!(exit_code(&["soak", "--prop-delays"]), 2);
+
+    // --queues: auto | droptail | codel | bytes:N.
+    for bad in [
+        "bogus",
+        "bytes:0",
+        "bytes:x",
+        "bytes:",
+        "",
+        "auto,,codel",
+        "auto,auto",
+        "bytes:75000,bytes:75000",
+    ] {
+        assert_eq!(exit_code(&["soak", "--queues", bad]), 2, "--queues {bad:?}");
+    }
+    assert_eq!(exit_code(&["soak", "--queues"]), 2);
+
+    // --links: known link ids only.
+    for bad in ["nope", "", "vz-lte-down,nope", "vz-lte-down,vz-lte-down"] {
+        assert_eq!(exit_code(&["soak", "--links", bad]), 2, "--links {bad:?}");
+    }
+    assert_eq!(exit_code(&["soak", "--links"]), 2);
+}
+
+#[test]
+fn soak_axis_flags_require_the_soak_experiment() {
+    for combo in [
+        vec!["fig7", "--prop-delays", "20"],
+        vec!["fig9", "--queues", "auto"],
+        vec!["loss", "--links", "vz-lte-down"],
+        vec!["--bench", "--queues", "auto"],
+        vec!["--prop-delays", "20"], // defaults to `all`, which has no axes
+    ] {
+        assert_eq!(exit_code(&combo), 2, "{combo:?} must be a usage error");
+    }
+}
+
+#[test]
+fn soak_accepts_valid_axis_flags() {
+    // Parse-and-validate proof via the owns-no-cells shard trick: the
+    // full flag set must get past validation, build the (reduced)
+    // matrix, run nothing, and exit 0.
+    let tmp = std::env::temp_dir().join(format!("reproduce-soak-cli-{}", std::process::id()));
+    let out = reproduce(&[
+        "soak",
+        "--quick",
+        "--links",
+        "vz-lte-down,tmo-3g-up",
+        "--prop-delays",
+        "10,25,50,100",
+        "--queues",
+        "auto,droptail,codel,bytes:75000",
+        "--shard",
+        "999999/1000000",
+        "--out",
+        &tmp.join("out").to_string_lossy(),
+        "--cache-dir",
+        &tmp.join("cache").to_string_lossy(),
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let _ = std::fs::remove_dir_all(&tmp);
+}

@@ -165,6 +165,7 @@ fn poisoned_matrix() -> ScenarioMatrix {
         workload: Workload::Scheme(Scheme::Cubic),
         link: NetProfile::TmobileUmtsDown,
         queue: QueueSpec::Auto,
+        prop_delay: Duration::from_millis(20),
         loss_rate: 0.0,
         confidence_pct: confidence,
         duration: Duration::from_secs(12),

@@ -3,18 +3,22 @@
 
 use sprout_bench::{
     sweep_to_json, QueueSpec, ResolvedQueue, ScenarioMatrix, Scheme, ShardSpec, SweepEngine,
-    Workload,
+    VideoApp, Workload,
 };
 use sprout_trace::{Duration, NetProfile};
 
 /// A small but representative matrix: two schemes (one needing CoDel),
-/// two loss rates, a confidence override, and a mux cell — every axis the
-/// engine seeds.
+/// two loss rates, two queue depths, a mux cell, and an
+/// app-over-transport cell — every axis the engine seeds. (The
+/// prop-delay axis carries no randomness of its own; `axes.rs` pins its
+/// exact-shift semantics.)
 fn mixed_matrix() -> ScenarioMatrix {
     ScenarioMatrix::builder("determinism")
         .schemes([Scheme::SproutEwma, Scheme::CubicCodel])
         .workloads([Workload::MuxDirect])
+        .apps([VideoApp::Skype], [Scheme::Cubic])
         .links([NetProfile::TmobileUmtsDown])
+        .queues([QueueSpec::Auto, QueueSpec::DropTailBytes(75_000)])
         .loss_rates([0.0, 0.05])
         .timing(Duration::from_secs(25), Duration::from_secs(5))
         .build()

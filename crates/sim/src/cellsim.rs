@@ -12,13 +12,12 @@ use crate::metrics::{DeliveryRecord, MetricsCollector};
 use crate::packet::Packet;
 use sprout_trace::{Duration, Timestamp, Trace};
 
-/// Configuration of one direction of the emulated path.
+/// Configuration of one direction of the emulated path. The one-way
+/// propagation delay lives on [`LinkConfig::prop_delay`].
 #[derive(Clone, Debug)]
 pub struct PathConfig {
-    /// Bottleneck link (trace, queue policy, loss).
+    /// Bottleneck link (trace, queue policy, loss, propagation delay).
     pub link: LinkConfig,
-    /// One-way propagation delay before the bottleneck queue.
-    pub prop_delay: Duration,
 }
 
 impl PathConfig {
@@ -27,8 +26,13 @@ impl PathConfig {
     pub fn standard(trace: Trace) -> Self {
         PathConfig {
             link: LinkConfig::standard(trace),
-            prop_delay: Duration::from_millis(20),
         }
+    }
+
+    /// Override the one-way propagation delay.
+    pub fn with_prop_delay(mut self, prop_delay: Duration) -> Self {
+        self.link.prop_delay = prop_delay;
+        self
     }
 }
 
@@ -45,7 +49,7 @@ impl DirectedPath {
     /// Build one direction from its configuration.
     pub fn new(cfg: PathConfig) -> Self {
         DirectedPath {
-            prop_delay: cfg.prop_delay,
+            prop_delay: cfg.link.prop_delay,
             in_flight: VecDeque::new(),
             link: TraceLink::new(cfg.link),
             metrics: MetricsCollector::new(),

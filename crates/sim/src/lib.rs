@@ -44,5 +44,5 @@ pub use metrics::{
     DeliveryRecord, MetricsCollector,
 };
 pub use packet::{FlowId, Packet};
-pub use queue::{DropTail, Queue};
+pub use queue::{DropTail, Queue, DEEP_QUEUE_BYTES};
 pub use run::{direction_stats, run_stats, DirectionStats, Simulation};

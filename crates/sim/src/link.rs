@@ -18,7 +18,7 @@ use rand::{Rng, SeedableRng};
 use crate::codel::{CoDelConfig, CoDelQueue};
 use crate::packet::Packet;
 use crate::queue::{DropTail, Queue};
-use sprout_trace::{Timestamp, Trace, TraceCursor, MTU_BYTES};
+use sprout_trace::{Duration, Timestamp, Trace, TraceCursor, MTU_BYTES};
 
 /// Queue policy selection for a link.
 #[derive(Clone, Debug, Default)]
@@ -54,17 +54,23 @@ pub struct LinkConfig {
     pub loss_rate: f64,
     /// Seed for the loss process.
     pub loss_seed: u64,
+    /// One-way propagation delay of the wire ahead of the bottleneck
+    /// queue (the paper measures ~20 ms each way, §4.2). Consumed by
+    /// `DirectedPath`, which delays packets by this much before they
+    /// reach the queue.
+    pub prop_delay: Duration,
 }
 
 impl LinkConfig {
-    /// A loss-free, unbounded-DropTail link over `trace` — the standard
-    /// experimental condition.
+    /// A loss-free, unbounded-DropTail link over `trace` with the
+    /// paper's 20 ms propagation — the standard experimental condition.
     pub fn standard(trace: Trace) -> Self {
         LinkConfig {
             trace,
             queue: QueueConfig::DropTailUnbounded,
             loss_rate: 0.0,
             loss_seed: 0,
+            prop_delay: Duration::from_millis(20),
         }
     }
 }
@@ -290,10 +296,9 @@ mod tests {
     fn bernoulli_loss_drops_expected_fraction() {
         let trace = Trace::from_millis(0..10_000);
         let mut link = TraceLink::new(LinkConfig {
-            trace,
-            queue: QueueConfig::DropTailUnbounded,
             loss_rate: 0.10,
             loss_seed: 99,
+            ..LinkConfig::standard(trace)
         });
         for i in 0..10_000 {
             link.ingress(mtu_pkt(i), t(i));
@@ -315,10 +320,8 @@ mod tests {
     fn codel_policy_is_wired_through() {
         let trace = Trace::from_millis((0..2_000).map(|i| i * 20)); // 50 pps
         let mut link = TraceLink::new(LinkConfig {
-            trace,
             queue: QueueConfig::CoDel(CoDelConfig::default()),
-            loss_rate: 0.0,
-            loss_seed: 0,
+            ..LinkConfig::standard(trace)
         });
         // Overload 4x: 200 MTU/s for 10 s.
         for (seq, ms) in (0..10_000u64).step_by(5).enumerate() {

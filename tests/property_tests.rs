@@ -4,8 +4,11 @@
 use proptest::prelude::*;
 
 use sprout_core::{IntervalSet, RateModel, SproutConfig, SproutHeader, WireForecast};
-use sprout_sim::{CoDelConfig, CoDelQueue, DropTail, FlowId, Packet, Queue};
-use sprout_trace::{Duration, Timestamp, Trace};
+use sprout_sim::{
+    CoDelConfig, CoDelQueue, DirectedPath, DropTail, FlowId, LinkConfig, Packet, PathConfig, Queue,
+    QueueConfig, TraceLink,
+};
+use sprout_trace::{Duration, Timestamp, Trace, MTU_BYTES};
 
 proptest! {
     /// Trace construction sorts arbitrary input and preserves every
@@ -153,5 +156,94 @@ proptest! {
         if let Some(p) = p95 {
             prop_assert!(p >= Duration::from_millis(20));
         }
+    }
+
+    /// The propagation delay is a hard floor: for any trace and any
+    /// prop-delay `d`, every packet a direction delivers took at least
+    /// `d` end to end (an echoed round trip therefore takes ≥ 2·d).
+    #[test]
+    fn prop_delay_floors_every_delivery(
+        gaps_ms in proptest::collection::vec(1u64..60, 5..120),
+        d_ms in 1u64..200,
+    ) {
+        let mut at = 0u64;
+        let ops: Vec<u64> = gaps_ms.iter().map(|g| { at += g; at }).collect();
+        let horizon = at + d_ms + 1;
+        let d = Duration::from_millis(d_ms);
+        let mut path = DirectedPath::new(
+            PathConfig::standard(Trace::from_millis(ops)).with_prop_delay(d),
+        );
+        for seq in 0..60u64 {
+            path.send(Packet::opaque(FlowId::PRIMARY, seq, 1_200), Timestamp::from_millis(seq * 7));
+        }
+        path.advance(Timestamp::from_millis(horizon));
+        for rec in path.metrics().records() {
+            prop_assert!(
+                rec.delivered_at.saturating_since(rec.sent_at) >= d,
+                "delivery beat the {d} propagation floor"
+            );
+        }
+    }
+
+    /// Changing the propagation delay translates the omniscient delay
+    /// floor by *exactly* the difference, for any trace: the floor's
+    /// delay function is the gap ramp shifted up by the prop delay.
+    #[test]
+    fn omniscient_floor_shifts_by_exactly_the_prop_delta(
+        ms in proptest::collection::vec(1u64..30_000, 2..200),
+        d1_ms in 0u64..150,
+        d2_ms in 0u64..150,
+    ) {
+        let trace = Trace::from_millis(ms);
+        let window_end = Timestamp::ZERO + trace.duration() + Duration::from_millis(1);
+        let floor = |d_ms: u64| sprout_sim::omniscient_p95_delay(
+            &trace,
+            Duration::from_millis(d_ms),
+            Timestamp::ZERO,
+            window_end,
+        ).expect("non-empty trace has a floor");
+        let (p1, p2) = (floor(d1_ms), floor(d2_ms));
+        prop_assert_eq!(
+            p1.as_micros() as i64 - p2.as_micros() as i64,
+            (d1_ms as i64 - d2_ms as i64) * 1_000
+        );
+    }
+
+    /// A byte-capped DropTail link never holds more than the cap (plus
+    /// at most one partially-served packet's remainder), and every
+    /// offered packet is accounted for: delivered, dropped by the cap,
+    /// or still queued.
+    #[test]
+    fn droptail_bytes_cap_bounds_the_link_queue(
+        sizes in proptest::collection::vec(20u32..1_500, 1..150),
+        cap in 2_000u64..30_000,
+        gap_ms in 1u64..20,
+    ) {
+        let trace = Trace::from_millis((1..=400u64).map(|i| i * gap_ms));
+        let mut link = TraceLink::new(LinkConfig {
+            queue: QueueConfig::DropTailBytes(cap),
+            ..LinkConfig::standard(trace)
+        });
+        let offered = sizes.len() as u64;
+        let mut delivered = 0u64;
+        for (i, size) in sizes.into_iter().enumerate() {
+            let now = Timestamp::from_millis(i as u64);
+            link.ingress(Packet::opaque(FlowId::PRIMARY, i as u64, size), now);
+            delivered += link.service(now).len() as u64;
+            // The queue proper respects the cap exactly; the link may
+            // additionally hold the unsent remainder of the one packet
+            // in service (< MTU).
+            prop_assert!(
+                link.queued_bytes() <= cap + MTU_BYTES as u64,
+                "queued {} exceeds cap {cap} + one MTU",
+                link.queued_bytes()
+            );
+        }
+        delivered += link.service(Timestamp::from_millis(500 * gap_ms)).len() as u64;
+        // Every offered packet is delivered, capped, or still queued.
+        prop_assert_eq!(
+            delivered + link.queue_drops() + link.queued_packets() as u64,
+            offered
+        );
     }
 }
