@@ -11,8 +11,8 @@
 //! low delay, and only after congestion has persisted for several
 //! seconds does it cut the rate multiplicatively. Per-application
 //! parameters (rate caps, ramp and reaction speeds) are calibrated to
-//! the qualitative placements in Figure 7. This is a documented
-//! substitution for the unavailable binaries (DESIGN.md §1).
+//! the qualitative placements in Figure 7. This is a deliberate,
+//! documented substitution for the unavailable closed-source binaries.
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 

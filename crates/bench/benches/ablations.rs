@@ -1,4 +1,4 @@
-//! Ablations of the design choices called out in DESIGN.md §4:
+//! Ablations of the reproduction's load-bearing design choices:
 //! time-to-next gating on/off, EWMA gain, and forecast confidence — each
 //! run end to end on the same link so the benchmark reports both runtime
 //! and (via eprintln) the achieved throughput/delay trade-off.

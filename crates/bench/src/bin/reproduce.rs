@@ -8,18 +8,22 @@
 //!                        [--bench] [--bench-baseline FILE]
 //!
 //! experiments:
-//!   fig1     Skype vs Sprout time series (Verizon LTE downlink)
-//!   fig2     saturated-link interarrival distribution
-//!   fig7     full comparative sweep (9 schemes x 8 links) + intro tables
-//!   fig8     average utilization vs delay (needs the fig7 sweep; runs it)
-//!   fig9     forecast-confidence sweep (T-Mobile 3G uplink)
-//!   loss     s5.6 loss-resilience table
-//!   tunnel   s5.7 SproutTunnel isolation table
-//!   soak     long-horizon matrix: all schemes + app workloads x links x
-//!            queue depths x propagation delays at paper-length (17 min)
-//!            runs; defaults to --secs 1020 and is sized for --shard
-//!            workers sharing a cache directory (not part of `all`)
-//!   all      everything above except soak
+//!   fig1       Skype vs Sprout time series (Verizon LTE downlink)
+//!   fig2       saturated-link interarrival distribution
+//!   fig7       full comparative sweep (9 schemes x 8 links) + intro tables
+//!   fig8       average utilization vs delay (needs the fig7 sweep; runs it)
+//!   fig9       forecast-confidence sweep (T-Mobile 3G uplink)
+//!   loss       s5.6 loss-resilience table
+//!   tunnel     s5.7 SproutTunnel isolation table
+//!   contention N flows sharing one bottleneck queue: per-flow
+//!              throughput/delay plus Jain's fairness index per cell
+//!              (--flows N sizes the default workload set, --contend
+//!              declares an explicit flow list; not part of `all`)
+//!   soak       long-horizon matrix: all schemes + app workloads x links x
+//!              queue depths x propagation delays at paper-length (17 min)
+//!              runs; defaults to --secs 1020 and is sized for --shard
+//!              workers sharing a cache directory (not part of `all`)
+//!   all        everything above except contention and soak
 //!
 //! flags:
 //!   --secs N     virtual seconds per run (default 300)
@@ -47,10 +51,19 @@
 //!   --bench-baseline FILE  compare the --bench report against FILE;
 //!                exit 1 on >20% timing regression or any metric drift
 //!
-//! soak axis flags (soak only; comma-separated lists):
+//! axis flags (comma-separated lists):
 //!   --links LIST        link ids, e.g. vz-lte-down,tmo-3g-up
+//!                       (soak and contention)
 //!   --prop-delays LIST  one-way propagation delays in ms, e.g. 10,25,50
+//!                       (soak only)
 //!   --queues LIST       queue specs: auto, droptail, codel, bytes:N
+//!                       (soak only)
+//!   --flows N           contending flows per default contention cell,
+//!                       2..=16 (contention only)
+//!   --contend LIST      explicit contention flow list by scheme tag,
+//!                       e.g. sprout,cubic,cubic; app flows as
+//!                       skype-over-sprout ride their own tunnel
+//!                       (contention only; replaces the default workloads)
 //! ```
 //!
 //! Every experiment writes TSV artifacts plus a canonical
@@ -64,16 +77,28 @@ use std::path::PathBuf;
 use std::time::Instant;
 
 use sprout_bench::figures::{self, ExperimentConfig};
-use sprout_bench::{perf, summary_table, CellCachePolicy, QueueSpec, Scheme, ShardSpec};
+use sprout_bench::{
+    perf, summary_table, CellCachePolicy, FlowSpec, QueueSpec, Scheme, ShardSpec,
+    MAX_CONTENTION_FLOWS,
+};
 use sprout_trace::NetProfile;
 
 const EXPERIMENTS: &[&str] = &[
-    "fig1", "fig2", "fig7", "fig8", "fig9", "loss", "tunnel", "soak", "all",
+    "fig1",
+    "fig2",
+    "fig7",
+    "fig8",
+    "fig9",
+    "loss",
+    "tunnel",
+    "contention",
+    "soak",
+    "all",
 ];
 
-const USAGE: &str = "usage: reproduce <experiment> [--secs N] [--warmup N] [--seed N] [--out DIR] [--threads N] [--quick] [--json] [--cache-dir DIR] [--no-cache] [--shard I/N] [--merge] [--resume] [--bench] [--bench-baseline FILE] [--links LIST] [--prop-delays LIST] [--queues LIST]
-experiments: fig1 fig2 fig7 fig8 fig9 loss tunnel soak all (soak is not part of all)
-soak axis flags: --links vz-lte-down,... | --prop-delays 10,25,... (one-way ms) | --queues auto|droptail|codel|bytes:N,...";
+const USAGE: &str = "usage: reproduce <experiment> [--secs N] [--warmup N] [--seed N] [--out DIR] [--threads N] [--quick] [--json] [--cache-dir DIR] [--no-cache] [--shard I/N] [--merge] [--resume] [--bench] [--bench-baseline FILE] [--links LIST] [--prop-delays LIST] [--queues LIST] [--flows N] [--contend LIST]
+experiments: fig1 fig2 fig7 fig8 fig9 loss tunnel contention soak all (contention and soak are not part of all)
+axis flags: --links vz-lte-down,... (soak+contention) | --prop-delays 10,25,... (one-way ms, soak) | --queues auto|droptail|codel|bytes:N,... (soak) | --flows N (contention) | --contend sprout,cubic,... (contention)";
 
 struct Options {
     cmd: String,
@@ -137,6 +162,35 @@ fn parse_queues(spec: &str) -> Option<Vec<QueueSpec>> {
         .and_then(all_distinct)
 }
 
+/// Parse one `--contend` entry: a scheme tag (`cubic`, `sprout-ewma`,
+/// `skype`, …; never `omniscient`) or a tunneled app flow in the
+/// `app-over-carrier` form (`skype-over-sprout`).
+fn parse_flow_spec(part: &str) -> Option<FlowSpec> {
+    if let Some((app_tag, carrier_tag)) = part.split_once("-over-") {
+        let app = sprout_bench::VideoApp::all()
+            .into_iter()
+            .find(|a| a.id() == app_tag)?;
+        let over = Scheme::from_tag(carrier_tag)?;
+        over.tunnels_apps().then_some(FlowSpec::App { app, over })
+    } else {
+        let scheme = Scheme::from_tag(part)?;
+        (scheme != Scheme::Omniscient).then_some(FlowSpec::Scheme(scheme))
+    }
+}
+
+/// Parse `--contend`: 2..=MAX_CONTENTION_FLOWS comma-separated flow
+/// specs (duplicates are the point — `cubic,cubic,cubic` is a
+/// homogeneous contention cell).
+fn parse_contend(spec: &str) -> Option<Vec<FlowSpec>> {
+    let flows = spec
+        .split(',')
+        .map(parse_flow_spec)
+        .collect::<Option<Vec<_>>>()?;
+    (2..=MAX_CONTENTION_FLOWS)
+        .contains(&flows.len())
+        .then_some(flows)
+}
+
 fn parse_args() -> Options {
     let mut cfg = ExperimentConfig::default();
     let mut cmd: Option<String> = None;
@@ -149,7 +203,10 @@ fn parse_args() -> Options {
     let mut merge = false;
     let mut resume = false;
     let mut no_cache = false;
-    let mut axis_flags = false;
+    let mut links_flag = false;
+    let mut soak_axis_flags = false;
+    let mut explicit_flows = false;
+    let mut explicit_contend = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut numeric = |name: &str| -> u64 {
@@ -202,8 +259,9 @@ fn parse_args() -> Options {
             "--resume" => resume = true,
             "--links" => match args.next().as_deref().and_then(parse_links) {
                 Some(links) => {
-                    cfg.soak.links = links;
-                    axis_flags = true;
+                    cfg.soak.links = links.clone();
+                    cfg.contention.links = links;
+                    links_flag = true;
                 }
                 None => usage_error(
                     "--links expects a comma-separated list of distinct link ids (e.g. vz-lte-down,tmo-3g-up)",
@@ -212,7 +270,7 @@ fn parse_args() -> Options {
             "--prop-delays" => match args.next().as_deref().and_then(parse_prop_delays) {
                 Some(ms) => {
                     cfg.soak.prop_delays_ms = ms;
-                    axis_flags = true;
+                    soak_axis_flags = true;
                 }
                 None => usage_error(
                     "--prop-delays expects comma-separated distinct one-way delays in ms, each in 1..=10000 (e.g. 10,25,50)",
@@ -221,10 +279,29 @@ fn parse_args() -> Options {
             "--queues" => match args.next().as_deref().and_then(parse_queues) {
                 Some(queues) => {
                     cfg.soak.queues = queues;
-                    axis_flags = true;
+                    soak_axis_flags = true;
                 }
                 None => usage_error(
                     "--queues expects comma-separated distinct specs from auto|droptail|codel|bytes:N (e.g. auto,bytes:75000)",
+                ),
+            },
+            "--flows" => {
+                let n = numeric("--flows") as usize;
+                if !(2..=MAX_CONTENTION_FLOWS).contains(&n) {
+                    usage_error(&format!(
+                        "--flows expects a flow count in 2..={MAX_CONTENTION_FLOWS}, got {n}"
+                    ));
+                }
+                cfg.contention.flows = n;
+                explicit_flows = true;
+            }
+            "--contend" => match args.next().as_deref().and_then(parse_contend) {
+                Some(flows) => {
+                    cfg.contention.contenders = Some(flows);
+                    explicit_contend = true;
+                }
+                None => usage_error(
+                    "--contend expects 2..=16 comma-separated flow specs: scheme tags (sprout, sprout-ewma, cubic, cubic-codel, reno, vegas, compound, ledbat, skype, facetime, google-hangout) or tunneled app flows like skype-over-sprout; omniscient cannot contend",
                 ),
             },
             "--help" | "-h" => {
@@ -256,8 +333,23 @@ fn parse_args() -> Options {
     }
     let explicit_cmd = cmd.is_some();
     let cmd = cmd.unwrap_or_else(|| "all".to_string());
-    if axis_flags && cmd != "soak" {
-        usage_error("--links/--prop-delays/--queues configure the soak matrix; they require the soak experiment");
+    if soak_axis_flags && cmd != "soak" {
+        usage_error(
+            "--prop-delays/--queues configure the soak matrix; they require the soak experiment",
+        );
+    }
+    if links_flag && cmd != "soak" && cmd != "contention" {
+        usage_error(
+            "--links trims the soak/contention link axis; it requires one of those experiments",
+        );
+    }
+    if (explicit_flows || explicit_contend) && cmd != "contention" {
+        usage_error("--flows/--contend configure the contention matrix; they require the contention experiment");
+    }
+    if explicit_flows && explicit_contend {
+        usage_error(
+            "--flows sizes the default contention workloads and --contend replaces them; pick one",
+        );
     }
     // The paper-length soak default lives on `SoakAxes::secs` (so the
     // library builds the identical matrix); an explicit --secs or
@@ -324,6 +416,7 @@ fn artifacts_of(cmd: &str) -> &'static [&'static str] {
         "fig9" => &["fig9"],
         "loss" => &["loss"],
         "tunnel" => &["tunnel"],
+        "contention" => &["contention"],
         "soak" => &["soak"],
         "all" => &["fig1", "fig2", "fig7", "fig9", "loss", "tunnel"],
         _ => &[],
@@ -494,13 +587,27 @@ fn run_shard(cfg: &ExperimentConfig, cmd: &str) -> std::io::Result<()> {
 }
 
 /// The stable cell-cache summary line (CI greps it to assert a resumed
-/// run executed nothing).
-fn print_cell_cache_line() {
-    let c = sprout_bench::cell_cache_counters();
+/// run executed nothing). Names the experiment; single-experiment runs
+/// print it once with the process totals, and `all` prints one line per
+/// experiment (the delta since `mark`) so the traffic of each sweep is
+/// attributable, plus a final `[all]` total.
+fn print_cell_cache_line(experiment: &str) {
+    print_cell_cache_delta(experiment, sprout_cache::CacheCounters::default());
+}
+
+/// Print the cell-cache traffic since `mark` under `experiment`'s name
+/// and return the current counters (the next experiment's `mark`).
+fn print_cell_cache_delta(
+    experiment: &str,
+    mark: sprout_cache::CacheCounters,
+) -> sprout_cache::CacheCounters {
+    let now = sprout_bench::cell_cache_counters();
+    let c = now.since(mark);
     println!(
-        "cell cache: {} hits, {} misses, {} stores",
+        "cell cache [{experiment}]: {} hits, {} misses, {} stores",
         c.hits, c.misses, c.stores
     );
+    now
 }
 
 fn main() {
@@ -526,7 +633,7 @@ fn run() -> std::io::Result<()> {
     }
     if !cfg.shard.is_full() {
         let r = run_shard(&cfg, &cmd);
-        print_cell_cache_line();
+        print_cell_cache_line(&cmd);
         return r;
     }
     let effective_secs = if cmd == "soak" {
@@ -638,6 +745,27 @@ fn run() -> std::io::Result<()> {
                 100.0 * (r.skype_tunnel_delay_s / r.skype_direct_delay_s - 1.0)
             );
         }
+        "contention" => {
+            let t0 = Instant::now();
+            let rows = figures::contention(&cfg)?;
+            println!(
+                "\n== contention: {} cells, per-flow shares of one bottleneck queue ({:.0?}) ==",
+                rows.len(),
+                t0.elapsed()
+            );
+            for r in rows {
+                println!(
+                    "  {} (util {:.2}, Jain {:.3})",
+                    r.label, r.utilization, r.fairness
+                );
+                for (spec, flow) in &r.flows {
+                    println!(
+                        "    flow {} {:20} {:>8.0} kbps  p95 {:>9.0} ms",
+                        flow.flow, spec, flow.throughput_kbps, flow.p95_delay_ms
+                    );
+                }
+            }
+        }
         "soak" => {
             let t0 = Instant::now();
             let matrix_len = figures::soak_matrix(&cfg).len();
@@ -661,15 +789,20 @@ fn run() -> std::io::Result<()> {
         }
         "all" => {
             let t0 = Instant::now();
+            let mut mark = sprout_bench::cell_cache_counters();
             let r1 = figures::fig1(&cfg)?;
             println!("fig1 done: {} bins", r1.throughput_rows.len());
+            mark = print_cell_cache_delta("fig1", mark);
             let r2 = figures::fig2(&cfg)?;
             println!(
                 "fig2 done: {:.3}% within 20 ms, tail slope {:?}",
                 r2.fraction_within_20ms * 100.0,
                 r2.tail_slope
             );
+            mark = print_cell_cache_delta("fig2", mark);
             let results = print_fig7_and_tables(&cfg)?;
+            mark = print_cell_cache_delta("fig7", mark);
+            // fig8 derives from the fig7 sweep: no cells of its own.
             let rows = figures::fig8(&cfg, &results)?;
             println!("\n== Figure 8 ==");
             for r in rows {
@@ -688,6 +821,7 @@ fn run() -> std::io::Result<()> {
                     r.confidence, r.result.throughput_kbps, r.result.self_inflicted_ms
                 );
             }
+            mark = print_cell_cache_delta("fig9", mark);
             let rows = figures::loss_table(&cfg)?;
             println!("\n== s5.6 loss ==");
             for r in rows {
@@ -699,6 +833,7 @@ fn run() -> std::io::Result<()> {
                     r.result.self_inflicted_ms
                 );
             }
+            mark = print_cell_cache_delta("loss", mark);
             let r = figures::tunnel_comparison(&cfg)?;
             println!("\n== s5.7 tunnel ==");
             println!(
@@ -710,11 +845,12 @@ fn run() -> std::io::Result<()> {
                 r.skype_direct_delay_s,
                 r.skype_tunnel_delay_s
             );
+            let _ = print_cell_cache_delta("tunnel", mark);
             println!("\nall experiments done in {:.0?}", t0.elapsed());
         }
         other => unreachable!("experiment {other:?} validated in parse_args"),
     }
-    print_cell_cache_line();
+    print_cell_cache_line(&cmd);
     if json {
         print_json_artifacts(&cfg, &cmd)?;
     }

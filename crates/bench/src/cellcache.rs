@@ -42,7 +42,11 @@ static CELL_ARTIFACT: ArtifactKind = ArtifactKind::new("cell-result", 1);
 /// (`DEEP_QUEUE_BYTES`) instead of unbounded, and cells gained
 /// prop-delay / queue-depth / app-workload axes (new `Scenario` fields
 /// and a richer `ResolvedQueue` payload encoding).
-pub const ENGINE_VERSION: u32 = 2;
+///
+/// v3: multi-flow contention workloads (`Workload::Contention` grows
+/// the canonical workload detail) and `SweepResult` gained the Jain's
+/// fairness field, which the cell payload now encodes.
+pub const ENGINE_VERSION: u32 = 3;
 
 /// Disk-cache traffic counters for cell results (hits mean a sweep
 /// served a whole cell without simulating it).
@@ -113,6 +117,8 @@ fn encode_result(r: &SweepResult) -> Vec<u8> {
     for f in &r.flows {
         w.u32(f.flow).f64(f.throughput_kbps).f64(f.p95_delay_ms);
     }
+    w.bool(r.fairness.is_some());
+    w.f64(r.fairness.unwrap_or(0.0));
     w.u32(r.series.len() as u32);
     for s in &r.series {
         w.f64(s.t_s)
@@ -163,6 +169,9 @@ fn decode_result(scenario: &Scenario, matrix_name: &str, bytes: &[u8]) -> Option
             p95_delay_ms: r.f64()?,
         });
     }
+    let has_fairness = r.bool()?;
+    let fairness_value = r.f64()?;
+    let fairness = has_fairness.then_some(fairness_value);
     let n_series = r.u32()? as usize;
     let mut series = Vec::with_capacity(n_series);
     for _ in 0..n_series {
@@ -202,6 +211,7 @@ fn decode_result(scenario: &Scenario, matrix_name: &str, bytes: &[u8]) -> Option
         cell_seed,
         metrics,
         flows,
+        fairness,
         series,
         interarrival,
         wall_ms: 0.0,
@@ -272,6 +282,7 @@ mod tests {
                 throughput_kbps: 100.0,
                 p95_delay_ms: 17.0,
             }],
+            fairness: Some(0.75),
             series: vec![SeriesRow {
                 t_s: 0.5,
                 capacity_kbps: 5000.0,

@@ -16,9 +16,9 @@ use std::path::{Path, PathBuf};
 use sprout_baselines::VideoApp;
 use sprout_trace::{Duration, NetProfile, Trace};
 
-use crate::scenario::{QueueSpec, ScenarioMatrix, Workload};
+use crate::scenario::{FlowSpec, QueueSpec, ScenarioMatrix, Workload};
 use crate::schemes::{RunConfig, Scheme, SchemeResult};
-use crate::sweep::{self, CellCachePolicy, ShardSpec, SweepEngine, SweepResult};
+use crate::sweep::{self, CellCachePolicy, FlowSummary, ShardSpec, SweepEngine, SweepResult};
 
 pub use crate::scenario::paired;
 
@@ -61,6 +61,36 @@ impl Default for SoakAxes {
     }
 }
 
+/// The default number of contending flows per contention cell.
+pub const DEFAULT_CONTENTION_FLOWS: usize = 3;
+
+/// The axes of the `contention` experiment that are overridable from the
+/// CLI (`--flows`, `--contend`, `--links`).
+#[derive(Clone, Debug)]
+pub struct ContentionAxes {
+    /// Flows per cell for the default workload set (`--flows N`).
+    pub flows: usize,
+    /// Explicit flow list replacing the default workload set
+    /// (`--contend sprout,cubic,cubic`); the matrix then holds this one
+    /// contention workload per link.
+    pub contenders: Option<Vec<FlowSpec>>,
+    /// Link directions under test (`--links`).
+    pub links: Vec<NetProfile>,
+}
+
+impl Default for ContentionAxes {
+    fn default() -> Self {
+        ContentionAxes {
+            flows: DEFAULT_CONTENTION_FLOWS,
+            contenders: None,
+            // The paper's headline downlink plus a lean 3G uplink: one
+            // deep fast buffer, one slow one — the two ends of the
+            // shared-queue contention regime.
+            links: vec![NetProfile::VerizonLteDown, NetProfile::TmobileUmtsUp],
+        }
+    }
+}
+
 /// Global experiment knobs (trace length, warm-up, seed, output dir).
 #[derive(Clone, Debug)]
 pub struct ExperimentConfig {
@@ -81,6 +111,8 @@ pub struct ExperimentConfig {
     pub out_dir: PathBuf,
     /// Axes of the `soak` experiment (CLI-overridable).
     pub soak: SoakAxes,
+    /// Axes of the `contention` experiment (CLI-overridable).
+    pub contention: ContentionAxes,
 }
 
 impl Default for ExperimentConfig {
@@ -94,6 +126,7 @@ impl Default for ExperimentConfig {
             cell_policy: CellCachePolicy::Execute,
             out_dir: PathBuf::from("results"),
             soak: SoakAxes::default(),
+            contention: ContentionAxes::default(),
         }
     }
 }
@@ -628,6 +661,114 @@ pub fn tunnel_comparison(cfg: &ExperimentConfig) -> std::io::Result<TunnelCompar
     Ok(result)
 }
 
+// ----------------------------------------------------------- contention
+
+/// The default contention workload set for `n` flows per cell: the
+/// homogeneous baselines (all-Cubic, all-Sprout), a lone Sprout or
+/// Skype flow against `n − 1` Cubic bulk flows (the regime where a deep
+/// shared buffer collapses the delay-sensitive flow), and a tunneled
+/// Skype flow against the same bulk mix (§5.7 isolation, N-flow
+/// generalized).
+pub fn default_contention_workloads(n: usize) -> Vec<Vec<FlowSpec>> {
+    assert!(
+        (2..=crate::scenario::MAX_CONTENTION_FLOWS).contains(&n),
+        "contention cells need 2..={} flows, got {n}",
+        crate::scenario::MAX_CONTENTION_FLOWS
+    );
+    let versus_bulk = |lead: FlowSpec| {
+        let mut flows = vec![lead];
+        flows.extend(vec![FlowSpec::Scheme(Scheme::Cubic); n - 1]);
+        flows
+    };
+    vec![
+        vec![FlowSpec::Scheme(Scheme::Cubic); n],
+        vec![FlowSpec::Scheme(Scheme::Sprout); n],
+        versus_bulk(FlowSpec::Scheme(Scheme::Sprout)),
+        versus_bulk(FlowSpec::Scheme(Scheme::Skype)),
+        versus_bulk(FlowSpec::App {
+            app: VideoApp::Skype,
+            over: Scheme::Sprout,
+        }),
+    ]
+}
+
+/// The contention matrix: the default workload set (or the explicit
+/// `--contend` flow list) across the configured links, every cell
+/// sharing one deep per-user DropTail queue per direction.
+pub fn contention_matrix(cfg: &ExperimentConfig) -> ScenarioMatrix {
+    let workloads = match &cfg.contention.contenders {
+        Some(flows) => vec![flows.clone()],
+        None => default_contention_workloads(cfg.contention.flows),
+    };
+    cfg.matrix("contention")
+        .contention(workloads)
+        .links(cfg.contention.links.iter().copied())
+        .build()
+}
+
+/// One contention cell's summary, flattened for display.
+pub struct ContentionRow {
+    /// The cell label.
+    pub label: String,
+    /// `+`-joined flow tags, in flow order.
+    pub workload: String,
+    /// Jain's fairness index over the flow throughputs.
+    pub fairness: f64,
+    /// Aggregate link utilization of the cell.
+    pub utilization: f64,
+    /// Per-flow tag + metrics, in flow order.
+    pub flows: Vec<(String, FlowSummary)>,
+}
+
+/// Run the contention matrix and render `contention_fairness.tsv` (one
+/// row per flow, with the cell's fairness index and aggregate
+/// utilization repeated on each).
+pub fn contention(cfg: &ExperimentConfig) -> std::io::Result<Vec<ContentionRow>> {
+    let matrix = contention_matrix(cfg);
+    let results = cfg.run_matrix(&matrix)?;
+
+    let mut f = cfg.tsv("contention_fairness.tsv")?;
+    writeln!(
+        f,
+        "label\tlink\tqueue\tflow\tspec\tthroughput_kbps\tp95_delay_ms\tjain_fairness\tutilization"
+    )?;
+    let mut rows = Vec::with_capacity(results.len());
+    for r in &results {
+        let specs = r
+            .scenario
+            .workload
+            .contention_flows()
+            .expect("contention matrix cells are contention workloads");
+        let m = r.metrics.expect("contention cells produce metrics");
+        let fairness = r.fairness.expect("contention cells report fairness");
+        let mut flows = Vec::with_capacity(specs.len());
+        for (spec, flow) in specs.iter().zip(&r.flows) {
+            writeln!(
+                f,
+                "{}\t{}\t{}\t{}\t{}\t{:.1}\t{:.1}\t{:.4}\t{:.4}",
+                r.scenario.label,
+                r.scenario.link.id(),
+                r.queue.id(),
+                flow.flow,
+                spec.tag(),
+                flow.throughput_kbps,
+                flow.p95_delay_ms,
+                fairness,
+                m.utilization,
+            )?;
+            flows.push((spec.tag(), *flow));
+        }
+        rows.push(ContentionRow {
+            label: r.scenario.label.clone(),
+            workload: r.scenario.workload.canonical_detail(),
+            fairness,
+            utilization: m.utilization,
+            flows,
+        });
+    }
+    Ok(rows)
+}
+
 // ----------------------------------------------------------------- soak
 
 /// The paper's trace length: ~17 minutes of virtual time (§4.1). The
@@ -772,9 +913,12 @@ pub fn matrices_for(cfg: &ExperimentConfig, experiment: &str) -> Vec<ScenarioMat
         "fig9" => vec![fig9_matrix(cfg)],
         "loss" => vec![loss_matrix(cfg)],
         "tunnel" => vec![tunnel_matrix(cfg)],
+        "contention" => vec![contention_matrix(cfg)],
         "soak" => vec![soak_matrix(cfg)],
-        // "all" deliberately excludes soak: the soak matrix is sized for
-        // sharded, resumable execution, not a single sitting.
+        // "all" deliberately excludes soak (sized for sharded, resumable
+        // execution, not a single sitting) and contention (its matrix is
+        // CLI-parameterized — axis flags would silently change what
+        // "all" means).
         "all" => vec![
             fig1_matrix(cfg),
             fig2_matrix(cfg),

@@ -1,6 +1,7 @@
 //! The reproduction harness: a scheme zoo, the scenario-matrix sweep
 //! engine, and regeneration functions for every table and figure in the
-//! paper's evaluation (see DESIGN.md §3 for the experiment index).
+//! paper's evaluation (see ARCHITECTURE.md for the layering and the
+//! scenario → sweep → cellcache → figures pipeline).
 //!
 //! Architecture: each figure **declares** its cross-product as a
 //! [`ScenarioMatrix`] (schemes × links × loss rates × confidences), the
@@ -19,11 +20,16 @@ pub mod sweep;
 
 pub use cellcache::{cell_cache_counters, reset_cell_cache_counters, ENGINE_VERSION};
 pub use figures::{
-    fig1, fig2, fig7, fig8, fig9, loss_table, soak, soak_matrix, summary_table, tunnel_comparison,
-    ExperimentConfig, Fig7Results, SoakAxes, SHALLOW_QUEUE_BYTES, SOAK_SECS,
+    contention, contention_matrix, default_contention_workloads, fig1, fig2, fig7, fig8, fig9,
+    loss_table, soak, soak_matrix, summary_table, tunnel_comparison, ContentionAxes, ContentionRow,
+    ExperimentConfig, Fig7Results, SoakAxes, DEFAULT_CONTENTION_FLOWS, SHALLOW_QUEUE_BYTES,
+    SOAK_SECS,
 };
 pub use perf::{bench_report_to_json, check_regression, BenchReport, MicroBench};
-pub use scenario::{MatrixBuilder, QueueSpec, ResolvedQueue, Scenario, ScenarioMatrix, Workload};
+pub use scenario::{
+    FlowSpec, MatrixBuilder, QueueSpec, ResolvedQueue, Scenario, ScenarioMatrix, Workload,
+    MAX_CONTENTION_FLOWS,
+};
 pub use schemes::{build_endpoints, run_scheme, RunConfig, Scheme, SchemeResult};
 pub use sprout_baselines::VideoApp;
 pub use sweep::{

@@ -34,8 +34,70 @@ pub fn paired(profile: NetProfile) -> NetProfile {
     }
 }
 
+/// Most flows one contention cell may declare. Generous for the
+/// contention regime the literature sweeps (a handful of flows per user
+/// queue), and a guard against accidentally declaring a thousand-endpoint
+/// simulation in one cell.
+pub const MAX_CONTENTION_FLOWS: usize = 16;
+
+/// One contending flow of a [`Workload::Contention`] cell.
+///
+/// A flow is either a whole scheme — a bulk transport saturating its
+/// share of the queue, or an open-loop app model — or a video app
+/// isolated inside its own SproutTunnel session (§4.3) while the other
+/// flows commingle around it. Per-flow metrics are attributed at the
+/// bottleneck by [`sprout_sim::FlowId`], so a tunneled flow's numbers
+/// describe its Sprout *wire* traffic (what the shared queue actually
+/// carried for it).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FlowSpec {
+    /// One endpoint pair of this scheme (any scheme except the
+    /// omniscient reference, which presumes sole ownership of the link).
+    Scheme(Scheme),
+    /// A video app inside its own SproutTunnel session. `over` must be a
+    /// tunneling carrier ([`Scheme::tunnels_apps`]); an app flow over
+    /// anything else is just `FlowSpec::Scheme(app scheme)` next to an
+    /// explicit bulk flow.
+    App {
+        /// The modeled application riding the tunnel.
+        app: VideoApp,
+        /// The tunneling transport (Sprout or Sprout-EWMA).
+        over: Scheme,
+    },
+}
+
+impl FlowSpec {
+    /// The lowercase, hyphenated tag used in labels and canonical
+    /// encodings, e.g. `cubic` or `skype-over-sprout`.
+    pub fn tag(&self) -> String {
+        match self {
+            FlowSpec::Scheme(s) => s.tag(),
+            FlowSpec::App { app, over } => format!("{}-over-{}", app.id(), over.tag()),
+        }
+    }
+
+    /// Panic unless this spec is a valid contention flow (no omniscient
+    /// flows; app flows must ride a tunneling carrier).
+    fn validate(&self) {
+        match self {
+            FlowSpec::Scheme(s) => assert!(
+                *s != Scheme::Omniscient,
+                "the omniscient reference presumes sole ownership of the link; \
+                 it cannot be a contention flow"
+            ),
+            FlowSpec::App { over, .. } => assert!(
+                over.tunnels_apps(),
+                "a contention app flow must ride a tunneling carrier \
+                 (Sprout/Sprout-EWMA), got {}; declare a bare app flow as \
+                 FlowSpec::Scheme instead",
+                over.name()
+            ),
+        }
+    }
+}
+
 /// What runs inside a cell.
-#[derive(Clone, Copy, Debug, PartialEq)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum Workload {
     /// One scheme saturating the link under test (Figure 7 style).
     Scheme(Scheme),
@@ -52,6 +114,16 @@ pub enum Workload {
         /// omniscient protocol.
         over: Scheme,
     },
+    /// N ≥ 2 independent flows sharing one bottleneck link and queue —
+    /// the multi-flow generalization of the §5.7 mux pair, the regime
+    /// where a deep per-user buffer makes delay collapse under
+    /// contention. Flow `i` of the spec list runs as
+    /// `FlowId(i + 1)`, and the cell reports per-flow throughput/delay
+    /// plus Jain's fairness index over the flow throughputs.
+    Contention {
+        /// The contending flows, in [`sprout_sim::FlowId`] order.
+        flows: Vec<FlowSpec>,
+    },
     /// Cubic bulk + Skype commingled in the carrier queue (§5.7 "direct").
     MuxDirect,
     /// Cubic bulk + Skype isolated inside a SproutTunnel session (§5.7).
@@ -63,10 +135,11 @@ pub enum Workload {
 
 impl Workload {
     /// Machine-friendly identifier (labels, JSON rows).
-    pub fn id(self) -> &'static str {
+    pub fn id(&self) -> &'static str {
         match self {
             Workload::Scheme(_) => "scheme",
             Workload::App { .. } => "app",
+            Workload::Contention { .. } => "contention",
             Workload::MuxDirect => "mux-direct",
             Workload::MuxTunneled => "mux-tunneled",
             Workload::InterarrivalProbe => "interarrival-probe",
@@ -74,38 +147,54 @@ impl Workload {
     }
 
     /// The scheme, when the workload is a scheme cell.
-    pub fn scheme(self) -> Option<Scheme> {
+    pub fn scheme(&self) -> Option<Scheme> {
         match self {
-            Workload::Scheme(s) => Some(s),
+            Workload::Scheme(s) => Some(*s),
             _ => None,
         }
     }
 
     /// The app and its carrier, when the workload is an app cell.
-    pub fn app(self) -> Option<(VideoApp, Scheme)> {
+    pub fn app(&self) -> Option<(VideoApp, Scheme)> {
         match self {
-            Workload::App { app, over } => Some((app, over)),
+            Workload::App { app, over } => Some((*app, *over)),
+            _ => None,
+        }
+    }
+
+    /// The contending flows, when the workload is a contention cell.
+    pub fn contention_flows(&self) -> Option<&[FlowSpec]> {
+        match self {
+            Workload::Contention { flows } => Some(flows),
             _ => None,
         }
     }
 
     /// The transport scheme whose queue preference governs
     /// [`QueueSpec::Auto`]: the scheme itself for scheme cells, the
-    /// carrier for app cells.
-    pub fn carrier_scheme(self) -> Option<Scheme> {
+    /// carrier for app cells. Contention cells have no single carrier —
+    /// `Auto` resolves to the deep DropTail default, the shared per-user
+    /// buffer the contention regime is about.
+    pub fn carrier_scheme(&self) -> Option<Scheme> {
         match self {
-            Workload::Scheme(s) => Some(s),
-            Workload::App { over, .. } => Some(over),
+            Workload::Scheme(s) => Some(*s),
+            Workload::App { over, .. } => Some(*over),
             _ => None,
         }
     }
 
     /// The workload's contribution to a cell's canonical identity beyond
-    /// the variant tag: the scheme name, or `app+carrier` for app cells.
-    pub fn canonical_detail(self) -> String {
+    /// the variant tag: the scheme name, `app+carrier` for app cells, or
+    /// the `+`-joined flow tags (in flow order) for contention cells.
+    pub fn canonical_detail(&self) -> String {
         match self {
             Workload::Scheme(s) => s.name().to_string(),
             Workload::App { app, over } => format!("{}+{}", app.id(), over.name()),
+            Workload::Contention { flows } => flows
+                .iter()
+                .map(FlowSpec::tag)
+                .collect::<Vec<_>>()
+                .join("+"),
             _ => String::new(),
         }
     }
@@ -146,7 +235,7 @@ impl QueueSpec {
     /// `DropTail` both land on the *explicit* deep default capacity —
     /// never an unbounded queue — so the byte-cap path is the only
     /// DropTail path sweeps exercise.
-    pub fn resolve(self, workload: Workload) -> ResolvedQueue {
+    pub fn resolve(self, workload: &Workload) -> ResolvedQueue {
         match self {
             QueueSpec::DropTail => ResolvedQueue::DropTail,
             QueueSpec::DropTailBytes(cap) => ResolvedQueue::DropTailBytes(cap),
@@ -376,6 +465,31 @@ impl MatrixBuilder {
         self
     }
 
+    /// Add contention workloads: each item is the flow list of one
+    /// multi-flow cell (≥ 2 flows sharing the bottleneck queue). Flow
+    /// order is [`sprout_sim::FlowId`] order and part of cell identity.
+    /// Flows must be real protocols (no omniscient) and app flows must
+    /// ride a tunneling carrier — see [`FlowSpec`].
+    pub fn contention(mut self, cells: impl IntoIterator<Item = Vec<FlowSpec>>) -> Self {
+        for flows in cells {
+            assert!(
+                flows.len() >= 2,
+                "a contention cell needs at least two flows, got {}",
+                flows.len()
+            );
+            assert!(
+                flows.len() <= MAX_CONTENTION_FLOWS,
+                "a contention cell is capped at {MAX_CONTENTION_FLOWS} flows, got {}",
+                flows.len()
+            );
+            for spec in &flows {
+                spec.validate();
+            }
+            self.workloads.push(Workload::Contention { flows });
+        }
+        self
+    }
+
     /// Add arbitrary workloads (mux/tunnel/probe cells).
     pub fn workloads(mut self, workloads: impl IntoIterator<Item = Workload>) -> Self {
         self.workloads.extend(workloads);
@@ -462,7 +576,7 @@ impl MatrixBuilder {
                 * self.loss_rates.len()
                 * self.confidences.len(),
         );
-        for &workload in &self.workloads {
+        for workload in &self.workloads {
             for &link in &self.links {
                 for &queue in &self.queues {
                     for &prop_delay in &self.prop_delays {
@@ -495,7 +609,7 @@ impl MatrixBuilder {
                                 cells.push(Scenario {
                                     id,
                                     label,
-                                    workload,
+                                    workload: workload.clone(),
                                     link,
                                     queue,
                                     prop_delay,
@@ -518,21 +632,11 @@ impl MatrixBuilder {
     }
 }
 
-/// The lowercase, hyphenated label form of a scheme name.
-fn scheme_tag(scheme: Scheme) -> String {
-    scheme
-        .name()
-        .to_ascii_lowercase()
-        .replace(' ', "-")
-        .replace("tcp", "")
-        .trim_matches('-')
-        .to_string()
-}
-
-fn workload_tag(workload: Workload) -> String {
+fn workload_tag(workload: &Workload) -> String {
     match workload {
-        Workload::Scheme(s) => scheme_tag(s),
-        Workload::App { app, over } => format!("{}-over-{}", app.id(), scheme_tag(over)),
+        Workload::Scheme(s) => s.tag(),
+        Workload::App { app, over } => format!("{}-over-{}", app.id(), over.tag()),
+        Workload::Contention { .. } => workload.canonical_detail(),
         other => other.id().to_string(),
     }
 }
@@ -571,7 +675,7 @@ mod tests {
     #[test]
     fn auto_queue_follows_needs_codel() {
         for scheme in Scheme::fig7().into_iter().chain([Scheme::CubicCodel]) {
-            let resolved = QueueSpec::Auto.resolve(Workload::Scheme(scheme));
+            let resolved = QueueSpec::Auto.resolve(&Workload::Scheme(scheme));
             let expect = if scheme.needs_codel() {
                 ResolvedQueue::CoDel
             } else {
@@ -680,12 +784,91 @@ mod tests {
             app: VideoApp::Skype,
             over: Scheme::CubicCodel,
         };
-        assert_eq!(QueueSpec::Auto.resolve(over_codel), ResolvedQueue::CoDel);
+        assert_eq!(QueueSpec::Auto.resolve(&over_codel), ResolvedQueue::CoDel);
         let over_cubic = Workload::App {
             app: VideoApp::Skype,
             over: Scheme::Cubic,
         };
-        assert_eq!(QueueSpec::Auto.resolve(over_cubic), ResolvedQueue::DropTail);
+        assert_eq!(
+            QueueSpec::Auto.resolve(&over_cubic),
+            ResolvedQueue::DropTail
+        );
+    }
+
+    #[test]
+    fn contention_cells_cross_links_and_fingerprint_distinctly() {
+        let m = ScenarioMatrix::builder("t")
+            .contention([
+                vec![FlowSpec::Scheme(Scheme::Cubic); 3],
+                vec![
+                    FlowSpec::Scheme(Scheme::Sprout),
+                    FlowSpec::Scheme(Scheme::Cubic),
+                    FlowSpec::Scheme(Scheme::Cubic),
+                ],
+                vec![
+                    FlowSpec::App {
+                        app: VideoApp::Skype,
+                        over: Scheme::Sprout,
+                    },
+                    FlowSpec::Scheme(Scheme::Cubic),
+                ],
+            ])
+            .links([NetProfile::VerizonLteDown, NetProfile::TmobileUmtsUp])
+            .build();
+        assert_eq!(m.len(), 6);
+        let mut prints: Vec<u64> = m.cells().iter().map(|c| c.fingerprint()).collect();
+        prints.sort_unstable();
+        prints.dedup();
+        assert_eq!(prints.len(), m.len(), "contention cells must not collide");
+        assert_eq!(
+            m.cells()[0].label,
+            "t/vz-lte-down/cubic+cubic+cubic",
+            "contention labels list the flows in FlowId order"
+        );
+        assert_eq!(m.cells()[4].label, "t/vz-lte-down/skype-over-sprout+cubic");
+        // Flow order is identity: [sprout, cubic] != [cubic, sprout].
+        let ab = Workload::Contention {
+            flows: vec![
+                FlowSpec::Scheme(Scheme::Sprout),
+                FlowSpec::Scheme(Scheme::Cubic),
+            ],
+        };
+        let ba = Workload::Contention {
+            flows: vec![
+                FlowSpec::Scheme(Scheme::Cubic),
+                FlowSpec::Scheme(Scheme::Sprout),
+            ],
+        };
+        assert_ne!(ab.canonical_detail(), ba.canonical_detail());
+        // Auto resolves to the deep shared DropTail buffer.
+        assert_eq!(QueueSpec::Auto.resolve(&ab), ResolvedQueue::DropTail);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two flows")]
+    fn contention_rejects_single_flow_cells() {
+        let _ = ScenarioMatrix::builder("t").contention([vec![FlowSpec::Scheme(Scheme::Cubic)]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "omniscient")]
+    fn contention_rejects_omniscient_flows() {
+        let _ = ScenarioMatrix::builder("t").contention([vec![
+            FlowSpec::Scheme(Scheme::Omniscient),
+            FlowSpec::Scheme(Scheme::Cubic),
+        ]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "tunneling carrier")]
+    fn contention_app_flows_must_ride_a_tunnel() {
+        let _ = ScenarioMatrix::builder("t").contention([vec![
+            FlowSpec::App {
+                app: VideoApp::Skype,
+                over: Scheme::Cubic,
+            },
+            FlowSpec::Scheme(Scheme::Cubic),
+        ]]);
     }
 
     #[test]

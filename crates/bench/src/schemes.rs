@@ -54,6 +54,41 @@ impl Scheme {
         ]
     }
 
+    /// Every scheme, in declaration order (CLI parsing and docs).
+    pub fn all() -> [Scheme; 12] {
+        [
+            Scheme::Sprout,
+            Scheme::SproutEwma,
+            Scheme::Cubic,
+            Scheme::CubicCodel,
+            Scheme::Reno,
+            Scheme::Vegas,
+            Scheme::Compound,
+            Scheme::Ledbat,
+            Scheme::Skype,
+            Scheme::Facetime,
+            Scheme::Hangout,
+            Scheme::Omniscient,
+        ]
+    }
+
+    /// The lowercase, hyphenated tag used in cell labels and on the CLI
+    /// (`sprout`, `sprout-ewma`, `cubic-codel`, `compound`, …).
+    pub fn tag(self) -> String {
+        self.name()
+            .to_ascii_lowercase()
+            .replace(' ', "-")
+            .replace("tcp", "")
+            .trim_matches('-')
+            .to_string()
+    }
+
+    /// Parse a [`Scheme::tag`] back to its scheme (`None` for unknown
+    /// tags).
+    pub fn from_tag(tag: &str) -> Option<Scheme> {
+        Scheme::all().into_iter().find(|s| s.tag() == tag)
+    }
+
     /// Display name matching the paper.
     pub fn name(self) -> &'static str {
         match self {
@@ -228,8 +263,8 @@ pub fn build_endpoints(scheme: Scheme, cfg: &RunConfig) -> (Box<dyn Endpoint>, B
 /// [`crate::sweep::SweepEngine`] instead.
 pub fn run_scheme(scheme: Scheme, cfg: &RunConfig) -> SchemeResult {
     let workload = crate::scenario::Workload::Scheme(scheme);
-    let queue = crate::scenario::QueueSpec::Auto.resolve(workload);
-    crate::sweep::run_cell(workload, cfg, queue, None)
+    let queue = crate::scenario::QueueSpec::Auto.resolve(&workload);
+    crate::sweep::run_cell(&workload, cfg, queue, None)
         .metrics
         .expect("scheme cells always produce direction metrics")
 }
@@ -275,6 +310,25 @@ mod tests {
             );
             assert!(r.utilization > 0.0 && r.utilization <= 1.001);
         }
+    }
+
+    #[test]
+    fn scheme_tags_round_trip_and_are_unique() {
+        let mut tags: Vec<String> = Scheme::all().iter().map(|s| s.tag()).collect();
+        for scheme in Scheme::all() {
+            assert_eq!(
+                Scheme::from_tag(&scheme.tag()),
+                Some(scheme),
+                "{} tag must parse back",
+                scheme.name()
+            );
+        }
+        assert_eq!(Scheme::from_tag("sprout-ewma"), Some(Scheme::SproutEwma));
+        assert_eq!(Scheme::from_tag("compound"), Some(Scheme::Compound));
+        assert_eq!(Scheme::from_tag("bogus"), None);
+        tags.sort_unstable();
+        tags.dedup();
+        assert_eq!(tags.len(), Scheme::all().len(), "tags must be unique");
     }
 
     #[test]

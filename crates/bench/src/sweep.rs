@@ -37,15 +37,15 @@ use sprout_baselines::{
 };
 use sprout_core::{SproutConfig, SproutEndpoint};
 use sprout_sim::{
-    direction_stats, CoDelConfig, Endpoint, FlowId, MetricsCollector, MuxEndpoint, PathConfig,
-    QueueConfig, Simulation, DEEP_QUEUE_BYTES,
+    direction_stats, jain_fairness_index, CoDelConfig, Endpoint, FlowId, MetricsCollector,
+    MuxEndpoint, PathConfig, QueueConfig, Simulation, DEEP_QUEUE_BYTES,
 };
 use sprout_trace::{
     derive_labeled_seed, Duration, InterarrivalHistogram, NetProfile, Timestamp, Trace,
 };
 use sprout_tunnel::{TunnelEndpoint, TunnelHost};
 
-use crate::scenario::{paired, ResolvedQueue, Scenario, ScenarioMatrix, Workload};
+use crate::scenario::{paired, FlowSpec, ResolvedQueue, Scenario, ScenarioMatrix, Workload};
 use crate::schemes::{build_endpoints, RunConfig, Scheme, SchemeResult};
 
 /// The bulk flow of the §5.7 mux/tunnel cells.
@@ -103,8 +103,13 @@ pub struct SweepResult {
     pub cell_seed: u64,
     /// Standard direction metrics (absent for the interarrival probe).
     pub metrics: Option<SchemeResult>,
-    /// Per-flow metrics (mux/tunnel cells only).
+    /// Per-flow metrics (mux/tunnel/contention cells only). For
+    /// contention cells, `flows[i]` is the cell's i-th declared
+    /// [`FlowSpec`] (`FlowId(i + 1)`).
     pub flows: Vec<FlowSummary>,
+    /// Jain's fairness index over the per-flow throughputs (contention
+    /// cells only; `None` elsewhere).
+    pub fairness: Option<f64>,
     /// Per-bin series (only when the scenario requested one).
     pub series: Vec<SeriesRow>,
     /// Interarrival statistics (probe cells only).
@@ -207,13 +212,21 @@ pub struct CellFailure {
     pub message: String,
 }
 
-/// Why a sweep could not produce a complete result set.
+/// Why a sweep could not produce a complete result set. Every variant
+/// names the matrix (experiment) it belongs to, so a multi-experiment
+/// invocation (`reproduce all`) reports *which* sweep failed, not just
+/// scenario ids that are only unique within one matrix.
 #[derive(Clone, Debug)]
 pub enum SweepError {
     /// One or more cells panicked. Surviving cells finished and were
     /// persisted to the cell cache, so a `Resume` rerun only redoes the
     /// failures.
-    CellsPanicked(Vec<CellFailure>),
+    CellsPanicked {
+        /// The matrix whose cells failed.
+        matrix: String,
+        /// Every failing cell, in scenario-id order.
+        failures: Vec<CellFailure>,
+    },
     /// A [`CellCachePolicy::Merge`] run found cells absent from the
     /// cache (a shard has not run yet, or the cache was keyed under a
     /// different matrix/seed/engine version).
@@ -225,11 +238,21 @@ pub enum SweepError {
     },
 }
 
+impl SweepError {
+    /// The matrix (experiment) the failure belongs to.
+    pub fn matrix(&self) -> &str {
+        match self {
+            SweepError::CellsPanicked { matrix, .. } => matrix,
+            SweepError::MissingCells { matrix, .. } => matrix,
+        }
+    }
+}
+
 impl std::fmt::Display for SweepError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            SweepError::CellsPanicked(failures) => {
-                writeln!(f, "{} sweep cell(s) panicked:", failures.len())?;
+            SweepError::CellsPanicked { matrix, failures } => {
+                writeln!(f, "{} cell(s) of {matrix:?} panicked:", failures.len())?;
                 for c in failures {
                     writeln!(
                         f,
@@ -440,7 +463,10 @@ impl SweepEngine {
 
         if !failures.is_empty() {
             failures.sort_by_key(|f| f.scenario_id);
-            return Err(SweepError::CellsPanicked(failures));
+            return Err(SweepError::CellsPanicked {
+                matrix: matrix.name().to_string(),
+                failures,
+            });
         }
         Ok(results
             .into_iter()
@@ -507,7 +533,7 @@ fn execute_with_memo(
 ) -> SweepResult {
     let started = std::time::Instant::now();
     let cell_seed = derive_labeled_seed(master_seed, "cell", scenario.id);
-    let queue = scenario.queue.resolve(scenario.workload);
+    let queue = scenario.queue.resolve(&scenario.workload);
 
     if scenario.workload == Workload::InterarrivalProbe {
         // No endpoints: analyse the saturated link's own delivery process.
@@ -521,6 +547,7 @@ fn execute_with_memo(
             cell_seed,
             metrics: None,
             flows: Vec::new(),
+            fairness: None,
             series: Vec::new(),
             interarrival: Some(InterarrivalSummary {
                 fraction_within_20ms: hist.fraction_within_ms(20.0),
@@ -555,7 +582,7 @@ fn execute_with_memo(
         ..RunConfig::new(data_trace, feedback_trace)
     };
 
-    let outcome = run_cell(scenario.workload, &rc, queue, scenario.series_bin);
+    let outcome = run_cell(&scenario.workload, &rc, queue, scenario.series_bin);
     SweepResult {
         scenario: scenario.clone(),
         matrix: matrix.to_string(),
@@ -563,6 +590,7 @@ fn execute_with_memo(
         cell_seed,
         metrics: outcome.metrics,
         flows: outcome.flows,
+        fairness: outcome.fairness,
         series: outcome.series,
         interarrival: None,
         wall_ms: started.elapsed().as_secs_f64() * 1e3,
@@ -574,8 +602,11 @@ fn execute_with_memo(
 pub struct CellOutcome {
     /// Standard direction metrics.
     pub metrics: Option<SchemeResult>,
-    /// Per-flow metrics (mux/tunnel cells).
+    /// Per-flow metrics (mux/tunnel/contention cells).
     pub flows: Vec<FlowSummary>,
+    /// Jain's fairness index over the flow throughputs (contention
+    /// cells).
+    pub fairness: Option<f64>,
     /// Collected series (when requested).
     pub series: Vec<SeriesRow>,
 }
@@ -691,10 +722,38 @@ fn collect_series(
         .collect()
 }
 
+/// Build the (sender-side, receiver-side) endpoints of one contention
+/// flow. Scheme flows reuse the standard scheme zoo pair; app flows ride
+/// their own single-client SproutTunnel session (§4.3), so the shared
+/// queue carries that flow's Sprout wire packets.
+fn contention_children(spec: &FlowSpec, rc: &RunConfig) -> (Box<dyn Endpoint>, Box<dyn Endpoint>) {
+    match spec {
+        FlowSpec::Scheme(s) => build_endpoints(*s, rc),
+        FlowSpec::App { app, over } => {
+            let tunnel = || {
+                let sprout = if *over == Scheme::SproutEwma {
+                    SproutEndpoint::new_ewma(rc.sprout.clone())
+                } else {
+                    SproutEndpoint::new(rc.sprout.clone())
+                };
+                TunnelHost::new(TunnelEndpoint::new(sprout))
+            };
+            let mut host_a = tunnel();
+            host_a.add_client(
+                INTERACTIVE_FLOW,
+                Box::new(VideoAppSender::new(app.profile())),
+            );
+            let mut host_b = tunnel();
+            host_b.add_client(INTERACTIVE_FLOW, Box::new(VideoAppReceiver::new()));
+            (Box::new(host_a), Box::new(host_b))
+        }
+    }
+}
+
 /// Run one workload over prepared traces. This is the single execution
 /// path shared by the sweep engine, `run_scheme`, and the benches.
 pub fn run_cell(
-    workload: Workload,
+    workload: &Workload,
     rc: &RunConfig,
     queue: ResolvedQueue,
     series_bin: Option<Duration>,
@@ -708,7 +767,7 @@ pub fn run_cell(
             unreachable!("probe cells are handled by execute_scenario")
         }
         Workload::Scheme(scheme) => {
-            let (a, b) = build_endpoints(scheme, rc);
+            let (a, b) = build_endpoints(*scheme, rc);
             let mut sim = Simulation::new(a, b, data_path, feedback_path);
             sim.run_until(end);
             let stats = direction_stats(sim.ab_path(), from, end);
@@ -717,8 +776,8 @@ pub fn run_cell(
                 .unwrap_or_default();
             CellOutcome {
                 metrics: Some(SchemeResult::from_stats(&stats)),
-                flows: Vec::new(),
                 series,
+                ..CellOutcome::default()
             }
         }
         Workload::App { app, over } => {
@@ -732,7 +791,7 @@ pub fn run_cell(
                 // session (§4.3): the path carries Sprout wire packets,
                 // the far host decapsulates the app's flow.
                 let tunnel = |rc: &RunConfig| {
-                    let sprout = if over == Scheme::SproutEwma {
+                    let sprout = if *over == Scheme::SproutEwma {
                         SproutEndpoint::new_ewma(rc.sprout.clone())
                     } else {
                         SproutEndpoint::new(rc.sprout.clone())
@@ -752,13 +811,13 @@ pub fn run_cell(
                 CellOutcome {
                     metrics: Some(SchemeResult::from_stats(&stats)),
                     flows: flow_summaries(&[INTERACTIVE_FLOW], sim.b.deliveries(), from, end),
-                    series: Vec::new(),
+                    ..CellOutcome::default()
                 }
             } else {
                 // Over any other transport the app's open-loop flow
                 // shares the carrier queue with a bulk flow of that
                 // scheme (§5.7 "direct", generalized from Cubic+Skype).
-                let (bulk_a, bulk_b) = build_endpoints(over, rc);
+                let (bulk_a, bulk_b) = build_endpoints(*over, rc);
                 let mut a = MuxEndpoint::new();
                 a.add(BULK_FLOW, bulk_a);
                 a.add(
@@ -779,8 +838,36 @@ pub fn run_cell(
                         from,
                         end,
                     ),
-                    series: Vec::new(),
+                    ..CellOutcome::default()
                 }
+            }
+        }
+        Workload::Contention { flows } => {
+            // N independent endpoint pairs multiplexed over one shared
+            // bottleneck path: the per-user buffer regime where N flows
+            // contend for one queue. Flow i runs as FlowId(i + 1); the
+            // path's delivery log attributes every packet to its flow,
+            // so per-flow metrics come straight from the shared link.
+            let mut a = MuxEndpoint::new();
+            let mut b = MuxEndpoint::new();
+            let mut ids = Vec::with_capacity(flows.len());
+            for (i, spec) in flows.iter().enumerate() {
+                let flow = FlowId(i as u32 + 1);
+                let (child_a, child_b) = contention_children(spec, rc);
+                a.add(flow, child_a);
+                b.add(flow, child_b);
+                ids.push(flow);
+            }
+            let mut sim = Simulation::new(a, b, data_path, feedback_path);
+            sim.run_until(end);
+            let stats = direction_stats(sim.ab_path(), from, end);
+            let flow_rows = flow_summaries(&ids, sim.ab_metrics(), from, end);
+            let throughputs: Vec<f64> = flow_rows.iter().map(|f| f.throughput_kbps).collect();
+            CellOutcome {
+                metrics: Some(SchemeResult::from_stats(&stats)),
+                fairness: jain_fairness_index(&throughputs),
+                flows: flow_rows,
+                ..CellOutcome::default()
             }
         }
         Workload::MuxDirect => {
@@ -798,7 +885,7 @@ pub fn run_cell(
             CellOutcome {
                 metrics: Some(SchemeResult::from_stats(&stats)),
                 flows: flow_summaries(&[BULK_FLOW, INTERACTIVE_FLOW], sim.ab_metrics(), from, end),
-                series: Vec::new(),
+                ..CellOutcome::default()
             }
         }
         Workload::MuxTunneled => {
@@ -826,7 +913,7 @@ pub fn run_cell(
                     from,
                     end,
                 ),
-                series: Vec::new(),
+                ..CellOutcome::default()
             }
         }
     }
@@ -918,6 +1005,11 @@ pub fn result_to_json(r: &SweepResult) -> String {
             json_f64(&mut o, m.utilization);
             o.push('}');
         }
+    }
+    o.push_str(",\"fairness\":");
+    match r.fairness {
+        Some(j) => json_f64(&mut o, j),
+        None => o.push_str("null"),
     }
     o.push_str(",\"flows\":[");
     for (i, f) in r.flows.iter().enumerate() {

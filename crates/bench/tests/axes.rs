@@ -53,7 +53,7 @@ fn deep_default_queue_matches_old_unbounded_fig7_behavior() {
     let rc = quick_rc(NetProfile::VerizonLteDown, 60);
     let old = run_with_queues(Scheme::Cubic, &rc, &QueueConfig::DropTailUnbounded);
     let new = run_cell(
-        Workload::Scheme(Scheme::Cubic),
+        &Workload::Scheme(Scheme::Cubic),
         &rc,
         ResolvedQueue::DropTail,
         None,
@@ -73,7 +73,7 @@ fn deep_default_queue_matches_old_unbounded_fig7_behavior() {
 fn shallow_byte_cap_binds_and_is_accounted() {
     let rc = quick_rc(NetProfile::VerizonLteDown, 60);
     let deep = run_cell(
-        Workload::Scheme(Scheme::Cubic),
+        &Workload::Scheme(Scheme::Cubic),
         &rc,
         ResolvedQueue::DropTail,
         None,
@@ -81,7 +81,7 @@ fn shallow_byte_cap_binds_and_is_accounted() {
     .metrics
     .unwrap();
     let shallow = run_cell(
-        Workload::Scheme(Scheme::Cubic),
+        &Workload::Scheme(Scheme::Cubic),
         &rc,
         ResolvedQueue::DropTailBytes(30_000),
         None,
@@ -118,7 +118,7 @@ fn prop_delay_shifts_floor_exactly_and_floors_p95() {
             ..base.clone()
         };
         run_cell(
-            Workload::Scheme(Scheme::SproutEwma),
+            &Workload::Scheme(Scheme::SproutEwma),
             &rc,
             ResolvedQueue::DropTail,
             None,

@@ -25,7 +25,15 @@ use sprout_bench::figures::{self, ExperimentConfig};
 /// Every distinct experiment matrix (fig8 shares fig7's sweep and is
 /// listed to document that identity).
 const EXPERIMENTS: &[&str] = &[
-    "fig1", "fig2", "fig7", "fig8", "fig9", "loss", "tunnel", "soak",
+    "fig1",
+    "fig2",
+    "fig7",
+    "fig8",
+    "fig9",
+    "loss",
+    "tunnel",
+    "contention",
+    "soak",
 ];
 
 const GOLDEN_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden_fingerprints.tsv");

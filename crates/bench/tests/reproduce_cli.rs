@@ -140,9 +140,91 @@ fn soak_axis_flags_require_the_soak_experiment() {
         vec!["loss", "--links", "vz-lte-down"],
         vec!["--bench", "--queues", "auto"],
         vec!["--prop-delays", "20"], // defaults to `all`, which has no axes
+        // --links is shared between soak and contention, but nothing else.
+        vec!["contention", "--prop-delays", "20"],
+        vec!["contention", "--queues", "auto"],
     ] {
         assert_eq!(exit_code(&combo), 2, "{combo:?} must be a usage error");
     }
+}
+
+#[test]
+fn contention_flag_values_are_validated() {
+    // --flows: 2..=16 contending flows.
+    for bad in ["0", "1", "17", "abc", "-3", ""] {
+        assert_eq!(
+            exit_code(&["contention", "--flows", bad]),
+            2,
+            "--flows {bad:?}"
+        );
+    }
+    assert_eq!(exit_code(&["contention", "--flows"]), 2);
+
+    // --contend: 2..=16 known flow specs; omniscient cannot contend; app
+    // flows must name a tunneling carrier.
+    for bad in [
+        "cubic",                    // one flow is no contention
+        "",
+        "cubic,",
+        "cubic,,sprout",
+        "cubic,frobnicate",         // unknown scheme
+        "omniscient,cubic",         // omniscient presumes sole ownership
+        "skype-over-cubic,cubic",   // apps only tunnel over Sprout
+        "skype-over-nothing,cubic",
+        "nothing-over-sprout,cubic",
+        "cubic,cubic,cubic,cubic,cubic,cubic,cubic,cubic,cubic,cubic,cubic,cubic,cubic,cubic,cubic,cubic,cubic", // 17 flows
+    ] {
+        assert_eq!(
+            exit_code(&["contention", "--contend", bad]),
+            2,
+            "--contend {bad:?}"
+        );
+    }
+    assert_eq!(exit_code(&["contention", "--contend"]), 2);
+}
+
+#[test]
+fn contention_flags_require_the_contention_experiment() {
+    for combo in [
+        vec!["fig7", "--flows", "3"],
+        vec!["soak", "--flows", "3"],
+        vec!["fig9", "--contend", "sprout,cubic"],
+        vec!["--bench", "--flows", "3"],
+        vec!["--contend", "sprout,cubic"], // defaults to `all`
+        // --flows sizes the default set, --contend replaces it: pick one.
+        vec!["contention", "--flows", "3", "--contend", "sprout,cubic"],
+    ] {
+        assert_eq!(exit_code(&combo), 2, "{combo:?} must be a usage error");
+    }
+}
+
+#[test]
+fn contention_accepts_valid_flags() {
+    // Parse-and-validate proof via the owns-no-cells shard trick: each
+    // flag set must get past validation, build the matrix, run nothing,
+    // and exit 0.
+    let tmp = std::env::temp_dir().join(format!("reproduce-contention-cli-{}", std::process::id()));
+    for (tag, extra) in [
+        ("flows", vec!["--flows", "4"]),
+        (
+            "contend",
+            vec!["--contend", "sprout,cubic,skype-over-sprout,google-hangout"],
+        ),
+        ("links", vec!["--links", "vz-lte-down", "--flows", "2"]),
+    ] {
+        let mut args = vec!["contention", "--quick", "--shard", "999999/1000000"];
+        args.extend(extra.iter().copied());
+        let out_dir = tmp.join(tag).join("out");
+        let cache_dir = tmp.join(tag).join("cache");
+        let (out_s, cache_s) = (
+            out_dir.to_string_lossy().into_owned(),
+            cache_dir.to_string_lossy().into_owned(),
+        );
+        args.extend(["--out", &out_s, "--cache-dir", &cache_s]);
+        let out = reproduce(&args);
+        assert_eq!(out.status.code(), Some(0), "{args:?}: {out:?}");
+    }
+    let _ = std::fs::remove_dir_all(&tmp);
 }
 
 #[test]

@@ -195,12 +195,17 @@ fn panicking_cell_is_isolated_and_resume_redoes_only_it() {
         .expect_err("the poisoned cell must fail the sweep");
     let traffic = cell_traffic_since(before);
     match &err {
-        SweepError::CellsPanicked(failures) => {
+        SweepError::CellsPanicked { matrix, failures } => {
+            assert_eq!(matrix, "poison", "the error names its matrix");
             assert_eq!(failures.len(), 1, "only the poisoned cell fails");
             assert_eq!(failures[0].scenario_id, 1);
             assert_eq!(failures[0].label, "poison/cell1");
             let shown = err.to_string();
             assert!(shown.contains("scenario 1"), "{shown}");
+            assert!(
+                shown.contains("\"poison\""),
+                "the message must name the experiment: {shown}"
+            );
         }
         other => panic!("expected CellsPanicked, got {other:?}"),
     }
@@ -214,7 +219,7 @@ fn panicking_cell_is_isolated_and_resume_redoes_only_it() {
         .try_run(&m)
         .expect_err("still poisoned");
     let traffic = cell_traffic_since(before);
-    assert!(matches!(err, SweepError::CellsPanicked(ref f) if f.len() == 1));
+    assert!(matches!(err, SweepError::CellsPanicked { ref failures, .. } if failures.len() == 1));
     assert_eq!(traffic.hits, 2, "survivors served from the cache");
     assert_eq!(traffic.misses, 1, "only the failed cell re-executes");
     assert_eq!(traffic.stores, 0);

@@ -139,7 +139,7 @@ fn matrix_builder_queue_resolution_matches_needs_codel() {
     assert_eq!(m.len(), 80);
     for cell in m.cells() {
         let scheme = cell.workload.scheme().expect("scheme matrix");
-        let resolved = cell.queue.resolve(cell.workload);
+        let resolved = cell.queue.resolve(&cell.workload);
         assert_eq!(
             resolved == ResolvedQueue::CoDel,
             scheme.needs_codel(),

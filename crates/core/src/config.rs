@@ -45,7 +45,8 @@ pub struct SproutConfig {
     /// Idle-sender heartbeat interval (§3.2; one per tick).
     pub heartbeat_interval: Duration,
     /// Enable §3.2 time-to-next gating of observations. Disabling it
-    /// exists only for the DESIGN.md §4 ablation: the receiver then
+    /// exists only for the ablation benches
+    /// (`crates/bench/benches/ablations.rs`): the receiver then
     /// treats every tick as fully exposed, mistaking sender idleness for
     /// outages.
     pub ttn_gating: bool,

@@ -29,7 +29,8 @@
 //! rates (~1 packet per tick) the 5th percentile of a Poisson count is
 //! zero, which would cap Sprout at ~150 kbps on links where the paper
 //! measures ~400 kbps at 90% utilization — the published numbers are
-//! only consistent with rate-uncertainty caution. See DESIGN.md §6.
+//! only consistent with rate-uncertainty caution — a deliberate,
+//! documented interpretation of the paper's text.
 
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex, OnceLock};

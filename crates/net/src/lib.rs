@@ -10,8 +10,7 @@
 //! Why blocking `std::net` and not an async runtime: the endpoints are
 //! tick-driven (20 ms) state machines with single-peer sessions — a
 //! socket with a short read timeout serving as both I/O wait and tick
-//! timer exercises them fully, with no additional dependencies. (See
-//! DESIGN.md §2.)
+//! timer exercises them fully, with no additional dependencies.
 
 #![warn(missing_docs)]
 

@@ -87,9 +87,13 @@ impl Endpoint for SinkEndpoint {
 }
 
 /// Several independent endpoints sharing one network path, distinguished
-/// by [`crate::packet::FlowId`] — the "direct" (untunneled) configuration of the §5.7
-/// experiment, where a Skype call and a TCP download commingle in the
-/// same per-user cellular queue.
+/// by [`crate::packet::FlowId`]: the "direct" (untunneled) configuration
+/// of the §5.7 experiment — a Skype call and a TCP download commingling
+/// in one per-user cellular queue — and the substrate of the N-flow
+/// contention cells that generalize it. Outgoing packets are re-stamped
+/// with each child's flow id, so the path's delivery log attributes
+/// every packet to its flow and per-flow metrics fall out of the shared
+/// link's own records.
 pub struct MuxEndpoint {
     children: Vec<(crate::packet::FlowId, Box<dyn Endpoint>)>,
 }

@@ -40,8 +40,8 @@ pub use codel::{CoDelConfig, CoDelQueue};
 pub use endpoint::{Endpoint, MuxEndpoint, SinkEndpoint};
 pub use link::{LinkConfig, LinkDelivery, QueueConfig, TraceLink};
 pub use metrics::{
-    omniscient_delay_percentile, omniscient_p95_delay, self_inflicted_delay, utilization,
-    DeliveryRecord, MetricsCollector,
+    jain_fairness_index, omniscient_delay_percentile, omniscient_p95_delay, self_inflicted_delay,
+    utilization, DeliveryRecord, MetricsCollector,
 };
 pub use packet::{FlowId, Packet};
 pub use queue::{DropTail, Queue, DEEP_QUEUE_BYTES};

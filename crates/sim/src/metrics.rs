@@ -296,6 +296,28 @@ pub fn self_inflicted_delay(protocol_p95: Duration, omniscient_p95: Duration) ->
     protocol_p95.saturating_sub(omniscient_p95)
 }
 
+/// Jain's fairness index over per-flow allocations (throughputs):
+/// `J = (Σxᵢ)² / (n · Σxᵢ²)`, ranging from `1/n` (one flow hogs
+/// everything) to `1.0` (perfectly equal shares). Conventions:
+///
+/// * `None` for an empty slice — fairness of nothing is undefined;
+/// * `Some(1.0)` when every allocation is zero (equal, if degenerate —
+///   a cell whose flows all starved is "fair" in Jain's sense, and the
+///   throughput column next to it makes the starvation obvious);
+/// * non-finite or negative allocations are rejected with `None`
+///   rather than silently skewing the index.
+pub fn jain_fairness_index(allocations: &[f64]) -> Option<f64> {
+    if allocations.is_empty() || allocations.iter().any(|x| !x.is_finite() || *x < 0.0) {
+        return None;
+    }
+    let sum: f64 = allocations.iter().sum();
+    let sum_sq: f64 = allocations.iter().map(|x| x * x).sum();
+    if sum_sq == 0.0 {
+        return Some(1.0);
+    }
+    Some(sum * sum / (allocations.len() as f64 * sum_sq))
+}
+
 /// Link utilization over `[from, to)`: delivered bytes / capacity bytes.
 pub fn utilization(delivered_bytes: u64, trace: &Trace, from: Timestamp, to: Timestamp) -> f64 {
     let cap = trace.opportunities_between(from, to) as u64 * MTU_BYTES as u64;
@@ -426,6 +448,47 @@ mod tests {
         // 100 opportunities = 150000 B capacity; deliver half.
         let u = utilization(75_000, &trace, t(0), t(1_000));
         assert!((u - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn jain_index_is_one_for_equal_flows() {
+        for n in 1..=8 {
+            let equal = vec![250.0; n];
+            let j = jain_fairness_index(&equal).unwrap();
+            assert!((j - 1.0).abs() < 1e-12, "n={n} equal flows, got {j}");
+        }
+    }
+
+    #[test]
+    fn jain_index_one_hog_hits_the_lower_bound() {
+        // One flow takes everything: J = 1/n, the index's minimum.
+        for n in 2..=8 {
+            let mut hog = vec![0.0; n];
+            hog[0] = 1000.0;
+            let j = jain_fairness_index(&hog).unwrap();
+            assert!((j - 1.0 / n as f64).abs() < 1e-12, "n={n}, got {j}");
+        }
+        // And every mix stays within [1/n, 1].
+        let mixed = [900.0, 50.0, 25.0, 25.0];
+        let j = jain_fairness_index(&mixed).unwrap();
+        assert!(j > 0.25 && j < 1.0, "got {j}");
+    }
+
+    #[test]
+    fn jain_index_edge_cases() {
+        assert_eq!(jain_fairness_index(&[]), None, "empty is undefined");
+        assert_eq!(
+            jain_fairness_index(&[0.0, 0.0, 0.0]),
+            Some(1.0),
+            "all-zero flows are (degenerately) equal"
+        );
+        assert_eq!(jain_fairness_index(&[1.0, f64::NAN]), None);
+        assert_eq!(jain_fairness_index(&[1.0, f64::INFINITY]), None);
+        assert_eq!(jain_fairness_index(&[1.0, -1.0]), None);
+        // The index is scale-invariant.
+        let a = jain_fairness_index(&[1.0, 2.0, 3.0]).unwrap();
+        let b = jain_fairness_index(&[100.0, 200.0, 300.0]).unwrap();
+        assert!((a - b).abs() < 1e-12);
     }
 
     #[test]

@@ -14,7 +14,8 @@
 //!   contain multi-second outages; pure reflected Brownian motion reaches
 //!   λ=0 too rarely at LTE rates to reproduce them).
 //!
-//! Both extensions are documented as substitutions in DESIGN.md §1.
+//! Both extensions are deliberate, documented substitutions for the
+//! paper's measured drive traces, which are not available offline.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};

@@ -13,8 +13,9 @@
 //! * [`sprout_cache`] — content-addressed artifact cache (forecast
 //!   tables, synthesized traces)
 //!
-//! See README.md for the guided tour and DESIGN.md for the experiment
-//! index.
+//! See README.md for the guided tour and ARCHITECTURE.md for the
+//! workspace layering, the experiment pipeline, and the cache-key
+//! protocol.
 
 pub use sprout_baselines;
 pub use sprout_cache;
