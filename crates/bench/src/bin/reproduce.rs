@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! reproduce <experiment> [--secs N] [--warmup N] [--seed N] [--out DIR]
-//!                        [--threads N] [--quick] [--json]
+//!                        [--threads N] [--batch on|off] [--quick] [--json]
 //!                        [--cache-dir DIR] [--no-cache]
 //!                        [--shard I/N] [--merge] [--resume]
 //!                        [--bench] [--bench-baseline FILE]
@@ -31,6 +31,11 @@
 //!   --seed N     master seed; all randomness derives from it (default 20130401)
 //!   --out DIR    artifact directory (default results/)
 //!   --threads N  sweep worker threads (default: one per core)
+//!   --batch on|off  batched cell execution (default on): group cells
+//!                sharing a link/duration stripe onto one worker so
+//!                traces, forecast tables, and scratch arenas stay warm;
+//!                off restores the per-cell schedule. Results are
+//!                bit-identical either way
 //!   --quick      shorthand for --secs 90 --warmup 20 (explicit --secs /
 //!                --warmup flags win regardless of order)
 //!   --json       after running, print the sweep JSON artifact(s) to stdout
@@ -96,7 +101,7 @@ const EXPERIMENTS: &[&str] = &[
     "all",
 ];
 
-const USAGE: &str = "usage: reproduce <experiment> [--secs N] [--warmup N] [--seed N] [--out DIR] [--threads N] [--quick] [--json] [--cache-dir DIR] [--no-cache] [--shard I/N] [--merge] [--resume] [--bench] [--bench-baseline FILE] [--links LIST] [--prop-delays LIST] [--queues LIST] [--flows N] [--contend LIST]
+const USAGE: &str = "usage: reproduce <experiment> [--secs N] [--warmup N] [--seed N] [--out DIR] [--threads N] [--batch on|off] [--quick] [--json] [--cache-dir DIR] [--no-cache] [--shard I/N] [--merge] [--resume] [--bench] [--bench-baseline FILE] [--links LIST] [--prop-delays LIST] [--queues LIST] [--flows N] [--contend LIST]
 experiments: fig1 fig2 fig7 fig8 fig9 loss tunnel contention soak all (contention and soak are not part of all)
 axis flags: --links vz-lte-down,... (soak+contention) | --prop-delays 10,25,... (one-way ms, soak) | --queues auto|droptail|codel|bytes:N,... (soak) | --flows N (contention) | --contend sprout,cubic,... (contention)";
 
@@ -227,6 +232,11 @@ fn parse_args() -> Options {
             }
             "--seed" => cfg.seed = numeric("--seed"),
             "--threads" => cfg.threads = numeric("--threads") as usize,
+            "--batch" => match args.next().as_deref() {
+                Some("on") => cfg.batch = true,
+                Some("off") => cfg.batch = false,
+                _ => usage_error("--batch expects on or off"),
+            },
             "--out" => match args.next() {
                 Some(dir) => cfg.out_dir = dir.into(),
                 None => usage_error("--out expects a directory"),
@@ -543,8 +553,33 @@ fn run_bench(cfg: &ExperimentConfig, baseline: Option<&std::path::Path>) -> std:
         stats,
         micro,
     };
+    let rendered = sprout_bench::bench_report_to_json(&report);
     let path = cfg.out_dir.join("BENCH_sweep.json");
-    std::fs::write(&path, sprout_bench::bench_report_to_json(&report))?;
+    // The trajectory is additive-only: a fresh report may introduce new
+    // fields but must carry every key the baseline it replaces (or is
+    // compared against) already records — dropping one would silently
+    // sever the perf history. Refuse the overwrite instead (exit 2).
+    let mut priors: Vec<(String, String)> = Vec::new();
+    if let Ok(existing) = std::fs::read_to_string(&path) {
+        priors.push((format!("{path:?}"), existing));
+    }
+    if let Some(baseline_path) = baseline {
+        if let Ok(b) = std::fs::read_to_string(baseline_path) {
+            priors.push((format!("{baseline_path:?}"), b));
+        }
+    }
+    for (source, old) in &priors {
+        let missing = sprout_bench::missing_keys(old, &rendered);
+        if let Some(key) = missing.first() {
+            eprintln!(
+                "refusing to overwrite {path:?}: fresh report drops key {key:?} \
+present in {source} ({} missing in total) — BENCH_sweep.json is additive-only",
+                missing.len()
+            );
+            std::process::exit(2);
+        }
+    }
+    std::fs::write(&path, rendered)?;
     println!("bench trajectory written to {path:?}");
 
     if let Some(baseline_path) = baseline {
@@ -603,9 +638,10 @@ fn print_cell_cache_delta(
 ) -> sprout_cache::CacheCounters {
     let now = sprout_bench::cell_cache_counters();
     let c = now.since(mark);
+    let (workers, batches) = sprout_bench::last_batch_layout();
     println!(
-        "cell cache [{experiment}]: {} hits, {} misses, {} stores",
-        c.hits, c.misses, c.stores
+        "cell cache [{experiment}]: {} hits, {} misses, {} stores | layout: {} workers, {} batches",
+        c.hits, c.misses, c.stores, workers, batches
     );
     now
 }

@@ -107,6 +107,8 @@ pub struct ExperimentConfig {
     pub shard: ShardSpec,
     /// Cell-result cache policy (`--resume` / `--merge`).
     pub cell_policy: CellCachePolicy,
+    /// Batched cell execution (`--batch on|off`, default on).
+    pub batch: bool,
     /// Output directory for TSV/JSON artifacts.
     pub out_dir: PathBuf,
     /// Axes of the `soak` experiment (CLI-overridable).
@@ -124,6 +126,7 @@ impl Default for ExperimentConfig {
             threads: 0,
             shard: ShardSpec::FULL,
             cell_policy: CellCachePolicy::Execute,
+            batch: true,
             out_dir: PathBuf::from("results"),
             soak: SoakAxes::default(),
             contention: ContentionAxes::default(),
@@ -155,6 +158,7 @@ impl ExperimentConfig {
             .with_threads(self.threads)
             .with_shard(self.shard)
             .with_policy(self.cell_policy)
+            .with_batch(self.batch)
     }
 
     /// Start declaring a matrix with this config's timing.

@@ -25,7 +25,7 @@ pub use figures::{
     ExperimentConfig, Fig7Results, SoakAxes, DEFAULT_CONTENTION_FLOWS, SHALLOW_QUEUE_BYTES,
     SOAK_SECS,
 };
-pub use perf::{bench_report_to_json, check_regression, BenchReport, MicroBench};
+pub use perf::{bench_report_to_json, check_regression, missing_keys, BenchReport, MicroBench};
 pub use scenario::{
     FlowSpec, MatrixBuilder, QueueSpec, ResolvedQueue, Scenario, ScenarioMatrix, Workload,
     MAX_CONTENTION_FLOWS,
@@ -33,6 +33,7 @@ pub use scenario::{
 pub use schemes::{build_endpoints, run_scheme, RunConfig, Scheme, SchemeResult};
 pub use sprout_baselines::VideoApp;
 pub use sweep::{
-    sweep_to_json, write_json, CellCachePolicy, CellFailure, FlowSummary, InterarrivalSummary,
-    SeriesRow, ShardSpec, SweepEngine, SweepError, SweepResult, SweepStats,
+    last_batch_layout, sweep_to_json, trace_memory_counters, write_json, BatchStats,
+    CellCachePolicy, CellFailure, CellScratch, FlowSummary, InterarrivalSummary, SeriesRow,
+    ShardSpec, SweepEngine, SweepError, SweepResult, SweepStats,
 };

@@ -49,6 +49,17 @@ pub struct BenchReport {
     pub micro: Vec<MicroBench>,
 }
 
+impl BenchReport {
+    /// Sweep throughput in cells per second (0 for an empty/instant run).
+    pub fn cells_per_sec(&self) -> f64 {
+        if self.stats.total_wall_ms > 0.0 {
+            self.results.len() as f64 / (self.stats.total_wall_ms / 1e3)
+        } else {
+            0.0
+        }
+    }
+}
+
 /// The canonical bench matrix: Sprout across the Figure-9 confidence
 /// axis on the T-Mobile 3G uplink — small enough for CI, broad enough
 /// to exercise forecast tables, trace synthesis, and the full endpoint
@@ -102,6 +113,10 @@ pub fn run_micro_benches() -> Vec<MicroBench> {
         model.evolve();
         model.observe(std::hint::black_box(8.0));
     });
+    // The chunked/SIMD-dispatched evolve kernel in isolation (no
+    // observation): the inner loop the batched table DP and the per-tick
+    // model both stand on.
+    let evolve_batched_ns = time_ns(5, 200, || model.evolve());
     let small = SproutConfig::test_small();
     let kernel = TransitionKernel::new(&small);
     let table_build_ns = time_ns(2, 3, || ForecastTables::build(&small, &kernel));
@@ -113,6 +128,10 @@ pub fn run_micro_benches() -> Vec<MicroBench> {
         MicroBench {
             key: "model_tick_ns",
             ns_per_iter: model_tick_ns,
+        },
+        MicroBench {
+            key: "evolve_batched_ns",
+            ns_per_iter: evolve_batched_ns,
         },
         MicroBench {
             key: "table_build_small_ns",
@@ -147,6 +166,30 @@ pub fn bench_report_to_json(report: &BenchReport) -> String {
     }
     o.push_str("],\"total_wall_ms\":");
     json_f64(&mut o, report.stats.total_wall_ms);
+    // Sweep throughput: the headline the batch executor optimizes.
+    // Higher is better — `check_regression` gates it downward.
+    o.push_str(",\"cells_per_sec\":");
+    json_f64(&mut o, report.cells_per_sec());
+    // Batch-executor layout and in-memory amortization. Field names must
+    // not contain the substring "misses" — the CI warm-cache assertion
+    // counts `"misses":` occurrences across the document and expects
+    // exactly the three disk-cache counters.
+    let b = &report.stats.batch;
+    o.push_str(",\"batch\":{\"enabled\":");
+    o.push_str(if b.enabled { "true" } else { "false" });
+    o.push_str(",\"workers\":");
+    o.push_str(&b.workers.to_string());
+    o.push_str(",\"batches\":");
+    o.push_str(&b.batches.to_string());
+    o.push_str(",\"tables_built\":");
+    o.push_str(&b.tables.built.to_string());
+    o.push_str(",\"tables_reused\":");
+    o.push_str(&b.tables.reused.to_string());
+    o.push_str(",\"traces_built\":");
+    o.push_str(&b.traces.built.to_string());
+    o.push_str(",\"traces_reused\":");
+    o.push_str(&b.traces.reused.to_string());
+    o.push('}');
     let cache = |o: &mut String, c: sprout_cache::CacheCounters| {
         o.push_str("{\"hits\":");
         o.push_str(&c.hits.to_string());
@@ -218,6 +261,18 @@ pub fn check_regression(report: &BenchReport, baseline_json: &str, tolerance: f6
     for m in &report.micro {
         check_timing(m.key, m.ns_per_iter);
     }
+    // Throughput gates downward: lower is worse. Baselines predating the
+    // field are tolerated (the additive-key guard, not this check,
+    // forbids dropping fields going forward).
+    if let Some(base) = find_number(baseline_json, "cells_per_sec") {
+        let current = report.cells_per_sec();
+        if base > 0.0 && current < base * (1.0 - tolerance) {
+            violations.push(format!(
+                "cells_per_sec: {current:.2} fell below baseline {base:.2} by more than {:.0}%",
+                tolerance * 100.0
+            ));
+        }
+    }
     // Determinism: each cell's throughput must equal the value the
     // baseline records under the *same label* (same seed ⇒ same
     // simulated bytes ⇒ exact f64 round trip) — a whole-document
@@ -238,6 +293,56 @@ pub fn check_regression(report: &BenchReport, baseline_json: &str, tolerance: f6
         }
     }
     violations
+}
+
+/// Every JSON key present in `baseline_json` but absent from
+/// `report_json`, in baseline order (deduplicated).
+///
+/// `BENCH_sweep.json` is an append-only trajectory: later engine
+/// versions may add fields, but silently dropping one would sever the
+/// perf history it anchors (and break downstream tooling keyed on it).
+/// `reproduce --bench` refuses to overwrite a baseline whose keys the
+/// fresh report no longer carries.
+pub fn missing_keys(baseline_json: &str, report_json: &str) -> Vec<String> {
+    let report_keys: std::collections::HashSet<String> = json_keys(report_json).collect();
+    let mut missing = Vec::new();
+    let mut seen = std::collections::HashSet::new();
+    for key in json_keys(baseline_json) {
+        if seen.insert(key.clone()) && !report_keys.contains(&key) {
+            missing.push(key);
+        }
+    }
+    missing
+}
+
+/// All `"key":` tokens of a JSON document (a string immediately followed
+/// by a colon). String values never precede a colon in valid JSON, so
+/// this names exactly the object keys.
+fn json_keys(json: &str) -> impl Iterator<Item = String> + '_ {
+    let bytes = json.as_bytes();
+    let mut i = 0;
+    std::iter::from_fn(move || {
+        while i < bytes.len() {
+            if bytes[i] == b'"' {
+                let start = i + 1;
+                let mut j = start;
+                while j < bytes.len() && bytes[j] != b'"' {
+                    if bytes[j] == b'\\' {
+                        j += 1;
+                    }
+                    j += 1;
+                }
+                let end = j.min(bytes.len());
+                i = end + 1;
+                if i < bytes.len() && bytes[i] == b':' {
+                    return Some(json[start..end].to_string());
+                }
+            } else {
+                i += 1;
+            }
+        }
+        None
+    })
 }
 
 /// The `throughput_kbps` the baseline records for the cell labelled

@@ -29,8 +29,8 @@
 //! whole sweep.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
 
 use sprout_baselines::{
     AppProfile, Cubic, TcpReceiver, TcpSender, VideoAppReceiver, VideoAppSender,
@@ -135,6 +135,53 @@ pub struct SweepStats {
     /// Cell-result disk-cache traffic during the run (hits mean whole
     /// cells were served without simulating).
     pub cell_cache: sprout_cache::CacheCounters,
+    /// Batch-executor layout and in-memory amortization during the run.
+    pub batch: BatchStats,
+}
+
+/// How the batch executor laid out one sweep and how well the in-memory
+/// shared resources amortized across its cells. Unlike the disk-cache
+/// counters in [`SweepStats`], a "reuse" here means a live in-memory
+/// handle was served — no disk I/O, no decode, no rebuild.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BatchStats {
+    /// Whether batched execution was enabled ([`SweepEngine::batch`]).
+    pub enabled: bool,
+    /// Worker threads the executed phase actually spawned (0 when every
+    /// cell was served from the result cache).
+    pub workers: usize,
+    /// Cell batches the pending work was grouped into (0 when nothing
+    /// executed; equals the pending-cell count when batching is off).
+    pub batches: usize,
+    /// Forecast-table in-memory amortization (process-global delta).
+    pub tables: sprout_core::MemCounters,
+    /// Link-trace in-memory amortization (process-global delta).
+    pub traces: sprout_core::MemCounters,
+}
+
+static TRACES_BUILT: AtomicU64 = AtomicU64::new(0);
+static TRACES_REUSED: AtomicU64 = AtomicU64::new(0);
+static LAST_WORKERS: AtomicUsize = AtomicUsize::new(0);
+static LAST_BATCHES: AtomicUsize = AtomicUsize::new(0);
+
+/// Process-wide in-memory trace amortization counters: `built` counts
+/// link-trace syntheses actually performed, `reused` counts requests
+/// served by an already-synthesized in-memory trace (the sweep memo).
+pub fn trace_memory_counters() -> sprout_core::MemCounters {
+    sprout_core::MemCounters {
+        built: TRACES_BUILT.load(Ordering::Relaxed),
+        reused: TRACES_REUSED.load(Ordering::Relaxed),
+    }
+}
+
+/// The worker/batch layout of the most recent sweep execution in this
+/// process: `(workers, batches)`, both 0 when the last sweep executed
+/// nothing (fully cache-served).
+pub fn last_batch_layout() -> (usize, usize) {
+    (
+        LAST_WORKERS.load(Ordering::Relaxed),
+        LAST_BATCHES.load(Ordering::Relaxed),
+    )
 }
 
 /// Which slice of a matrix one process owns. Cells are dealt round-robin
@@ -296,6 +343,13 @@ pub struct SweepEngine {
     pub shard: ShardSpec,
     /// How the per-cell result cache is consulted.
     pub policy: CellCachePolicy,
+    /// Batched execution (the default): pending cells are grouped by
+    /// shared trace/table key and dealt to workers a batch at a time, so
+    /// cells sharing heavy precomputed inputs run consecutively on one
+    /// worker (warm in-memory handles, recycled scratch arenas). Off,
+    /// every cell is its own batch — the pre-batching schedule. Either
+    /// way results are bit-identical; only the execution order differs.
+    pub batch: bool,
 }
 
 impl SweepEngine {
@@ -306,6 +360,7 @@ impl SweepEngine {
             threads: 0,
             shard: ShardSpec::FULL,
             policy: CellCachePolicy::Execute,
+            batch: true,
         }
     }
 
@@ -327,14 +382,23 @@ impl SweepEngine {
         self
     }
 
+    /// Enable or disable batched cell execution.
+    pub fn with_batch(mut self, batch: bool) -> Self {
+        self.batch = batch;
+        self
+    }
+
     fn effective_threads(&self, cells: usize) -> usize {
-        let auto = || {
-            std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1)
-        };
+        // `available_parallelism` probes the OS (cgroups, affinity masks)
+        // on every call; one probe per process is plenty — the answer
+        // cannot change in ways this engine should react to mid-run.
+        static AUTO: OnceLock<usize> = OnceLock::new();
         let n = if self.threads == 0 {
-            auto()
+            *AUTO.get_or_init(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            })
         } else {
             self.threads
         };
@@ -349,13 +413,23 @@ impl SweepEngine {
         let table0 = sprout_core::table_cache_counters();
         let trace0 = sprout_trace::trace_cache_counters();
         let cell0 = crate::cellcache::cell_cache_counters();
+        let tmem0 = sprout_core::table_memory_counters();
+        let trmem0 = trace_memory_counters();
         let t0 = std::time::Instant::now();
         let results = self.run(matrix);
+        let (workers, batches) = last_batch_layout();
         let stats = SweepStats {
             total_wall_ms: t0.elapsed().as_secs_f64() * 1e3,
             table_cache: sprout_core::table_cache_counters().since(table0),
             trace_cache: sprout_trace::trace_cache_counters().since(trace0),
             cell_cache: crate::cellcache::cell_cache_counters().since(cell0),
+            batch: BatchStats {
+                enabled: self.batch,
+                workers,
+                batches,
+                tables: sprout_core::table_memory_counters().since(tmem0),
+                traces: trace_memory_counters().since(trmem0),
+            },
         };
         (results, stats)
     }
@@ -412,37 +486,74 @@ impl SweepEngine {
         // sharing a link replay one synthesis instead of each
         // regenerating it (fig7: 80 cells but only 8 links × 2
         // directions); fully-cached sweeps synthesize nothing at all.
+        //
+        // Batched execution deals cells to workers one *batch* at a time:
+        // pending cells are grouped by their shared-input key (link
+        // profile and duration — the trace key, which also covers the
+        // forecast-table geometry, since every cell of one link/duration
+        // stripe shares a [`sprout_core::SproutConfig`] table geometry)
+        // and a worker claims a whole group, running its cells
+        // consecutively with one recycled [`CellScratch`] arena. Cells
+        // are pure functions of their scenario, so the schedule cannot
+        // change results — only locality.
         let mut failures: Vec<CellFailure> = Vec::new();
-        if !pending.is_empty() {
+        if pending.is_empty() {
+            LAST_WORKERS.store(0, Ordering::Relaxed);
+            LAST_BATCHES.store(0, Ordering::Relaxed);
+        } else {
             let memo = TraceMemo::for_cells(pending.iter().map(|&k| owned[k]), self.master_seed);
-            let threads = self.effective_threads(pending.len());
+            let groups = batch_groups(&pending, |j| owned[pending[j]], self.batch);
+            let threads = self.effective_threads(groups.len());
+            LAST_WORKERS.store(threads, Ordering::Relaxed);
+            LAST_BATCHES.store(groups.len(), Ordering::Relaxed);
             let slots: Vec<Mutex<Option<Result<SweepResult, CellFailure>>>> =
                 pending.iter().map(|_| Mutex::new(None)).collect();
             let next = AtomicUsize::new(0);
 
             std::thread::scope(|scope| {
                 for _ in 0..threads {
-                    scope.spawn(|| loop {
-                        let j = next.fetch_add(1, Ordering::Relaxed);
-                        if j >= pending.len() {
-                            break;
-                        }
-                        let cell = owned[pending[j]];
-                        let outcome = catch_unwind(AssertUnwindSafe(|| {
-                            execute_with_memo(matrix.name(), cell, self.master_seed, &memo)
-                        }));
-                        let entry = match outcome {
-                            Ok(result) => {
-                                crate::cellcache::store_cell(matrix_fp, self.master_seed, &result);
-                                Ok(result)
+                    scope.spawn(|| {
+                        let mut scratch = CellScratch::default();
+                        loop {
+                            let g = next.fetch_add(1, Ordering::Relaxed);
+                            if g >= groups.len() {
+                                break;
                             }
-                            Err(payload) => Err(CellFailure {
-                                scenario_id: cell.id,
-                                label: cell.label.clone(),
-                                message: panic_message(payload.as_ref()),
-                            }),
-                        };
-                        *slots[j].lock().unwrap() = Some(entry);
+                            for &j in &groups[g] {
+                                let cell = owned[pending[j]];
+                                let outcome = catch_unwind(AssertUnwindSafe(|| {
+                                    execute_with_memo(
+                                        matrix.name(),
+                                        cell,
+                                        self.master_seed,
+                                        &memo,
+                                        &mut scratch,
+                                    )
+                                }));
+                                let entry = match outcome {
+                                    Ok(result) => {
+                                        crate::cellcache::store_cell(
+                                            matrix_fp,
+                                            self.master_seed,
+                                            &result,
+                                        );
+                                        Ok(result)
+                                    }
+                                    Err(payload) => {
+                                        // The arena's state is unknown
+                                        // mid-panic; start the next cell
+                                        // from a fresh one.
+                                        scratch = CellScratch::default();
+                                        Err(CellFailure {
+                                            scenario_id: cell.id,
+                                            label: cell.label.clone(),
+                                            message: panic_message(payload.as_ref()),
+                                        })
+                                    }
+                                };
+                                *slots[j].lock().unwrap() = Some(entry);
+                            }
+                        }
                     });
                 }
             });
@@ -487,6 +598,45 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     }
 }
 
+/// Group pending-cell indices (`0..pending_len`) into batches of cells
+/// sharing one `(link, duration)` stripe — the key under which both the
+/// synthesized traces and the forecast-table geometry are shared. Groups
+/// preserve first-occurrence order and cells stay in matrix order within
+/// a group, so the schedule is deterministic. With batching off, every
+/// cell is its own (singleton) group.
+fn batch_groups<'a>(
+    pending: &[usize],
+    cell_of: impl Fn(usize) -> &'a Scenario,
+    batch: bool,
+) -> Vec<Vec<usize>> {
+    if !batch {
+        return (0..pending.len()).map(|j| vec![j]).collect();
+    }
+    let mut index: std::collections::HashMap<(NetProfile, Duration), usize> =
+        std::collections::HashMap::new();
+    let mut groups: Vec<Vec<usize>> = Vec::new();
+    for j in 0..pending.len() {
+        let cell = cell_of(j);
+        let key = (cell.link, cell.duration);
+        let g = *index.entry(key).or_insert_with(|| {
+            groups.push(Vec::new());
+            groups.len() - 1
+        });
+        groups[g].push(j);
+    }
+    groups
+}
+
+/// Per-worker arena recycled across the cells of a batch: buffers whose
+/// capacity is worth keeping warm between simulations. Contents never
+/// carry over — each cell clears before use — so recycling is invisible
+/// to results.
+#[derive(Default)]
+pub struct CellScratch {
+    /// The event-loop packet buffer ([`Simulation::into_scratch`]).
+    packets: Vec<sprout_sim::Packet>,
+}
+
 /// Pre-synthesized link traces shared by every cell of one sweep. Keyed
 /// by `(profile, duration)`; values are byte-identical to what
 /// [`NetProfile::generate`] would produce cell-locally, so memoization
@@ -503,16 +653,21 @@ impl TraceMemo {
                 continue; // probes use their own derived sub-stream
             }
             for profile in [cell.link, paired(cell.link)] {
-                traces
-                    .entry((profile, cell.duration))
-                    .or_insert_with(|| profile.generate(cell.duration, master_seed));
+                traces.entry((profile, cell.duration)).or_insert_with(|| {
+                    TRACES_BUILT.fetch_add(1, Ordering::Relaxed);
+                    profile.generate(cell.duration, master_seed)
+                });
             }
         }
         TraceMemo { traces }
     }
 
     fn get(&self, profile: NetProfile, duration: Duration) -> Option<Trace> {
-        self.traces.get(&(profile, duration)).cloned()
+        let t = self.traces.get(&(profile, duration)).cloned();
+        if t.is_some() {
+            TRACES_REUSED.fetch_add(1, Ordering::Relaxed);
+        }
+        t
     }
 }
 
@@ -522,7 +677,13 @@ pub fn execute_scenario(matrix: &str, scenario: &Scenario, master_seed: u64) -> 
     let memo = TraceMemo {
         traces: std::collections::HashMap::new(),
     };
-    execute_with_memo(matrix, scenario, master_seed, &memo)
+    execute_with_memo(
+        matrix,
+        scenario,
+        master_seed,
+        &memo,
+        &mut CellScratch::default(),
+    )
 }
 
 fn execute_with_memo(
@@ -530,6 +691,7 @@ fn execute_with_memo(
     scenario: &Scenario,
     master_seed: u64,
     memo: &TraceMemo,
+    scratch: &mut CellScratch,
 ) -> SweepResult {
     let started = std::time::Instant::now();
     let cell_seed = derive_labeled_seed(master_seed, "cell", scenario.id);
@@ -562,8 +724,10 @@ fn execute_with_memo(
     // Link traces derive from the master seed and profile only: every cell
     // on this link sees the same conditions (the controlled variable).
     let synth = |profile: NetProfile| {
-        memo.get(profile, scenario.duration)
-            .unwrap_or_else(|| profile.generate(scenario.duration, master_seed))
+        memo.get(profile, scenario.duration).unwrap_or_else(|| {
+            TRACES_BUILT.fetch_add(1, Ordering::Relaxed);
+            profile.generate(scenario.duration, master_seed)
+        })
     };
     let data_trace = synth(scenario.link);
     let feedback_trace = synth(paired(scenario.link));
@@ -582,7 +746,16 @@ fn execute_with_memo(
         ..RunConfig::new(data_trace, feedback_trace)
     };
 
-    let outcome = run_cell(&scenario.workload, &rc, queue, scenario.series_bin);
+    let outcome = run_cell_scratch(&scenario.workload, &rc, queue, scenario.series_bin, scratch);
+    // Diagnostic knob for perf work: per-cell wall times on stderr
+    // (canonical stdout/JSON are untouched).
+    if std::env::var_os("SPROUT_CELL_TIMES").is_some() {
+        eprintln!(
+            "CELLTIME {} {:.1}",
+            scenario.label,
+            started.elapsed().as_secs_f64() * 1e3
+        );
+    }
     SweepResult {
         scenario: scenario.clone(),
         matrix: matrix.to_string(),
@@ -758,9 +931,37 @@ pub fn run_cell(
     queue: ResolvedQueue,
     series_bin: Option<Duration>,
 ) -> CellOutcome {
+    run_cell_scratch(workload, rc, queue, series_bin, &mut CellScratch::default())
+}
+
+/// [`run_cell`] with a caller-provided scratch arena: the simulation's
+/// recycled buffers are taken from (and returned to) `scratch`, so a
+/// batch of cells run back-to-back reuses one set of allocations.
+pub fn run_cell_scratch(
+    workload: &Workload,
+    rc: &RunConfig,
+    queue: ResolvedQueue,
+    series_bin: Option<Duration>,
+    scratch: &mut CellScratch,
+) -> CellOutcome {
     let from = Timestamp::ZERO + rc.warmup;
     let end = Timestamp::ZERO + rc.duration;
     let (data_path, feedback_path) = path_configs(rc, queue);
+
+    // Every workload arm builds its simulation from the arena's recycled
+    // buffers and returns them on the way out.
+    fn new_sim<A: Endpoint, B: Endpoint>(
+        a: A,
+        b: B,
+        ab: PathConfig,
+        ba: PathConfig,
+        scratch: &mut CellScratch,
+    ) -> Simulation<A, B> {
+        Simulation::with_scratch(a, b, ab, ba, std::mem::take(&mut scratch.packets))
+    }
+    fn reclaim<A: Endpoint, B: Endpoint>(sim: Simulation<A, B>, scratch: &mut CellScratch) {
+        scratch.packets = sim.into_scratch();
+    }
 
     match workload {
         Workload::InterarrivalProbe => {
@@ -768,17 +969,19 @@ pub fn run_cell(
         }
         Workload::Scheme(scheme) => {
             let (a, b) = build_endpoints(*scheme, rc);
-            let mut sim = Simulation::new(a, b, data_path, feedback_path);
+            let mut sim = new_sim(a, b, data_path, feedback_path, scratch);
             sim.run_until(end);
             let stats = direction_stats(sim.ab_path(), from, end);
             let series = series_bin
                 .map(|bin| collect_series(sim.ab_metrics(), &rc.data_trace, bin, from, end))
                 .unwrap_or_default();
-            CellOutcome {
+            let outcome = CellOutcome {
                 metrics: Some(SchemeResult::from_stats(&stats)),
                 series,
                 ..CellOutcome::default()
-            }
+            };
+            reclaim(sim, scratch);
+            outcome
         }
         Workload::App { app, over } => {
             assert!(
@@ -805,14 +1008,16 @@ pub fn run_cell(
                 );
                 let mut host_b = tunnel(rc);
                 host_b.add_client(INTERACTIVE_FLOW, Box::new(VideoAppReceiver::new()));
-                let mut sim = Simulation::new(host_a, host_b, data_path, feedback_path);
+                let mut sim = new_sim(host_a, host_b, data_path, feedback_path, scratch);
                 sim.run_until(end);
                 let stats = direction_stats(sim.ab_path(), from, end);
-                CellOutcome {
+                let outcome = CellOutcome {
                     metrics: Some(SchemeResult::from_stats(&stats)),
                     flows: flow_summaries(&[INTERACTIVE_FLOW], sim.b.deliveries(), from, end),
                     ..CellOutcome::default()
-                }
+                };
+                reclaim(sim, scratch);
+                outcome
             } else {
                 // Over any other transport the app's open-loop flow
                 // shares the carrier queue with a bulk flow of that
@@ -827,10 +1032,10 @@ pub fn run_cell(
                 let mut b = MuxEndpoint::new();
                 b.add(BULK_FLOW, bulk_b);
                 b.add(INTERACTIVE_FLOW, Box::new(VideoAppReceiver::new()));
-                let mut sim = Simulation::new(a, b, data_path, feedback_path);
+                let mut sim = new_sim(a, b, data_path, feedback_path, scratch);
                 sim.run_until(end);
                 let stats = direction_stats(sim.ab_path(), from, end);
-                CellOutcome {
+                let outcome = CellOutcome {
                     metrics: Some(SchemeResult::from_stats(&stats)),
                     flows: flow_summaries(
                         &[BULK_FLOW, INTERACTIVE_FLOW],
@@ -839,7 +1044,9 @@ pub fn run_cell(
                         end,
                     ),
                     ..CellOutcome::default()
-                }
+                };
+                reclaim(sim, scratch);
+                outcome
             }
         }
         Workload::Contention { flows } => {
@@ -858,17 +1065,19 @@ pub fn run_cell(
                 b.add(flow, child_b);
                 ids.push(flow);
             }
-            let mut sim = Simulation::new(a, b, data_path, feedback_path);
+            let mut sim = new_sim(a, b, data_path, feedback_path, scratch);
             sim.run_until(end);
             let stats = direction_stats(sim.ab_path(), from, end);
             let flow_rows = flow_summaries(&ids, sim.ab_metrics(), from, end);
             let throughputs: Vec<f64> = flow_rows.iter().map(|f| f.throughput_kbps).collect();
-            CellOutcome {
+            let outcome = CellOutcome {
                 metrics: Some(SchemeResult::from_stats(&stats)),
                 fairness: jain_fairness_index(&throughputs),
                 flows: flow_rows,
                 ..CellOutcome::default()
-            }
+            };
+            reclaim(sim, scratch);
+            outcome
         }
         Workload::MuxDirect => {
             let mut a = MuxEndpoint::new();
@@ -879,14 +1088,16 @@ pub fn run_cell(
             for (flow, ep) in mux_clients_b() {
                 b.add(flow, ep);
             }
-            let mut sim = Simulation::new(a, b, data_path, feedback_path);
+            let mut sim = new_sim(a, b, data_path, feedback_path, scratch);
             sim.run_until(end);
             let stats = direction_stats(sim.ab_path(), from, end);
-            CellOutcome {
+            let outcome = CellOutcome {
                 metrics: Some(SchemeResult::from_stats(&stats)),
                 flows: flow_summaries(&[BULK_FLOW, INTERACTIVE_FLOW], sim.ab_metrics(), from, end),
                 ..CellOutcome::default()
-            }
+            };
+            reclaim(sim, scratch);
+            outcome
         }
         Workload::MuxTunneled => {
             let mut host_a =
@@ -899,13 +1110,13 @@ pub fn run_cell(
             for (flow, ep) in mux_clients_b() {
                 host_b.add_client(flow, ep);
             }
-            let mut sim = Simulation::new(host_a, host_b, data_path, feedback_path);
+            let mut sim = new_sim(host_a, host_b, data_path, feedback_path, scratch);
             sim.run_until(end);
             let stats = direction_stats(sim.ab_path(), from, end);
             // Flow metrics come from the far host's post-decapsulation
             // delivery log: the tunnel's own wire packets are what the
             // path sees, the clients' packets are what it delivers.
-            CellOutcome {
+            let outcome = CellOutcome {
                 metrics: Some(SchemeResult::from_stats(&stats)),
                 flows: flow_summaries(
                     &[BULK_FLOW, INTERACTIVE_FLOW],
@@ -914,7 +1125,9 @@ pub fn run_cell(
                     end,
                 ),
                 ..CellOutcome::default()
-            }
+            };
+            reclaim(sim, scratch);
+            outcome
         }
     }
 }

@@ -1,0 +1,105 @@
+//! Scalar-vs-chunked kernel equivalence: the vectorized/blocked hot
+//! loops of the evolve walk and the forecast-table DP must be
+//! **bit-for-bit** equal to their pre-vectorization scalar references,
+//! across random configurations and inputs — not merely close. The
+//! restructured loops preserve the floating-point accumulation order
+//! (ascending source bins per output cell), which is why the canonical
+//! artifacts stay byte-identical and [`sprout_bench::ENGINE_VERSION`]
+//! did not bump; `tests/golden_fingerprints.tsv` locks the artifacts
+//! themselves.
+
+use proptest::collection;
+use proptest::prelude::*;
+use sprout_core::{ForecastTables, SproutConfig, TransitionKernel};
+
+/// A validated config with the given geometry; `lookahead_ticks` is
+/// pinned to 1 so any `horizon_ticks >= 1` is admissible.
+fn cfg_with(
+    num_bins: usize,
+    sigma: f64,
+    max_rate_pps: f64,
+    horizon_ticks: usize,
+    count_max: usize,
+) -> SproutConfig {
+    SproutConfig {
+        num_bins,
+        sigma,
+        max_rate_pps,
+        horizon_ticks,
+        lookahead_ticks: 1,
+        count_max,
+        ..SproutConfig::default()
+    }
+}
+
+proptest! {
+    #[test]
+    fn chunked_evolve_matches_scalar_reference(
+        raw in collection::vec(0.0f64..1.0, 8..97),
+        sigma in 20.0f64..400.0,
+        max_rate_pps in 100.0f64..1000.0,
+    ) {
+        let num_bins = raw.len();
+        let cfg = cfg_with(num_bins, sigma, max_rate_pps, 8, 256);
+        let kernel = TransitionKernel::new(&cfg);
+        // Force exact zeros into the source distribution: the fast walk
+        // skips zero-probability sources, which may only ever elide +0.0
+        // contributions.
+        let src: Vec<f64> = raw.iter().map(|&p| if p < 0.3 { 0.0 } else { p }).collect();
+        let mut fast = vec![0.0f64; num_bins];
+        let mut reference = vec![0.0f64; num_bins];
+        kernel.evolve_into(&src, &mut fast);
+        kernel.evolve_into_reference(&src, &mut reference);
+        // Compare bit patterns, not values: -0.0 vs +0.0 or differently
+        // rounded sums must fail.
+        let fast_bits: Vec<u64> = fast.iter().map(|v| v.to_bits()).collect();
+        let reference_bits: Vec<u64> = reference.iter().map(|v| v.to_bits()).collect();
+        prop_assert_eq!(fast_bits, reference_bits);
+    }
+
+    #[test]
+    fn blocked_table_dp_matches_scalar_reference(
+        bins_sel in 0usize..3,
+        cm_sel in 0usize..3,
+        horizon_ticks in 2usize..6,
+        sigma in 40.0f64..300.0,
+        max_rate_pps in 100.0f64..600.0,
+    ) {
+        // Small geometries keep 64 cases cheap while still exercising
+        // partial tail blocks in the chunked DP (sizes straddle the
+        // block width on both axes).
+        let num_bins = [9, 16, 33][bins_sel];
+        let count_max = [32, 65, 96][cm_sel];
+        let cfg = cfg_with(num_bins, sigma, max_rate_pps, horizon_ticks, count_max);
+        let kernel = TransitionKernel::new(&cfg);
+        let fast = ForecastTables::build(&cfg, &kernel);
+        let reference = ForecastTables::build_reference(&cfg, &kernel);
+        prop_assert_eq!(fast.to_bytes(), reference.to_bytes());
+    }
+}
+
+#[test]
+fn paper_config_tables_match_reference_byte_for_byte() {
+    // One full-size data point beyond the randomized small geometries:
+    // the paper's frozen configuration, serialized form and all.
+    let cfg = SproutConfig::test_small();
+    let kernel = TransitionKernel::new(&cfg);
+    let fast = ForecastTables::build(&cfg, &kernel);
+    let reference = ForecastTables::build_reference(&cfg, &kernel);
+    assert_eq!(fast.to_bytes(), reference.to_bytes());
+}
+
+#[test]
+fn engine_version_unchanged_by_kernel_restructuring() {
+    // The chunked kernels preserve accumulation order, so canonical
+    // output is unchanged and the cell-cache engine version must stay at
+    // 3. Bumping it here without golden-fingerprint churn (or vice
+    // versa) is the bug this assertion exists to catch.
+    assert_eq!(sprout_bench::ENGINE_VERSION, 3);
+    let golden = include_str!("golden_fingerprints.tsv");
+    let rows = golden.lines().filter(|l| !l.starts_with('#')).count();
+    assert!(
+        rows >= 5,
+        "golden fingerprint table went missing ({rows} rows)"
+    );
+}

@@ -257,8 +257,12 @@ impl Endpoint for SproutEndpoint {
         if header.datagram
             && packet.payload.len() >= header.encoded_len() + header.payload_len as usize
         {
-            let bytes = header.payload_of(&packet.payload).to_vec();
-            self.delivered_datagrams.push(Bytes::from(bytes));
+            let start = header.encoded_len();
+            self.delivered_datagrams.push(
+                packet
+                    .payload
+                    .slice(start..start + header.payload_len as usize),
+            );
         }
         self.receiver.on_packet(&header, packet.size, now);
         if let Some(fb) = &header.forecast {
@@ -353,13 +357,19 @@ impl Endpoint for SproutEndpoint {
 }
 
 /// Rewrite the time-to-next field of an already-encoded packet. The field
-/// lives at a fixed offset, so this avoids re-encoding the whole packet.
+/// lives at a fixed offset, so this avoids re-encoding the whole packet —
+/// and a freshly built payload has no other owners, so the usual case is
+/// an in-place patch with no copy at all.
 fn patch_time_to_next(packet: &mut Packet, ttn: Duration) {
-    let mut buf = packet.payload.to_vec();
     // Offset 4: u32 LE time-to-next (see wire.rs layout).
     let us = (ttn.as_micros() as u32).to_le_bytes();
-    buf[4..8].copy_from_slice(&us);
-    packet.payload = Bytes::from(buf);
+    if let Some(buf) = packet.payload.try_mut() {
+        buf[4..8].copy_from_slice(&us);
+    } else {
+        let mut buf = packet.payload.to_vec();
+        buf[4..8].copy_from_slice(&us);
+        packet.payload = Bytes::from(buf);
+    }
 }
 
 #[cfg(test)]

@@ -33,6 +33,7 @@
 //! documented interpretation of the paper's text.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
 use sprout_cache::{ArtifactKind, ByteReader, ByteWriter, CacheCounters};
@@ -54,6 +55,42 @@ pub fn table_cache_counters() -> CacheCounters {
 /// Reset the forecast-table cache counters (bench/test harnesses).
 pub fn reset_table_cache_counters() {
     TABLE_ARTIFACT.reset_counters()
+}
+
+/// In-memory amortization counters: how many times a shared resource was
+/// materialized in this process versus served from a live in-memory
+/// handle. Distinct from [`CacheCounters`], which tracks the *disk*
+/// artifact cache — a "built" here may still have been a disk hit.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MemCounters {
+    /// First-time materializations (DP build or disk decode).
+    pub built: u64,
+    /// Requests served from an already-live in-memory instance.
+    pub reused: u64,
+}
+
+impl MemCounters {
+    /// Counter deltas since an earlier snapshot of the same counters.
+    pub fn since(self, earlier: MemCounters) -> MemCounters {
+        MemCounters {
+            built: self.built - earlier.built,
+            reused: self.reused - earlier.reused,
+        }
+    }
+}
+
+static TABLES_BUILT: AtomicU64 = AtomicU64::new(0);
+static TABLES_REUSED: AtomicU64 = AtomicU64::new(0);
+
+/// Process-wide in-memory forecast-table amortization counters: `built`
+/// counts [`ForecastTables::get`] calls that materialized a table (DP
+/// build or disk load), `reused` counts calls served by the live
+/// in-memory cache.
+pub fn table_memory_counters() -> MemCounters {
+    MemCounters {
+        built: TABLES_BUILT.load(Ordering::Relaxed),
+        reused: TABLES_REUSED.load(Ordering::Relaxed),
+    }
 }
 
 /// Resolution of the cumulative-volume axis: quarter-MTU units. Finer
@@ -90,6 +127,14 @@ pub struct ForecastTables {
     num_bins: usize,
     horizon: usize,
     count_max: usize,
+    /// Upper bound on the per-tick advance of the cumulative-volume axis:
+    /// no rate bin delivers more than this many quarter-MTU units in one
+    /// tick, so the percentile index grows by at most `max_step` per tick.
+    /// Bounds the warm-started search in [`Self::forecast_into`]. Derived
+    /// from the configuration, not serialized; tables decoded through the
+    /// raw [`Self::from_bytes`] fall back to the unbounded `count_max`
+    /// (identical results, more probes per search).
+    max_step: usize,
     /// Layout: `cdf[(t * count_max + c) * num_bins + i]`, f32 to halve the
     /// footprint (≈4 MB at paper scale).
     cdf: Vec<f32>,
@@ -109,7 +154,17 @@ impl ForecastTables {
         let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
         let key = cfg.table_key();
         let slot = Arc::clone(cache.lock().unwrap().entry(key).or_default());
-        Arc::clone(slot.get_or_init(|| Arc::new(ForecastTables::load_or_build(cfg))))
+        let mut built_now = false;
+        let tables = Arc::clone(slot.get_or_init(|| {
+            built_now = true;
+            Arc::new(ForecastTables::load_or_build(cfg))
+        }));
+        if built_now {
+            TABLES_BUILT.fetch_add(1, Ordering::Relaxed);
+        } else {
+            TABLES_REUSED.fetch_add(1, Ordering::Relaxed);
+        }
+        tables
     }
 
     /// Fetch the tables for `cfg` from the on-disk artifact cache, or
@@ -120,13 +175,15 @@ impl ForecastTables {
         cfg.validate();
         let key = cfg.table_key().cache_key_bytes();
         if let Some(bytes) = TABLE_ARTIFACT.load(&key) {
-            if let Some(t) = ForecastTables::from_bytes(&bytes) {
+            if let Some(mut t) = ForecastTables::from_bytes(&bytes) {
                 // The decoded dims are part of the key, but stay defensive:
                 // a mismatch means a corrupt entry that beat the checksum.
                 if t.num_bins == cfg.num_bins
                     && t.horizon == cfg.horizon_ticks
                     && t.count_max == cfg.count_max
                 {
+                    // The search bound is config-derived, not serialized.
+                    t.max_step = max_unit_step(cfg);
                     return t;
                 }
             }
@@ -170,12 +227,31 @@ impl ForecastTables {
             num_bins,
             horizon,
             count_max,
+            max_step: count_max,
             cdf,
         })
     }
 
     /// Build the tables by per-start-bin dynamic programming.
     pub fn build(cfg: &SproutConfig, kernel: &TransitionKernel) -> ForecastTables {
+        ForecastTables::build_impl(cfg, kernel, build_one_start)
+    }
+
+    /// [`Self::build`] driven by the pre-vectorization scalar DP, kept as
+    /// the bit-exactness reference: the blocked/restructured inner loops
+    /// of the production build must produce byte-identical tables
+    /// (enforced by the `kernel_equivalence` proptest suite).
+    pub fn build_reference(cfg: &SproutConfig, kernel: &TransitionKernel) -> ForecastTables {
+        ForecastTables::build_impl(cfg, kernel, build_one_start_reference)
+    }
+
+    /// Shared build scaffolding (shift precomputation, worker threads,
+    /// strip merge) parameterized over the per-start DP implementation.
+    fn build_impl(
+        cfg: &SproutConfig,
+        kernel: &TransitionKernel,
+        one_start: OneStart,
+    ) -> ForecastTables {
         cfg.validate();
         let n = cfg.num_bins;
         let horizon = cfg.horizon_ticks;
@@ -195,8 +271,10 @@ impl ForecastTables {
             })
             .collect();
 
-        // The CSR transition matrix, shared read-only by every worker.
+        // The CSR transition matrix and its transpose (for the
+        // destination-major evolve), shared read-only by every worker.
         let scatter = kernel.scatter();
+        let scatter_t = scatter.transposed();
 
         // The DP over start bins is embarrassingly parallel; chunk it over
         // the available cores with scoped threads (no extra dependencies).
@@ -217,14 +295,16 @@ impl ForecastTables {
                 let start0 = base;
                 base += take;
                 let shifts = &shifts;
+                let scatter_t = &scatter_t;
                 handles.push(scope.spawn(move || {
                     let mut joint = vec![0.0f64; n * cm];
                     let mut next = vec![0.0f64; n * cm];
                     let mut conv = vec![0.0f64; cm];
                     for (off, slot) in head.iter_mut().enumerate() {
                         let start = start0 + off;
-                        *slot = build_one_start(
-                            start, horizon, cm, shifts, scatter, &mut joint, &mut next, &mut conv,
+                        *slot = one_start(
+                            start, horizon, cm, shifts, scatter, scatter_t, &mut joint, &mut next,
+                            &mut conv,
                         );
                     }
                 }));
@@ -247,10 +327,13 @@ impl ForecastTables {
             }
         }
 
+        let max_step = shifts.iter().map(|&(lo, _)| lo + 1).max().unwrap_or(cm);
+        debug_assert_eq!(max_step, max_unit_step(cfg));
         ForecastTables {
             num_bins: n,
             horizon,
             count_max: cm,
+            max_step,
             cdf,
         }
     }
@@ -292,14 +375,16 @@ impl ForecastTables {
     ///   value is below `num_bins × MASS_EPSILON ≈ 3e-10`, orders of
     ///   magnitude under any percentile of interest — so every probe of
     ///   the search sums only the live bins.
-    /// * **Warm-started galloping search.** `C_t` is non-decreasing in
+    /// * **Warm-started bounded search.** `C_t` is non-decreasing in
     ///   `t`, so `P(C_{t+1} ≤ c) ≤ P(C_t ≤ c)` holds per start bin and
     ///   therefore for (masked) mixtures; the percentile index can only
-    ///   grow from one tick to the next. Each tick's search starts at the
-    ///   previous tick's answer and gallops (1, 2, 4, …) to bracket the
-    ///   new index before binary-searching the bracket — a handful of
-    ///   probes instead of `log2(count_max)` from scratch, since the
-    ///   index advances by at most one tick's volume.
+    ///   grow from one tick to the next — and by at most `max_step`
+    ///   units, because no rate bin advances the volume axis faster than
+    ///   the top bin. Each tick's search therefore binary-searches only
+    ///   `(prev, prev + max_step]` — ~7 probes at paper scale instead of
+    ///   a `log2(count_max)` search (or an unbounded gallop) from
+    ///   scratch. The stored CDF is non-decreasing in the count, so the
+    ///   bounded search provably returns the same index the gallop did.
     pub fn forecast_into<'a>(
         &self,
         posterior: &[f64],
@@ -319,56 +404,144 @@ impl ForecastTables {
             }
         }
 
+        // Last call's answers become this call's predictions: consecutive
+        // forecasts from a slowly-evolving posterior land within a unit or
+        // two of each other, so "previous answer (tick 0) / previous
+        // increment (later ticks)" is usually exact and the search
+        // verifies it in 2–3 probes.
+        std::mem::swap(&mut scratch.prev_units, &mut scratch.out.cumulative_units);
+        let prev_units = &scratch.prev_units;
+
+        // Prefetch the rows the warm-started search probes first: when the
+        // per-tick predictions hold (the common case), tick `t` touches
+        // exactly rows `(t, g_t)` and `(t, g_t − 1)`, both known up front
+        // from the previous call's answers. The 6 MB table does not stay
+        // cache-resident between protocol ticks, so issuing these loads
+        // early overlaps their DRAM latency with earlier ticks' compute.
+        // Prefetching cannot affect results.
+        #[cfg(target_arch = "x86_64")]
+        if let (Some(&first), Some(&last)) = (scratch.live_idx.first(), scratch.live_idx.last()) {
+            for (t, &g) in prev_units.iter().take(self.horizon).enumerate() {
+                let g = (g as usize).min(self.count_max - 1);
+                for row in [g.saturating_sub(1), g] {
+                    let base = (t * self.count_max + row) * self.num_bins;
+                    let mut p = base + first as usize;
+                    let end = base + last as usize;
+                    while p <= end {
+                        // SAFETY: `p` indexes within `cdf`; prefetch reads
+                        // nothing architecturally and has no side effects.
+                        unsafe {
+                            std::arch::x86_64::_mm_prefetch(
+                                self.cdf.as_ptr().add(p) as *const i8,
+                                std::arch::x86_64::_MM_HINT_T0,
+                            );
+                        }
+                        p += 16; // one 64-byte line of f32s
+                    }
+                }
+            }
+        }
+
         let cum = &mut scratch.out.cumulative_units;
         cum.clear();
         cum.reserve(self.horizon);
         let mut prev = 0usize;
         for t in 0..self.horizon {
-            let c = self.percentile_index(t, want, prev, &scratch.live_idx, &scratch.live_w);
+            let guess = match (t, prev_units.get(t), prev_units.get(t.wrapping_sub(1))) {
+                (0, Some(&g0), _) => g0 as usize,
+                (_, Some(&gt), Some(&gp)) => prev + (gt - gp) as usize,
+                _ => prev,
+            };
+            let c = self.percentile_index(t, want, prev, guess, &scratch.live_idx, &scratch.live_w);
             cum.push(c as u32);
             prev = c;
         }
         &scratch.out
     }
 
-    /// Mixture CDF over the pre-masked live bins only.
+    /// Mixture CDF over the pre-masked live bins only. Converged
+    /// posteriors keep their live bins in one contiguous span; walking
+    /// the CDF row as a slice then skips the per-element index load.
+    /// Either path adds the same operands in the same ascending-bin
+    /// order into one accumulator, so the sums are bit-identical.
     fn live_mixture_cdf(&self, tick: usize, count: usize, idx: &[u32], w: &[f64]) -> f64 {
         let row = &self.cdf[(tick * self.count_max + count) * self.num_bins..][..self.num_bins];
-        idx.iter()
-            .zip(w.iter())
-            .map(|(&i, &p)| p * row[i as usize] as f64)
-            .sum()
+        match (idx.first(), idx.last()) {
+            (Some(&first), Some(&last)) if (last - first) as usize + 1 == idx.len() => row
+                [first as usize..=last as usize]
+                .iter()
+                .zip(w.iter())
+                .map(|(&f, &p)| p * f as f64)
+                .sum(),
+            _ => idx
+                .iter()
+                .zip(w.iter())
+                .map(|(&i, &p)| p * row[i as usize] as f64)
+                .sum(),
+        }
     }
 
     /// Smallest `c ≥ start` with masked mixture CDF ≥ `want` at `tick`
     /// (clamped to the count axis). `start` must be a valid warm start,
-    /// i.e. a lower bound on the answer.
+    /// i.e. a lower bound on the answer. `guess` is a prediction of the
+    /// answer (any value — it only steers which indices get probed, never
+    /// the result): when it is exact, the search confirms it with two
+    /// probes (`cdf(guess) ≥ want`, `cdf(guess−1) < want`) instead of a
+    /// full bisection.
     fn percentile_index(
         &self,
         tick: usize,
         want: f64,
         start: usize,
+        guess: usize,
         idx: &[u32],
         w: &[f64],
     ) -> usize {
         let last = self.count_max - 1;
-        if self.live_mixture_cdf(tick, start, idx, w) >= want {
-            return start;
-        }
-        // Gallop: invariant cdf(lo) < want; stop when a probe reaches
-        // `want` (or the axis end, which the table clamps to ≈ 1).
-        let mut lo = start;
-        let mut step = 1usize;
-        let hi = loop {
-            let cand = (lo + step).min(last);
-            if cand == last || self.live_mixture_cdf(tick, cand, idx, w) >= want {
-                break cand;
+        // One tick advances every start bin's cumulative volume by at
+        // most `max_step` units, so `F_{t+1}(c + max_step) ≥ F_t(c)`
+        // holds per start bin and hence for any fixed nonnegative
+        // mixture: a warm start that satisfied the previous tick's
+        // percentile puts this tick's answer in `(start, start +
+        // max_step]`. The CDF is non-decreasing in the count, so a
+        // bracketed search over that range returns exactly the smallest
+        // satisfying index — the same index an unbounded gallop-and-
+        // bisect finds. Each CDF probe streams a whole table row through
+        // the cache, so the probe order starts at the predicted answer:
+        // `cdf(g) ≥ want` and `cdf(g−1) < want` prove `g` is the smallest
+        // satisfying index using two (adjacent-row) probes, no start
+        // probe needed.
+        let cap = start.saturating_add(self.max_step).min(last);
+        let g = guess.clamp(start + 1, cap);
+        let (mut lo, mut hi);
+        if self.live_mixture_cdf(tick, g, idx, w) >= want {
+            if self.live_mixture_cdf(tick, g - 1, idx, w) < want {
+                return g; // prediction confirmed exactly
             }
-            lo = cand;
-            step *= 2;
-        };
-        // Binary search in (lo, hi]: smallest c with cdf ≥ want.
-        let (mut lo, mut hi) = (lo, hi);
+            if g - 1 == start {
+                return start; // cdf(start) ≥ want
+            }
+            if self.live_mixture_cdf(tick, start, idx, w) >= want {
+                return start;
+            }
+            lo = start;
+            hi = g - 1;
+        } else {
+            lo = g;
+            hi = cap;
+            if hi == lo {
+                // The guess hit the cap and still fell short: the bound
+                // theorem's premise is void (degenerate mixture). Search
+                // the rest of the axis exactly as the gallop did.
+                if hi == last {
+                    return last;
+                }
+                hi = last;
+            } else if hi < last && self.live_mixture_cdf(tick, hi, idx, w) < want {
+                // Defensive, same degenerate case: cap to the axis end.
+                hi = last;
+            }
+        }
         while hi - lo > 1 {
             let mid = lo + (hi - lo) / 2;
             if self.live_mixture_cdf(tick, mid, idx, w) >= want {
@@ -393,10 +566,56 @@ pub struct ForecastScratch {
     live_idx: Vec<u32>,
     live_w: Vec<f64>,
     out: Forecast,
+    /// The previous call's answers, recycled as this call's search
+    /// predictions (guesses only — they cannot affect results).
+    prev_units: Vec<u32>,
 }
+
+/// Signature shared by the production per-start DP and its scalar
+/// reference, so [`ForecastTables::build_impl`] can run either. The two
+/// `ScatterMatrix` arguments are the transition operator and its
+/// transpose (the reference ignores the transpose).
+type OneStart = fn(
+    usize,
+    usize,
+    usize,
+    &[(usize, f64)],
+    &ScatterMatrix,
+    &ScatterMatrix,
+    &mut Vec<f64>,
+    &mut Vec<f64>,
+    &mut [f64],
+) -> Vec<f32>;
+
+/// Largest per-tick advance of the cumulative-volume axis, in
+/// quarter-MTU units: the top bin's expected per-tick deliveries,
+/// rounded up for the fractional two-point split. Rates are monotone in
+/// the bin index, so this equals `max(shifts[j].0 + 1)`.
+fn max_unit_step(cfg: &SproutConfig) -> usize {
+    let units = cfg.bin_rate_pps(cfg.num_bins - 1) * cfg.tick_secs() * UNITS_PER_MTU as f64;
+    units.floor() as usize + 1
+}
+
+/// Count-axis cache block for [`evolve_rows`], in f64 lanes. The evolve
+/// step re-reads every source row once per destination (~2·half_width+1
+/// times); blocking the count axis keeps the active slab — the kernel
+/// band's worth of source and destination row segments — resident in
+/// cache across those passes instead of streaming the full
+/// `window × count_max` panels (≈ 1.8 MB at paper scale) through memory
+/// once per band offset.
+const C_BLOCK: usize = 32;
 
 /// The DP for a single starting bin: returns the conditional CDF strip
 /// laid out as `strip[t * cm + c] = P(C_{t+1} ≤ c | λ₀ = start)`.
+///
+/// This is the production implementation: count-axis blocking in the
+/// evolve step, per-tick zero-fill narrowed to the reachable count
+/// range, and a bin-outer marginalization pass. Every floating-point
+/// accumulation keeps the reference implementation's order (ascending
+/// source bin per destination cell, ascending count for the cumulative
+/// sum), so the strips are bit-identical to
+/// [`build_one_start_reference`] — see that function and the
+/// `kernel_equivalence` tests.
 #[allow(clippy::too_many_arguments)]
 fn build_one_start(
     start: usize,
@@ -404,12 +623,15 @@ fn build_one_start(
     cm: usize,
     shifts: &[(usize, f64)],
     scatter: &ScatterMatrix,
+    scatter_t: &ScatterMatrix,
     joint: &mut Vec<f64>,
     next: &mut Vec<f64>,
     conv: &mut [f64],
 ) -> Vec<f32> {
     let n = scatter.num_bins();
     let hw = scatter.max_reach();
+    let mut nz = vec![false; n];
+    let mut terms: Vec<(u32, f64)> = Vec::new();
     joint.fill(0.0);
     next.fill(0.0);
     joint[start * cm] = 1.0;
@@ -426,11 +648,192 @@ fn build_one_start(
         j_hi = (j_hi + hw).min(n - 1);
         let (jl, jh) = (j_lo, j_hi);
 
+        // Count ceiling after this tick's volume advance. Nothing beyond
+        // it is written or read before the next tick's fill re-zeroes the
+        // range, so the scratch rows only need zeroing up to here —
+        // window rows outside `[jl, jh]` stay all-zero from the initial
+        // full fill by induction (writes never leave the window).
+        let widest = shifts[jh].0 + 1;
+        let new_c_hi = (c_hi + widest).min(cm - 1);
+
+        // --- evolve the bin axis (count axis untouched) ---
+        // The destination-major evolve overwrites counts `0..=c_hi` of
+        // every window row; only the counts this tick's volume advance
+        // will newly reach still need zeroing by hand.
+        for j in jl..=jh {
+            next[j * cm + c_hi + 1..j * cm + new_c_hi + 1].fill(0.0);
+        }
+        evolve_rows(
+            scatter_t, joint, next, jl, jh, c_hi, cm, &mut nz, &mut terms,
+        );
+        std::mem::swap(joint, next);
+
+        // --- advance the volume axis per bin (quarter-MTU units) ---
+        // The reference walks counts in ascending order doing two
+        // scattered adds per cell. Destination cells are independent, so
+        // the same result is computed cell-centrically as a two-point
+        // stencil: cell `k` receives the `frac` term from `c = k-lo-1`
+        // *then* the `1-frac` term from `c = k-lo` (ascending-`c` order),
+        // i.e. `row[k-lo-1]*frac + row[k-lo]*(1-frac)` — the reference's
+        // exact operand sequence per cell. Reads beyond `c_hi` see the
+        // zeros left by this tick's fill, contributing `+0.0` terms that
+        // cannot change any bit (no value in the DP is negative zero).
+        for j in jl..=jh {
+            let row = &mut joint[j * cm..(j + 1) * cm];
+            let (lo, frac) = shifts[j];
+            if lo == 0 && frac == 0.0 {
+                continue; // outage bin: volume unchanged
+            }
+            let inv = 1.0 - frac;
+            conv[..lo.min(new_c_hi + 1)].fill(0.0); // below the shift: unreachable
+            if lo <= new_c_hi {
+                conv[lo] = row[0] * inv; // only c = 0's low half reaches k = lo
+            }
+            let top = new_c_hi.min(cm - 2);
+            for k in lo + 1..=top {
+                conv[k] = row[k - lo - 1] * frac + row[k - lo] * inv;
+            }
+            if new_c_hi == cm - 1 {
+                // Clamped top cell: several counts collapse into `cm-1`,
+                // so replay the reference's accumulation order exactly
+                // (ascending `c`; low half before high half within one).
+                // `lo` can exceed `cm-1` when one tick's volume advance
+                // overshoots the whole count axis (tiny `count_max`
+                // relative to the rate grid) — then every count collapses
+                // into the top cell and the scan starts at `c = 0`.
+                let mut acc = 0.0f64;
+                for (c, &p) in row
+                    .iter()
+                    .enumerate()
+                    .take(c_hi + 1)
+                    .skip((cm - 1).saturating_sub(lo).saturating_sub(1))
+                {
+                    if p == 0.0 {
+                        continue;
+                    }
+                    if c + lo >= cm - 1 {
+                        acc += p * inv;
+                    }
+                    if c + lo + 1 >= cm - 1 {
+                        acc += p * frac;
+                    }
+                }
+                conv[cm - 1] = acc;
+            }
+            row[..=new_c_hi].copy_from_slice(&conv[..=new_c_hi]);
+        }
+        c_hi = new_c_hi;
+
+        // --- marginalize over bins, cumulative-sum, store ---
+        // Bin-outer accumulation into `conv` walks the joint array
+        // contiguously (the count-outer form strides by `cm` on every
+        // add); each count cell still sums its bins in ascending order
+        // and the cumulative sum still adds per-count totals in
+        // ascending count order, so `acc` sees the reference's exact
+        // operand sequence.
+        conv[..=c_hi].fill(0.0);
+        for j in jl..=jh {
+            let row = &joint[j * cm..j * cm + c_hi + 1];
+            crate::simd::add_assign(&mut conv[..=c_hi], row);
+        }
+        let mut acc = 0.0f64;
+        for (c, slot) in strip[t * cm..(t + 1) * cm].iter_mut().enumerate() {
+            if c <= c_hi {
+                acc += conv[c];
+            } else {
+                acc = 1.0; // everything reachable is ≤ c_hi
+            }
+            *slot = acc.min(1.0) as f32;
+        }
+    }
+    strip
+}
+
+/// Apply the transition operator to bins `[j_lo, j_hi]` of the joint
+/// distribution, overwriting counts `0..=c_hi` of every window row of
+/// `next`. Only counts `0..=c_hi` of `joint` carry mass; the count axis
+/// stays contiguous so the inner loop vectorizes.
+///
+/// The walk is destination-major over the transposed operator: each
+/// destination block accumulates all of its source contributions in one
+/// register-resident pass ([`crate::simd::weighted_sum_into`]) instead
+/// of being re-read and re-written once per source row. Per destination
+/// cell the contributions still arrive in ascending source-bin order —
+/// the reference's exact accumulation order — so the results are
+/// bit-identical (the per-block zero-source skip only elides `+0.0`
+/// terms, which cannot change any bit: no value in the DP is negative
+/// zero). The count axis is processed in [`C_BLOCK`]-wide blocks so the
+/// active slab of source rows stays cache-resident across the
+/// destination passes.
+#[allow(clippy::too_many_arguments)]
+fn evolve_rows(
+    scatter_t: &ScatterMatrix,
+    joint: &[f64],
+    next: &mut [f64],
+    j_lo: usize,
+    j_hi: usize,
+    c_hi: usize,
+    cm: usize,
+    nz: &mut [bool],
+    terms: &mut Vec<(u32, f64)>,
+) {
+    let mut c0 = 0usize;
+    while c0 <= c_hi {
+        let c1 = (c0 + C_BLOCK).min(c_hi + 1); // exclusive block end
+        for j in j_lo..=j_hi {
+            nz[j] = joint[j * cm + c0..j * cm + c1].iter().any(|&p| p != 0.0);
+        }
+        for dst in j_lo..=j_hi {
+            terms.clear();
+            let (srcs, weights) = scatter_t.row(dst);
+            for (&src, &w) in srcs.iter().zip(weights.iter()) {
+                let s = src as usize;
+                if s >= j_lo && s <= j_hi && nz[s] {
+                    terms.push(((s * cm + c0) as u32, w));
+                }
+            }
+            crate::simd::weighted_sum_into(&mut next[dst * cm + c0..dst * cm + c1], joint, terms);
+        }
+        c0 = c1;
+    }
+}
+
+/// The pre-vectorization scalar DP for one starting bin, kept verbatim
+/// as the bit-exactness reference for [`build_one_start`] (exercised by
+/// [`ForecastTables::build_reference`] and the `kernel_equivalence`
+/// proptest suite).
+#[allow(clippy::too_many_arguments)]
+fn build_one_start_reference(
+    start: usize,
+    horizon: usize,
+    cm: usize,
+    shifts: &[(usize, f64)],
+    scatter: &ScatterMatrix,
+    _scatter_t: &ScatterMatrix,
+    joint: &mut Vec<f64>,
+    next: &mut Vec<f64>,
+    conv: &mut [f64],
+) -> Vec<f32> {
+    let n = scatter.num_bins();
+    let hw = scatter.max_reach();
+    joint.fill(0.0);
+    next.fill(0.0);
+    joint[start * cm] = 1.0;
+    let mut strip = vec![0.0f32; horizon * cm];
+    let mut j_lo = start;
+    let mut j_hi = start;
+    let mut c_hi = 0usize;
+
+    for t in 0..horizon {
+        j_lo = j_lo.saturating_sub(hw);
+        j_hi = (j_hi + hw).min(n - 1);
+        let (jl, jh) = (j_lo, j_hi);
+
         // --- evolve the bin axis (count axis untouched) ---
         for v in next[jl * cm..(jh + 1) * cm].iter_mut() {
             *v = 0.0;
         }
-        evolve_rows(scatter, joint, next, jl, jh, c_hi, cm);
+        evolve_rows_reference(scatter, joint, next, jl, jh, c_hi, cm);
         std::mem::swap(joint, next);
 
         // --- advance the volume axis per bin (quarter-MTU units) ---
@@ -474,10 +877,8 @@ fn build_one_start(
     strip
 }
 
-/// Apply the CSR transition rows to bins `[j_lo, j_hi]` of the joint
-/// distribution, writing into `next`. Only counts `0..=c_hi` carry
-/// mass; the count axis stays contiguous so the inner loop vectorizes.
-fn evolve_rows(
+/// The reference (unblocked) form of [`evolve_rows`].
+fn evolve_rows_reference(
     scatter: &ScatterMatrix,
     joint: &[f64],
     next: &mut [f64],
@@ -681,6 +1082,41 @@ mod tests {
         assert_eq!(f.cumulative_bytes(0, 1500), 1_500);
         assert_eq!(f.cumulative_bytes(2, 1500), 4_500);
         assert_eq!(f.cumulative_bytes(99, 1500), 4_500); // clamped
+    }
+
+    #[test]
+    fn blocked_build_is_byte_identical_to_reference() {
+        let cfg = small_cfg();
+        let kernel = TransitionKernel::new(&cfg);
+        let fast = ForecastTables::build(&cfg, &kernel);
+        let slow = ForecastTables::build_reference(&cfg, &kernel);
+        assert_eq!(fast.to_bytes(), slow.to_bytes());
+        assert_eq!(fast.max_step, slow.max_step);
+    }
+
+    #[test]
+    fn bounded_search_matches_unbounded_gallop_domain() {
+        // A table decoded through raw `from_bytes` has no config-derived
+        // search bound (max_step == count_max). Forecasts must be
+        // identical either way.
+        let cfg = small_cfg();
+        let kernel = TransitionKernel::new(&cfg);
+        let bounded = ForecastTables::build(&cfg, &kernel);
+        assert!(bounded.max_step < bounded.count_max);
+        let unbounded = ForecastTables::from_bytes(&bounded.to_bytes()).unwrap();
+        assert_eq!(unbounded.max_step, unbounded.count_max);
+        for posterior in [
+            uniform(cfg.num_bins),
+            point_mass(cfg.num_bins, 0),
+            point_mass(cfg.num_bins, cfg.num_bins - 1),
+        ] {
+            for pct in [5.0, 25.0, 50.0, 75.0, 95.0] {
+                assert_eq!(
+                    bounded.forecast(&posterior, pct),
+                    unbounded.forecast(&posterior, pct)
+                );
+            }
+        }
     }
 
     #[test]

@@ -46,13 +46,15 @@ pub mod forecaster;
 pub mod model;
 pub mod receiver;
 pub mod sender;
+mod simd;
 pub mod stats;
 pub mod wire;
 
 pub use config::SproutConfig;
 pub use endpoint::{EndpointStats, SproutEndpoint};
 pub use forecast::{
-    reset_table_cache_counters, table_cache_counters, Forecast, ForecastScratch, ForecastTables,
+    reset_table_cache_counters, table_cache_counters, table_memory_counters, Forecast,
+    ForecastScratch, ForecastTables, MemCounters,
 };
 pub use forecaster::{BayesianForecaster, EwmaForecaster, Forecaster};
 pub use model::{RateModel, ScatterMatrix, TransitionKernel};

@@ -12,7 +12,7 @@
 use std::sync::Arc;
 
 use crate::config::SproutConfig;
-use crate::stats::{normal_mass, poisson_ln_pmf};
+use crate::stats::{ln_gamma, normal_mass};
 
 /// The per-tick transition matrix in CSR (compressed sparse row) form:
 /// one flat `(destination, weight)` stream with per-row extents, so the
@@ -30,6 +30,12 @@ pub struct ScatterMatrix {
     /// Largest `|dst − j|` over all rows — how far one tick can move
     /// probability mass (the DP's reachable-window growth rate).
     max_reach: usize,
+    /// True when every row's destinations form one contiguous ascending
+    /// run (`dests[k+1] == dests[k] + 1`). Gaussian bands with folded
+    /// reflections always satisfy this; it lets the evolve hot loop use a
+    /// dense slice saxpy (no index gather, no per-element bounds check)
+    /// instead of the scattered CSR walk.
+    contiguous_rows: bool,
 }
 
 impl ScatterMatrix {
@@ -38,13 +44,18 @@ impl ScatterMatrix {
         let mut dests = Vec::new();
         let mut weights = Vec::new();
         let mut max_reach = 1usize;
+        let mut contiguous_rows = true;
         row_ptr.push(0u32);
         for (j, row) in rows.enumerate() {
+            let start = dests.len();
             for (dst, w) in row {
                 max_reach = max_reach.max(dst.abs_diff(j));
                 dests.push(dst as u32);
                 weights.push(w);
             }
+            contiguous_rows = contiguous_rows
+                && dests.len() > start
+                && dests[start..].windows(2).all(|w| w[1] == w[0] + 1);
             row_ptr.push(dests.len() as u32);
         }
         assert_eq!(row_ptr.len(), num_bins + 1);
@@ -54,6 +65,7 @@ impl ScatterMatrix {
             dests,
             weights,
             max_reach,
+            contiguous_rows,
         }
     }
 
@@ -73,6 +85,28 @@ impl ScatterMatrix {
     /// Largest per-tick bin displacement (≥ 1).
     pub fn max_reach(&self) -> usize {
         self.max_reach
+    }
+
+    /// Whether every row's destinations are one contiguous ascending run
+    /// (see the field docs; true for every kernel this crate builds).
+    pub fn rows_are_contiguous(&self) -> bool {
+        self.contiguous_rows
+    }
+
+    /// The transposed operator: row `d` of the result lists the
+    /// `(source, weight)` pairs that scatter into bin `d`, sources
+    /// ascending (the outer ascending-`j` scan guarantees the order).
+    /// Lets destination-major consumers accumulate each output cell in
+    /// the same ascending-source order as the row-major walk.
+    pub(crate) fn transposed(&self) -> ScatterMatrix {
+        let mut cols: Vec<Vec<(usize, f64)>> = vec![Vec::new(); self.num_bins];
+        for j in 0..self.num_bins {
+            let (dests, weights) = self.row(j);
+            for (&d, &w) in dests.iter().zip(weights.iter()) {
+                cols[d as usize].push((j, w));
+            }
+        }
+        ScatterMatrix::from_rows(self.num_bins, cols.into_iter())
     }
 }
 
@@ -152,7 +186,37 @@ impl TransitionKernel {
     /// reflected Brownian rows are already folded into the matrix — so
     /// the inner loop is a contiguous multiply-accumulate with no
     /// per-weight reflection arithmetic.
+    ///
+    /// When every row's destinations are contiguous (true for all kernels
+    /// built by this crate), the inner loop runs over a dense destination
+    /// slice: no index gather and no per-element bounds check, which lets
+    /// the compiler vectorize the saxpy. Destination lanes are
+    /// independent and each destination still accumulates contributions
+    /// in ascending source order, so results are bit-identical to
+    /// [`Self::evolve_into_reference`].
     pub fn evolve_into(&self, src: &[f64], dst: &mut [f64]) {
+        assert_eq!(src.len(), self.num_bins);
+        assert_eq!(dst.len(), self.num_bins);
+        if !self.scatter.rows_are_contiguous() {
+            return self.evolve_into_reference(src, dst);
+        }
+        dst.fill(0.0);
+        for (j, &p) in src.iter().enumerate() {
+            if p == 0.0 {
+                continue;
+            }
+            let (dests, weights) = self.scatter.row(j);
+            let lo = dests[0] as usize;
+            let out = &mut dst[lo..lo + weights.len()];
+            crate::simd::saxpy(out, p, weights);
+        }
+    }
+
+    /// The pre-vectorization scalar CSR walk of [`Self::evolve_into`],
+    /// kept as the bit-exactness reference (and as the fallback for
+    /// matrices with non-contiguous rows). Equivalence is enforced by the
+    /// `kernel_equivalence` proptest suite.
+    pub fn evolve_into_reference(&self, src: &[f64], dst: &mut [f64]) {
         assert_eq!(src.len(), self.num_bins);
         assert_eq!(dst.len(), self.num_bins);
         dst.fill(0.0);
@@ -250,6 +314,17 @@ pub struct RateModel {
     kernel: Arc<TransitionKernel>,
     dist: Vec<f64>,
     scratch: Vec<f64>,
+    /// Cached `ln(bin_rate_pps(i) · exposure)` per bin for the exposure in
+    /// `ln_means_exposure`. Endpoints observe with the same exposure on
+    /// almost every tick (a full queue-backed tick), so the logs are
+    /// recomputed only when the exposure's bit pattern changes — the
+    /// cached values are produced by the exact expression the scalar path
+    /// evaluates, keeping the likelihood bit-identical.
+    ln_means: Vec<f64>,
+    /// Bit pattern of the exposure `ln_means` was computed for
+    /// (`f64::NAN.to_bits()` = never computed; NaN never matches itself
+    /// by value, so compare bits).
+    ln_means_exposure: u64,
 }
 
 impl RateModel {
@@ -270,6 +345,8 @@ impl RateModel {
             kernel,
             dist: vec![1.0 / n as f64; n],
             scratch: vec![0.0; n],
+            ln_means: vec![0.0; n],
+            ln_means_exposure: f64::NAN.to_bits(),
         }
     }
 
@@ -320,11 +397,27 @@ impl RateModel {
         assert!(exposure_secs > 0.0 && exposure_secs.is_finite());
         let tau = exposure_secs;
         let n = self.dist.len();
+        // ln Γ(packets + 1) depends only on the observation, not the bin:
+        // hoist the Lanczos evaluation out of the loop. Combined with the
+        // cached ln-means this reduces the per-bin work to one multiply,
+        // two subtractions and a max — the exact operations (in the exact
+        // order) `poisson_ln_pmf(packets, mean)` performs, so the
+        // log-likelihoods are bit-identical to the scalar path.
+        let lgk1 = ln_gamma(packets + 1.0);
+        self.refresh_ln_means(tau);
         // Log-likelihood per bin, max-normalized before exponentiation.
         let mut max_ll = f64::NEG_INFINITY;
         for i in 0..n {
             let mean = self.cfg.bin_rate_pps(i) * tau;
-            let ll = poisson_ln_pmf(packets, mean);
+            let ll = if mean == 0.0 {
+                if packets == 0.0 {
+                    0.0
+                } else {
+                    f64::NEG_INFINITY
+                }
+            } else {
+                packets * self.ln_means[i] - mean - lgk1
+            };
             self.scratch[i] = ll;
             if ll > max_ll {
                 max_ll = ll;
@@ -336,11 +429,35 @@ impl RateModel {
             return;
         }
         let floor = self.cfg.likelihood_floor;
+        // `exp` is the costliest op left in this loop, and for a peaked
+        // likelihood most bins land on the floor anyway. Skipping the call
+        // when `x < ln(floor) − 1e-9` is exact: exp is monotone with ~1 ulp
+        // relative error, so `exp(x) ≤ floor·e^{−1e-9}·(1+ε) < floor` and
+        // `max` would have produced precisely `floor`.
+        let skip_below = floor.ln() - 1e-9;
         for i in 0..n {
-            let like = (self.scratch[i] - max_ll).exp().max(floor);
+            let x = self.scratch[i] - max_ll;
+            let like = if x < skip_below {
+                floor
+            } else {
+                x.exp().max(floor)
+            };
             self.dist[i] *= like;
         }
         self.normalize();
+    }
+
+    /// Recompute the cached `ln(mean)` table if `exposure` differs (by bit
+    /// pattern) from the one it was built for.
+    fn refresh_ln_means(&mut self, exposure: f64) {
+        let bits = exposure.to_bits();
+        if self.ln_means_exposure == bits {
+            return;
+        }
+        for i in 0..self.ln_means.len() {
+            self.ln_means[i] = (self.cfg.bin_rate_pps(i) * exposure).ln();
+        }
+        self.ln_means_exposure = bits;
     }
 
     /// Renormalize the posterior to sum to 1, resetting to uniform if the
@@ -596,6 +713,81 @@ mod tests {
         }
         for (a, b) in dst.iter().zip(manual.iter()) {
             assert!((a - b).abs() < 1e-15, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn evolve_into_bitwise_matches_reference() {
+        for cfg in [small(), SproutConfig::paper()] {
+            let k = TransitionKernel::new(&cfg);
+            assert!(k.scatter().rows_are_contiguous());
+            let n = cfg.num_bins;
+            // A handful of shapes: uniform, point masses at the edges,
+            // and a sparse comb (exercises the zero-skip).
+            let mut shapes: Vec<Vec<f64>> = vec![vec![1.0 / n as f64; n]];
+            for idx in [0, 1, n / 2, n - 1] {
+                let mut d = vec![0.0; n];
+                d[idx] = 1.0;
+                shapes.push(d);
+            }
+            let mut comb = vec![0.0; n];
+            for i in (0..n).step_by(7) {
+                comb[i] = 1.0 / n.div_ceil(7) as f64;
+            }
+            shapes.push(comb);
+            for src in shapes {
+                let mut fast = vec![0.0; n];
+                let mut slow = vec![0.0; n];
+                k.evolve_into(&src, &mut fast);
+                k.evolve_into_reference(&src, &mut slow);
+                for (a, b) in fast.iter().zip(slow.iter()) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "{a} vs {b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn observe_exposed_bitwise_matches_poisson_reference() {
+        use crate::stats::poisson_ln_pmf;
+        let cfg = small();
+        let mut m = RateModel::new(cfg.clone());
+        // Mix of full-tick and censored exposures, repeats (cache hits)
+        // and switches (cache refreshes), zero and surprise observations.
+        let obs = [
+            (2.0, cfg.tick_secs()),
+            (0.0, cfg.tick_secs()),
+            (3.5, 0.013),
+            (8.0, cfg.tick_secs()),
+            (0.04, 0.020_3),
+        ];
+        for &(packets, exposure) in obs.iter().cycle().take(40) {
+            m.evolve();
+            // Reference update (the pre-hoist scalar formulation) applied
+            // to a copy of the current posterior.
+            let prior: Vec<f64> = m.distribution().to_vec();
+            let n = prior.len();
+            let mut max_ll = f64::NEG_INFINITY;
+            let lls: Vec<f64> = (0..n)
+                .map(|i| {
+                    let ll = poisson_ln_pmf(packets, cfg.bin_rate_pps(i) * exposure);
+                    max_ll = max_ll.max(ll);
+                    ll
+                })
+                .collect();
+            assert!(max_ll.is_finite());
+            let mut expect = prior;
+            for (p, &ll) in expect.iter_mut().zip(lls.iter()) {
+                *p *= (ll - max_ll).exp().max(cfg.likelihood_floor);
+            }
+            let total: f64 = expect.iter().sum();
+            for p in &mut expect {
+                *p /= total;
+            }
+            m.observe_exposed(packets, exposure);
+            for (a, b) in m.distribution().iter().zip(expect.iter()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "{a} vs {b}");
+            }
         }
     }
 

@@ -47,6 +47,21 @@ pub fn poisson_ln_pmf(k: f64, mean: f64) -> f64 {
     k * mean.ln() - mean - ln_gamma(k + 1.0)
 }
 
+/// [`poisson_ln_pmf`] with the `ln Γ(k + 1)` term supplied by the
+/// caller. The observation loop of the rate model evaluates the pmf at
+/// one fixed `k` across every rate bin; `ln_gamma` is the expensive term
+/// and depends only on `k`, so hoisting it out of that loop saves ~256
+/// Lanczos evaluations per tick. The arithmetic (`k·ln(mean) − mean −
+/// lgk1`, left to right) is exactly [`poisson_ln_pmf`]'s, so results are
+/// bit-identical when `lgk1 == ln_gamma(k + 1)`.
+pub fn poisson_ln_pmf_with_ln_gamma(k: f64, mean: f64, lgk1: f64) -> f64 {
+    assert!(k >= 0.0 && mean >= 0.0, "k={k}, mean={mean}");
+    if mean == 0.0 {
+        return if k == 0.0 { 0.0 } else { f64::NEG_INFINITY };
+    }
+    k * mean.ln() - mean - lgk1
+}
+
 /// Poisson pmf for integer `k` (used to build forecast convolution
 /// kernels).
 pub fn poisson_pmf(k: u32, mean: f64) -> f64 {

@@ -9,9 +9,14 @@ use std::ops::Deref;
 use std::sync::Arc;
 
 /// A cheaply cloneable, immutable byte buffer (a view into shared storage).
+///
+/// Backed by `Arc<Vec<u8>>` rather than `Arc<[u8]>` so that freezing a
+/// built buffer ([`BytesMut::freeze`], `From<Vec<u8>>`) moves the vector
+/// behind the `Arc` instead of re-allocating and copying its contents —
+/// packet construction is on the emulator's per-packet hot path.
 #[derive(Clone, Default)]
 pub struct Bytes {
-    data: Arc<[u8]>,
+    data: Arc<Vec<u8>>,
     start: usize,
     end: usize,
 }
@@ -62,13 +67,22 @@ impl Bytes {
     pub fn to_vec(&self) -> Vec<u8> {
         self.as_slice().to_vec()
     }
+
+    /// Mutable access to the viewed bytes, available only when this
+    /// handle is the storage's sole owner (no outstanding clones). Lets
+    /// owners patch an already-encoded buffer in place instead of
+    /// copying it out and re-allocating.
+    pub fn try_mut(&mut self) -> Option<&mut [u8]> {
+        let (start, end) = (self.start, self.end);
+        Arc::get_mut(&mut self.data).map(|d| &mut d[start..end])
+    }
 }
 
 impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Self {
         let end = v.len();
         Bytes {
-            data: v.into(),
+            data: Arc::new(v),
             start: 0,
             end,
         }
@@ -312,5 +326,24 @@ mod tests {
         let b = a.clone();
         assert_eq!(a, b);
         assert_eq!(b.len(), 1000);
+    }
+
+    #[test]
+    fn try_mut_only_when_unique() {
+        let mut a = Bytes::from(vec![1, 2, 3, 4]);
+        let b = a.clone();
+        assert!(a.try_mut().is_none(), "shared storage must refuse");
+        drop(b);
+        a.try_mut().expect("unique storage")[1] = 9;
+        assert_eq!(a.as_slice(), &[1, 9, 3, 4]);
+    }
+
+    #[test]
+    fn try_mut_respects_subview_bounds() {
+        let mut a = Bytes::from(vec![1, 2, 3, 4, 5]).slice(1..4);
+        let m = a.try_mut().expect("unique storage");
+        assert_eq!(m.len(), 3);
+        m[0] = 9;
+        assert_eq!(a.as_slice(), &[9, 3, 4]);
     }
 }
