@@ -3,7 +3,7 @@
 //! ```text
 //! reproduce <experiment> [--secs N] [--warmup N] [--seed N] [--out DIR]
 //!                        [--threads N] [--batch on|off] [--quick] [--json]
-//!                        [--cache-dir DIR] [--no-cache]
+//!                        [--cache-dir DIR] [--no-cache] [--cell-timeout SECS]
 //!                        [--shard I/N] [--merge] [--resume]
 //!                        [--bench] [--bench-baseline FILE]
 //!
@@ -23,7 +23,13 @@
 //!              queue depths x propagation delays at paper-length (17 min)
 //!              runs; defaults to --secs 1020 and is sized for --shard
 //!              workers sharing a cache directory (not part of `all`)
-//!   all        everything above except contention and soak
+//!   impair     fault-injection matrix: schemes x impairment presets
+//!              (Gilbert-Elliott burst loss, link outages/flaps, delay
+//!              jitter, packet reordering) with graceful-degradation
+//!              metrics — outage count, post-outage recovery time,
+//!              delivered fraction while degraded (--impairments trims
+//!              the preset axis; not part of `all`)
+//!   all        everything above except contention, soak, and impair
 //!
 //! flags:
 //!   --secs N     virtual seconds per run (default 300)
@@ -42,6 +48,11 @@
 //!   --cache-dir DIR  artifact cache location (default .sprout-cache,
 //!                    or the SPROUT_CACHE_DIR environment variable)
 //!   --no-cache   disable the artifact cache for this run
+//!   --cell-timeout SECS  per-cell watchdog budget (default 600): a cell
+//!                still running after SECS wall-clock seconds is
+//!                abandoned and reported as a named failure instead of
+//!                wedging the sweep; --resume re-executes only the
+//!                timed-out/failed cells
 //!   --shard I/N  execute only cells with scenario id ≡ I (mod N),
 //!                depositing results in the shared cell cache; no
 //!                figures or sweep artifacts are rendered
@@ -58,7 +69,7 @@
 //!
 //! axis flags (comma-separated lists):
 //!   --links LIST        link ids, e.g. vz-lte-down,tmo-3g-up
-//!                       (soak and contention)
+//!                       (soak, contention, and impair)
 //!   --prop-delays LIST  one-way propagation delays in ms, e.g. 10,25,50
 //!                       (soak only)
 //!   --queues LIST       queue specs: auto, droptail, codel, bytes:N
@@ -69,6 +80,10 @@
 //!                       e.g. sprout,cubic,cubic; app flows as
 //!                       skype-over-sprout ride their own tunnel
 //!                       (contention only; replaces the default workloads)
+//!   --impairments LIST  fault-injection presets, e.g. none,burst,storm
+//!                       from none, burst, outage, flap, jitter,
+//!                       reorder, storm (impair only; replaces the
+//!                       default full preset axis)
 //! ```
 //!
 //! Every experiment writes TSV artifacts plus a canonical
@@ -86,7 +101,7 @@ use sprout_bench::{
     perf, summary_table, CellCachePolicy, FlowSpec, QueueSpec, Scheme, ShardSpec,
     MAX_CONTENTION_FLOWS,
 };
-use sprout_trace::NetProfile;
+use sprout_trace::{Impairment, NetProfile, IMPAIRMENT_PRESETS};
 
 const EXPERIMENTS: &[&str] = &[
     "fig1",
@@ -98,12 +113,13 @@ const EXPERIMENTS: &[&str] = &[
     "tunnel",
     "contention",
     "soak",
+    "impair",
     "all",
 ];
 
-const USAGE: &str = "usage: reproduce <experiment> [--secs N] [--warmup N] [--seed N] [--out DIR] [--threads N] [--batch on|off] [--quick] [--json] [--cache-dir DIR] [--no-cache] [--shard I/N] [--merge] [--resume] [--bench] [--bench-baseline FILE] [--links LIST] [--prop-delays LIST] [--queues LIST] [--flows N] [--contend LIST]
-experiments: fig1 fig2 fig7 fig8 fig9 loss tunnel contention soak all (contention and soak are not part of all)
-axis flags: --links vz-lte-down,... (soak+contention) | --prop-delays 10,25,... (one-way ms, soak) | --queues auto|droptail|codel|bytes:N,... (soak) | --flows N (contention) | --contend sprout,cubic,... (contention)";
+const USAGE: &str = "usage: reproduce <experiment> [--secs N] [--warmup N] [--seed N] [--out DIR] [--threads N] [--batch on|off] [--quick] [--json] [--cache-dir DIR] [--no-cache] [--cell-timeout SECS] [--shard I/N] [--merge] [--resume] [--bench] [--bench-baseline FILE] [--links LIST] [--prop-delays LIST] [--queues LIST] [--flows N] [--contend LIST] [--impairments LIST]
+experiments: fig1 fig2 fig7 fig8 fig9 loss tunnel contention soak impair all (contention, soak, and impair are not part of all)
+axis flags: --links vz-lte-down,... (soak+contention+impair) | --prop-delays 10,25,... (one-way ms, soak) | --queues auto|droptail|codel|bytes:N,... (soak) | --flows N (contention) | --contend sprout,cubic,... (contention) | --impairments none,burst,storm,... (impair)";
 
 struct Options {
     cmd: String,
@@ -196,6 +212,16 @@ fn parse_contend(spec: &str) -> Option<Vec<FlowSpec>> {
         .then_some(flows)
 }
 
+/// Parse `--impairments`: comma-separated distinct preset names from
+/// [`IMPAIRMENT_PRESETS`], kept as `(name, spec)` pairs so artifacts can
+/// report the human-readable preset name alongside the canonical id.
+fn parse_impairments(spec: &str) -> Option<Vec<(String, Impairment)>> {
+    spec.split(',')
+        .map(|part| Impairment::preset(part).map(|imp| (part.to_string(), imp)))
+        .collect::<Option<Vec<_>>>()
+        .and_then(all_distinct)
+}
+
 fn parse_args() -> Options {
     let mut cfg = ExperimentConfig::default();
     let mut cmd: Option<String> = None;
@@ -212,6 +238,7 @@ fn parse_args() -> Options {
     let mut soak_axis_flags = false;
     let mut explicit_flows = false;
     let mut explicit_contend = false;
+    let mut explicit_impairments = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut numeric = |name: &str| -> u64 {
@@ -270,7 +297,8 @@ fn parse_args() -> Options {
             "--links" => match args.next().as_deref().and_then(parse_links) {
                 Some(links) => {
                     cfg.soak.links = links.clone();
-                    cfg.contention.links = links;
+                    cfg.contention.links = links.clone();
+                    cfg.impair.links = links;
                     links_flag = true;
                 }
                 None => usage_error(
@@ -314,6 +342,23 @@ fn parse_args() -> Options {
                     "--contend expects 2..=16 comma-separated flow specs: scheme tags (sprout, sprout-ewma, cubic, cubic-codel, reno, vegas, compound, ledbat, skype, facetime, google-hangout) or tunneled app flows like skype-over-sprout; omniscient cannot contend",
                 ),
             },
+            "--impairments" => match args.next().as_deref().and_then(parse_impairments) {
+                Some(impairments) => {
+                    cfg.impair.impairments = impairments;
+                    explicit_impairments = true;
+                }
+                None => usage_error(&format!(
+                    "--impairments expects comma-separated distinct preset names from {}",
+                    IMPAIRMENT_PRESETS.join(", ")
+                )),
+            },
+            "--cell-timeout" => {
+                let secs = numeric("--cell-timeout");
+                if secs == 0 {
+                    usage_error("--cell-timeout expects a positive number of seconds");
+                }
+                cfg.cell_timeout_secs = secs;
+            }
             "--help" | "-h" => {
                 println!("{USAGE}");
                 std::process::exit(0);
@@ -348,13 +393,18 @@ fn parse_args() -> Options {
             "--prop-delays/--queues configure the soak matrix; they require the soak experiment",
         );
     }
-    if links_flag && cmd != "soak" && cmd != "contention" {
+    if links_flag && cmd != "soak" && cmd != "contention" && cmd != "impair" {
         usage_error(
-            "--links trims the soak/contention link axis; it requires one of those experiments",
+            "--links trims the soak/contention/impair link axis; it requires one of those experiments",
         );
     }
     if (explicit_flows || explicit_contend) && cmd != "contention" {
         usage_error("--flows/--contend configure the contention matrix; they require the contention experiment");
+    }
+    if explicit_impairments && cmd != "impair" {
+        usage_error(
+            "--impairments configures the impair matrix; it requires the impair experiment",
+        );
     }
     if explicit_flows && explicit_contend {
         usage_error(
@@ -428,6 +478,7 @@ fn artifacts_of(cmd: &str) -> &'static [&'static str] {
         "tunnel" => &["tunnel"],
         "contention" => &["contention"],
         "soak" => &["soak"],
+        "impair" => &["impair"],
         "all" => &["fig1", "fig2", "fig7", "fig9", "loss", "tunnel"],
         _ => &[],
     }
@@ -621,27 +672,41 @@ fn run_shard(cfg: &ExperimentConfig, cmd: &str) -> std::io::Result<()> {
     Ok(())
 }
 
+/// A snapshot of the process-global cell-cache and cell-failure
+/// counters, taken together so `all` can attribute per-experiment deltas
+/// of both.
+type TrafficMark = (
+    sprout_cache::CacheCounters,
+    sprout_bench::CellFailureCounters,
+);
+
+fn traffic_now() -> TrafficMark {
+    (
+        sprout_bench::cell_cache_counters(),
+        sprout_bench::cell_failure_counters(),
+    )
+}
+
 /// The stable cell-cache summary line (CI greps it to assert a resumed
 /// run executed nothing). Names the experiment; single-experiment runs
 /// print it once with the process totals, and `all` prints one line per
 /// experiment (the delta since `mark`) so the traffic of each sweep is
 /// attributable, plus a final `[all]` total.
 fn print_cell_cache_line(experiment: &str) {
-    print_cell_cache_delta(experiment, sprout_cache::CacheCounters::default());
+    print_cell_cache_delta(experiment, TrafficMark::default());
 }
 
-/// Print the cell-cache traffic since `mark` under `experiment`'s name
-/// and return the current counters (the next experiment's `mark`).
-fn print_cell_cache_delta(
-    experiment: &str,
-    mark: sprout_cache::CacheCounters,
-) -> sprout_cache::CacheCounters {
-    let now = sprout_bench::cell_cache_counters();
-    let c = now.since(mark);
+/// Print the cell-cache traffic and cell failures since `mark` under
+/// `experiment`'s name and return the current counters (the next
+/// experiment's `mark`).
+fn print_cell_cache_delta(experiment: &str, mark: TrafficMark) -> TrafficMark {
+    let now = traffic_now();
+    let c = now.0.since(mark.0);
+    let f = now.1.since(mark.1);
     let (workers, batches) = sprout_bench::last_batch_layout();
     println!(
-        "cell cache [{experiment}]: {} hits, {} misses, {} stores | layout: {} workers, {} batches",
-        c.hits, c.misses, c.stores, workers, batches
+        "cell cache [{experiment}]: {} hits, {} misses, {} stores, {} quarantined | cells: {} failed, {} timed out | layout: {} workers, {} batches",
+        c.hits, c.misses, c.stores, c.quarantined, f.failed, f.timed_out, workers, batches
     );
     now
 }
@@ -823,9 +888,42 @@ fn run() -> std::io::Result<()> {
                 );
             }
         }
+        "impair" => {
+            let t0 = Instant::now();
+            let rows = figures::impair(&cfg)?;
+            println!(
+                "\n== impair: graceful degradation under injected faults ({} schemes x {} links x {} presets, {:.0?}) ==",
+                figures::IMPAIR_SCHEMES.len(),
+                cfg.impair.links.len(),
+                cfg.impair.impairments.len(),
+                t0.elapsed()
+            );
+            for r in rows {
+                let fmt_or_na = |v: f64, unit: &str| {
+                    if v.is_finite() {
+                        format!("{v:.0}{unit}")
+                    } else {
+                        "n/a".to_string()
+                    }
+                };
+                println!(
+                    "  {:44} {:>7.0} kbps  p95 {:>7.0} ms  outages {:>2}  recovery {:>8}  degraded-delivery {:>5}",
+                    r.label,
+                    r.result.throughput_kbps,
+                    r.result.p95_delay_ms,
+                    r.result.outages,
+                    fmt_or_na(r.result.recovery_ms, " ms"),
+                    if r.result.degraded_delivery.is_finite() {
+                        format!("{:.2}", r.result.degraded_delivery)
+                    } else {
+                        "n/a".to_string()
+                    }
+                );
+            }
+        }
         "all" => {
             let t0 = Instant::now();
-            let mut mark = sprout_bench::cell_cache_counters();
+            let mut mark = traffic_now();
             let r1 = figures::fig1(&cfg)?;
             println!("fig1 done: {} bins", r1.throughput_rows.len());
             mark = print_cell_cache_delta("fig1", mark);

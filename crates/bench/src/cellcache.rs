@@ -46,7 +46,14 @@ static CELL_ARTIFACT: ArtifactKind = ArtifactKind::new("cell-result", 1);
 /// v3: multi-flow contention workloads (`Workload::Contention` grows
 /// the canonical workload detail) and `SweepResult` gained the Jain's
 /// fairness field, which the cell payload now encodes.
-pub const ENGINE_VERSION: u32 = 3;
+///
+/// v4: the fault-injection layer. `Scenario` gained the `impairment`
+/// field (burst loss, outages, jitter, reordering — encoded into the
+/// canonical bytes), the per-cell seed derivation grew the
+/// `impair-data`/`impair-feedback`/`impair-outage` sub-streams, and
+/// `SchemeResult` gained the graceful-degradation metrics (`outages`,
+/// `recovery_ms`, `degraded_delivery`), which the payload now encodes.
+pub const ENGINE_VERSION: u32 = 4;
 
 /// Disk-cache traffic counters for cell results (hits mean a sweep
 /// served a whole cell without simulating it).
@@ -111,7 +118,10 @@ fn encode_result(r: &SweepResult) -> Vec<u8> {
             .f64(m.p95_delay_ms)
             .f64(m.self_inflicted_ms)
             .f64(m.omniscient_ms)
-            .f64(m.utilization);
+            .f64(m.utilization)
+            .u32(m.outages)
+            .f64(m.recovery_ms)
+            .f64(m.degraded_delivery);
     }
     w.u32(r.flows.len() as u32);
     for f in &r.flows {
@@ -156,6 +166,9 @@ fn decode_result(scenario: &Scenario, matrix_name: &str, bytes: &[u8]) -> Option
             self_inflicted_ms: r.f64()?,
             omniscient_ms: r.f64()?,
             utilization: r.f64()?,
+            outages: r.u32()?,
+            recovery_ms: r.f64()?,
+            degraded_delivery: r.f64()?,
         })
     } else {
         None
@@ -218,7 +231,12 @@ fn decode_result(scenario: &Scenario, matrix_name: &str, bytes: &[u8]) -> Option
     })
 }
 
-/// Load the cached result of one cell, if present and intact.
+/// Load the cached result of one cell, if present and intact. A payload
+/// that passed the file-level integrity checks but fails to *decode*
+/// (schema drift inside one engine version, bit rot the checksum missed)
+/// is quarantined — the entry is renamed to `*.corrupt` — and the hit is
+/// demoted to a miss, so the sweep re-executes the cell instead of
+/// failing.
 pub fn load_cell(
     matrix_name: &str,
     matrix_fingerprint: u64,
@@ -227,7 +245,12 @@ pub fn load_cell(
 ) -> Option<SweepResult> {
     let key = cell_key(matrix_name, matrix_fingerprint, scenario, master_seed);
     let payload = CELL_ARTIFACT.load(&key)?;
-    decode_result(scenario, matrix_name, &payload)
+    let decoded = decode_result(scenario, matrix_name, &payload);
+    if decoded.is_none() {
+        CELL_ARTIFACT.quarantine(&key);
+        CELL_ARTIFACT.demote_hit();
+    }
+    decoded
 }
 
 /// Persist one executed cell (best-effort; a disabled cache is a no-op).
@@ -248,6 +271,10 @@ mod tests {
     use crate::schemes::Scheme;
     use sprout_trace::{Duration, NetProfile};
 
+    /// Serializes the tests that mutate the process-global cache-dir
+    /// override (and read the process-global traffic counters).
+    static CACHE_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
     fn sample_scenario() -> Scenario {
         Scenario {
             id: 3,
@@ -261,6 +288,7 @@ mod tests {
             duration: Duration::from_secs(30),
             warmup: Duration::from_secs(5),
             series_bin: Some(Duration::from_millis(500)),
+            impairment: sprout_trace::Impairment::preset("burst").expect("known preset"),
         }
     }
 
@@ -276,6 +304,9 @@ mod tests {
                 self_inflicted_ms: 42.0,
                 omniscient_ms: 20.0,
                 utilization: 0.93,
+                outages: 2,
+                recovery_ms: 350.0,
+                degraded_delivery: f64::NAN, // NaN → null must round-trip too
             }),
             flows: vec![FlowSummary {
                 flow: 1,
@@ -338,6 +369,7 @@ mod tests {
         // Cells persisted by an older engine must be *missed* (and thus
         // re-executed by a resume/merge), never served: the key leads
         // with ENGINE_VERSION, so the bump retires every old cell.
+        let _g = CACHE_LOCK.lock().unwrap();
         let dir =
             std::env::temp_dir().join(format!("sprout-engine-version-test-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
@@ -361,6 +393,47 @@ mod tests {
             load_cell("t", fp, &r.scenario, seed).is_some(),
             "the current engine version serves its own cells"
         );
+
+        sprout_cache::reset_override();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn undecodable_payload_is_quarantined_and_demoted_to_a_miss() {
+        // A file that passes the cache's magic/checksum checks but whose
+        // payload no longer decodes (e.g. bit rot the checksum missed, or
+        // schema drift inside one engine version) must not fail the sweep:
+        // the entry is pushed aside to *.corrupt and the cell re-executes.
+        let _g = CACHE_LOCK.lock().unwrap();
+        let dir = std::env::temp_dir().join(format!(
+            "sprout-cell-quarantine-test-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        sprout_cache::set_dir(&dir);
+
+        let r = sample_result();
+        let (fp, seed) = (0xabad, 11);
+        let key = cell_key("t", fp, &r.scenario, seed);
+        assert!(
+            CELL_ARTIFACT.store(&key, b"not a cell payload"),
+            "a checksum-valid file with a garbage payload"
+        );
+
+        let before = cell_cache_counters();
+        assert!(
+            load_cell("t", fp, &r.scenario, seed).is_none(),
+            "an undecodable payload must demote to a miss"
+        );
+        let traffic = cell_cache_counters().since(before);
+        assert_eq!(
+            (traffic.hits, traffic.misses, traffic.quarantined),
+            (0, 1, 1),
+            "the file-level hit is reclassified and the entry quarantined"
+        );
+        // The poisoned name is free: a fresh store then serves normally.
+        assert!(store_cell(fp, seed, &r));
+        assert!(load_cell("t", fp, &r.scenario, seed).is_some());
 
         sprout_cache::reset_override();
         let _ = std::fs::remove_dir_all(&dir);

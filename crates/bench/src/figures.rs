@@ -14,7 +14,7 @@ use std::io::Write as _;
 use std::path::{Path, PathBuf};
 
 use sprout_baselines::VideoApp;
-use sprout_trace::{Duration, NetProfile, Trace};
+use sprout_trace::{Duration, Impairment, NetProfile, Trace, IMPAIRMENT_PRESETS};
 
 use crate::scenario::{FlowSpec, QueueSpec, ScenarioMatrix, Workload};
 use crate::schemes::{RunConfig, Scheme, SchemeResult};
@@ -57,6 +57,37 @@ impl Default for SoakAxes {
                 QueueSpec::CoDel,
             ],
             secs: Some(SOAK_SECS),
+        }
+    }
+}
+
+/// The axes of the `impair` experiment that are overridable from the
+/// CLI (`--impairments`, `--links`).
+#[derive(Clone, Debug)]
+pub struct ImpairAxes {
+    /// Fault-injection presets under test, as `(preset name, spec)`
+    /// pairs in declaration order (`--impairments none,burst,...`).
+    pub impairments: Vec<(String, Impairment)>,
+    /// Link directions under test (`--links`).
+    pub links: Vec<NetProfile>,
+}
+
+impl Default for ImpairAxes {
+    fn default() -> Self {
+        ImpairAxes {
+            impairments: IMPAIRMENT_PRESETS
+                .iter()
+                .map(|&name| {
+                    (
+                        name.to_string(),
+                        Impairment::preset(name).expect("built-in preset"),
+                    )
+                })
+                .collect(),
+            // The paper's headline downlink: the fault axes are the
+            // experiment's variable, one well-understood link is the
+            // control.
+            links: vec![NetProfile::VerizonLteDown],
         }
     }
 }
@@ -109,12 +140,16 @@ pub struct ExperimentConfig {
     pub cell_policy: CellCachePolicy,
     /// Batched cell execution (`--batch on|off`, default on).
     pub batch: bool,
+    /// Per-cell watchdog budget in seconds (`--cell-timeout SECS`).
+    pub cell_timeout_secs: u64,
     /// Output directory for TSV/JSON artifacts.
     pub out_dir: PathBuf,
     /// Axes of the `soak` experiment (CLI-overridable).
     pub soak: SoakAxes,
     /// Axes of the `contention` experiment (CLI-overridable).
     pub contention: ContentionAxes,
+    /// Axes of the `impair` experiment (CLI-overridable).
+    pub impair: ImpairAxes,
 }
 
 impl Default for ExperimentConfig {
@@ -127,9 +162,11 @@ impl Default for ExperimentConfig {
             shard: ShardSpec::FULL,
             cell_policy: CellCachePolicy::Execute,
             batch: true,
+            cell_timeout_secs: crate::sweep::DEFAULT_CELL_TIMEOUT.as_secs(),
             out_dir: PathBuf::from("results"),
             soak: SoakAxes::default(),
             contention: ContentionAxes::default(),
+            impair: ImpairAxes::default(),
         }
     }
 }
@@ -159,6 +196,7 @@ impl ExperimentConfig {
             .with_shard(self.shard)
             .with_policy(self.cell_policy)
             .with_batch(self.batch)
+            .with_cell_timeout(std::time::Duration::from_secs(self.cell_timeout_secs))
     }
 
     /// Start declaring a matrix with this config's timing.
@@ -904,6 +942,99 @@ pub fn soak(cfg: &ExperimentConfig) -> std::io::Result<Vec<SoakRow>> {
         .collect())
 }
 
+// --------------------------------------------------------------- impair
+
+/// The schemes of the `impair` experiment: both Sprout variants against
+/// the loss-based and open-loop baselines whose degradation behavior the
+/// robustness story contrasts.
+pub const IMPAIR_SCHEMES: [Scheme; 4] = [
+    Scheme::Sprout,
+    Scheme::SproutEwma,
+    Scheme::Cubic,
+    Scheme::Skype,
+];
+
+/// The fault-injection matrix: the impair scheme set crossed with the
+/// configured links and impairment presets (burst loss, outages, flaps,
+/// jitter, reordering, the all-at-once storm — plus the clean-link
+/// control).
+pub fn impair_matrix(cfg: &ExperimentConfig) -> ScenarioMatrix {
+    cfg.matrix("impair")
+        .schemes(IMPAIR_SCHEMES)
+        .links(cfg.impair.links.iter().copied())
+        .impairments(cfg.impair.impairments.iter().map(|(_, imp)| *imp))
+        .build()
+}
+
+/// One `impair` cell's summary, flattened for display.
+pub struct ImpairRow {
+    /// The cell label.
+    pub label: String,
+    /// Scheme under test.
+    pub scheme: Scheme,
+    /// Link under test.
+    pub link: NetProfile,
+    /// The impairment preset name (`none`, `burst`, ...), or the raw
+    /// impairment id when the cell's spec matches no configured preset.
+    pub impairment: String,
+    /// The cell's metrics, including the degradation columns.
+    pub result: SchemeResult,
+}
+
+/// Run the fault-injection matrix and render `impair_degradation.tsv`:
+/// one row per cell with the degradation metrics (outage count, worst
+/// post-outage recovery time, delivered fraction while degraded)
+/// alongside the standard throughput/delay columns.
+pub fn impair(cfg: &ExperimentConfig) -> std::io::Result<Vec<ImpairRow>> {
+    let matrix = impair_matrix(cfg);
+    let results = cfg.run_matrix(&matrix)?;
+
+    let preset_name = |imp: &Impairment| -> String {
+        let id = imp.id();
+        cfg.impair
+            .impairments
+            .iter()
+            .find(|(_, spec)| spec.id() == id)
+            .map(|(name, _)| name.clone())
+            .unwrap_or(id)
+    };
+
+    let mut f = cfg.tsv("impair_degradation.tsv")?;
+    writeln!(
+        f,
+        "label\tlink\tscheme\timpairment\tthroughput_kbps\tp95_delay_ms\tself_inflicted_ms\tutilization\toutages\trecovery_ms\tdegraded_delivery"
+    )?;
+    let mut rows = Vec::with_capacity(results.len());
+    for r in &results {
+        let scheme = r.scenario.workload.scheme().expect("scheme matrix");
+        let m = r.metrics.expect("scheme cells produce metrics");
+        let impairment = preset_name(&r.scenario.impairment);
+        writeln!(
+            f,
+            "{}\t{}\t{}\t{}\t{:.1}\t{:.1}\t{:.1}\t{:.4}\t{}\t{:.1}\t{:.4}",
+            r.scenario.label,
+            r.scenario.link.id(),
+            scheme.name(),
+            impairment,
+            m.throughput_kbps,
+            m.p95_delay_ms,
+            m.self_inflicted_ms,
+            m.utilization,
+            m.outages,
+            m.recovery_ms,
+            m.degraded_delivery,
+        )?;
+        rows.push(ImpairRow {
+            label: r.scenario.label.clone(),
+            scheme,
+            link: r.scenario.link,
+            impairment,
+            result: m,
+        });
+    }
+    Ok(rows)
+}
+
 // -------------------------------------------------------------- helpers
 
 /// The matrices one `reproduce` experiment runs (fig8 derives from the
@@ -919,10 +1050,11 @@ pub fn matrices_for(cfg: &ExperimentConfig, experiment: &str) -> Vec<ScenarioMat
         "tunnel" => vec![tunnel_matrix(cfg)],
         "contention" => vec![contention_matrix(cfg)],
         "soak" => vec![soak_matrix(cfg)],
+        "impair" => vec![impair_matrix(cfg)],
         // "all" deliberately excludes soak (sized for sharded, resumable
-        // execution, not a single sitting) and contention (its matrix is
-        // CLI-parameterized — axis flags would silently change what
-        // "all" means).
+        // execution, not a single sitting) and contention/impair (their
+        // matrices are CLI-parameterized — axis flags would silently
+        // change what "all" means).
         "all" => vec![
             fig1_matrix(cfg),
             fig2_matrix(cfg),

@@ -15,7 +15,7 @@
 //! replays bit-identically regardless of thread count or execution order.
 
 use sprout_baselines::VideoApp;
-use sprout_trace::{Duration, NetProfile};
+use sprout_trace::{Duration, Impairment, NetProfile};
 
 use crate::schemes::Scheme;
 
@@ -302,6 +302,9 @@ pub struct Scenario {
     /// When set, collect per-bin throughput/delay/capacity series at this
     /// bin width (Figure 1).
     pub series_bin: Option<Duration>,
+    /// Deterministic fault injection applied to both directions of the
+    /// path ([`Impairment::none()`] for the classic clean-link cell).
+    pub impairment: Impairment,
 }
 
 impl Scenario {
@@ -325,6 +328,22 @@ impl Scenario {
         w.u64(self.warmup.as_micros());
         w.bool(self.series_bin.is_some());
         w.u64(self.series_bin.map(|b| b.as_micros()).unwrap_or(0));
+        // Fault-injection components, each as presence flag + parameters
+        // (zeros when absent, mirroring the confidence/series encodings).
+        let imp = &self.impairment;
+        w.bool(imp.burst_loss.is_some());
+        w.f64(imp.burst_loss.map(|g| g.p_good_to_bad).unwrap_or(0.0));
+        w.f64(imp.burst_loss.map(|g| g.p_bad_to_good).unwrap_or(0.0));
+        w.f64(imp.burst_loss.map(|g| g.loss_good).unwrap_or(0.0));
+        w.f64(imp.burst_loss.map(|g| g.loss_bad).unwrap_or(0.0));
+        w.bool(imp.outage.is_some());
+        w.u64(imp.outage.map(|o| o.duration.as_micros()).unwrap_or(0));
+        w.u64(imp.outage.map(|o| o.spacing.as_micros()).unwrap_or(0));
+        w.bool(imp.jitter.is_some());
+        w.u64(imp.jitter.map(|j| j.max.as_micros()).unwrap_or(0));
+        w.bool(imp.reorder.is_some());
+        w.f64(imp.reorder.map(|r| r.probability).unwrap_or(0.0));
+        w.u64(imp.reorder.map(|r| r.extra_delay.as_micros()).unwrap_or(0));
     }
 
     /// Stable 64-bit fingerprint of [`Self::canonical_bytes`].
@@ -402,9 +421,9 @@ impl ScenarioMatrix {
 ///
 /// Cell order — and therefore scenario identity — is the deterministic
 /// nesting `workload × link × queue × prop_delay × loss_rate ×
-/// confidence`, each axis in its declared order. Single-valued axes add
-/// no label component, so matrices that don't use an axis keep their
-/// historical labels.
+/// confidence × impairment`, each axis in its declared order.
+/// Single-valued axes add no label component, so matrices that don't use
+/// an axis keep their historical labels.
 #[derive(Clone, Debug)]
 pub struct MatrixBuilder {
     name: String,
@@ -414,6 +433,7 @@ pub struct MatrixBuilder {
     prop_delays: Vec<Duration>,
     loss_rates: Vec<f64>,
     confidences: Vec<Option<f64>>,
+    impairments: Vec<Impairment>,
     duration: Duration,
     warmup: Duration,
     series_bin: Option<Duration>,
@@ -429,6 +449,7 @@ impl MatrixBuilder {
             prop_delays: vec![Duration::from_millis(20)],
             loss_rates: vec![0.0],
             confidences: vec![None],
+            impairments: vec![Impairment::none()],
             duration: Duration::from_secs(300),
             warmup: Duration::from_secs(60),
             series_bin: None,
@@ -520,6 +541,22 @@ impl MatrixBuilder {
         self
     }
 
+    /// Set the fault-injection axis (replaces the default
+    /// `[Impairment::none()]`). Each impairment is applied to both
+    /// directions of the path; every process it carries is validated at
+    /// declaration time so an invalid cell fails before any sweep runs.
+    pub fn impairments(mut self, impairments: impl IntoIterator<Item = Impairment>) -> Self {
+        self.impairments = impairments.into_iter().collect();
+        assert!(
+            !self.impairments.is_empty(),
+            "impairment axis must be non-empty"
+        );
+        for imp in &self.impairments {
+            imp.validate();
+        }
+        self
+    }
+
     /// Force a queue discipline for every cell (default: per-scheme Auto).
     pub fn queue(mut self, queue: QueueSpec) -> Self {
         self.queues = vec![queue];
@@ -574,7 +611,8 @@ impl MatrixBuilder {
                 * self.queues.len()
                 * self.prop_delays.len()
                 * self.loss_rates.len()
-                * self.confidences.len(),
+                * self.confidences.len()
+                * self.impairments.len(),
         );
         for workload in &self.workloads {
             for &link in &self.links {
@@ -582,43 +620,49 @@ impl MatrixBuilder {
                     for &prop_delay in &self.prop_delays {
                         for &loss_rate in &self.loss_rates {
                             for &confidence_pct in &self.confidences {
-                                let id = cells.len() as u64;
-                                let mut label = format!(
-                                    "{}/{}/{}",
-                                    self.name,
-                                    link.id(),
-                                    workload_tag(workload)
-                                );
-                                if self.queues.len() > 1 {
-                                    label.push_str(&format!("/q-{}", queue.id()));
+                                for &impairment in &self.impairments {
+                                    let id = cells.len() as u64;
+                                    let mut label = format!(
+                                        "{}/{}/{}",
+                                        self.name,
+                                        link.id(),
+                                        workload_tag(workload)
+                                    );
+                                    if self.queues.len() > 1 {
+                                        label.push_str(&format!("/q-{}", queue.id()));
+                                    }
+                                    if self.prop_delays.len() > 1 {
+                                        label.push_str(&format!(
+                                            "/d{}ms",
+                                            prop_delay.as_micros() / 1_000
+                                        ));
+                                    }
+                                    if self.loss_rates.len() > 1 {
+                                        label.push_str(&format!("/loss{:.0}", loss_rate * 100.0));
+                                    }
+                                    if let (Some(pct), true) =
+                                        (confidence_pct, self.confidences.len() > 1)
+                                    {
+                                        label.push_str(&format!("/conf{pct:.0}"));
+                                    }
+                                    if self.impairments.len() > 1 {
+                                        label.push_str(&format!("/i-{}", impairment.id()));
+                                    }
+                                    cells.push(Scenario {
+                                        id,
+                                        label,
+                                        workload: workload.clone(),
+                                        link,
+                                        queue,
+                                        prop_delay,
+                                        loss_rate,
+                                        confidence_pct,
+                                        duration: self.duration,
+                                        warmup: self.warmup,
+                                        series_bin: self.series_bin,
+                                        impairment,
+                                    });
                                 }
-                                if self.prop_delays.len() > 1 {
-                                    label.push_str(&format!(
-                                        "/d{}ms",
-                                        prop_delay.as_micros() / 1_000
-                                    ));
-                                }
-                                if self.loss_rates.len() > 1 {
-                                    label.push_str(&format!("/loss{:.0}", loss_rate * 100.0));
-                                }
-                                if let (Some(pct), true) =
-                                    (confidence_pct, self.confidences.len() > 1)
-                                {
-                                    label.push_str(&format!("/conf{pct:.0}"));
-                                }
-                                cells.push(Scenario {
-                                    id,
-                                    label,
-                                    workload: workload.clone(),
-                                    link,
-                                    queue,
-                                    prop_delay,
-                                    loss_rate,
-                                    confidence_pct,
-                                    duration: self.duration,
-                                    warmup: self.warmup,
-                                    series_bin: self.series_bin,
-                                });
                             }
                         }
                     }

@@ -7,7 +7,7 @@ use sprout_baselines::{
 };
 use sprout_core::{SproutConfig, SproutEndpoint};
 use sprout_sim::{Endpoint, SinkEndpoint};
-use sprout_trace::{Duration, Trace};
+use sprout_trace::{Duration, Impairment, Trace};
 
 /// Every transport/application evaluated in the paper, plus Reno.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -151,6 +151,17 @@ pub struct RunConfig {
     pub loss_seed_data: u64,
     /// Seed of the feedback-direction loss process.
     pub loss_seed_feedback: u64,
+    /// Fault injection applied to both directions
+    /// ([`Impairment::none()`] keeps the classic clean link).
+    pub impairment: Impairment,
+    /// Seed of the data-direction impairment processes (burst loss,
+    /// jitter, reordering).
+    pub impair_seed_data: u64,
+    /// Seed of the feedback-direction impairment processes.
+    pub impair_seed_feedback: u64,
+    /// Seed of the outage schedule, which is generated once per cell and
+    /// shared by both directions (a dead radio link is dead both ways).
+    pub outage_seed: u64,
     /// Sprout configuration (confidence sweeps override this).
     pub sprout: SproutConfig,
 }
@@ -167,6 +178,10 @@ impl RunConfig {
             loss_rate: 0.0,
             loss_seed_data: 1_111,
             loss_seed_feedback: 2_222,
+            impairment: Impairment::none(),
+            impair_seed_data: 3_333,
+            impair_seed_feedback: 4_444,
+            outage_seed: 5_555,
             sprout: SproutConfig::paper(),
         }
     }
@@ -186,6 +201,15 @@ pub struct SchemeResult {
     pub omniscient_ms: f64,
     /// Fraction of link capacity used.
     pub utilization: f64,
+    /// Injected link outages intersecting the measurement window.
+    pub outages: u32,
+    /// Worst post-outage recovery time, ms: how long after an outage
+    /// ended before delay re-entered the cell's own 95th-percentile
+    /// envelope (NaN when the window saw no completed outage).
+    pub recovery_ms: f64,
+    /// Fraction of available link capacity actually delivered while
+    /// degraded (outage + recovery intervals; NaN when never degraded).
+    pub degraded_delivery: f64,
 }
 
 impl SchemeResult {
@@ -198,6 +222,12 @@ impl SchemeResult {
             self_inflicted_ms: ms(stats.self_inflicted),
             omniscient_ms: ms(stats.omniscient_p95),
             utilization: stats.utilization,
+            outages: stats.degradation.outage_count,
+            recovery_ms: ms(stats.degradation.recovery),
+            degraded_delivery: stats
+                .degradation
+                .degraded_delivered_fraction
+                .unwrap_or(f64::NAN),
         }
     }
 }

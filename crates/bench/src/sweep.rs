@@ -26,7 +26,10 @@
 //! the cache alone, bit-identical to a single-shot run. Panicking cells
 //! are isolated per cell: survivors finish (and are cached), and the
 //! failure names every offending `scenario.id` instead of poisoning the
-//! whole sweep.
+//! whole sweep. A per-cell wall-clock watchdog
+//! ([`SweepEngine::cell_timeout`]) turns a wedged cell into the same
+//! kind of named failure: each cell runs on an abandonable thread, so a
+//! hang costs one timeout instead of the sweep.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -37,11 +40,12 @@ use sprout_baselines::{
 };
 use sprout_core::{SproutConfig, SproutEndpoint};
 use sprout_sim::{
-    direction_stats, jain_fairness_index, CoDelConfig, Endpoint, FlowId, MetricsCollector,
-    MuxEndpoint, PathConfig, QueueConfig, Simulation, DEEP_QUEUE_BYTES,
+    direction_stats, jain_fairness_index, CoDelConfig, Endpoint, FlowId, LinkImpairment,
+    MetricsCollector, MuxEndpoint, PathConfig, QueueConfig, Simulation, DEEP_QUEUE_BYTES,
 };
 use sprout_trace::{
-    derive_labeled_seed, Duration, InterarrivalHistogram, NetProfile, Timestamp, Trace,
+    derive_labeled_seed, Duration, InterarrivalHistogram, NetProfile, OutageSchedule, Timestamp,
+    Trace,
 };
 use sprout_tunnel::{TunnelEndpoint, TunnelHost};
 
@@ -163,6 +167,38 @@ static TRACES_BUILT: AtomicU64 = AtomicU64::new(0);
 static TRACES_REUSED: AtomicU64 = AtomicU64::new(0);
 static LAST_WORKERS: AtomicUsize = AtomicUsize::new(0);
 static LAST_BATCHES: AtomicUsize = AtomicUsize::new(0);
+static CELLS_PANICKED: AtomicU64 = AtomicU64::new(0);
+static CELLS_TIMED_OUT: AtomicU64 = AtomicU64::new(0);
+
+/// Cumulative process-wide counts of cells that did not finish: `failed`
+/// counts panics, `timed_out` counts watchdog kills. Like the cache
+/// counters these only ever grow; attribute them to one sweep by taking
+/// deltas with [`CellFailureCounters::since`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CellFailureCounters {
+    /// Cells whose execution panicked.
+    pub failed: u64,
+    /// Cells killed by the per-cell watchdog ([`SweepEngine::cell_timeout`]).
+    pub timed_out: u64,
+}
+
+impl CellFailureCounters {
+    /// The delta accumulated since an `earlier` snapshot.
+    pub fn since(self, earlier: Self) -> Self {
+        CellFailureCounters {
+            failed: self.failed - earlier.failed,
+            timed_out: self.timed_out - earlier.timed_out,
+        }
+    }
+}
+
+/// Process-wide cell-failure counters (cumulative).
+pub fn cell_failure_counters() -> CellFailureCounters {
+    CellFailureCounters {
+        failed: CELLS_PANICKED.load(Ordering::Relaxed),
+        timed_out: CELLS_TIMED_OUT.load(Ordering::Relaxed),
+    }
+}
 
 /// Process-wide in-memory trace amortization counters: `built` counts
 /// link-trace syntheses actually performed, `reused` counts requests
@@ -248,15 +284,20 @@ pub enum CellCachePolicy {
     Merge,
 }
 
-/// One cell that panicked during execution.
+/// One cell that panicked — or exceeded the watchdog timeout — during
+/// execution.
 #[derive(Clone, Debug)]
 pub struct CellFailure {
     /// The failing cell's stable identity.
     pub scenario_id: u64,
     /// Its human-readable label.
     pub label: String,
-    /// The panic message.
+    /// The panic message (or the watchdog's timeout description).
     pub message: String,
+    /// Whether the cell was killed by the watchdog rather than
+    /// panicking. Timed-out cells are never cached, so a `--resume`
+    /// rerun re-executes exactly them (plus any panics).
+    pub timed_out: bool,
 }
 
 /// Why a sweep could not produce a complete result set. Every variant
@@ -265,9 +306,9 @@ pub struct CellFailure {
 /// scenario ids that are only unique within one matrix.
 #[derive(Clone, Debug)]
 pub enum SweepError {
-    /// One or more cells panicked. Surviving cells finished and were
-    /// persisted to the cell cache, so a `Resume` rerun only redoes the
-    /// failures.
+    /// One or more cells panicked or exceeded the watchdog timeout.
+    /// Surviving cells finished and were persisted to the cell cache,
+    /// so a `Resume` rerun only redoes the failures.
     CellsPanicked {
         /// The matrix whose cells failed.
         matrix: String,
@@ -299,7 +340,7 @@ impl std::fmt::Display for SweepError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             SweepError::CellsPanicked { matrix, failures } => {
-                writeln!(f, "{} cell(s) of {matrix:?} panicked:", failures.len())?;
+                writeln!(f, "{} cell(s) of {matrix:?} failed:", failures.len())?;
                 for c in failures {
                     writeln!(
                         f,
@@ -350,7 +391,17 @@ pub struct SweepEngine {
     /// every cell is its own batch — the pre-batching schedule. Either
     /// way results are bit-identical; only the execution order differs.
     pub batch: bool,
+    /// Per-cell watchdog: a cell still running after this wall-clock
+    /// budget is abandoned and reported as a named [`CellFailure`]
+    /// (with [`CellFailure::timed_out`] set) instead of wedging the
+    /// sweep. The default is generous — orders of magnitude above any
+    /// real cell — so it only ever fires on genuine hangs. Timed-out
+    /// cells are never cached, so a `Resume` rerun redoes exactly them.
+    pub cell_timeout: std::time::Duration,
 }
+
+/// The default per-cell watchdog budget ([`SweepEngine::cell_timeout`]).
+pub const DEFAULT_CELL_TIMEOUT: std::time::Duration = std::time::Duration::from_secs(600);
 
 impl SweepEngine {
     /// An engine with the given master seed and automatic thread count.
@@ -361,6 +412,7 @@ impl SweepEngine {
             shard: ShardSpec::FULL,
             policy: CellCachePolicy::Execute,
             batch: true,
+            cell_timeout: DEFAULT_CELL_TIMEOUT,
         }
     }
 
@@ -385,6 +437,16 @@ impl SweepEngine {
     /// Enable or disable batched cell execution.
     pub fn with_batch(mut self, batch: bool) -> Self {
         self.batch = batch;
+        self
+    }
+
+    /// Override the per-cell watchdog budget. Must be nonzero.
+    pub fn with_cell_timeout(mut self, timeout: std::time::Duration) -> Self {
+        assert!(
+            !timeout.is_zero(),
+            "the cell watchdog timeout must be nonzero"
+        );
+        self.cell_timeout = timeout;
         self
     }
 
@@ -501,7 +563,10 @@ impl SweepEngine {
             LAST_WORKERS.store(0, Ordering::Relaxed);
             LAST_BATCHES.store(0, Ordering::Relaxed);
         } else {
-            let memo = TraceMemo::for_cells(pending.iter().map(|&k| owned[k]), self.master_seed);
+            let memo = std::sync::Arc::new(TraceMemo::for_cells(
+                pending.iter().map(|&k| owned[k]),
+                self.master_seed,
+            ));
             let groups = batch_groups(&pending, |j| owned[pending[j]], self.batch);
             let threads = self.effective_threads(groups.len());
             LAST_WORKERS.store(threads, Ordering::Relaxed);
@@ -521,17 +586,16 @@ impl SweepEngine {
                             }
                             for &j in &groups[g] {
                                 let cell = owned[pending[j]];
-                                let outcome = catch_unwind(AssertUnwindSafe(|| {
-                                    execute_with_memo(
-                                        matrix.name(),
-                                        cell,
-                                        self.master_seed,
-                                        &memo,
-                                        &mut scratch,
-                                    )
-                                }));
-                                let entry = match outcome {
-                                    Ok(result) => {
+                                let entry = match run_watchdogged(
+                                    matrix.name(),
+                                    cell,
+                                    self.master_seed,
+                                    &memo,
+                                    std::mem::take(&mut scratch),
+                                    self.cell_timeout,
+                                ) {
+                                    Ok((result, returned)) => {
+                                        scratch = returned;
                                         crate::cellcache::store_cell(
                                             matrix_fp,
                                             self.master_seed,
@@ -539,17 +603,7 @@ impl SweepEngine {
                                         );
                                         Ok(result)
                                     }
-                                    Err(payload) => {
-                                        // The arena's state is unknown
-                                        // mid-panic; start the next cell
-                                        // from a fresh one.
-                                        scratch = CellScratch::default();
-                                        Err(CellFailure {
-                                            scenario_id: cell.id,
-                                            label: cell.label.clone(),
-                                            message: panic_message(payload.as_ref()),
-                                        })
-                                    }
+                                    Err(failure) => Err(failure),
                                 };
                                 *slots[j].lock().unwrap() = Some(entry);
                             }
@@ -574,6 +628,14 @@ impl SweepEngine {
 
         if !failures.is_empty() {
             failures.sort_by_key(|f| f.scenario_id);
+            for f in &failures {
+                let counter = if f.timed_out {
+                    &CELLS_TIMED_OUT
+                } else {
+                    &CELLS_PANICKED
+                };
+                counter.fetch_add(1, Ordering::Relaxed);
+            }
             return Err(SweepError::CellsPanicked {
                 matrix: matrix.name().to_string(),
                 failures,
@@ -583,6 +645,58 @@ impl SweepEngine {
             .into_iter()
             .map(|r| r.expect("every owned cell resolved"))
             .collect())
+    }
+}
+
+/// Execute one cell on a dedicated (non-scoped) thread under a
+/// wall-clock watchdog. The cell thread owns clones of everything it
+/// needs, so a wedged cell can be *abandoned* — the worker stops
+/// waiting, reports a named timeout failure, and moves on — without
+/// wedging the sweep's scope join. On success the recycled scratch
+/// arena rides back with the result; a panic or timeout forfeits it
+/// (mid-panic state is unknown, and an abandoned thread still owns its
+/// arena), so the worker starts the next cell from a fresh one.
+fn run_watchdogged(
+    matrix: &str,
+    cell: &Scenario,
+    master_seed: u64,
+    memo: &std::sync::Arc<TraceMemo>,
+    scratch: CellScratch,
+    timeout: std::time::Duration,
+) -> Result<(SweepResult, CellScratch), CellFailure> {
+    let (tx, rx) = std::sync::mpsc::channel();
+    let name = matrix.to_string();
+    let scenario = cell.clone();
+    let memo = std::sync::Arc::clone(memo);
+    std::thread::spawn(move || {
+        let mut scratch = scratch;
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            execute_with_memo(&name, &scenario, master_seed, &memo, &mut scratch)
+        }));
+        let scratch = match &outcome {
+            Ok(_) => scratch,
+            Err(_) => CellScratch::default(),
+        };
+        // Send fails only when the watchdog already gave up on us; the
+        // late result is deliberately dropped (never cached).
+        let _ = tx.send((outcome, scratch));
+    });
+    match rx.recv_timeout(timeout) {
+        Ok((Ok(result), scratch)) => Ok((result, scratch)),
+        Ok((Err(payload), _)) => Err(CellFailure {
+            scenario_id: cell.id,
+            label: cell.label.clone(),
+            message: panic_message(payload.as_ref()),
+            timed_out: false,
+        }),
+        // Timeout — or the cell thread dying without reporting, which
+        // the per-cell catch_unwind makes unreachable in practice.
+        Err(_) => Err(CellFailure {
+            scenario_id: cell.id,
+            label: cell.label.clone(),
+            message: format!("exceeded the {}s cell watchdog timeout", timeout.as_secs()),
+            timed_out: true,
+        }),
     }
 }
 
@@ -743,6 +857,10 @@ fn execute_with_memo(
         sprout,
         loss_seed_data: derive_labeled_seed(cell_seed, "loss-data", 0),
         loss_seed_feedback: derive_labeled_seed(cell_seed, "loss-feedback", 0),
+        impairment: scenario.impairment,
+        impair_seed_data: derive_labeled_seed(cell_seed, "impair-data", 0),
+        impair_seed_feedback: derive_labeled_seed(cell_seed, "impair-feedback", 0),
+        outage_seed: derive_labeled_seed(cell_seed, "impair-outage", 0),
         ..RunConfig::new(data_trace, feedback_trace)
     };
 
@@ -803,6 +921,20 @@ fn path_configs(rc: &RunConfig, queue: ResolvedQueue) -> (PathConfig, PathConfig
         data.link.loss_seed = rc.loss_seed_data;
         feedback.link.loss_rate = rc.loss_rate;
         feedback.link.loss_seed = rc.loss_seed_feedback;
+    }
+    if !rc.impairment.is_none() {
+        // One outage schedule per cell, shared by both directions: the
+        // radio link goes dark as one. Burst loss, jitter and reordering
+        // are per-direction processes with their own seeds.
+        let outages = rc
+            .impairment
+            .outage
+            .map(|spec| OutageSchedule::generate(&spec, rc.outage_seed, rc.duration))
+            .unwrap_or_default();
+        data.link.impair =
+            LinkImpairment::from_spec(&rc.impairment, rc.impair_seed_data, outages.clone());
+        feedback.link.impair =
+            LinkImpairment::from_spec(&rc.impairment, rc.impair_seed_feedback, outages);
     }
     (data, feedback)
 }
@@ -1191,6 +1323,8 @@ pub fn result_to_json(r: &SweepResult) -> String {
     json_f64(&mut o, r.scenario.prop_delay.as_micros() as f64 / 1e3);
     o.push_str(",\"loss_rate\":");
     json_f64(&mut o, r.scenario.loss_rate);
+    o.push_str(",\"impairment\":");
+    json_str(&mut o, &r.scenario.impairment.id());
     o.push_str(",\"confidence_pct\":");
     match r.scenario.confidence_pct {
         Some(p) => json_f64(&mut o, p),
@@ -1216,6 +1350,12 @@ pub fn result_to_json(r: &SweepResult) -> String {
             json_f64(&mut o, m.omniscient_ms);
             o.push_str(",\"utilization\":");
             json_f64(&mut o, m.utilization);
+            o.push_str(",\"outages\":");
+            o.push_str(&m.outages.to_string());
+            o.push_str(",\"recovery_ms\":");
+            json_f64(&mut o, m.recovery_ms);
+            o.push_str(",\"degraded_delivery\":");
+            json_f64(&mut o, m.degraded_delivery);
             o.push('}');
         }
     }

@@ -34,6 +34,7 @@ const EXPERIMENTS: &[&str] = &[
     "tunnel",
     "contention",
     "soak",
+    "impair",
 ];
 
 const GOLDEN_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden_fingerprints.tsv");

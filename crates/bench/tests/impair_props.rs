@@ -1,0 +1,222 @@
+//! Conservation properties of the fault-injection layer, checked over
+//! randomized impairment configurations (vendored-proptest, 64 cases per
+//! property): no packet may ever be duplicated or silently vanish —
+//! every one is delivered exactly once, counted by a drop process, or
+//! still sitting in the queue; deliveries never land inside an outage
+//! window; jitter/reordering permute timestamps without touching the
+//! multiset; and a perturbed delivery never beats the opportunity that
+//! carried it. The sweep-level determinism of the same machinery is
+//! locked by `impair_identity.rs`.
+
+use proptest::option;
+use proptest::prelude::*;
+use sprout_sim::{FlowId, LinkConfig, LinkDelivery, LinkImpairment, Packet, TraceLink};
+use sprout_trace::{
+    Duration, GilbertElliott, JitterSpec, OutageSchedule, OutageSpec, ReorderSpec, Timestamp,
+    Trace, MTU_BYTES,
+};
+
+/// Packets per property case. Small enough to keep 64 cases fast, large
+/// enough for every stochastic process to fire.
+const N: u64 = 200;
+
+/// Milliseconds between both packet arrivals and delivery opportunities.
+const GAP_MS: u64 = 5;
+
+fn t(ms: u64) -> Timestamp {
+    Timestamp::from_millis(ms)
+}
+
+fn mtu_pkt(seq: u64) -> Packet {
+    Packet::opaque(FlowId::PRIMARY, seq, MTU_BYTES)
+}
+
+/// An impaired link over a dense trace: one MTU opportunity every
+/// [`GAP_MS`] for `2 * N` slots (double the offered load, so loss-free
+/// configurations always drain).
+fn impaired_link(impair: LinkImpairment) -> TraceLink {
+    let trace = Trace::from_millis((0..2 * N).map(|i| i * GAP_MS));
+    TraceLink::new(LinkConfig {
+        impair,
+        ..LinkConfig::standard(trace)
+    })
+}
+
+/// Ingress packet `i` at `i * GAP_MS`, polling `service` at every step,
+/// then flush far past the trace end so every buffered (jittered/held)
+/// delivery has come due. Returns the deliveries in emission order.
+fn drive(link: &mut TraceLink) -> Vec<LinkDelivery> {
+    let mut out = Vec::new();
+    for step in 0..2 * N {
+        if step < N {
+            link.ingress(mtu_pkt(step), t(step * GAP_MS));
+        }
+        out.extend(link.service(t(step * GAP_MS)));
+    }
+    out.extend(link.service(t(10 * N * GAP_MS)));
+    out
+}
+
+/// Build the outage schedule for a `(duration, extra spacing)` draw over
+/// the whole driven horizon. Spacing is `duration + extra`, satisfying
+/// the spacing-exceeds-duration invariant by construction.
+fn outage_schedule(dur_ms: u64, extra_ms: u64, seed: u64) -> OutageSchedule {
+    OutageSchedule::generate(
+        &OutageSpec {
+            duration: Duration::from_millis(dur_ms),
+            spacing: Duration::from_millis(dur_ms + extra_ms),
+        },
+        seed,
+        Duration::from_millis(2 * N * GAP_MS),
+    )
+}
+
+proptest! {
+    /// Under ANY combination of burst loss, outages, jitter, and
+    /// reordering, every offered packet is exactly one of: delivered
+    /// (once), dropped by a counted loss process, or still queued behind
+    /// suppressed opportunities. Nothing is duplicated, nothing vanishes
+    /// uncounted, and emission stays in time order.
+    #[test]
+    fn every_packet_is_delivered_dropped_or_queued_exactly_once(
+        seed in 0u64..1_000_000,
+        ge in option::of((0.0f64..0.3, 0.05f64..0.9, 0.0f64..1.0)),
+        outage in option::of((5u64..80, 20u64..200)),
+        jit_ms in 0u64..30,
+        ro in option::of((0.0f64..0.5, 1u64..60)),
+    ) {
+        let outages = outage
+            .map(|(dur, extra)| outage_schedule(dur, extra, seed))
+            .unwrap_or_default();
+        let mut link = impaired_link(LinkImpairment {
+            burst_loss: ge.map(|(p_gb, p_bg, loss_bad)| GilbertElliott {
+                p_good_to_bad: p_gb,
+                p_bad_to_good: p_bg,
+                loss_good: 0.0,
+                loss_bad,
+            }),
+            outages,
+            jitter: Some(JitterSpec { max: Duration::from_millis(jit_ms) }),
+            reorder: ro.map(|(probability, extra)| ReorderSpec {
+                probability,
+                extra_delay: Duration::from_millis(extra),
+            }),
+            seed,
+        });
+        let delivered = drive(&mut link);
+
+        // The flush drained the release buffer completely.
+        prop_assert_eq!(link.pending_release_packets(), 0);
+        // Conservation: delivered + dropped + still queued == offered.
+        let accounted = delivered.len() as u64
+            + link.burst_drops()
+            + link.random_drops()
+            + link.queue_drops()
+            + link.queued_packets() as u64;
+        prop_assert_eq!(accounted, N);
+        // At-most-once delivery: no sequence number appears twice.
+        let mut seqs: Vec<u64> = delivered.iter().map(|d| d.packet.seq).collect();
+        seqs.sort_unstable();
+        let before = seqs.len();
+        seqs.dedup();
+        prop_assert_eq!(seqs.len(), before);
+        // Emission order is non-decreasing in delivery time.
+        for w in delivered.windows(2) {
+            prop_assert!(w[0].at <= w[1].at);
+        }
+    }
+
+    /// With only an outage process injected, no delivery timestamp ever
+    /// falls inside a dark window, and the suppressed-opportunity counter
+    /// equals exactly the number of trace opportunities the schedule
+    /// covers — outages suppress capacity, they never drop packets.
+    #[test]
+    fn outages_suppress_exactly_the_covered_opportunities(
+        seed in 0u64..1_000_000,
+        dur_ms in 5u64..80,
+        extra_ms in 20u64..200,
+    ) {
+        let outages = outage_schedule(dur_ms, extra_ms, seed);
+        let windows = outages.windows().to_vec();
+        let covered = (0..2 * N).filter(|i| outages.is_out(t(i * GAP_MS))).count() as u64;
+        let mut link = impaired_link(LinkImpairment {
+            outages,
+            ..LinkImpairment::default()
+        });
+        let delivered = drive(&mut link);
+
+        for d in &delivered {
+            for &(start, end) in &windows {
+                prop_assert!(d.at < start || d.at >= end);
+            }
+        }
+        prop_assert_eq!(link.outage_suppressed_opportunities(), covered);
+        // No loss process ran: every packet is delivered or still queued.
+        prop_assert_eq!(delivered.len() as u64 + link.queued_packets() as u64, N);
+    }
+
+    /// Jitter and reordering are pure timestamp perturbations: the
+    /// delivered multiset is exactly the offered sequence range, each
+    /// packet once, however aggressively deliveries are held and shuffled.
+    #[test]
+    fn perturbation_preserves_the_packet_multiset(
+        seed in 0u64..1_000_000,
+        jit_ms in 0u64..30,
+        ro_prob in 0.0f64..0.8,
+        ro_extra_ms in 1u64..80,
+    ) {
+        let mut link = impaired_link(LinkImpairment {
+            jitter: Some(JitterSpec { max: Duration::from_millis(jit_ms) }),
+            reorder: Some(ReorderSpec {
+                probability: ro_prob,
+                extra_delay: Duration::from_millis(ro_extra_ms),
+            }),
+            seed,
+            ..LinkImpairment::default()
+        });
+        let delivered = drive(&mut link);
+
+        let mut seqs: Vec<u64> = delivered.iter().map(|d| d.packet.seq).collect();
+        seqs.sort_unstable();
+        prop_assert_eq!(seqs, (0..N).collect::<Vec<u64>>());
+        prop_assert_eq!(link.pending_release_packets(), 0);
+    }
+
+    /// A perturbed delivery never beats the opportunity that carried it,
+    /// and never trails it by more than the configured jitter-plus-hold
+    /// bound. (MTU packets over an MTU-per-opportunity trace map packet
+    /// `k` onto opportunity `k`, so the bracket is exact per packet.)
+    #[test]
+    fn perturbed_deliveries_stay_inside_the_jitter_hold_bracket(
+        seed in 0u64..1_000_000,
+        jit_ms in 0u64..30,
+        ro in option::of((0.0f64..0.5, 1u64..60)),
+    ) {
+        let ro_extra = ro.map(|(_, e)| e).unwrap_or(0);
+        let mut link = impaired_link(LinkImpairment {
+            jitter: Some(JitterSpec { max: Duration::from_millis(jit_ms) }),
+            reorder: ro.map(|(probability, extra)| ReorderSpec {
+                probability,
+                extra_delay: Duration::from_millis(extra),
+            }),
+            seed,
+            ..LinkImpairment::default()
+        });
+        // Offer everything up front: the FIFO then pairs packet k with
+        // opportunity k.
+        for i in 0..N {
+            link.ingress(mtu_pkt(i), t(0));
+        }
+        let delivered = link.service(t(10 * N * GAP_MS));
+
+        prop_assert_eq!(delivered.len() as u64, N);
+        for d in &delivered {
+            let opportunity = t(d.packet.seq * GAP_MS);
+            prop_assert!(d.at >= opportunity);
+            let bound = opportunity
+                + Duration::from_millis(jit_ms)
+                + Duration::from_millis(ro_extra);
+            prop_assert!(d.at <= bound);
+        }
+    }
+}

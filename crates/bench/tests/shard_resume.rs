@@ -222,6 +222,7 @@ fn poisoned_matrix() -> ScenarioMatrix {
         duration: Duration::from_secs(12),
         warmup: Duration::from_secs(2),
         series_bin: None,
+        impairment: sprout_trace::Impairment::none(),
     };
     ScenarioMatrix::from_cells(
         "poison",

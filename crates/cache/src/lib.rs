@@ -15,6 +15,13 @@
 //!   schema version, and an FNV-1a checksum over key and payload.
 //!   Corrupt, truncated, or version-mismatched files are treated as
 //!   misses; the caller rebuilds and the fresh store overwrites them.
+//! * **Quarantine.** A file that is *damaged* — bad magic, truncated,
+//!   failed checksum — is additionally renamed aside to `<name>.corrupt`
+//!   (and counted in [`CacheCounters::quarantined`]), so the evidence
+//!   survives for post-mortems while the rebuilt entry takes the
+//!   original name. Stale versions and key-hash collisions are healthy
+//!   files that merely don't match; they stay put and read as plain
+//!   misses.
 //! * **Atomicity.** Stores write to a unique temp file and `rename` into
 //!   place, so concurrent builders (threads or whole processes) racing
 //!   on the same key are harmless — last writer wins with identical
@@ -117,6 +124,9 @@ pub struct CacheCounters {
     pub misses: u64,
     /// Artifacts written to disk.
     pub stores: u64,
+    /// Damaged files renamed aside to `*.corrupt`. Every quarantine is
+    /// also a miss (the caller rebuilds either way).
+    pub quarantined: u64,
 }
 
 impl CacheCounters {
@@ -126,8 +136,23 @@ impl CacheCounters {
             hits: self.hits - earlier.hits,
             misses: self.misses - earlier.misses,
             stores: self.stores - earlier.stores,
+            quarantined: self.quarantined - earlier.quarantined,
         }
     }
+}
+
+/// What a file-level load found. Only `Corrupt` triggers quarantine:
+/// `Mismatch` files are healthy artifacts that legitimately don't serve
+/// this key (stale schema version, key-hash collision).
+enum LoadOutcome {
+    /// No file under the key's name.
+    Absent,
+    /// A healthy file that doesn't match (version or key).
+    Mismatch,
+    /// A damaged file: bad magic, truncated, or failed checksum.
+    Corrupt,
+    /// The verified payload.
+    Hit(Vec<u8>),
 }
 
 /// One kind of cached artifact (forecast tables, synthesized traces, …),
@@ -148,6 +173,7 @@ pub struct ArtifactKind {
     hits: AtomicU64,
     misses: AtomicU64,
     stores: AtomicU64,
+    quarantined: AtomicU64,
 }
 
 impl ArtifactKind {
@@ -160,6 +186,7 @@ impl ArtifactKind {
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             stores: AtomicU64::new(0),
+            quarantined: AtomicU64::new(0),
         }
     }
 
@@ -174,6 +201,7 @@ impl ArtifactKind {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             stores: self.stores.load(Ordering::Relaxed),
+            quarantined: self.quarantined.load(Ordering::Relaxed),
         }
     }
 
@@ -182,6 +210,7 @@ impl ArtifactKind {
         self.hits.store(0, Ordering::Relaxed);
         self.misses.store(0, Ordering::Relaxed);
         self.stores.store(0, Ordering::Relaxed);
+        self.quarantined.store(0, Ordering::Relaxed);
     }
 
     /// File path an artifact with `key` lives at, under `dir`.
@@ -193,57 +222,113 @@ impl ArtifactKind {
     /// Load the artifact stored under `key`. Returns the payload only if
     /// the file exists, parses, matches this kind's version, stores the
     /// identical key, and passes its checksum. `None` when the cache is
-    /// disabled (uncounted) or on any miss (counted).
+    /// disabled (uncounted) or on any miss (counted). A *damaged* file
+    /// (bad magic, truncation, checksum failure) is quarantined — renamed
+    /// aside to `*.corrupt` — before the miss is reported.
     pub fn load(&self, key: &[u8]) -> Option<Vec<u8>> {
         let dir = resolved_dir()?;
         match self.try_load(&dir, key) {
-            Some(payload) => {
+            LoadOutcome::Hit(payload) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 Some(payload)
             }
-            None => {
+            LoadOutcome::Corrupt => {
+                self.quarantine_path(&self.path_for(&dir, key));
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+            LoadOutcome::Absent | LoadOutcome::Mismatch => {
                 self.misses.fetch_add(1, Ordering::Relaxed);
                 None
             }
         }
     }
 
-    fn try_load(&self, dir: &std::path::Path, key: &[u8]) -> Option<Vec<u8>> {
-        let mut file = std::fs::File::open(self.path_for(dir, key)).ok()?;
+    fn try_load(&self, dir: &std::path::Path, key: &[u8]) -> LoadOutcome {
+        let Ok(mut file) = std::fs::File::open(self.path_for(dir, key)) else {
+            return LoadOutcome::Absent;
+        };
         let mut header = [0u8; HEADER_LEN];
-        file.read_exact(&mut header).ok()?;
+        if file.read_exact(&mut header).is_err() {
+            return LoadOutcome::Corrupt; // shorter than its own header
+        }
         if &header[0..8] != MAGIC {
-            return None;
+            return LoadOutcome::Corrupt;
         }
         let version = u32::from_le_bytes(header[8..12].try_into().unwrap());
         if version != self.version {
-            return None;
+            // A healthy file from another schema generation — stale, not
+            // damaged. Leave it alone.
+            return LoadOutcome::Mismatch;
         }
         let key_len = u32::from_le_bytes(header[12..16].try_into().unwrap()) as usize;
         let payload_len = u64::from_le_bytes(header[16..24].try_into().unwrap()) as usize;
         let checksum = u64::from_le_bytes(header[24..32].try_into().unwrap());
         if key_len != key.len() {
-            return None;
+            // Hash collision with a different key: healthy file, wrong
+            // occupant.
+            return LoadOutcome::Mismatch;
         }
         let mut body = Vec::new();
-        file.read_to_end(&mut body).ok()?;
+        if file.read_to_end(&mut body).is_err() {
+            return LoadOutcome::Corrupt;
+        }
         if body.len() != key_len + payload_len {
-            return None;
+            return LoadOutcome::Corrupt;
         }
         let (stored_key, payload) = body.split_at(key_len);
         if stored_key != key {
-            return None;
+            return LoadOutcome::Mismatch;
         }
         if fnv1a(fnv1a(FNV_OFFSET, key), payload) != checksum {
-            return None;
+            return LoadOutcome::Corrupt;
         }
-        Some(payload.to_vec())
+        LoadOutcome::Hit(payload.to_vec())
+    }
+
+    /// Quarantine the entry stored under `key`: rename it aside to
+    /// `*.corrupt` so a subsequent load misses (and a rebuild takes the
+    /// original name) while the damaged bytes survive for inspection.
+    /// For callers whose *payload decoding* fails after the file-level
+    /// integrity checks passed — their corruption detector lives above
+    /// this crate. Returns whether a file was actually moved aside.
+    pub fn quarantine(&self, key: &[u8]) -> bool {
+        let Some(dir) = resolved_dir() else {
+            return false;
+        };
+        self.quarantine_path(&self.path_for(&dir, key))
+    }
+
+    /// Reclassify one already-counted hit as a miss: for callers whose
+    /// payload *decoding* failed after [`Self::load`] reported success,
+    /// so the traffic counters reflect what the caller actually got.
+    pub fn demote_hit(&self) {
+        self.hits.fetch_sub(1, Ordering::Relaxed);
+        self.misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn quarantine_path(&self, path: &std::path::Path) -> bool {
+        let mut aside = path.as_os_str().to_owned();
+        aside.push(".corrupt");
+        if std::fs::rename(path, &aside).is_ok() {
+            self.quarantined.fetch_add(1, Ordering::Relaxed);
+            true
+        } else {
+            // Racing quarantiners: someone else already moved it. Either
+            // way the original name is free.
+            false
+        }
     }
 
     /// Store `payload` under `key`, atomically (temp file + rename).
-    /// Best-effort: IO failures and a disabled cache return `false`
-    /// without error — the artifact simply is not persisted.
+    /// Best-effort: a transient IO failure is retried once, and
+    /// persistent failures (or a disabled cache) return `false` without
+    /// error — the artifact simply is not persisted.
     pub fn store(&self, key: &[u8], payload: &[u8]) -> bool {
+        self.try_store(key, payload) || self.try_store(key, payload)
+    }
+
+    fn try_store(&self, key: &[u8], payload: &[u8]) -> bool {
         let Some(dir) = resolved_dir() else {
             return false;
         };
@@ -456,11 +541,12 @@ mod tests {
     }
 
     #[test]
-    fn corrupt_file_is_a_miss() {
+    fn corrupt_file_is_quarantined_and_reads_as_a_miss() {
         let _g = LOCK.lock().unwrap();
         let dir = temp_dir("corrupt");
         set_dir(&dir);
         static KIND: ArtifactKind = ArtifactKind::new("test-corrupt", 1);
+        KIND.reset_counters();
         assert!(KIND.store(b"k", b"good payload"));
         // Flip a payload byte on disk.
         let path = KIND.path_for(&dir, b"k");
@@ -469,9 +555,57 @@ mod tests {
         bytes[last] ^= 0xff;
         std::fs::write(&path, bytes).unwrap();
         assert_eq!(KIND.load(b"k"), None, "corrupt file must read as a miss");
-        // A fresh store overwrites and heals it.
+        // The damaged bytes were moved aside, not destroyed.
+        let mut aside = path.clone().into_os_string();
+        aside.push(".corrupt");
+        assert!(
+            std::path::Path::new(&aside).exists(),
+            "the damaged file must be renamed to *.corrupt"
+        );
+        assert!(!path.exists(), "the original name must be freed");
+        assert_eq!(KIND.counters().quarantined, 1);
+        // A fresh store reclaims the original name.
         assert!(KIND.store(b"k", b"good payload"));
         assert_eq!(KIND.load(b"k").as_deref(), Some(&b"good payload"[..]));
+        reset_override();
+    }
+
+    #[test]
+    fn explicit_quarantine_frees_the_entry() {
+        let _g = LOCK.lock().unwrap();
+        let dir = temp_dir("quarantine");
+        set_dir(&dir);
+        static KIND: ArtifactKind = ArtifactKind::new("test-quarantine", 1);
+        KIND.reset_counters();
+        assert!(KIND.store(b"k", b"looks fine at the file level"));
+        // A caller whose payload decode failed pushes the entry aside.
+        assert!(KIND.quarantine(b"k"));
+        assert_eq!(KIND.load(b"k"), None);
+        assert!(
+            !KIND.quarantine(b"k"),
+            "already quarantined: nothing to move"
+        );
+        assert_eq!(KIND.counters().quarantined, 1);
+        reset_override();
+    }
+
+    #[test]
+    fn stale_version_is_not_quarantined() {
+        let _g = LOCK.lock().unwrap();
+        let dir = temp_dir("stale-not-quarantined");
+        set_dir(&dir);
+        static V1: ArtifactKind = ArtifactKind::new("test-stale", 1);
+        static V2: ArtifactKind = ArtifactKind::new("test-stale", 2);
+        V2.reset_counters();
+        assert!(V1.store(b"k", b"v1 payload"));
+        let v2_path = V2.path_for(&dir, b"k");
+        std::fs::copy(V1.path_for(&dir, b"k"), &v2_path).unwrap();
+        assert_eq!(V2.load(b"k"), None);
+        assert!(
+            v2_path.exists(),
+            "a healthy file of another version is a plain miss, not corruption"
+        );
+        assert_eq!(V2.counters().quarantined, 0);
         reset_override();
     }
 

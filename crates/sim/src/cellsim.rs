@@ -63,11 +63,12 @@ impl DirectedPath {
     }
 
     /// The next time something happens inside this direction: a wire
-    /// arrival reaching the queue, or a trace delivery opportunity.
+    /// arrival reaching the queue, a trace delivery opportunity, or a
+    /// jittered/held delivery coming due in the link's release buffer.
     pub fn next_event(&self) -> Option<Timestamp> {
         let arrival = self.in_flight.front().map(|(t, _)| *t);
-        let opportunity = self.link.next_opportunity();
-        match (arrival, opportunity) {
+        let link_event = self.link.next_link_event();
+        match (arrival, link_event) {
             (Some(a), Some(o)) => Some(a.min(o)),
             (a, o) => a.or(o),
         }
@@ -89,7 +90,9 @@ impl DirectedPath {
     pub fn advance_into(&mut self, now: Timestamp, delivered: &mut Vec<Packet>) {
         loop {
             let next_arrival = self.in_flight.front().map(|(t, _)| *t);
-            let next_op = self.link.next_opportunity();
+            // Link events cover delivery opportunities and due releases
+            // from the jitter/reorder buffer; `service` handles both.
+            let next_op = self.link.next_link_event();
             // Pick the earliest pending event that is due.
             let arrival_due = next_arrival.map(|t| t <= now).unwrap_or(false);
             let op_due = next_op.map(|t| t <= now).unwrap_or(false);

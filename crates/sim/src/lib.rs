@@ -38,10 +38,10 @@ pub mod run;
 pub use cellsim::{DirectedPath, PathConfig};
 pub use codel::{CoDelConfig, CoDelQueue};
 pub use endpoint::{Endpoint, MuxEndpoint, SinkEndpoint};
-pub use link::{LinkConfig, LinkDelivery, QueueConfig, TraceLink};
+pub use link::{LinkConfig, LinkDelivery, LinkImpairment, QueueConfig, TraceLink};
 pub use metrics::{
-    jain_fairness_index, omniscient_delay_percentile, omniscient_p95_delay, self_inflicted_delay,
-    utilization, DeliveryRecord, MetricsCollector,
+    degradation_stats, jain_fairness_index, omniscient_delay_percentile, omniscient_p95_delay,
+    self_inflicted_delay, utilization, DegradationStats, DeliveryRecord, MetricsCollector,
 };
 pub use packet::{FlowId, Packet};
 pub use queue::{DropTail, Queue, DEEP_QUEUE_BYTES};

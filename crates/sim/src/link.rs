@@ -11,6 +11,19 @@
 //! The link optionally drops arriving packets with a fixed Bernoulli
 //! probability (tail drop), emulating shallow-buffered carriers for the
 //! §5.6 loss-resilience experiment.
+//!
+//! On top of that sits the fault-injection layer ([`LinkImpairment`]):
+//! Gilbert-Elliott burst loss gates packets at ingress alongside the
+//! Bernoulli process; a precomputed outage schedule suppresses delivery
+//! opportunities while the link is dark (queued bytes survive the
+//! outage); and a jitter/reorder perturber shifts delivery timestamps,
+//! with a release buffer that re-sorts perturbed deliveries so emission
+//! stays in non-decreasing time order. All processes are seeded from the
+//! per-cell seed, so impaired runs are exactly as deterministic as clean
+//! ones.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -18,7 +31,10 @@ use rand::{Rng, SeedableRng};
 use crate::codel::{CoDelConfig, CoDelQueue};
 use crate::packet::Packet;
 use crate::queue::{DropTail, Queue};
-use sprout_trace::{Duration, Timestamp, Trace, TraceCursor, MTU_BYTES};
+use sprout_trace::{
+    derive_seed, DeliveryPerturber, Duration, GilbertElliott, GilbertElliottProcess, Impairment,
+    JitterSpec, OutageSchedule, ReorderSpec, Timestamp, Trace, TraceCursor, MTU_BYTES,
+};
 
 /// Queue policy selection for a link.
 #[derive(Clone, Debug, Default)]
@@ -42,6 +58,48 @@ impl QueueConfig {
     }
 }
 
+/// Fault-injection processes applied at one link direction: the specs to
+/// enable, the seeds that drive them, and the (shared, precomputed)
+/// outage schedule. The default injects nothing.
+#[derive(Clone, Debug, Default)]
+pub struct LinkImpairment {
+    /// Gilbert-Elliott burst loss at packet ingress.
+    pub burst_loss: Option<GilbertElliott>,
+    /// Outage windows during which delivery opportunities are suppressed.
+    /// Shared by both directions of a path (the radio goes dark as one).
+    pub outages: OutageSchedule,
+    /// Delivery-timestamp jitter.
+    pub jitter: Option<JitterSpec>,
+    /// Probabilistic packet holding (reordering).
+    pub reorder: Option<ReorderSpec>,
+    /// Seed of this direction's impairment randomness; the burst-loss and
+    /// jitter/reorder processes each derive their own stream from it.
+    pub seed: u64,
+}
+
+impl LinkImpairment {
+    /// Realize an [`Impairment`] spec for one direction. `seed` is this
+    /// direction's impairment seed; `outages` is the path-wide schedule
+    /// (generated once per cell so both directions flap together).
+    pub fn from_spec(spec: &Impairment, seed: u64, outages: OutageSchedule) -> Self {
+        LinkImpairment {
+            burst_loss: spec.burst_loss,
+            outages,
+            jitter: spec.jitter,
+            reorder: spec.reorder,
+            seed,
+        }
+    }
+
+    /// Whether nothing is injected (the fast path).
+    pub fn is_none(&self) -> bool {
+        self.burst_loss.is_none()
+            && self.outages.is_empty()
+            && self.jitter.is_none()
+            && self.reorder.is_none()
+    }
+}
+
 /// Configuration of one direction of the emulated path.
 #[derive(Clone, Debug)]
 pub struct LinkConfig {
@@ -59,6 +117,8 @@ pub struct LinkConfig {
     /// `DirectedPath`, which delays packets by this much before they
     /// reach the queue.
     pub prop_delay: Duration,
+    /// Fault injection at this link (none by default).
+    pub impair: LinkImpairment,
 }
 
 impl LinkConfig {
@@ -71,6 +131,7 @@ impl LinkConfig {
             loss_rate: 0.0,
             loss_seed: 0,
             prop_delay: Duration::from_millis(20),
+            impair: LinkImpairment::default(),
         }
     }
 }
@@ -84,6 +145,33 @@ pub struct LinkDelivery {
     pub at: Timestamp,
 }
 
+/// A delivery waiting in the jitter/reorder release buffer. Ordered by
+/// `(release time, insertion sequence)`, so equal-time releases keep
+/// their service order and emission is globally non-decreasing.
+#[derive(Debug)]
+struct PendingDelivery {
+    at: Timestamp,
+    seq: u64,
+    packet: Packet,
+}
+
+impl PartialEq for PendingDelivery {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for PendingDelivery {}
+impl PartialOrd for PendingDelivery {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for PendingDelivery {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
 /// One direction of the cellular bottleneck.
 pub struct TraceLink {
     queue: Box<dyn Queue>,
@@ -93,7 +181,19 @@ pub struct TraceLink {
     in_service: Option<(Packet, u32)>,
     loss_rate: f64,
     rng: StdRng,
+    /// Gilbert-Elliott burst-loss chain (fault injection).
+    burst: Option<GilbertElliottProcess>,
+    /// Outage windows during which opportunities are suppressed.
+    outages: OutageSchedule,
+    /// Jitter/reorder perturber; `None` keeps the zero-cost direct path.
+    perturb: Option<DeliveryPerturber>,
+    /// Perturbed deliveries waiting for their release time (min-heap).
+    pending: BinaryHeap<Reverse<PendingDelivery>>,
+    release_seq: u64,
     random_drops: u64,
+    burst_drops: u64,
+    outage_suppressed: u64,
+    reorder_holds: u64,
     wasted_opportunities: u64,
     used_opportunities: u64,
 }
@@ -105,13 +205,24 @@ impl TraceLink {
             (0.0..=1.0).contains(&cfg.loss_rate),
             "loss rate must be a probability"
         );
+        let imp = cfg.impair;
         TraceLink {
             queue: cfg.queue.build(),
             cursor: TraceCursor::new(cfg.trace),
             in_service: None,
             loss_rate: cfg.loss_rate,
             rng: StdRng::seed_from_u64(cfg.loss_seed),
+            burst: imp
+                .burst_loss
+                .map(|ge| GilbertElliottProcess::new(ge, derive_seed(imp.seed, 0))),
+            outages: imp.outages,
+            perturb: DeliveryPerturber::new(imp.jitter, imp.reorder, derive_seed(imp.seed, 1)),
+            pending: BinaryHeap::new(),
+            release_seq: 0,
             random_drops: 0,
+            burst_drops: 0,
+            outage_suppressed: 0,
+            reorder_holds: 0,
             wasted_opportunities: 0,
             used_opportunities: 0,
         }
@@ -123,6 +234,12 @@ impl TraceLink {
             self.random_drops += 1;
             return;
         }
+        if let Some(burst) = &mut self.burst {
+            if burst.should_drop() {
+                self.burst_drops += 1;
+                return;
+            }
+        }
         self.queue.enqueue(packet, now);
     }
 
@@ -131,11 +248,33 @@ impl TraceLink {
         self.cursor.peek()
     }
 
-    /// Fire all delivery opportunities due at or before `now`, returning
-    /// the packets whose final byte crossed the link.
+    /// Earliest release time in the jitter/reorder buffer, if any.
+    pub fn next_pending_release(&self) -> Option<Timestamp> {
+        self.pending.peek().map(|Reverse(p)| p.at)
+    }
+
+    /// The next instant this link does anything on its own: a delivery
+    /// opportunity or a buffered release coming due.
+    pub fn next_link_event(&self) -> Option<Timestamp> {
+        match (self.next_opportunity(), self.next_pending_release()) {
+            (Some(o), Some(r)) => Some(o.min(r)),
+            (o, r) => o.or(r),
+        }
+    }
+
+    /// Fire all delivery opportunities due at or before `now` and release
+    /// any buffered (jittered/held) deliveries that have come due,
+    /// returning the packets whose final byte crossed the link, in
+    /// non-decreasing delivery-time order.
     pub fn service(&mut self, now: Timestamp) -> Vec<LinkDelivery> {
         let mut out = Vec::new();
         while let Some(op_time) = self.cursor.pop_due(now) {
+            if self.outages.is_out(op_time) {
+                // The link is dark: the opportunity is lost outright.
+                // Queued bytes survive and drain when the link returns.
+                self.outage_suppressed += 1;
+                continue;
+            }
             let mut budget = MTU_BYTES;
             let mut used = false;
             while budget > 0 {
@@ -150,10 +289,7 @@ impl TraceLink {
                 let need = packet.size - served;
                 if need <= budget {
                     budget -= need;
-                    out.push(LinkDelivery {
-                        packet,
-                        at: op_time,
-                    });
+                    self.emit(packet, op_time, &mut out);
                 } else {
                     self.in_service = Some((packet, served + budget));
                     budget = 0;
@@ -165,7 +301,50 @@ impl TraceLink {
                 self.wasted_opportunities += 1;
             }
         }
+        self.release_due(now, &mut out);
         out
+    }
+
+    /// Route one crossed packet to the output: directly (unimpaired), or
+    /// through the release buffer with a perturbed timestamp.
+    fn emit(&mut self, packet: Packet, op_time: Timestamp, out: &mut Vec<LinkDelivery>) {
+        match &mut self.perturb {
+            None => out.push(LinkDelivery {
+                packet,
+                at: op_time,
+            }),
+            Some(p) => {
+                let (extra, held) = p.perturb();
+                if held {
+                    self.reorder_holds += 1;
+                }
+                self.release_seq += 1;
+                self.pending.push(Reverse(PendingDelivery {
+                    at: op_time + extra,
+                    seq: self.release_seq,
+                    packet,
+                }));
+            }
+        }
+    }
+
+    /// Pop buffered deliveries whose release time has arrived. Every
+    /// opportunity consumed so far precedes `now`, and fresh holds are
+    /// never scheduled before their opportunity, so pops are globally
+    /// non-decreasing in `at`.
+    fn release_due(&mut self, now: Timestamp, out: &mut Vec<LinkDelivery>) {
+        while self
+            .pending
+            .peek()
+            .map(|Reverse(p)| p.at <= now)
+            .unwrap_or(false)
+        {
+            let Reverse(p) = self.pending.pop().unwrap();
+            out.push(LinkDelivery {
+                packet: p.packet,
+                at: p.at,
+            });
+        }
     }
 
     /// Bytes waiting at the bottleneck (including the partially-served
@@ -192,6 +371,32 @@ impl TraceLink {
     /// Packets dropped by the queue policy (DropTail overflow or CoDel).
     pub fn queue_drops(&self) -> u64 {
         self.queue.drops()
+    }
+
+    /// Packets dropped by the Gilbert-Elliott burst-loss process.
+    pub fn burst_drops(&self) -> u64 {
+        self.burst_drops
+    }
+
+    /// Delivery opportunities lost to link outages.
+    pub fn outage_suppressed_opportunities(&self) -> u64 {
+        self.outage_suppressed
+    }
+
+    /// Packets held back by the reorder process.
+    pub fn reorder_holds(&self) -> u64 {
+        self.reorder_holds
+    }
+
+    /// Packets sitting in the jitter/reorder release buffer (crossed the
+    /// link, not yet emitted).
+    pub fn pending_release_packets(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// The outage windows injected at this link (empty when unimpaired).
+    pub fn outage_windows(&self) -> &[(Timestamp, Timestamp)] {
+        self.outages.windows()
     }
 
     /// Opportunities that found an empty queue (wasted capacity).
@@ -314,6 +519,169 @@ mod tests {
             link.ingress(mtu_pkt(i), t(0));
         }
         assert_eq!(link.random_drops(), 0);
+    }
+
+    fn impaired(trace: Trace, impair: LinkImpairment) -> TraceLink {
+        TraceLink::new(LinkConfig {
+            impair,
+            ..LinkConfig::standard(trace)
+        })
+    }
+
+    #[test]
+    fn outage_suppresses_opportunities_but_keeps_queued_bytes() {
+        use sprout_trace::OutageSpec;
+        let outages = OutageSchedule::generate(
+            &OutageSpec {
+                duration: Duration::from_millis(40),
+                spacing: Duration::from_millis(100),
+            },
+            7,
+            Duration::from_millis(400),
+        );
+        let windows = outages.windows().to_vec();
+        assert!(!windows.is_empty());
+        let mut link = impaired(
+            Trace::from_millis((0..40).map(|i| i * 10)),
+            LinkImpairment {
+                outages,
+                ..LinkImpairment::default()
+            },
+        );
+        for i in 0..40 {
+            link.ingress(mtu_pkt(i), t(0));
+        }
+        let d = link.service(t(400));
+        // No delivery timestamp may fall inside an outage window.
+        for del in &d {
+            for &(start, end) in &windows {
+                assert!(
+                    del.at < start || del.at >= end,
+                    "delivery at {} inside outage [{start}, {end})",
+                    del.at
+                );
+            }
+        }
+        assert!(link.outage_suppressed_opportunities() > 0);
+        // Conservation: delivered + still queued = sent.
+        assert_eq!(d.len() + link.queued_packets(), 40);
+    }
+
+    #[test]
+    fn burst_loss_drops_in_bursts_and_is_counted() {
+        let mut link = impaired(
+            Trace::from_millis(0..4_000),
+            LinkImpairment {
+                burst_loss: Some(GilbertElliott {
+                    p_good_to_bad: 0.05,
+                    p_bad_to_good: 0.3,
+                    loss_good: 0.0,
+                    loss_bad: 1.0,
+                }),
+                seed: 11,
+                ..LinkImpairment::default()
+            },
+        );
+        for i in 0..4_000 {
+            link.ingress(mtu_pkt(i), t(i));
+        }
+        let frac = link.burst_drops() as f64 / 4_000.0;
+        let expected = 0.05 / 0.35; // stationary bad-state occupancy
+        assert!((frac - expected).abs() < 0.06, "burst drop fraction {frac}");
+        assert_eq!(link.random_drops(), 0);
+    }
+
+    #[test]
+    fn jitter_delays_but_preserves_order_and_multiset() {
+        use sprout_trace::{JitterSpec, ReorderSpec};
+        let mut link = impaired(
+            Trace::from_millis((0..200).map(|i| i * 10)),
+            LinkImpairment {
+                jitter: Some(JitterSpec {
+                    max: Duration::from_millis(8),
+                }),
+                reorder: Some(ReorderSpec {
+                    probability: 0.2,
+                    extra_delay: Duration::from_millis(50),
+                }),
+                seed: 13,
+                ..LinkImpairment::default()
+            },
+        );
+        for i in 0..200 {
+            link.ingress(mtu_pkt(i), t(i * 10));
+        }
+        let mut all = Vec::new();
+        for step in 0..=300 {
+            let batch = link.service(t(step * 10));
+            all.extend(batch);
+        }
+        // Everything eventually emits, each packet exactly once.
+        let mut seqs: Vec<u64> = all.iter().map(|d| d.packet.seq).collect();
+        seqs.sort_unstable();
+        assert_eq!(seqs, (0..200).collect::<Vec<u64>>());
+        assert_eq!(link.pending_release_packets(), 0);
+        // Emission timestamps are non-decreasing...
+        for w in all.windows(2) {
+            assert!(w[0].at <= w[1].at, "emission must stay time-ordered");
+        }
+        // ...but sequence order is genuinely perturbed (reordering).
+        assert!(link.reorder_holds() > 0);
+        let in_order: Vec<u64> = all.iter().map(|d| d.packet.seq).collect();
+        assert_ne!(in_order, (0..200).collect::<Vec<u64>>(), "some reordering");
+        // Jitter only ever delays: no delivery before its opportunity.
+        // (Opportunity i fires at 10i ms and serves at most one MTU, so
+        // packet k crosses no earlier than opportunity k.)
+        for d in &all {
+            assert!(d.at >= t(d.packet.seq * 10));
+        }
+    }
+
+    #[test]
+    fn impaired_link_is_deterministic_per_seed() {
+        use sprout_trace::{JitterSpec, OutageSpec, ReorderSpec};
+        let run = |seed: u64| -> Vec<(u64, u64)> {
+            let outages = OutageSchedule::generate(
+                &OutageSpec {
+                    duration: Duration::from_millis(30),
+                    spacing: Duration::from_millis(200),
+                },
+                seed,
+                Duration::from_secs(2),
+            );
+            let mut link = impaired(
+                Trace::from_millis(0..2_000),
+                LinkImpairment {
+                    burst_loss: Some(GilbertElliott {
+                        p_good_to_bad: 0.02,
+                        p_bad_to_good: 0.2,
+                        loss_good: 0.0,
+                        loss_bad: 0.8,
+                    }),
+                    outages,
+                    jitter: Some(JitterSpec {
+                        max: Duration::from_millis(5),
+                    }),
+                    reorder: Some(ReorderSpec {
+                        probability: 0.1,
+                        extra_delay: Duration::from_millis(20),
+                    }),
+                    seed,
+                },
+            );
+            let mut out = Vec::new();
+            for ms in 0..2_100 {
+                link.ingress(mtu_pkt(ms), t(ms));
+                out.extend(
+                    link.service(t(ms))
+                        .into_iter()
+                        .map(|d| (d.packet.seq, d.at.as_micros())),
+                );
+            }
+            out
+        };
+        assert_eq!(run(5), run(5), "identical seeds, identical deliveries");
+        assert_ne!(run(5), run(6), "seeds matter");
     }
 
     #[test]

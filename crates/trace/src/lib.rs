@@ -18,6 +18,7 @@
 pub mod analysis;
 pub mod fit;
 pub mod format;
+pub mod impair;
 pub mod seed;
 pub mod synth;
 pub mod time;
@@ -27,6 +28,10 @@ mod trace;
 pub use analysis::{outage_stats, summarize, InterarrivalHistogram, OutageStats, TraceSummary};
 pub use fit::{fit_link_model, FitConfig, FittedModel};
 pub use format::{load_trace, read_trace, save_trace, write_trace, TraceFileError};
+pub use impair::{
+    DeliveryPerturber, GilbertElliott, GilbertElliottProcess, Impairment, JitterSpec,
+    OutageSchedule, OutageSpec, ReorderSpec, IMPAIRMENT_PRESETS,
+};
 pub use seed::{derive_labeled_seed, derive_seed};
 pub use synth::{
     reset_trace_cache_counters, trace_cache_counters, LinkModelParams, LinkSimulator, NetProfile,
