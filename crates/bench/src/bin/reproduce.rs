@@ -29,7 +29,14 @@
 //!              metrics — outage count, post-outage recovery time,
 //!              delivered fraction while degraded (--impairments trims
 //!              the preset axis; not part of `all`)
-//!   all        everything above except contention, soak, and impair
+//!   serve      multi-session server capacity: one SproutServer drives N
+//!              independent sessions over a shared forecast table and a
+//!              shared event loop; reports per-cell delivered bytes,
+//!              per-session min/max, and Jain fairness (--sessions sets
+//!              the session-count axis, default 1,16,128,1024; defaults
+//!              to --secs 60; not part of `all`)
+//!   all        everything above except contention, soak, impair, and
+//!              serve
 //!
 //! flags:
 //!   --secs N     virtual seconds per run (default 300)
@@ -69,7 +76,7 @@
 //!
 //! axis flags (comma-separated lists):
 //!   --links LIST        link ids, e.g. vz-lte-down,tmo-3g-up
-//!                       (soak, contention, and impair)
+//!                       (soak, contention, impair, and serve)
 //!   --prop-delays LIST  one-way propagation delays in ms, e.g. 10,25,50
 //!                       (soak only)
 //!   --queues LIST       queue specs: auto, droptail, codel, bytes:N
@@ -84,6 +91,9 @@
 //!                       from none, burst, outage, flap, jitter,
 //!                       reorder, storm (impair only; replaces the
 //!                       default full preset axis)
+//!   --sessions LIST     session counts for the serve matrix, e.g.
+//!                       1,64,1024, each in 1..=4096 (serve only;
+//!                       replaces the default 1,16,128,1024 axis)
 //! ```
 //!
 //! Every experiment writes TSV artifacts plus a canonical
@@ -99,7 +109,7 @@ use std::time::Instant;
 use sprout_bench::figures::{self, ExperimentConfig};
 use sprout_bench::{
     perf, summary_table, CellCachePolicy, FlowSpec, QueueSpec, Scheme, ShardSpec,
-    MAX_CONTENTION_FLOWS,
+    MAX_CONTENTION_FLOWS, MAX_SERVE_SESSIONS,
 };
 use sprout_trace::{Impairment, NetProfile, IMPAIRMENT_PRESETS};
 
@@ -114,12 +124,13 @@ const EXPERIMENTS: &[&str] = &[
     "contention",
     "soak",
     "impair",
+    "serve",
     "all",
 ];
 
-const USAGE: &str = "usage: reproduce <experiment> [--secs N] [--warmup N] [--seed N] [--out DIR] [--threads N] [--batch on|off] [--quick] [--json] [--cache-dir DIR] [--no-cache] [--cell-timeout SECS] [--shard I/N] [--merge] [--resume] [--bench] [--bench-baseline FILE] [--links LIST] [--prop-delays LIST] [--queues LIST] [--flows N] [--contend LIST] [--impairments LIST]
-experiments: fig1 fig2 fig7 fig8 fig9 loss tunnel contention soak impair all (contention, soak, and impair are not part of all)
-axis flags: --links vz-lte-down,... (soak+contention+impair) | --prop-delays 10,25,... (one-way ms, soak) | --queues auto|droptail|codel|bytes:N,... (soak) | --flows N (contention) | --contend sprout,cubic,... (contention) | --impairments none,burst,storm,... (impair)";
+const USAGE: &str = "usage: reproduce <experiment> [--secs N] [--warmup N] [--seed N] [--out DIR] [--threads N] [--batch on|off] [--quick] [--json] [--cache-dir DIR] [--no-cache] [--cell-timeout SECS] [--shard I/N] [--merge] [--resume] [--bench] [--bench-baseline FILE] [--links LIST] [--prop-delays LIST] [--queues LIST] [--flows N] [--contend LIST] [--impairments LIST] [--sessions LIST]
+experiments: fig1 fig2 fig7 fig8 fig9 loss tunnel contention soak impair serve all (contention, soak, impair, and serve are not part of all)
+axis flags: --links vz-lte-down,... (soak+contention+impair+serve) | --prop-delays 10,25,... (one-way ms, soak) | --queues auto|droptail|codel|bytes:N,... (soak) | --flows N (contention) | --contend sprout,cubic,... (contention) | --impairments none,burst,storm,... (impair) | --sessions 1,64,1024,... (serve)";
 
 struct Options {
     cmd: String,
@@ -222,6 +233,18 @@ fn parse_impairments(spec: &str) -> Option<Vec<(String, Impairment)>> {
         .and_then(all_distinct)
 }
 
+/// Parse `--sessions`: comma-separated distinct session counts, each in
+/// 1..=[`MAX_SERVE_SESSIONS`].
+fn parse_sessions(spec: &str) -> Option<Vec<u32>> {
+    spec.split(',')
+        .map(|part| match part.parse::<u32>() {
+            Ok(n) if (1..=MAX_SERVE_SESSIONS).contains(&n) => Some(n),
+            _ => None,
+        })
+        .collect::<Option<Vec<_>>>()
+        .and_then(all_distinct)
+}
+
 fn parse_args() -> Options {
     let mut cfg = ExperimentConfig::default();
     let mut cmd: Option<String> = None;
@@ -239,6 +262,7 @@ fn parse_args() -> Options {
     let mut explicit_flows = false;
     let mut explicit_contend = false;
     let mut explicit_impairments = false;
+    let mut explicit_sessions = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut numeric = |name: &str| -> u64 {
@@ -298,7 +322,8 @@ fn parse_args() -> Options {
                 Some(links) => {
                     cfg.soak.links = links.clone();
                     cfg.contention.links = links.clone();
-                    cfg.impair.links = links;
+                    cfg.impair.links = links.clone();
+                    cfg.serve.links = links;
                     links_flag = true;
                 }
                 None => usage_error(
@@ -352,6 +377,15 @@ fn parse_args() -> Options {
                     IMPAIRMENT_PRESETS.join(", ")
                 )),
             },
+            "--sessions" => match args.next().as_deref().and_then(parse_sessions) {
+                Some(sessions) => {
+                    cfg.serve.sessions = sessions;
+                    explicit_sessions = true;
+                }
+                None => usage_error(&format!(
+                    "--sessions expects comma-separated distinct session counts, each in 1..={MAX_SERVE_SESSIONS} (e.g. 1,64,1024)"
+                )),
+            },
             "--cell-timeout" => {
                 let secs = numeric("--cell-timeout");
                 if secs == 0 {
@@ -393,9 +427,9 @@ fn parse_args() -> Options {
             "--prop-delays/--queues configure the soak matrix; they require the soak experiment",
         );
     }
-    if links_flag && cmd != "soak" && cmd != "contention" && cmd != "impair" {
+    if links_flag && cmd != "soak" && cmd != "contention" && cmd != "impair" && cmd != "serve" {
         usage_error(
-            "--links trims the soak/contention/impair link axis; it requires one of those experiments",
+            "--links trims the soak/contention/impair/serve link axis; it requires one of those experiments",
         );
     }
     if (explicit_flows || explicit_contend) && cmd != "contention" {
@@ -406,25 +440,32 @@ fn parse_args() -> Options {
             "--impairments configures the impair matrix; it requires the impair experiment",
         );
     }
+    if explicit_sessions && cmd != "serve" {
+        usage_error("--sessions configures the serve matrix; it requires the serve experiment");
+    }
     if explicit_flows && explicit_contend {
         usage_error(
             "--flows sizes the default contention workloads and --contend replaces them; pick one",
         );
     }
-    // The paper-length soak default lives on `SoakAxes::secs` (so the
-    // library builds the identical matrix); an explicit --secs or
-    // --quick hands timing back to the global knobs.
+    // The paper-length soak default (and the short serve default) live
+    // on their axes structs (so the library builds the identical
+    // matrix); an explicit --secs or --quick hands timing back to the
+    // global knobs.
     if explicit_secs || quick {
         cfg.soak.secs = None;
+        cfg.serve.secs = None;
     }
     // Validate against the run length the experiment will actually use
-    // (soak defaults to SOAK_SECS independently of --secs).
-    let effective_secs = if cmd == "soak" {
-        cfg.soak.secs.unwrap_or(cfg.run_secs)
-    } else {
-        cfg.run_secs
+    // (soak defaults to SOAK_SECS, serve to SERVE_SECS, independently of
+    // --secs). Serve derives its warmup from the run length (one sixth)
+    // instead of --warmup, so its window can never be empty.
+    let effective_secs = match cmd.as_str() {
+        "soak" => cfg.soak.secs.unwrap_or(cfg.run_secs),
+        "serve" => cfg.serve.secs.unwrap_or(cfg.run_secs),
+        _ => cfg.run_secs,
     };
-    if cfg.warmup_secs >= effective_secs {
+    if cmd != "serve" && cfg.warmup_secs >= effective_secs {
         usage_error(&format!(
             "warmup ({}s) must be shorter than the run ({}s): the measurement window would be empty",
             cfg.warmup_secs, effective_secs
@@ -479,6 +520,7 @@ fn artifacts_of(cmd: &str) -> &'static [&'static str] {
         "contention" => &["contention"],
         "soak" => &["soak"],
         "impair" => &["impair"],
+        "serve" => &["serve"],
         "all" => &["fig1", "fig2", "fig7", "fig9", "loss", "tunnel"],
         _ => &[],
     }
@@ -597,12 +639,18 @@ fn run_bench(cfg: &ExperimentConfig, baseline: Option<&std::path::Path>) -> std:
     for m in &micro {
         println!("  {:24} {:>12.0} ns/iter", m.key, m.ns_per_iter);
     }
+    let serve = perf::run_serve_capacity(cfg.seed);
+    println!(
+        "== serve capacity ({} sessions) ==\n  {:.0} sessions/sec | {:.0} bytes/session | tick p99 {:.0} ns",
+        serve.sessions, serve.sessions_per_sec, serve.per_session_bytes, serve.tick_p99_ns
+    );
 
     let report = sprout_bench::BenchReport {
         seed: cfg.seed,
         results,
         stats,
         micro,
+        serve,
     };
     let rendered = sprout_bench::bench_report_to_json(&report);
     let path = cfg.out_dir.join("BENCH_sweep.json");
@@ -737,10 +785,10 @@ fn run() -> std::io::Result<()> {
         print_cell_cache_line(&cmd);
         return r;
     }
-    let effective_secs = if cmd == "soak" {
-        cfg.soak.secs.unwrap_or(cfg.run_secs)
-    } else {
-        cfg.run_secs
+    let effective_secs = match cmd.as_str() {
+        "soak" => cfg.soak.secs.unwrap_or(cfg.run_secs),
+        "serve" => cfg.serve.secs.unwrap_or(cfg.run_secs),
+        _ => cfg.run_secs,
     };
     println!(
         "reproduce: {cmd} (runs {}s, warmup {}s, seed {}, threads {}, out {:?})",
@@ -918,6 +966,27 @@ fn run() -> std::io::Result<()> {
                     } else {
                         "n/a".to_string()
                     }
+                );
+            }
+        }
+        "serve" => {
+            let t0 = Instant::now();
+            let rows = figures::serve(&cfg)?;
+            println!(
+                "\n== serve: multi-session server capacity ({} session counts x {} links, {:.0?}) ==",
+                cfg.serve.sessions.len(),
+                cfg.serve.links.len(),
+                t0.elapsed()
+            );
+            for r in rows {
+                println!(
+                    "  {:28} {:>5} sessions  {:>12} bytes delivered  per-session {:>9}..{:>9}  Jain {:.4}",
+                    r.label,
+                    r.sessions,
+                    r.delivered_bytes,
+                    r.min_session_bytes,
+                    r.max_session_bytes,
+                    r.fairness
                 );
             }
         }

@@ -25,7 +25,7 @@ use sprout_cache::{ArtifactKind, ByteReader, ByteWriter, CacheCounters};
 
 use crate::scenario::{ResolvedQueue, Scenario};
 use crate::schemes::SchemeResult;
-use crate::sweep::{FlowSummary, InterarrivalSummary, SeriesRow, SweepResult};
+use crate::sweep::{FlowSummary, InterarrivalSummary, SeriesRow, ServeStats, SweepResult};
 
 /// On-disk persistence of sweep cells. The version covers the payload
 /// encoding only; simulation-semantics changes are keyed separately by
@@ -53,7 +53,13 @@ static CELL_ARTIFACT: ArtifactKind = ArtifactKind::new("cell-result", 1);
 /// `impair-data`/`impair-feedback`/`impair-outage` sub-streams, and
 /// `SchemeResult` gained the graceful-degradation metrics (`outages`,
 /// `recovery_ms`, `degraded_delivery`), which the payload now encodes.
-pub const ENGINE_VERSION: u32 = 4;
+///
+/// v5: the multi-session serve workload. `Workload::Serve` joined the
+/// scenario axis (new canonical workload id/detail), the per-cell seed
+/// derivation grew the per-session `session` sub-streams
+/// ([`sprout_trace::session_seed`]), and `SweepResult` gained the
+/// [`ServeStats`] capacity summary, which the payload now encodes.
+pub const ENGINE_VERSION: u32 = 5;
 
 /// Disk-cache traffic counters for cell results (hits mean a sweep
 /// served a whole cell without simulating it).
@@ -136,6 +142,14 @@ fn encode_result(r: &SweepResult) -> Vec<u8> {
             .f64(s.throughput_kbps)
             .f64(s.worst_delay_ms);
     }
+    w.bool(r.serve.is_some());
+    if let Some(s) = &r.serve {
+        w.u32(s.sessions)
+            .u64(s.delivered_bytes)
+            .u64(s.min_session_bytes)
+            .u64(s.max_session_bytes)
+            .u64(s.wire_delivered_bytes);
+    }
     w.bool(r.interarrival.is_some());
     if let Some(ia) = &r.interarrival {
         w.f64(ia.fraction_within_20ms);
@@ -195,6 +209,17 @@ fn decode_result(scenario: &Scenario, matrix_name: &str, bytes: &[u8]) -> Option
             worst_delay_ms: r.f64()?,
         });
     }
+    let serve = if r.bool()? {
+        Some(ServeStats {
+            sessions: r.u32()?,
+            delivered_bytes: r.u64()?,
+            min_session_bytes: r.u64()?,
+            max_session_bytes: r.u64()?,
+            wire_delivered_bytes: r.u64()?,
+        })
+    } else {
+        None
+    };
     let interarrival = if r.bool()? {
         let fraction_within_20ms = r.f64()?;
         let has_slope = r.bool()?;
@@ -227,6 +252,7 @@ fn decode_result(scenario: &Scenario, matrix_name: &str, bytes: &[u8]) -> Option
         fairness,
         series,
         interarrival,
+        serve,
         wall_ms: 0.0,
     })
 }
@@ -325,6 +351,13 @@ mod tests {
                 tail_slope: None,
                 samples: 7,
                 rows: vec![(0.0, 10.0, 99.0)],
+            }),
+            serve: Some(ServeStats {
+                sessions: 16,
+                delivered_bytes: 1_000_000,
+                min_session_bytes: 50_000,
+                max_session_bytes: 70_000,
+                wire_delivered_bytes: 1_200_000,
             }),
             wall_ms: 123.0,
         }

@@ -92,6 +92,44 @@ impl Default for ImpairAxes {
     }
 }
 
+/// The default run length of a `serve` cell, virtual seconds. Much
+/// shorter than the 300 s figures: a serve cell simulates `2 N` paths
+/// and `N + 1` endpoints, so at N = 1024 one minute of virtual time is
+/// already ~2000 path-minutes of work; capacity and fairness converge
+/// well before that on the slow 3G uplink the matrix defaults to.
+pub const SERVE_SECS: u64 = 60;
+
+/// The default session counts of the `serve` capacity sweep.
+pub const SERVE_SESSIONS: [u32; 4] = [1, 16, 128, 1024];
+
+/// The axes of the `serve` experiment that are overridable from the
+/// CLI (`--sessions`, `--links`).
+#[derive(Clone, Debug)]
+pub struct ServeAxes {
+    /// Session counts under test (`--sessions 1,16,128,1024`).
+    pub sessions: Vec<u32>,
+    /// Link directions under test (`--links`).
+    pub links: Vec<NetProfile>,
+    /// Serve run length override, seconds. Defaults to the short
+    /// [`SERVE_SECS`] so every serve entry point declares the identical
+    /// matrix (and cache keys); `None` inherits the global
+    /// `ExperimentConfig` timing (`--secs`/`--quick` set this).
+    pub secs: Option<u64>,
+}
+
+impl Default for ServeAxes {
+    fn default() -> Self {
+        ServeAxes {
+            sessions: SERVE_SESSIONS.to_vec(),
+            // A slow 3G uplink: per-session packet rates stay low, so
+            // the N = 1024 cell measures session-pool overhead rather
+            // than raw packet-forwarding throughput.
+            links: vec![NetProfile::TmobileUmtsUp],
+            secs: Some(SERVE_SECS),
+        }
+    }
+}
+
 /// The default number of contending flows per contention cell.
 pub const DEFAULT_CONTENTION_FLOWS: usize = 3;
 
@@ -150,6 +188,8 @@ pub struct ExperimentConfig {
     pub contention: ContentionAxes,
     /// Axes of the `impair` experiment (CLI-overridable).
     pub impair: ImpairAxes,
+    /// Axes of the `serve` experiment (CLI-overridable).
+    pub serve: ServeAxes,
 }
 
 impl Default for ExperimentConfig {
@@ -167,6 +207,7 @@ impl Default for ExperimentConfig {
             soak: SoakAxes::default(),
             contention: ContentionAxes::default(),
             impair: ImpairAxes::default(),
+            serve: ServeAxes::default(),
         }
     }
 }
@@ -1035,6 +1076,89 @@ pub fn impair(cfg: &ExperimentConfig) -> std::io::Result<Vec<ImpairRow>> {
     Ok(rows)
 }
 
+// ---------------------------------------------------------------- serve
+
+/// One `serve` cell's deterministic summary, flattened for display.
+/// (The wall-clock capacity numbers — sessions/sec, per-session heap,
+/// p99 tick latency — are *not* here: they belong to the perf harness,
+/// which re-times a serve cell on the bench host. This row is the
+/// virtual-time side: bytes delivered and fairness, bit-identical
+/// across thread counts.)
+pub struct ServeRow {
+    /// The cell label.
+    pub label: String,
+    /// Link under test.
+    pub link: NetProfile,
+    /// Sessions in the cell.
+    pub sessions: u32,
+    /// Sum of per-session uplink bytes delivered inside the
+    /// measurement window.
+    pub delivered_bytes: u64,
+    /// Smallest per-session window byte count (fairness floor).
+    pub min_session_bytes: u64,
+    /// Largest per-session window byte count (fairness ceiling).
+    pub max_session_bytes: u64,
+    /// Full-run wire bytes the server accepted — equals the sum of the
+    /// per-path full-run deliveries (the conservation property).
+    pub wire_delivered_bytes: u64,
+    /// Jain's fairness index over per-session throughputs.
+    pub fairness: f64,
+}
+
+/// The `serve` matrix: the multi-session server across the configured
+/// session counts and links. Timing follows its own short default
+/// ([`SERVE_SECS`], warmup = one sixth of the run) because each cell
+/// costs ~`2 N` path-simulations of work.
+pub fn serve_matrix(cfg: &ExperimentConfig) -> ScenarioMatrix {
+    let secs = cfg.serve.secs.unwrap_or(cfg.run_secs);
+    ScenarioMatrix::builder("serve")
+        .timing(Duration::from_secs(secs), Duration::from_secs(secs / 6))
+        .serve(cfg.serve.sessions.iter().copied())
+        .links(cfg.serve.links.iter().copied())
+        .build()
+}
+
+/// Run the serve capacity matrix and render `serve_capacity.tsv` (one
+/// row per cell).
+pub fn serve(cfg: &ExperimentConfig) -> std::io::Result<Vec<ServeRow>> {
+    let matrix = serve_matrix(cfg);
+    let results = cfg.run_matrix(&matrix)?;
+
+    let mut f = cfg.tsv("serve_capacity.tsv")?;
+    writeln!(
+        f,
+        "label\tlink\tsessions\tdelivered_bytes\tmin_session_bytes\tmax_session_bytes\twire_delivered_bytes\tjain_fairness"
+    )?;
+    let mut rows = Vec::with_capacity(results.len());
+    for r in &results {
+        let s = r.serve.expect("serve cells produce serve stats");
+        let fairness = r.fairness.expect("serve cells report fairness");
+        writeln!(
+            f,
+            "{}\t{}\t{}\t{}\t{}\t{}\t{}\t{:.4}",
+            r.scenario.label,
+            r.scenario.link.id(),
+            s.sessions,
+            s.delivered_bytes,
+            s.min_session_bytes,
+            s.max_session_bytes,
+            s.wire_delivered_bytes,
+            fairness,
+        )?;
+        rows.push(ServeRow {
+            label: r.scenario.label.clone(),
+            link: r.scenario.link,
+            sessions: s.sessions,
+            delivered_bytes: s.delivered_bytes,
+            min_session_bytes: s.min_session_bytes,
+            max_session_bytes: s.max_session_bytes,
+            wire_delivered_bytes: s.wire_delivered_bytes,
+            fairness,
+        });
+    }
+    Ok(rows)
+}
+
 // -------------------------------------------------------------- helpers
 
 /// The matrices one `reproduce` experiment runs (fig8 derives from the
@@ -1051,10 +1175,11 @@ pub fn matrices_for(cfg: &ExperimentConfig, experiment: &str) -> Vec<ScenarioMat
         "contention" => vec![contention_matrix(cfg)],
         "soak" => vec![soak_matrix(cfg)],
         "impair" => vec![impair_matrix(cfg)],
+        "serve" => vec![serve_matrix(cfg)],
         // "all" deliberately excludes soak (sized for sharded, resumable
-        // execution, not a single sitting) and contention/impair (their
-        // matrices are CLI-parameterized — axis flags would silently
-        // change what "all" means).
+        // execution, not a single sitting) and contention/impair/serve
+        // (their matrices are CLI-parameterized — axis flags would
+        // silently change what "all" means).
         "all" => vec![
             fig1_matrix(cfg),
             fig2_matrix(cfg),

@@ -21,20 +21,24 @@ pub mod sweep;
 pub use cellcache::{cell_cache_counters, reset_cell_cache_counters, ENGINE_VERSION};
 pub use figures::{
     contention, contention_matrix, default_contention_workloads, fig1, fig2, fig7, fig8, fig9,
-    impair, impair_matrix, loss_table, soak, soak_matrix, summary_table, tunnel_comparison,
-    ContentionAxes, ContentionRow, ExperimentConfig, Fig7Results, ImpairAxes, ImpairRow, SoakAxes,
-    DEFAULT_CONTENTION_FLOWS, SHALLOW_QUEUE_BYTES, SOAK_SECS,
+    impair, impair_matrix, loss_table, serve, serve_matrix, soak, soak_matrix, summary_table,
+    tunnel_comparison, ContentionAxes, ContentionRow, ExperimentConfig, Fig7Results, ImpairAxes,
+    ImpairRow, ServeAxes, ServeRow, SoakAxes, DEFAULT_CONTENTION_FLOWS, SERVE_SECS, SERVE_SESSIONS,
+    SHALLOW_QUEUE_BYTES, SOAK_SECS,
 };
-pub use perf::{bench_report_to_json, check_regression, missing_keys, BenchReport, MicroBench};
+pub use perf::{
+    bench_report_to_json, check_regression, missing_keys, run_serve_capacity, BenchReport,
+    MicroBench, ServeCapacity,
+};
 pub use scenario::{
     FlowSpec, MatrixBuilder, QueueSpec, ResolvedQueue, Scenario, ScenarioMatrix, Workload,
-    MAX_CONTENTION_FLOWS,
+    MAX_CONTENTION_FLOWS, MAX_SERVE_SESSIONS,
 };
 pub use schemes::{build_endpoints, run_scheme, RunConfig, Scheme, SchemeResult};
 pub use sprout_baselines::VideoApp;
 pub use sweep::{
     cell_failure_counters, last_batch_layout, sweep_to_json, trace_memory_counters, write_json,
     BatchStats, CellCachePolicy, CellFailure, CellFailureCounters, CellScratch, FlowSummary,
-    InterarrivalSummary, SeriesRow, ShardSpec, SweepEngine, SweepError, SweepResult, SweepStats,
-    DEFAULT_CELL_TIMEOUT,
+    InterarrivalSummary, SeriesRow, ServeStats, ShardSpec, SweepEngine, SweepError, SweepResult,
+    SweepStats, DEFAULT_CELL_TIMEOUT,
 };

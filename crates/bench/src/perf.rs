@@ -18,12 +18,16 @@
 
 use std::time::Instant;
 
-use sprout_core::{ForecastScratch, ForecastTables, RateModel, SproutConfig, TransitionKernel};
-use sprout_trace::NetProfile;
+use sprout_core::{
+    ForecastScratch, ForecastTables, RateModel, SproutConfig, SproutEndpoint, TransitionKernel,
+};
+use sprout_sim::{FlowId, PathConfig, ServeSim};
+use sprout_trace::{Duration, NetProfile, Timestamp};
+use sprout_tunnel::SproutServer;
 
 use crate::figures::ExperimentConfig;
-use crate::scenario::ScenarioMatrix;
-use crate::schemes::Scheme;
+use crate::scenario::{paired, ScenarioMatrix};
+use crate::schemes::{RunConfig, Scheme};
 use crate::sweep::{json_f64, json_str, SweepResult, SweepStats};
 
 /// One microbenchmark sample.
@@ -33,6 +37,26 @@ pub struct MicroBench {
     pub key: &'static str,
     /// Nanoseconds per iteration.
     pub ns_per_iter: f64,
+}
+
+/// Wall-clock capacity of the multi-session serve loop, measured by
+/// [`run_serve_capacity`]. These are host-dependent timing numbers (like
+/// the microbenchmarks), deliberately separate from the deterministic
+/// virtual-time [`ServeStats`](crate::sweep::ServeStats) the serve sweep
+/// records.
+#[derive(Clone, Copy, Debug)]
+pub struct ServeCapacity {
+    /// Sessions the probe drove concurrently.
+    pub sessions: u32,
+    /// Real-time serving capacity: `sessions × virtual seconds / wall
+    /// seconds` — how many sessions this host could drive at 1× speed.
+    pub sessions_per_sec: f64,
+    /// Approximate per-session heap bytes of the session pool (the
+    /// shared forecast table amortized away).
+    pub per_session_bytes: f64,
+    /// 99th-percentile wall time of one 20 ms event-loop tick across all
+    /// sessions, nanoseconds.
+    pub tick_p99_ns: f64,
 }
 
 /// A full `--bench` run: the sweep's results and stats plus the
@@ -47,6 +71,8 @@ pub struct BenchReport {
     pub stats: SweepStats,
     /// Hot-path microbenchmarks.
     pub micro: Vec<MicroBench>,
+    /// Multi-session serve-loop capacity probe.
+    pub serve: ServeCapacity,
 }
 
 impl BenchReport {
@@ -140,6 +166,67 @@ pub fn run_micro_benches() -> Vec<MicroBench> {
     ]
 }
 
+/// Sessions the serve capacity probe drives: large enough that shared
+/// state and the O(due) event loop dominate, small enough for CI.
+pub const CAPACITY_SESSIONS: u32 = 128;
+
+/// Virtual seconds the serve capacity probe simulates.
+const CAPACITY_SECS: u64 = 10;
+
+/// Time the multi-session serve loop: [`CAPACITY_SESSIONS`] saturating
+/// Sprout sessions on the T-Mobile 3G uplink, stepped in 20 ms virtual
+/// ticks so each `run_until` call is one "tick" of the shared event
+/// loop. Wall-clock only — the deterministic serve results come from the
+/// `serve` sweep matrix.
+pub fn run_serve_capacity(seed: u64) -> ServeCapacity {
+    let sessions = CAPACITY_SESSIONS;
+    let duration = Duration::from_secs(CAPACITY_SECS);
+    let link = NetProfile::TmobileUmtsUp;
+    let rc = RunConfig {
+        duration,
+        warmup: Duration::ZERO,
+        ..RunConfig::new(
+            link.generate(duration, seed),
+            paired(link).generate(duration, seed),
+        )
+    };
+    let mut server = SproutServer::new(rc.sprout.clone(), rc.serve_seed);
+    for i in 0..sessions {
+        server.add_session(i + 1);
+    }
+    let per_session_bytes = server.pool().approx_session_bytes() as f64;
+    let mut sim = ServeSim::new(server);
+    for i in 0..sessions {
+        let up = PathConfig::standard(rc.data_trace.clone()).with_prop_delay(rc.prop_delay);
+        let down = PathConfig::standard(rc.feedback_trace.clone()).with_prop_delay(rc.prop_delay);
+        let mut client = SproutEndpoint::new_ewma(rc.sprout.clone());
+        client.set_saturating();
+        client.set_flow(FlowId(i + 1));
+        sim.add_session(FlowId(i + 1), client, up, down);
+    }
+
+    let end = Timestamp::ZERO + duration;
+    let tick = Duration::from_millis(20);
+    let mut samples = Vec::with_capacity((CAPACITY_SECS * 50) as usize + 1);
+    let t0 = Instant::now();
+    let mut now = Timestamp::ZERO;
+    while now < end {
+        now = (now + tick).min(end);
+        let s = Instant::now();
+        sim.run_until(now);
+        samples.push(s.elapsed().as_nanos() as f64);
+    }
+    let wall_s = t0.elapsed().as_secs_f64().max(1e-9);
+    samples.sort_by(f64::total_cmp);
+    let tick_p99_ns = samples[(samples.len() - 1) * 99 / 100];
+    ServeCapacity {
+        sessions,
+        sessions_per_sec: sessions as f64 * CAPACITY_SECS as f64 / wall_s,
+        per_session_bytes,
+        tick_p99_ns,
+    }
+}
+
 /// Render a bench report as one stable-key-order JSON document
 /// (`BENCH_sweep.json`).
 pub fn bench_report_to_json(report: &BenchReport) -> String {
@@ -205,6 +292,18 @@ pub fn bench_report_to_json(report: &BenchReport) -> String {
     cache(&mut o, report.stats.trace_cache);
     o.push_str(",\"cell\":");
     cache(&mut o, report.stats.cell_cache);
+    // Serve-loop capacity. Like cells_per_sec, sessions_per_sec gates
+    // *downward* in `check_regression`; the other fields are recorded
+    // for the trajectory.
+    let s = &report.serve;
+    o.push_str("},\"serve\":{\"sessions\":");
+    o.push_str(&s.sessions.to_string());
+    o.push_str(",\"sessions_per_sec\":");
+    json_f64(&mut o, s.sessions_per_sec);
+    o.push_str(",\"per_session_bytes\":");
+    json_f64(&mut o, s.per_session_bytes);
+    o.push_str(",\"tick_p99_ns\":");
+    json_f64(&mut o, s.tick_p99_ns);
     o.push_str("},\"micro\":{");
     for (i, m) in report.micro.iter().enumerate() {
         if i > 0 {
@@ -261,18 +360,21 @@ pub fn check_regression(report: &BenchReport, baseline_json: &str, tolerance: f6
     for m in &report.micro {
         check_timing(m.key, m.ns_per_iter);
     }
-    // Throughput gates downward: lower is worse. Baselines predating the
+    // Throughput gates downward: lower is worse. Baselines predating a
     // field are tolerated (the additive-key guard, not this check,
     // forbids dropping fields going forward).
-    if let Some(base) = find_number(baseline_json, "cells_per_sec") {
-        let current = report.cells_per_sec();
-        if base > 0.0 && current < base * (1.0 - tolerance) {
-            violations.push(format!(
-                "cells_per_sec: {current:.2} fell below baseline {base:.2} by more than {:.0}%",
-                tolerance * 100.0
-            ));
+    let mut check_throughput = |key: &str, current: f64| {
+        if let Some(base) = find_number(baseline_json, key) {
+            if base > 0.0 && current < base * (1.0 - tolerance) {
+                violations.push(format!(
+                    "{key}: {current:.2} fell below baseline {base:.2} by more than {:.0}%",
+                    tolerance * 100.0
+                ));
+            }
         }
-    }
+    };
+    check_throughput("cells_per_sec", report.cells_per_sec());
+    check_throughput("sessions_per_sec", report.serve.sessions_per_sec);
     // Determinism: each cell's throughput must equal the value the
     // baseline records under the *same label* (same seed ⇒ same
     // simulated bytes ⇒ exact f64 round trip) — a whole-document
@@ -389,6 +491,12 @@ mod tests {
                     ns_per_iter: 3000.0,
                 },
             ],
+            serve: ServeCapacity {
+                sessions: 8,
+                sessions_per_sec: 100.0,
+                per_session_bytes: 1024.0,
+                tick_p99_ns: 5000.0,
+            },
         }
     }
 
@@ -398,9 +506,22 @@ mod tests {
         let json = bench_report_to_json(&report);
         assert!(json.contains("\"cache\""));
         assert!(json.contains("\"forecast_ns\""));
+        assert!(json.contains("\"sessions_per_sec\""));
         // A report always passes against its own rendering.
         let violations = check_regression(&report, &json, 0.20);
         assert!(violations.is_empty(), "{violations:?}");
+    }
+
+    #[test]
+    fn slower_serve_capacity_fails_against_baseline() {
+        let mut report = tiny_report();
+        let json = bench_report_to_json(&report);
+        report.serve.sessions_per_sec /= 2.0;
+        let violations = check_regression(&report, &json, 0.20);
+        assert!(
+            violations.iter().any(|v| v.contains("sessions_per_sec")),
+            "{violations:?}"
+        );
     }
 
     #[test]

@@ -34,6 +34,11 @@ pub fn paired(profile: NetProfile) -> NetProfile {
     }
 }
 
+/// Most sessions one serve cell may declare: 4× the capacity sweep's top
+/// point, a guard against a typo'd `--sessions` allocating millions of
+/// endpoints in one cell.
+pub const MAX_SERVE_SESSIONS: u32 = 4096;
+
 /// Most flows one contention cell may declare. Generous for the
 /// contention regime the literature sweeps (a handful of flows per user
 /// queue), and a guard against accidentally declaring a thousand-endpoint
@@ -124,6 +129,18 @@ pub enum Workload {
         /// The contending flows, in [`sprout_sim::FlowId`] order.
         flows: Vec<FlowSpec>,
     },
+    /// N independent Sprout sessions served by *one* shared-event-loop
+    /// server process — the capacity workload. Unlike
+    /// [`Workload::Contention`], the sessions do not share a bottleneck:
+    /// each gets its own pair of directed paths (same link profile, its
+    /// own [`sprout_trace::session_seed`]-derived loss streams), and the
+    /// server side multiplexes all of them over one
+    /// [`sprout_core::SessionPool`] with a single shared forecast-table
+    /// build. Session `i` runs as `FlowId(i + 1)`.
+    Serve {
+        /// Number of concurrent sessions (≥ 1).
+        sessions: u32,
+    },
     /// Cubic bulk + Skype commingled in the carrier queue (§5.7 "direct").
     MuxDirect,
     /// Cubic bulk + Skype isolated inside a SproutTunnel session (§5.7).
@@ -140,6 +157,7 @@ impl Workload {
             Workload::Scheme(_) => "scheme",
             Workload::App { .. } => "app",
             Workload::Contention { .. } => "contention",
+            Workload::Serve { .. } => "serve",
             Workload::MuxDirect => "mux-direct",
             Workload::MuxTunneled => "mux-tunneled",
             Workload::InterarrivalProbe => "interarrival-probe",
@@ -170,6 +188,14 @@ impl Workload {
         }
     }
 
+    /// The session count, when the workload is a serve cell.
+    pub fn serve_sessions(&self) -> Option<u32> {
+        match self {
+            Workload::Serve { sessions } => Some(*sessions),
+            _ => None,
+        }
+    }
+
     /// The transport scheme whose queue preference governs
     /// [`QueueSpec::Auto`]: the scheme itself for scheme cells, the
     /// carrier for app cells. Contention cells have no single carrier —
@@ -195,6 +221,7 @@ impl Workload {
                 .map(FlowSpec::tag)
                 .collect::<Vec<_>>()
                 .join("+"),
+            Workload::Serve { sessions } => format!("n{sessions}"),
             _ => String::new(),
         }
     }
@@ -511,6 +538,20 @@ impl MatrixBuilder {
         self
     }
 
+    /// Add serve workloads: each item is the session count of one
+    /// multi-session capacity cell (the N axis of the serve experiment).
+    pub fn serve(mut self, session_counts: impl IntoIterator<Item = u32>) -> Self {
+        for sessions in session_counts {
+            assert!(sessions >= 1, "a serve cell needs at least one session");
+            assert!(
+                sessions <= MAX_SERVE_SESSIONS,
+                "a serve cell is capped at {MAX_SERVE_SESSIONS} sessions, got {sessions}"
+            );
+            self.workloads.push(Workload::Serve { sessions });
+        }
+        self
+    }
+
     /// Add arbitrary workloads (mux/tunnel/probe cells).
     pub fn workloads(mut self, workloads: impl IntoIterator<Item = Workload>) -> Self {
         self.workloads.extend(workloads);
@@ -681,6 +722,7 @@ fn workload_tag(workload: &Workload) -> String {
         Workload::Scheme(s) => s.tag(),
         Workload::App { app, over } => format!("{}-over-{}", app.id(), over.tag()),
         Workload::Contention { .. } => workload.canonical_detail(),
+        Workload::Serve { sessions } => format!("serve-n{sessions}"),
         other => other.id().to_string(),
     }
 }

@@ -162,6 +162,11 @@ pub struct RunConfig {
     /// Seed of the outage schedule, which is generated once per cell and
     /// shared by both directions (a dead radio link is dead both ways).
     pub outage_seed: u64,
+    /// Root of the per-session seed sub-streams of serve cells (the
+    /// sweep engine passes the cell seed; standalone callers get a fixed
+    /// default). Each session derives its own loss/impairment seeds via
+    /// [`sprout_trace::session_seed`].
+    pub serve_seed: u64,
     /// Sprout configuration (confidence sweeps override this).
     pub sprout: SproutConfig,
 }
@@ -182,6 +187,7 @@ impl RunConfig {
             impair_seed_data: 3_333,
             impair_seed_feedback: 4_444,
             outage_seed: 5_555,
+            serve_seed: 6_666,
             sprout: SproutConfig::paper(),
         }
     }

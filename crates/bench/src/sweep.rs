@@ -41,13 +41,13 @@ use sprout_baselines::{
 use sprout_core::{SproutConfig, SproutEndpoint};
 use sprout_sim::{
     direction_stats, jain_fairness_index, CoDelConfig, Endpoint, FlowId, LinkImpairment,
-    MetricsCollector, MuxEndpoint, PathConfig, QueueConfig, Simulation, DEEP_QUEUE_BYTES,
+    MetricsCollector, MuxEndpoint, PathConfig, QueueConfig, ServeSim, Simulation, DEEP_QUEUE_BYTES,
 };
 use sprout_trace::{
-    derive_labeled_seed, Duration, InterarrivalHistogram, NetProfile, OutageSchedule, Timestamp,
-    Trace,
+    derive_labeled_seed, session_seed, Duration, InterarrivalHistogram, NetProfile, OutageSchedule,
+    Timestamp, Trace,
 };
-use sprout_tunnel::{TunnelEndpoint, TunnelHost};
+use sprout_tunnel::{SproutServer, TunnelEndpoint, TunnelHost};
 
 use crate::scenario::{paired, FlowSpec, ResolvedQueue, Scenario, ScenarioMatrix, Workload};
 use crate::schemes::{build_endpoints, RunConfig, Scheme, SchemeResult};
@@ -94,6 +94,30 @@ pub struct InterarrivalSummary {
     pub rows: Vec<(f64, f64, f64)>,
 }
 
+/// Deterministic summary of one multi-session serve cell. Wall-clock
+/// capacity numbers (sessions/sec, per-session heap, tick latency) are
+/// deliberately *not* here — they live in the `BENCH_sweep.json`
+/// trajectory (`crate::perf`) — so this payload stays bit-identical
+/// across machines, thread counts, and batch modes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Number of concurrent sessions the cell served.
+    pub sessions: u32,
+    /// Sum of per-session uplink wire bytes delivered to the server in
+    /// the measurement window.
+    pub delivered_bytes: u64,
+    /// Smallest per-session delivered-byte count in the window (a
+    /// starving session shows up here, not hidden in the average).
+    pub min_session_bytes: u64,
+    /// Largest per-session delivered-byte count in the window.
+    pub max_session_bytes: u64,
+    /// Full-run wire bytes the event loop handed to the server, counted
+    /// by the loop itself. The conservation property: this equals the
+    /// sum over sessions of full-run per-path delivered bytes (the serve
+    /// arm asserts it on every run).
+    pub wire_delivered_bytes: u64,
+}
+
 /// The structured outcome of one scenario cell.
 #[derive(Clone, Debug, PartialEq)]
 pub struct SweepResult {
@@ -118,6 +142,8 @@ pub struct SweepResult {
     pub series: Vec<SeriesRow>,
     /// Interarrival statistics (probe cells only).
     pub interarrival: Option<InterarrivalSummary>,
+    /// Multi-session capacity summary (serve cells only).
+    pub serve: Option<ServeStats>,
     /// Wall-clock execution time of this cell, milliseconds. Measured,
     /// not simulated — deliberately **excluded** from the canonical
     /// sweep JSON (which must stay bit-identical across machines and
@@ -831,6 +857,7 @@ fn execute_with_memo(
                 samples: hist.total(),
                 rows: hist.rows().filter(|&(_, _, pct)| pct > 0.0).collect(),
             }),
+            serve: None,
             wall_ms: started.elapsed().as_secs_f64() * 1e3,
         };
     }
@@ -861,6 +888,7 @@ fn execute_with_memo(
         impair_seed_data: derive_labeled_seed(cell_seed, "impair-data", 0),
         impair_seed_feedback: derive_labeled_seed(cell_seed, "impair-feedback", 0),
         outage_seed: derive_labeled_seed(cell_seed, "impair-outage", 0),
+        serve_seed: cell_seed,
         ..RunConfig::new(data_trace, feedback_trace)
     };
 
@@ -884,6 +912,7 @@ fn execute_with_memo(
         fairness: outcome.fairness,
         series: outcome.series,
         interarrival: None,
+        serve: outcome.serve,
         wall_ms: started.elapsed().as_secs_f64() * 1e3,
     }
 }
@@ -900,6 +929,8 @@ pub struct CellOutcome {
     pub fairness: Option<f64>,
     /// Collected series (when requested).
     pub series: Vec<SeriesRow>,
+    /// Multi-session capacity summary (serve cells).
+    pub serve: Option<ServeStats>,
 }
 
 fn path_configs(rc: &RunConfig, queue: ResolvedQueue) -> (PathConfig, PathConfig) {
@@ -1211,6 +1242,69 @@ pub fn run_cell_scratch(
             reclaim(sim, scratch);
             outcome
         }
+        Workload::Serve { sessions } => {
+            // N independent Sprout sessions, each with its own path pair
+            // over the *same* link conditions (the controlled variable),
+            // served by one shared-event-loop SproutServer. Clients are
+            // the saturating data senders (EWMA forecaster — no table
+            // fetch), server halves are the Bayesian receivers, so the
+            // pool performs exactly N table lookups: 1 build + N−1
+            // reuses per link group. Session i runs as FlowId(i + 1),
+            // with per-session loss/impairment streams derived from
+            // session_seed(cell_seed, i + 1).
+            let n = *sessions;
+            let mut server = SproutServer::new(rc.sprout.clone(), rc.serve_seed);
+            for i in 0..n {
+                server.add_session(i + 1);
+            }
+            let mut sim = ServeSim::with_scratch(server, std::mem::take(&mut scratch.packets));
+            for i in 0..n {
+                let sid = i + 1;
+                let s_seed = session_seed(rc.serve_seed, sid);
+                let mut src = rc.clone();
+                src.loss_seed_data = derive_labeled_seed(s_seed, "loss-data", 0);
+                src.loss_seed_feedback = derive_labeled_seed(s_seed, "loss-feedback", 0);
+                src.impair_seed_data = derive_labeled_seed(s_seed, "impair-data", 0);
+                src.impair_seed_feedback = derive_labeled_seed(s_seed, "impair-feedback", 0);
+                src.outage_seed = derive_labeled_seed(s_seed, "impair-outage", 0);
+                let (up, down) = path_configs(&src, queue);
+                let mut client = SproutEndpoint::new_ewma(rc.sprout.clone());
+                client.set_saturating();
+                client.set_flow(FlowId(sid));
+                sim.add_session(FlowId(sid), client, up, down);
+            }
+            sim.run_until(end);
+
+            let mut window_bytes = Vec::with_capacity(n as usize);
+            let mut throughputs = Vec::with_capacity(n as usize);
+            let mut full_run_sum: u64 = 0;
+            for i in 0..n as usize {
+                let m = sim.up_path(i).metrics();
+                window_bytes.push(m.delivered_bytes(from, end, None));
+                throughputs.push(m.throughput_kbps(from, end));
+                full_run_sum += m.delivered_bytes(Timestamp::ZERO, Timestamp::FAR_FUTURE, None);
+            }
+            assert_eq!(
+                full_run_sum,
+                sim.delivered_to_server_bytes(),
+                "conservation: per-session delivered bytes must sum to the \
+                 link-level bytes the event loop handed to the server"
+            );
+            let serve = ServeStats {
+                sessions: n,
+                delivered_bytes: window_bytes.iter().sum(),
+                min_session_bytes: window_bytes.iter().copied().min().unwrap_or(0),
+                max_session_bytes: window_bytes.iter().copied().max().unwrap_or(0),
+                wire_delivered_bytes: sim.delivered_to_server_bytes(),
+            };
+            let outcome = CellOutcome {
+                fairness: jain_fairness_index(&throughputs),
+                serve: Some(serve),
+                ..CellOutcome::default()
+            };
+            scratch.packets = sim.into_scratch();
+            outcome
+        }
         Workload::MuxDirect => {
             let mut a = MuxEndpoint::new();
             for (flow, ep) in mux_clients_a() {
@@ -1393,6 +1487,23 @@ pub fn result_to_json(r: &SweepResult) -> String {
         o.push(']');
     }
     o.push(']');
+    o.push_str(",\"serve\":");
+    match &r.serve {
+        None => o.push_str("null"),
+        Some(s) => {
+            o.push_str("{\"sessions\":");
+            o.push_str(&s.sessions.to_string());
+            o.push_str(",\"delivered_bytes\":");
+            o.push_str(&s.delivered_bytes.to_string());
+            o.push_str(",\"min_session_bytes\":");
+            o.push_str(&s.min_session_bytes.to_string());
+            o.push_str(",\"max_session_bytes\":");
+            o.push_str(&s.max_session_bytes.to_string());
+            o.push_str(",\"wire_delivered_bytes\":");
+            o.push_str(&s.wire_delivered_bytes.to_string());
+            o.push('}');
+        }
+    }
     o.push_str(",\"interarrival\":");
     match &r.interarrival {
         None => o.push_str("null"),

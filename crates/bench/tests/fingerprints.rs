@@ -35,6 +35,7 @@ const EXPERIMENTS: &[&str] = &[
     "contention",
     "soak",
     "impair",
+    "serve",
 ];
 
 const GOLDEN_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden_fingerprints.tsv");

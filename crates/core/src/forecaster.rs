@@ -81,6 +81,13 @@ impl BayesianForecaster {
     pub fn model(&self) -> &RateModel {
         &self.model
     }
+
+    /// The shared table handle this forecaster computes against. Session
+    /// pools use it to assert every session of one link group shares a
+    /// single build.
+    pub fn tables(&self) -> &Arc<ForecastTables> {
+        &self.tables
+    }
 }
 
 impl Forecaster for BayesianForecaster {

@@ -46,6 +46,7 @@ pub mod forecaster;
 pub mod model;
 pub mod receiver;
 pub mod sender;
+pub mod session;
 mod simd;
 pub mod stats;
 pub mod wire;
@@ -60,4 +61,5 @@ pub use forecaster::{BayesianForecaster, EwmaForecaster, Forecaster};
 pub use model::{RateModel, ScatterMatrix, TransitionKernel};
 pub use receiver::{IntervalSet, SproutReceiver};
 pub use sender::SproutSender;
+pub use session::{SessionPool, SessionRef};
 pub use wire::{SproutHeader, WireError, WireForecast};

@@ -34,6 +34,8 @@ pub mod metrics;
 pub mod packet;
 pub mod queue;
 pub mod run;
+pub mod serve;
+pub mod wheel;
 
 pub use cellsim::{DirectedPath, PathConfig};
 pub use codel::{CoDelConfig, CoDelQueue};
@@ -46,3 +48,5 @@ pub use metrics::{
 pub use packet::{FlowId, Packet};
 pub use queue::{DropTail, Queue, DEEP_QUEUE_BYTES};
 pub use run::{direction_stats, run_stats, DirectionStats, Simulation};
+pub use serve::ServeSim;
+pub use wheel::TimerWheel;

@@ -1,0 +1,115 @@
+//! A lazy-deletion timer wheel over dense indices.
+//!
+//! Event loops that drive N independent components (the multi-session
+//! server, the per-session paths of [`crate::ServeSim`]) need "who is
+//! due at or before `now`?" without scanning all N per event. The wheel
+//! is a binary heap of `(deadline, index)` candidates plus a `scheduled`
+//! column recording each index's single *valid* deadline: re-arming is a
+//! push (the superseded entry goes stale and is skipped on pop), so both
+//! arming and popping stay `O(log n)` amortized.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use sprout_trace::Timestamp;
+
+/// A lazy-deletion timer wheel: the heap may hold stale deadlines, but
+/// `scheduled` records each index's only valid one, so stale pops are
+/// skipped and re-arming never rebuilds the heap.
+#[derive(Default)]
+pub struct TimerWheel {
+    heap: BinaryHeap<Reverse<(Timestamp, usize)>>,
+    /// The currently valid deadline per index (`None` = unarmed).
+    scheduled: Vec<Option<Timestamp>>,
+}
+
+impl TimerWheel {
+    /// Empty wheel.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Arm (or re-arm) index `idx` to fire at `at`. `None` disarms.
+    pub fn schedule(&mut self, idx: usize, at: Option<Timestamp>) {
+        if self.scheduled.len() <= idx {
+            self.scheduled.resize(idx + 1, None);
+        }
+        // Skip the push when the valid deadline is unchanged — re-arming
+        // an idle component to the same tick boundary every step would
+        // otherwise grow the heap without bound.
+        if self.scheduled[idx] == at {
+            return;
+        }
+        self.scheduled[idx] = at;
+        if let Some(t) = at {
+            self.heap.push(Reverse((t, idx)));
+        }
+    }
+
+    /// Earliest armed deadline across all indices (amortized stale-entry
+    /// cleanup).
+    pub fn next_deadline(&mut self) -> Option<Timestamp> {
+        while let Some(Reverse((t, idx))) = self.heap.peek().copied() {
+            if self.scheduled.get(idx).copied().flatten() == Some(t) {
+                return Some(t);
+            }
+            self.heap.pop(); // stale: superseded or disarmed
+        }
+        None
+    }
+
+    /// Pop the next index due at or before `now` (disarming it), in
+    /// deterministic `(deadline, index)` order.
+    pub fn pop_due(&mut self, now: Timestamp) -> Option<usize> {
+        while let Some(Reverse((t, idx))) = self.heap.peek().copied() {
+            if self.scheduled.get(idx).copied().flatten() != Some(t) {
+                self.heap.pop(); // stale
+                continue;
+            }
+            if t > now {
+                return None;
+            }
+            self.heap.pop();
+            self.scheduled[idx] = None;
+            return Some(idx);
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: u64) -> Timestamp {
+        Timestamp::from_millis(ms)
+    }
+
+    #[test]
+    fn pops_in_deadline_order_and_skips_stale_entries() {
+        let mut w = TimerWheel::new();
+        w.schedule(0, Some(t(30)));
+        w.schedule(1, Some(t(10)));
+        w.schedule(2, Some(t(20)));
+        w.schedule(1, Some(t(40))); // re-arm: the t(10) entry is now stale
+        assert_eq!(w.next_deadline(), Some(t(20)));
+        assert_eq!(w.pop_due(t(25)), Some(2));
+        assert_eq!(w.pop_due(t(25)), None, "index 0 due at 30");
+        assert_eq!(w.pop_due(t(50)), Some(0));
+        assert_eq!(w.pop_due(t(50)), Some(1));
+        assert_eq!(w.pop_due(t(50)), None);
+        assert_eq!(w.next_deadline(), None);
+    }
+
+    #[test]
+    fn disarm_and_rearm_to_same_deadline() {
+        let mut w = TimerWheel::new();
+        w.schedule(3, Some(t(5)));
+        w.schedule(3, None);
+        assert_eq!(w.pop_due(t(10)), None);
+        w.schedule(3, Some(t(5)));
+        w.schedule(3, Some(t(5))); // no-op: unchanged valid deadline
+        assert_eq!(w.pop_due(t(10)), Some(3));
+        assert_eq!(w.pop_due(t(10)), None, "popping disarms");
+    }
+}

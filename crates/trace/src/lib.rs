@@ -32,7 +32,7 @@ pub use impair::{
     DeliveryPerturber, GilbertElliott, GilbertElliottProcess, Impairment, JitterSpec,
     OutageSchedule, OutageSpec, ReorderSpec, IMPAIRMENT_PRESETS,
 };
-pub use seed::{derive_labeled_seed, derive_seed};
+pub use seed::{derive_labeled_seed, derive_seed, session_seed};
 pub use synth::{
     reset_trace_cache_counters, trace_cache_counters, LinkModelParams, LinkSimulator, NetProfile,
 };

@@ -53,6 +53,17 @@ pub fn derive_labeled_seed(master: u64, label: &str, stream: u64) -> u64 {
     derive_seed(master ^ mix64(h), stream)
 }
 
+/// The per-session seed sub-stream: every session of a multi-session
+/// serve cell derives its randomness (per-session link loss streams,
+/// any future in-session stochastic process) from
+/// `(cell_seed, session_id)` under the `"session"` label. The label
+/// keeps the stream disjoint from every other labeled consumer — in
+/// particular the `impair-data` / `impair-feedback` fault-injection
+/// streams, which index by direction rather than session.
+pub fn session_seed(cell_seed: u64, session_id: u32) -> u64 {
+    derive_labeled_seed(cell_seed, "session", u64::from(session_id))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -87,5 +98,41 @@ mod tests {
             derive_labeled_seed(7, "loss", 3),
             derive_labeled_seed(7, "loss", 3)
         );
+    }
+
+    #[test]
+    fn session_streams_are_disjoint_from_impairment_streams() {
+        // A serve cell fans its cell seed into per-session sub-streams
+        // while the fault-injection layer fans the same cell seed into
+        // impair-data / impair-feedback / impair-outage sub-streams. If
+        // any (session_id, stream) pair collided, an impaired serve cell
+        // would correlate one session's losses with the injected faults.
+        for cell_seed in [0u64, 7, 20130401] {
+            let mut seen = std::collections::HashSet::new();
+            for sid in 0..256u32 {
+                assert!(
+                    seen.insert(session_seed(cell_seed, sid)),
+                    "session sub-streams collide at seed={cell_seed} sid={sid}"
+                );
+            }
+            for stream in 0..256u64 {
+                for label in ["impair-data", "impair-feedback", "impair-outage"] {
+                    assert!(
+                        !seen.contains(&derive_labeled_seed(cell_seed, label, stream)),
+                        "session stream collides with {label}/{stream} at seed={cell_seed}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn session_seed_is_stable() {
+        // Frozen: serve-cell results recorded in the cell cache depend
+        // on this exact derivation.
+        assert_eq!(session_seed(9, 4), derive_labeled_seed(9, "session", 4));
+        assert_eq!(session_seed(9, 4), session_seed(9, 4));
+        assert_ne!(session_seed(9, 4), session_seed(9, 5));
+        assert_ne!(session_seed(9, 4), session_seed(10, 4));
     }
 }

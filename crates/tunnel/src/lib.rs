@@ -17,6 +17,10 @@
 
 #![warn(missing_docs)]
 
+pub mod server;
+
+pub use server::SproutServer;
+
 use std::collections::VecDeque;
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
@@ -192,17 +196,27 @@ impl TunnelEndpoint {
         }
     }
 
-    /// A Sprout wire packet arrives from the network; returns client
-    /// packets to deliver locally.
-    pub fn on_wire_packet(&mut self, packet: Packet, now: Timestamp) -> Vec<Packet> {
+    /// A Sprout wire packet arrives from the network; *appends* the
+    /// decapsulated client packets to deliver locally onto `out` (the
+    /// caller's recycled buffer — never cleared here), mirroring the
+    /// [`Endpoint::poll_into`] contract so the per-packet hot path stays
+    /// allocation-free.
+    pub fn on_wire_packet_into(&mut self, packet: Packet, now: Timestamp, out: &mut Vec<Packet>) {
         self.sprout.on_packet(packet, now);
-        let mut out = Vec::new();
         for dgram in self.sprout.take_app_datagrams() {
             if let Some(p) = decapsulate(dgram) {
                 self.stats.delivered += 1;
                 out.push(p);
             }
         }
+    }
+
+    /// Allocating convenience form of
+    /// [`TunnelEndpoint::on_wire_packet_into`] (tests, drivers outside
+    /// the hot loop).
+    pub fn on_wire_packet(&mut self, packet: Packet, now: Timestamp) -> Vec<Packet> {
+        let mut out = Vec::new();
+        self.on_wire_packet_into(packet, now, &mut out);
         out
     }
 
@@ -241,6 +255,8 @@ pub struct TunnelHost {
     /// Recycled buffer for client polls (client packets are re-stamped
     /// and injected locally, so they cannot share the wire buffer).
     client_scratch: Vec<Packet>,
+    /// Recycled buffer for decapsulated deliveries on the receive path.
+    deliver_scratch: Vec<Packet>,
 }
 
 impl TunnelHost {
@@ -251,6 +267,7 @@ impl TunnelHost {
             clients: Vec::new(),
             deliveries: sprout_sim::MetricsCollector::new(),
             client_scratch: Vec::new(),
+            deliver_scratch: Vec::new(),
         }
     }
 
@@ -278,7 +295,9 @@ impl TunnelHost {
 
 impl Endpoint for TunnelHost {
     fn on_packet(&mut self, packet: Packet, now: Timestamp) {
-        for client_packet in self.tunnel.on_wire_packet(packet, now) {
+        self.tunnel
+            .on_wire_packet_into(packet, now, &mut self.deliver_scratch);
+        for client_packet in self.deliver_scratch.drain(..) {
             self.deliveries.record(sprout_sim::DeliveryRecord {
                 sent_at: client_packet.sent_at,
                 delivered_at: now,
