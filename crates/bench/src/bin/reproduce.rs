@@ -4,7 +4,7 @@
 //! reproduce <experiment> [--secs N] [--warmup N] [--seed N] [--out DIR]
 //!                        [--threads N] [--batch on|off] [--quick] [--json]
 //!                        [--cache-dir DIR] [--no-cache] [--cell-timeout SECS]
-//!                        [--shard I/N] [--merge] [--resume]
+//!                        [--shard I/N] [--merge] [--resume] [--controlled]
 //!                        [--bench] [--bench-baseline FILE]
 //!
 //! experiments:
@@ -68,6 +68,10 @@
 //!                byte-identical to a single-process run
 //!   --resume     like --merge, but execute whatever the cache is
 //!                missing instead of failing (restart a killed sweep)
+//!   --controlled run as a sprout-control worker: print a flushed
+//!                heartbeat line (`CONTROL hb <seq> abandoned=<n>`) to
+//!                stdout every 500 ms so the daemon can distinguish a
+//!                slow worker from a dead one
 //!   --bench      run the perf-trajectory mode instead of an experiment:
 //!                execute the canonical bench matrix + hot-path
 //!                microbenchmarks and write BENCH_sweep.json
@@ -106,29 +110,11 @@
 use std::path::PathBuf;
 use std::time::Instant;
 
+use sprout_bench::cli;
 use sprout_bench::figures::{self, ExperimentConfig};
-use sprout_bench::{
-    perf, summary_table, CellCachePolicy, FlowSpec, QueueSpec, Scheme, ShardSpec,
-    MAX_CONTENTION_FLOWS, MAX_SERVE_SESSIONS,
-};
-use sprout_trace::{Impairment, NetProfile, IMPAIRMENT_PRESETS};
+use sprout_bench::{perf, summary_table, CellCachePolicy, Scheme, ShardSpec};
 
-const EXPERIMENTS: &[&str] = &[
-    "fig1",
-    "fig2",
-    "fig7",
-    "fig8",
-    "fig9",
-    "loss",
-    "tunnel",
-    "contention",
-    "soak",
-    "impair",
-    "serve",
-    "all",
-];
-
-const USAGE: &str = "usage: reproduce <experiment> [--secs N] [--warmup N] [--seed N] [--out DIR] [--threads N] [--batch on|off] [--quick] [--json] [--cache-dir DIR] [--no-cache] [--cell-timeout SECS] [--shard I/N] [--merge] [--resume] [--bench] [--bench-baseline FILE] [--links LIST] [--prop-delays LIST] [--queues LIST] [--flows N] [--contend LIST] [--impairments LIST] [--sessions LIST]
+const USAGE: &str = "usage: reproduce <experiment> [--secs N] [--warmup N] [--seed N] [--out DIR] [--threads N] [--batch on|off] [--quick] [--json] [--cache-dir DIR] [--no-cache] [--cell-timeout SECS] [--shard I/N] [--merge] [--resume] [--controlled] [--bench] [--bench-baseline FILE] [--links LIST] [--prop-delays LIST] [--queues LIST] [--flows N] [--contend LIST] [--impairments LIST] [--sessions LIST]
 experiments: fig1 fig2 fig7 fig8 fig9 loss tunnel contention soak impair serve all (contention, soak, impair, and serve are not part of all)
 axis flags: --links vz-lte-down,... (soak+contention+impair+serve) | --prop-delays 10,25,... (one-way ms, soak) | --queues auto|droptail|codel|bytes:N,... (soak) | --flows N (contention) | --contend sprout,cubic,... (contention) | --impairments none,burst,storm,... (impair) | --sessions 1,64,1024,... (serve)";
 
@@ -138,6 +124,7 @@ struct Options {
     json: bool,
     bench: bool,
     bench_baseline: Option<PathBuf>,
+    controlled: bool,
 }
 
 fn usage_error(msg: &str) -> ! {
@@ -146,153 +133,39 @@ fn usage_error(msg: &str) -> ! {
     std::process::exit(2);
 }
 
-/// `Some(values)` only when every value is distinct: a duplicated axis
-/// value would cross into duplicate cells with identical labels, each
-/// simulated and cached separately.
-fn all_distinct<T: PartialEq>(values: Vec<T>) -> Option<Vec<T>> {
-    let distinct = values
-        .iter()
-        .enumerate()
-        .all(|(i, v)| !values[..i].contains(v));
-    distinct.then_some(values)
-}
-
-/// Parse `--links`: a comma-separated list of distinct link ids.
-fn parse_links(spec: &str) -> Option<Vec<NetProfile>> {
-    spec.split(',')
-        .map(|part| NetProfile::all().into_iter().find(|p| p.id() == part))
-        .collect::<Option<Vec<_>>>()
-        .and_then(all_distinct)
-}
-
-/// Parse `--prop-delays`: comma-separated distinct one-way delays in
-/// whole ms, each in [1, 10_000].
-fn parse_prop_delays(spec: &str) -> Option<Vec<u64>> {
-    spec.split(',')
-        .map(|part| match part.parse::<u64>() {
-            Ok(ms) if (1..=10_000).contains(&ms) => Some(ms),
-            _ => None,
-        })
-        .collect::<Option<Vec<_>>>()
-        .and_then(all_distinct)
-}
-
-/// Parse `--queues`: comma-separated distinct specs from `auto`,
-/// `droptail`, `codel`, or `bytes:N` (a DropTail byte cap, N ≥ 1).
-fn parse_queues(spec: &str) -> Option<Vec<QueueSpec>> {
-    spec.split(',')
-        .map(|part| match part {
-            "auto" => Some(QueueSpec::Auto),
-            "droptail" => Some(QueueSpec::DropTail),
-            "codel" => Some(QueueSpec::CoDel),
-            _ => match part.strip_prefix("bytes:")?.parse::<u64>() {
-                Ok(cap) if cap >= 1 => Some(QueueSpec::DropTailBytes(cap)),
-                _ => None,
-            },
-        })
-        .collect::<Option<Vec<_>>>()
-        .and_then(all_distinct)
-}
-
-/// Parse one `--contend` entry: a scheme tag (`cubic`, `sprout-ewma`,
-/// `skype`, …; never `omniscient`) or a tunneled app flow in the
-/// `app-over-carrier` form (`skype-over-sprout`).
-fn parse_flow_spec(part: &str) -> Option<FlowSpec> {
-    if let Some((app_tag, carrier_tag)) = part.split_once("-over-") {
-        let app = sprout_bench::VideoApp::all()
-            .into_iter()
-            .find(|a| a.id() == app_tag)?;
-        let over = Scheme::from_tag(carrier_tag)?;
-        over.tunnels_apps().then_some(FlowSpec::App { app, over })
-    } else {
-        let scheme = Scheme::from_tag(part)?;
-        (scheme != Scheme::Omniscient).then_some(FlowSpec::Scheme(scheme))
-    }
-}
-
-/// Parse `--contend`: 2..=MAX_CONTENTION_FLOWS comma-separated flow
-/// specs (duplicates are the point — `cubic,cubic,cubic` is a
-/// homogeneous contention cell).
-fn parse_contend(spec: &str) -> Option<Vec<FlowSpec>> {
-    let flows = spec
-        .split(',')
-        .map(parse_flow_spec)
-        .collect::<Option<Vec<_>>>()?;
-    (2..=MAX_CONTENTION_FLOWS)
-        .contains(&flows.len())
-        .then_some(flows)
-}
-
-/// Parse `--impairments`: comma-separated distinct preset names from
-/// [`IMPAIRMENT_PRESETS`], kept as `(name, spec)` pairs so artifacts can
-/// report the human-readable preset name alongside the canonical id.
-fn parse_impairments(spec: &str) -> Option<Vec<(String, Impairment)>> {
-    spec.split(',')
-        .map(|part| Impairment::preset(part).map(|imp| (part.to_string(), imp)))
-        .collect::<Option<Vec<_>>>()
-        .and_then(all_distinct)
-}
-
-/// Parse `--sessions`: comma-separated distinct session counts, each in
-/// 1..=[`MAX_SERVE_SESSIONS`].
-fn parse_sessions(spec: &str) -> Option<Vec<u32>> {
-    spec.split(',')
-        .map(|part| match part.parse::<u32>() {
-            Ok(n) if (1..=MAX_SERVE_SESSIONS).contains(&n) => Some(n),
-            _ => None,
-        })
-        .collect::<Option<Vec<_>>>()
-        .and_then(all_distinct)
-}
-
 fn parse_args() -> Options {
     let mut cfg = ExperimentConfig::default();
     let mut cmd: Option<String> = None;
     let mut json = false;
     let mut bench = false;
     let mut bench_baseline = None;
-    let mut quick = false;
-    let mut explicit_secs = false;
-    let mut explicit_warmup = false;
     let mut merge = false;
     let mut resume = false;
     let mut no_cache = false;
-    let mut links_flag = false;
-    let mut soak_axis_flags = false;
-    let mut explicit_flows = false;
-    let mut explicit_contend = false;
-    let mut explicit_impairments = false;
-    let mut explicit_sessions = false;
+    let mut controlled = false;
+    // Worker-safe flags (timing, seeding, axis trims) are collected in
+    // argv order and applied by the shared parser in `sprout_bench::cli`
+    // — the same code path the control daemon runs at submit time, so a
+    // flag vector means the same matrix here and there.
+    let mut worker_args: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
-        let mut numeric = |name: &str| -> u64 {
-            match args.next().map(|v| v.parse::<u64>()) {
-                Some(Ok(v)) => v,
-                Some(Err(_)) => usage_error(&format!("{name} expects a number")),
-                None => usage_error(&format!("{name} expects a value")),
+        if let Some(arity) = cli::worker_flag_arity(&arg) {
+            let flag = arg;
+            worker_args.push(flag.clone());
+            for _ in 0..arity {
+                match args.next() {
+                    Some(v) => worker_args.push(v),
+                    None => usage_error(&format!("{flag} expects a value")),
+                }
             }
-        };
+            continue;
+        }
         match arg.as_str() {
-            "--secs" => {
-                cfg.run_secs = numeric("--secs");
-                explicit_secs = true;
-            }
-            "--warmup" => {
-                cfg.warmup_secs = numeric("--warmup");
-                explicit_warmup = true;
-            }
-            "--seed" => cfg.seed = numeric("--seed"),
-            "--threads" => cfg.threads = numeric("--threads") as usize,
-            "--batch" => match args.next().as_deref() {
-                Some("on") => cfg.batch = true,
-                Some("off") => cfg.batch = false,
-                _ => usage_error("--batch expects on or off"),
-            },
             "--out" => match args.next() {
                 Some(dir) => cfg.out_dir = dir.into(),
                 None => usage_error("--out expects a directory"),
             },
-            "--quick" => quick = true,
             "--json" => json = true,
             "--bench" => bench = true,
             "--bench-baseline" => match args.next() {
@@ -318,81 +191,7 @@ fn parse_args() -> Options {
             },
             "--merge" => merge = true,
             "--resume" => resume = true,
-            "--links" => match args.next().as_deref().and_then(parse_links) {
-                Some(links) => {
-                    cfg.soak.links = links.clone();
-                    cfg.contention.links = links.clone();
-                    cfg.impair.links = links.clone();
-                    cfg.serve.links = links;
-                    links_flag = true;
-                }
-                None => usage_error(
-                    "--links expects a comma-separated list of distinct link ids (e.g. vz-lte-down,tmo-3g-up)",
-                ),
-            },
-            "--prop-delays" => match args.next().as_deref().and_then(parse_prop_delays) {
-                Some(ms) => {
-                    cfg.soak.prop_delays_ms = ms;
-                    soak_axis_flags = true;
-                }
-                None => usage_error(
-                    "--prop-delays expects comma-separated distinct one-way delays in ms, each in 1..=10000 (e.g. 10,25,50)",
-                ),
-            },
-            "--queues" => match args.next().as_deref().and_then(parse_queues) {
-                Some(queues) => {
-                    cfg.soak.queues = queues;
-                    soak_axis_flags = true;
-                }
-                None => usage_error(
-                    "--queues expects comma-separated distinct specs from auto|droptail|codel|bytes:N (e.g. auto,bytes:75000)",
-                ),
-            },
-            "--flows" => {
-                let n = numeric("--flows") as usize;
-                if !(2..=MAX_CONTENTION_FLOWS).contains(&n) {
-                    usage_error(&format!(
-                        "--flows expects a flow count in 2..={MAX_CONTENTION_FLOWS}, got {n}"
-                    ));
-                }
-                cfg.contention.flows = n;
-                explicit_flows = true;
-            }
-            "--contend" => match args.next().as_deref().and_then(parse_contend) {
-                Some(flows) => {
-                    cfg.contention.contenders = Some(flows);
-                    explicit_contend = true;
-                }
-                None => usage_error(
-                    "--contend expects 2..=16 comma-separated flow specs: scheme tags (sprout, sprout-ewma, cubic, cubic-codel, reno, vegas, compound, ledbat, skype, facetime, google-hangout) or tunneled app flows like skype-over-sprout; omniscient cannot contend",
-                ),
-            },
-            "--impairments" => match args.next().as_deref().and_then(parse_impairments) {
-                Some(impairments) => {
-                    cfg.impair.impairments = impairments;
-                    explicit_impairments = true;
-                }
-                None => usage_error(&format!(
-                    "--impairments expects comma-separated distinct preset names from {}",
-                    IMPAIRMENT_PRESETS.join(", ")
-                )),
-            },
-            "--sessions" => match args.next().as_deref().and_then(parse_sessions) {
-                Some(sessions) => {
-                    cfg.serve.sessions = sessions;
-                    explicit_sessions = true;
-                }
-                None => usage_error(&format!(
-                    "--sessions expects comma-separated distinct session counts, each in 1..={MAX_SERVE_SESSIONS} (e.g. 1,64,1024)"
-                )),
-            },
-            "--cell-timeout" => {
-                let secs = numeric("--cell-timeout");
-                if secs == 0 {
-                    usage_error("--cell-timeout expects a positive number of seconds");
-                }
-                cfg.cell_timeout_secs = secs;
-            }
+            "--controlled" => controlled = true,
             "--help" | "-h" => {
                 println!("{USAGE}");
                 std::process::exit(0);
@@ -401,7 +200,7 @@ fn parse_args() -> Options {
                 usage_error(&format!("unknown flag {other:?}"));
             }
             other if cmd.is_none() => {
-                if !EXPERIMENTS.contains(&other) {
+                if !cli::is_experiment(other) {
                     usage_error(&format!("unknown experiment {other:?}"));
                 }
                 cmd = Some(other.to_string());
@@ -409,67 +208,10 @@ fn parse_args() -> Options {
             other => usage_error(&format!("unexpected argument {other:?}")),
         }
     }
-    // --quick fills in whatever the user did not set explicitly, so
-    // `--warmup 100 --quick` is the contradiction it looks like (and is
-    // rejected below) rather than being silently clobbered to 20 s.
-    if quick {
-        if !explicit_secs {
-            cfg.run_secs = 90;
-        }
-        if !explicit_warmup {
-            cfg.warmup_secs = 20;
-        }
-    }
     let explicit_cmd = cmd.is_some();
     let cmd = cmd.unwrap_or_else(|| "all".to_string());
-    if soak_axis_flags && cmd != "soak" {
-        usage_error(
-            "--prop-delays/--queues configure the soak matrix; they require the soak experiment",
-        );
-    }
-    if links_flag && cmd != "soak" && cmd != "contention" && cmd != "impair" && cmd != "serve" {
-        usage_error(
-            "--links trims the soak/contention/impair/serve link axis; it requires one of those experiments",
-        );
-    }
-    if (explicit_flows || explicit_contend) && cmd != "contention" {
-        usage_error("--flows/--contend configure the contention matrix; they require the contention experiment");
-    }
-    if explicit_impairments && cmd != "impair" {
-        usage_error(
-            "--impairments configures the impair matrix; it requires the impair experiment",
-        );
-    }
-    if explicit_sessions && cmd != "serve" {
-        usage_error("--sessions configures the serve matrix; it requires the serve experiment");
-    }
-    if explicit_flows && explicit_contend {
-        usage_error(
-            "--flows sizes the default contention workloads and --contend replaces them; pick one",
-        );
-    }
-    // The paper-length soak default (and the short serve default) live
-    // on their axes structs (so the library builds the identical
-    // matrix); an explicit --secs or --quick hands timing back to the
-    // global knobs.
-    if explicit_secs || quick {
-        cfg.soak.secs = None;
-        cfg.serve.secs = None;
-    }
-    // Validate against the run length the experiment will actually use
-    // (soak defaults to SOAK_SECS, serve to SERVE_SECS, independently of
-    // --secs). Serve derives its warmup from the run length (one sixth)
-    // instead of --warmup, so its window can never be empty.
-    let effective_secs = match cmd.as_str() {
-        "soak" => cfg.soak.secs.unwrap_or(cfg.run_secs),
-        "serve" => cfg.serve.secs.unwrap_or(cfg.run_secs),
-        _ => cfg.run_secs,
-    };
-    if cmd != "serve" && cfg.warmup_secs >= effective_secs {
-        usage_error(&format!(
-            "warmup ({}s) must be shorter than the run ({}s): the measurement window would be empty",
-            cfg.warmup_secs, effective_secs
-        ));
+    if let Err(msg) = cli::apply_worker_args(&mut cfg, &cmd, &worker_args) {
+        usage_error(&msg);
     }
     if bench_baseline.is_some() && !bench {
         usage_error("--bench-baseline requires --bench");
@@ -505,29 +247,38 @@ fn parse_args() -> Options {
         json,
         bench,
         bench_baseline,
+        controlled,
     }
 }
 
-/// The sweep JSON artifacts each experiment records.
-fn artifacts_of(cmd: &str) -> &'static [&'static str] {
-    match cmd {
-        "fig1" => &["fig1"],
-        "fig2" => &["fig2"],
-        "fig7" | "fig8" => &["fig7"],
-        "fig9" => &["fig9"],
-        "loss" => &["loss"],
-        "tunnel" => &["tunnel"],
-        "contention" => &["contention"],
-        "soak" => &["soak"],
-        "impair" => &["impair"],
-        "serve" => &["serve"],
-        "all" => &["fig1", "fig2", "fig7", "fig9", "loss", "tunnel"],
-        _ => &[],
-    }
+/// `--controlled`: announce liveness to a supervising `sprout-control`
+/// daemon. A detached thread prints one heartbeat line per interval to
+/// stdout — explicitly flushed, because a piped stdout is block-buffered
+/// and an unflushed heartbeat is indistinguishable from a wedged worker.
+/// The line carries the abandoned-thread gauge so the daemon can alarm
+/// on a worker whose watchdog is abandoning cells.
+fn start_heartbeat() {
+    std::thread::spawn(|| {
+        use std::io::Write;
+        let mut seq: u64 = 0;
+        loop {
+            {
+                let mut out = std::io::stdout().lock();
+                let _ = writeln!(
+                    out,
+                    "CONTROL hb {seq} abandoned={}",
+                    sprout_bench::abandoned_cell_threads()
+                );
+                let _ = out.flush();
+            }
+            seq += 1;
+            std::thread::sleep(std::time::Duration::from_millis(500));
+        }
+    });
 }
 
 fn print_json_artifacts(cfg: &ExperimentConfig, cmd: &str) -> std::io::Result<()> {
-    for name in artifacts_of(cmd) {
+    for name in cli::artifacts_of(cmd) {
         let path = cfg.sweep_json_path(name);
         print!("{}", std::fs::read_to_string(path)?);
     }
@@ -775,8 +526,12 @@ fn run() -> std::io::Result<()> {
         json,
         bench,
         bench_baseline,
+        controlled,
     } = parse_args();
     figures::ensure_out_dir(&cfg.out_dir)?;
+    if controlled {
+        start_heartbeat();
+    }
     if bench {
         return run_bench(&cfg, bench_baseline.as_deref());
     }

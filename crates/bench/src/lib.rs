@@ -12,6 +12,7 @@
 #![warn(missing_docs)]
 
 pub mod cellcache;
+pub mod cli;
 pub mod figures;
 pub mod perf;
 pub mod scenario;
@@ -37,8 +38,8 @@ pub use scenario::{
 pub use schemes::{build_endpoints, run_scheme, RunConfig, Scheme, SchemeResult};
 pub use sprout_baselines::VideoApp;
 pub use sweep::{
-    cell_failure_counters, last_batch_layout, sweep_to_json, trace_memory_counters, write_json,
-    BatchStats, CellCachePolicy, CellFailure, CellFailureCounters, CellScratch, FlowSummary,
-    InterarrivalSummary, SeriesRow, ServeStats, ShardSpec, SweepEngine, SweepError, SweepResult,
-    SweepStats, DEFAULT_CELL_TIMEOUT,
+    abandoned_cell_threads, cell_failure_counters, last_batch_layout, sweep_to_json,
+    trace_memo_occupancy, trace_memory_counters, write_json, BatchStats, CellCachePolicy,
+    CellFailure, CellFailureCounters, CellScratch, FlowSummary, InterarrivalSummary, SeriesRow,
+    ServeStats, ShardSpec, SweepEngine, SweepError, SweepResult, SweepStats, DEFAULT_CELL_TIMEOUT,
 };

@@ -44,8 +44,8 @@ use sprout_sim::{
     MetricsCollector, MuxEndpoint, PathConfig, QueueConfig, ServeSim, Simulation, DEEP_QUEUE_BYTES,
 };
 use sprout_trace::{
-    derive_labeled_seed, session_seed, Duration, InterarrivalHistogram, NetProfile, OutageSchedule,
-    Timestamp, Trace,
+    cancel, derive_labeled_seed, session_seed, Duration, InterarrivalHistogram, NetProfile,
+    OutageSchedule, Timestamp, Trace,
 };
 use sprout_tunnel::{SproutServer, TunnelEndpoint, TunnelHost};
 
@@ -191,10 +191,15 @@ pub struct BatchStats {
 
 static TRACES_BUILT: AtomicU64 = AtomicU64::new(0);
 static TRACES_REUSED: AtomicU64 = AtomicU64::new(0);
+static TRACES_EVICTED: AtomicU64 = AtomicU64::new(0);
+static TRACE_MEMO_LEN: AtomicU64 = AtomicU64::new(0);
 static LAST_WORKERS: AtomicUsize = AtomicUsize::new(0);
 static LAST_BATCHES: AtomicUsize = AtomicUsize::new(0);
 static CELLS_PANICKED: AtomicU64 = AtomicU64::new(0);
 static CELLS_TIMED_OUT: AtomicU64 = AtomicU64::new(0);
+/// Gauge (not a counter): cell threads the watchdog has abandoned that
+/// have not yet honored their cancellation and exited.
+static ABANDONED_LIVE: AtomicU64 = AtomicU64::new(0);
 
 /// Cumulative process-wide counts of cells that did not finish: `failed`
 /// counts panics, `timed_out` counts watchdog kills. Like the cache
@@ -234,6 +239,26 @@ pub fn trace_memory_counters() -> sprout_core::MemCounters {
         built: TRACES_BUILT.load(Ordering::Relaxed),
         reused: TRACES_REUSED.load(Ordering::Relaxed),
     }
+}
+
+/// Live abandoned cell threads: cells the watchdog timed out whose
+/// threads have not yet honored the cooperative cancellation and exited.
+/// Transiently nonzero right after a timeout; a value that *stays*
+/// nonzero means a cell is wedged somewhere without a cancellation
+/// checkpoint — a long-running daemon alarms on exactly that.
+pub fn abandoned_cell_threads() -> u64 {
+    ABANDONED_LIVE.load(Ordering::Acquire)
+}
+
+/// Occupancy of the most recent sweep's trace memo: `(live_entries,
+/// evictions_total)`. Live entries never exceed the memo's LRU cap, so a
+/// daemon sweeping many disjoint `(link, duration)` geometries holds a
+/// bounded number of synthesized traces in memory at once.
+pub fn trace_memo_occupancy() -> (usize, u64) {
+    (
+        TRACE_MEMO_LEN.load(Ordering::Relaxed) as usize,
+        TRACES_EVICTED.load(Ordering::Relaxed),
+    )
 }
 
 /// The worker/batch layout of the most recent sweep execution in this
@@ -589,10 +614,7 @@ impl SweepEngine {
             LAST_WORKERS.store(0, Ordering::Relaxed);
             LAST_BATCHES.store(0, Ordering::Relaxed);
         } else {
-            let memo = std::sync::Arc::new(TraceMemo::for_cells(
-                pending.iter().map(|&k| owned[k]),
-                self.master_seed,
-            ));
+            let memo = std::sync::Arc::new(TraceMemo::new(self.master_seed));
             let groups = batch_groups(&pending, |j| owned[pending[j]], self.batch);
             let threads = self.effective_threads(groups.len());
             LAST_WORKERS.store(threads, Ordering::Relaxed);
@@ -682,6 +704,13 @@ impl SweepEngine {
 /// arena rides back with the result; a panic or timeout forfeits it
 /// (mid-panic state is unknown, and an abandoned thread still owns its
 /// arena), so the worker starts the next cell from a fresh one.
+///
+/// Abandonment is not fire-and-forget: the watchdog arms the cell's
+/// [`cancel::CancelToken`] on timeout, the simulation/synthesis loops
+/// honor it at their next checkpoint, and the [`abandoned_cell_threads`]
+/// gauge tracks threads between abandonment and their cooperative exit —
+/// so a timed-out cell costs milliseconds of extra CPU, not the rest of
+/// its virtual duration at wall speed.
 fn run_watchdogged(
     matrix: &str,
     cell: &Scenario,
@@ -690,22 +719,38 @@ fn run_watchdogged(
     scratch: CellScratch,
     timeout: std::time::Duration,
 ) -> Result<(SweepResult, CellScratch), CellFailure> {
+    cancel::silence_cancelled_panics();
     let (tx, rx) = std::sync::mpsc::channel();
     let name = matrix.to_string();
     let scenario = cell.clone();
     let memo = std::sync::Arc::clone(memo);
+    let token = cancel::CancelToken::new();
+    // Cell-thread lifecycle, shared with the watchdog: 0 = running,
+    // 1 = exited, 2 = abandoned. Whoever transitions *second* across the
+    // abandon/exit race settles the [`ABANDONED_LIVE`] gauge.
+    let state = std::sync::Arc::new(std::sync::atomic::AtomicU8::new(0));
+    let cell_token = token.clone();
+    let cell_state = std::sync::Arc::clone(&state);
     std::thread::spawn(move || {
         let mut scratch = scratch;
+        let guard = cancel::CancelGuard::install(cell_token);
         let outcome = catch_unwind(AssertUnwindSafe(|| {
             execute_with_memo(&name, &scenario, master_seed, &memo, &mut scratch)
         }));
+        drop(guard);
         let scratch = match &outcome {
             Ok(_) => scratch,
             Err(_) => CellScratch::default(),
         };
         // Send fails only when the watchdog already gave up on us; the
-        // late result is deliberately dropped (never cached).
+        // late (or cancellation-unwound) result is deliberately dropped
+        // and never cached.
         let _ = tx.send((outcome, scratch));
+        if cell_state.swap(1, Ordering::AcqRel) == 2 {
+            // The watchdog abandoned us and we just exited: settle the
+            // live-abandoned gauge back down.
+            ABANDONED_LIVE.fetch_sub(1, Ordering::AcqRel);
+        }
     });
     match rx.recv_timeout(timeout) {
         Ok((Ok(result), scratch)) => Ok((result, scratch)),
@@ -717,12 +762,21 @@ fn run_watchdogged(
         }),
         // Timeout — or the cell thread dying without reporting, which
         // the per-cell catch_unwind makes unreachable in practice.
-        Err(_) => Err(CellFailure {
-            scenario_id: cell.id,
-            label: cell.label.clone(),
-            message: format!("exceeded the {}s cell watchdog timeout", timeout.as_secs()),
-            timed_out: true,
-        }),
+        Err(_) => {
+            ABANDONED_LIVE.fetch_add(1, Ordering::AcqRel);
+            if state.swap(2, Ordering::AcqRel) == 1 {
+                // Lost the race: the thread exited between the timeout
+                // and the abandonment mark. Undo the gauge bump.
+                ABANDONED_LIVE.fetch_sub(1, Ordering::AcqRel);
+            }
+            token.cancel();
+            Err(CellFailure {
+                scenario_id: cell.id,
+                label: cell.label.clone(),
+                message: format!("exceeded the {}s cell watchdog timeout", timeout.as_secs()),
+                timed_out: true,
+            })
+        }
     }
 }
 
@@ -777,46 +831,71 @@ pub struct CellScratch {
     packets: Vec<sprout_sim::Packet>,
 }
 
-/// Pre-synthesized link traces shared by every cell of one sweep. Keyed
-/// by `(profile, duration)`; values are byte-identical to what
-/// [`NetProfile::generate`] would produce cell-locally, so memoization
-/// cannot change results.
+/// How many synthesized traces one sweep's memo keeps live at once.
+/// Covers the widest matrix the experiments declare (8 link profiles ×
+/// 2 directions at one duration) so in practice nothing evicts; a
+/// daemon-submitted matrix crossing many `(link, duration)` geometries
+/// recycles slots instead of holding every trace to the end of the
+/// sweep.
+const TRACE_MEMO_CAP: usize = 16;
+
+/// Lazily synthesized link traces shared by every cell of one sweep,
+/// bounded by an LRU over `(profile, duration)` keys. Values are
+/// byte-identical to what [`NetProfile::generate`] would produce
+/// cell-locally — traces depend only on `(master_seed, profile,
+/// duration)` — so neither memoization nor eviction can change results.
+/// Synthesis happens inside the requesting cell's thread (under its
+/// watchdog), first-come: concurrent requesters of one key share a
+/// per-key `OnceLock` build slot and block only on that key.
 struct TraceMemo {
-    traces: std::collections::HashMap<(NetProfile, Duration), Trace>,
+    master_seed: u64,
+    slots: Mutex<sprout_core::LruCache<(NetProfile, Duration), TraceSlot>>,
 }
 
+/// A per-key build slot (see [`TraceMemo`]).
+type TraceSlot = std::sync::Arc<OnceLock<Trace>>;
+
 impl TraceMemo {
-    fn for_cells<'a>(cells: impl IntoIterator<Item = &'a Scenario>, master_seed: u64) -> Self {
-        let mut traces = std::collections::HashMap::new();
-        for cell in cells {
-            if cell.workload == Workload::InterarrivalProbe {
-                continue; // probes use their own derived sub-stream
-            }
-            for profile in [cell.link, paired(cell.link)] {
-                traces.entry((profile, cell.duration)).or_insert_with(|| {
-                    TRACES_BUILT.fetch_add(1, Ordering::Relaxed);
-                    profile.generate(cell.duration, master_seed)
-                });
-            }
+    fn new(master_seed: u64) -> Self {
+        TraceMemo {
+            master_seed,
+            slots: Mutex::new(sprout_core::LruCache::new(TRACE_MEMO_CAP)),
         }
-        TraceMemo { traces }
     }
 
-    fn get(&self, profile: NetProfile, duration: Duration) -> Option<Trace> {
-        let t = self.traces.get(&(profile, duration)).cloned();
-        if t.is_some() {
+    /// The trace for `(profile, duration)`, synthesizing on first use.
+    fn get_or_build(&self, profile: NetProfile, duration: Duration) -> Trace {
+        let slot = {
+            let mut slots = self
+                .slots
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            let (slot, _) = slots.get_or_insert_with(&(profile, duration), TraceSlot::default);
+            let slot = std::sync::Arc::clone(slot);
+            TRACES_EVICTED.store(slots.evictions(), Ordering::Relaxed);
+            TRACE_MEMO_LEN.store(slots.len() as u64, Ordering::Relaxed);
+            slot
+        };
+        let mut built_now = false;
+        let trace = slot
+            .get_or_init(|| {
+                built_now = true;
+                profile.generate(duration, self.master_seed)
+            })
+            .clone();
+        if built_now {
+            TRACES_BUILT.fetch_add(1, Ordering::Relaxed);
+        } else {
             TRACES_REUSED.fetch_add(1, Ordering::Relaxed);
         }
-        t
+        trace
     }
 }
 
 /// Execute one cell. Public so single-cell callers (benches, `run_scheme`)
 /// share the exact code path of full sweeps.
 pub fn execute_scenario(matrix: &str, scenario: &Scenario, master_seed: u64) -> SweepResult {
-    let memo = TraceMemo {
-        traces: std::collections::HashMap::new(),
-    };
+    let memo = TraceMemo::new(master_seed);
     execute_with_memo(
         matrix,
         scenario,
@@ -864,12 +943,7 @@ fn execute_with_memo(
 
     // Link traces derive from the master seed and profile only: every cell
     // on this link sees the same conditions (the controlled variable).
-    let synth = |profile: NetProfile| {
-        memo.get(profile, scenario.duration).unwrap_or_else(|| {
-            TRACES_BUILT.fetch_add(1, Ordering::Relaxed);
-            profile.generate(scenario.duration, master_seed)
-        })
-    };
+    let synth = |profile: NetProfile| memo.get_or_build(profile, scenario.duration);
     let data_trace = synth(scenario.link);
     let feedback_trace = synth(paired(scenario.link));
     let sprout = match scenario.confidence_pct {

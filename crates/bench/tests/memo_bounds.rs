@@ -1,0 +1,64 @@
+//! In-memory cache boundedness across disjoint-geometry sweeps: a
+//! daemon that accepts arbitrary submitted matrices must not accumulate
+//! synthesized traces or forecast tables without bound. The trace memo
+//! is scoped to one sweep and LRU-bounded within it; the forecast-table
+//! cache is process-global but LRU-bounded (its eviction behavior is
+//! pinned in `sprout-core`). Here we pin the sweep-facing view: run two
+//! sweeps with disjoint `(link, duration)` geometries and assert the
+//! memo occupancy reflects only the latest sweep, never the union.
+
+use sprout_bench::{trace_memo_occupancy, ScenarioMatrix, Scheme, SweepEngine};
+use sprout_core::{table_cache_occupancy, FORECAST_TABLE_CACHE_CAP};
+use sprout_trace::{Duration, NetProfile};
+
+fn matrix(name: &str, links: [NetProfile; 2], secs: u64) -> ScenarioMatrix {
+    ScenarioMatrix::builder(name)
+        .schemes([Scheme::SproutEwma])
+        .links(links)
+        .timing(Duration::from_secs(secs), Duration::from_secs(1))
+        .build()
+}
+
+#[test]
+fn disjoint_geometry_sweeps_do_not_accumulate_traces() {
+    // Two sweeps, zero shared (link, duration) keys: different links AND
+    // different durations.
+    let first = matrix(
+        "memo-a",
+        [NetProfile::VerizonLteDown, NetProfile::Verizon3gUp],
+        4,
+    );
+    let second = matrix(
+        "memo-b",
+        [NetProfile::AttLteDown, NetProfile::TmobileUmtsUp],
+        5,
+    );
+
+    let a = SweepEngine::new(23).with_threads(1).run(&first);
+    assert_eq!(a.len(), first.len());
+    let (after_a, _) = trace_memo_occupancy();
+
+    let b = SweepEngine::new(23).with_threads(1).run(&second);
+    assert_eq!(b.len(), second.len());
+    let (after_b, _) = trace_memo_occupancy();
+
+    // Each sweep touches at most 4 keys (2 links × 2 directions at one
+    // duration). If geometries accumulated across sweeps, the second
+    // occupancy would report the union (> 4).
+    assert!(
+        after_a <= 4,
+        "first sweep's memo held {after_a} traces, expected ≤ 4"
+    );
+    assert!(
+        after_b <= 4,
+        "second sweep's memo must not retain the first sweep's \
+         geometries: {after_b} traces live"
+    );
+
+    // The process-global forecast-table cache obeys its own cap.
+    let (tables_live, _) = table_cache_occupancy();
+    assert!(
+        tables_live <= FORECAST_TABLE_CACHE_CAP,
+        "forecast-table cache grew to {tables_live} entries past the cap"
+    );
+}

@@ -1,0 +1,98 @@
+//! The watchdog must not leak threads: before cooperative cancellation,
+//! a timed-out cell's abandoned thread kept simulating its remaining
+//! virtual duration at wall speed (an hour-long cell burned a core for
+//! minutes — forever, from a daemon's point of view). These tests pin
+//! the new contract: a timed-out cell's thread honors its cancellation
+//! token and exits promptly, observable through the
+//! [`sprout_bench::abandoned_cell_threads`] gauge.
+//!
+//! The test mutates the process-global cache override, so it lives in
+//! its own integration-test binary and serializes on one lock.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration as WallDuration, Instant};
+
+use sprout_bench::{
+    abandoned_cell_threads, cell_failure_counters, ScenarioMatrix, Scheme, SweepEngine, SweepError,
+};
+use sprout_trace::{Duration, NetProfile};
+
+/// Serializes tests (they share the global cache-dir override).
+static LOCK: Mutex<()> = Mutex::new(());
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn temp_cache_dir(tag: &str) -> PathBuf {
+    static N: AtomicU32 = AtomicU32::new(0);
+    let d = std::env::temp_dir().join(format!(
+        "sprout-watchdog-test-{}-{}-{tag}",
+        std::process::id(),
+        N.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+/// One cell with an hour of virtual time: naturally it needs minutes of
+/// wall clock, so if it outruns the watchdog only cancellation can
+/// explain a prompt thread exit.
+fn hour_long_matrix() -> ScenarioMatrix {
+    ScenarioMatrix::builder("watchdog-cancel")
+        .schemes([Scheme::Cubic])
+        .links([NetProfile::TmobileUmtsDown])
+        .timing(Duration::from_secs(3600), Duration::from_secs(4))
+        .build()
+}
+
+#[test]
+fn timed_out_cell_threads_cancel_instead_of_leaking() {
+    let _g = lock();
+    sprout_cache::set_dir(temp_cache_dir("cancel"));
+
+    let failures_before = cell_failure_counters();
+    let err = SweepEngine::new(19)
+        .with_threads(1)
+        .with_cell_timeout(WallDuration::from_millis(50))
+        .try_run(&hour_long_matrix())
+        .expect_err("a 50 ms watchdog must fire long before an hour-long cell finishes");
+    match &err {
+        SweepError::CellsPanicked { failures, .. } => {
+            assert_eq!(failures.len(), 1);
+            assert!(failures[0].timed_out, "the failure must be a timeout");
+        }
+        other => panic!("expected CellsPanicked, got {other:?}"),
+    }
+    let failures = cell_failure_counters().since(failures_before);
+    assert_eq!((failures.timed_out, failures.failed), (1, 0));
+
+    // The abandoned thread must exit at its next cancellation checkpoint.
+    // Give it generous wall time for slow CI — still two orders of
+    // magnitude less than simulating the cell's remaining virtual hour.
+    let deadline = Instant::now() + WallDuration::from_secs(30);
+    while abandoned_cell_threads() > 0 {
+        assert!(
+            Instant::now() < deadline,
+            "abandoned cell thread did not honor cancellation within 30 s \
+             (gauge stuck at {})",
+            abandoned_cell_threads()
+        );
+        std::thread::sleep(WallDuration::from_millis(10));
+    }
+
+    // The engine is still fully serviceable afterwards: a short sweep of
+    // the same shape completes normally under the default watchdog.
+    let quick = ScenarioMatrix::builder("watchdog-after")
+        .schemes([Scheme::Cubic])
+        .links([NetProfile::TmobileUmtsDown])
+        .timing(Duration::from_secs(4), Duration::from_secs(1))
+        .build();
+    let results = SweepEngine::new(19).with_threads(1).run(&quick);
+    assert_eq!(results.len(), 1);
+    assert_eq!(abandoned_cell_threads(), 0);
+
+    sprout_cache::reset_override();
+}

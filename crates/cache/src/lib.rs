@@ -72,6 +72,19 @@ pub fn fingerprint64(bytes: &[u8]) -> u64 {
 /// How the cache root was overridden (None = no override in effect).
 static OVERRIDE: Mutex<Option<RootOverride>> = Mutex::new(None);
 
+/// Lock the override slot, recovering from poisoning. The slot holds a
+/// plain `Option<RootOverride>` whose every mutation is a single
+/// assignment, so a panic while the lock is held can never leave it in a
+/// torn state — the poison flag carries no information here. Without
+/// this, one panicking cell thread (watchdog timeouts, injected test
+/// panics) would turn every later cache resolution in the process into a
+/// `PoisonError` panic.
+fn override_slot() -> std::sync::MutexGuard<'static, Option<RootOverride>> {
+    OVERRIDE
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
 #[derive(Clone, Debug)]
 enum RootOverride {
     Disabled,
@@ -81,25 +94,38 @@ enum RootOverride {
 /// Point the cache at an explicit directory (the `--cache-dir` flag).
 /// Takes precedence over `SPROUT_CACHE_DIR` and the defaults.
 pub fn set_dir(dir: impl Into<PathBuf>) {
-    *OVERRIDE.lock().unwrap() = Some(RootOverride::Dir(dir.into()));
+    *override_slot() = Some(RootOverride::Dir(dir.into()));
 }
 
 /// Disable the cache entirely (the `--no-cache` flag): loads miss without
 /// touching the filesystem and stores are dropped.
 pub fn disable() {
-    *OVERRIDE.lock().unwrap() = Some(RootOverride::Disabled);
+    *override_slot() = Some(RootOverride::Disabled);
 }
 
 /// Clear any programmatic override, returning to environment/default
 /// resolution (used by tests).
 pub fn reset_override() {
-    *OVERRIDE.lock().unwrap() = None;
+    *override_slot() = None;
+}
+
+/// Poison the override mutex on purpose: lock it, then panic while the
+/// guard is held. Only exists so tests (here and downstream) can prove
+/// resolution survives poisoning.
+#[doc(hidden)]
+pub fn poison_override_lock_for_tests() {
+    let _ = std::panic::catch_unwind(|| {
+        let _guard = OVERRIDE
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        panic!("poisoning the override lock on purpose");
+    });
 }
 
 /// The directory artifacts are stored in, or `None` when the cache is
 /// disabled. Resolved fresh on every call so overrides apply immediately.
 pub fn resolved_dir() -> Option<PathBuf> {
-    if let Some(over) = OVERRIDE.lock().unwrap().clone() {
+    if let Some(over) = override_slot().clone() {
         return match over {
             RootOverride::Disabled => None,
             RootOverride::Dir(d) => Some(d),
@@ -701,6 +727,21 @@ mod tests {
         assert_ne!(fingerprint64(b"abc"), fingerprint64(b"abd"));
         // Frozen value: cell-result cache keys depend on this function.
         assert_eq!(fingerprint64(b""), FNV_OFFSET);
+    }
+
+    #[test]
+    fn poisoned_override_still_resolves() {
+        let _g = LOCK.lock().unwrap();
+        set_dir("/tmp/before-poison");
+        poison_override_lock_for_tests();
+        // A long-running daemon keeps resolving and re-pointing the cache
+        // after one worker thread panicked mid-configuration.
+        assert_eq!(resolved_dir(), Some(PathBuf::from("/tmp/before-poison")));
+        set_dir("/tmp/after-poison");
+        assert_eq!(resolved_dir(), Some(PathBuf::from("/tmp/after-poison")));
+        disable();
+        assert_eq!(resolved_dir(), None);
+        reset_override();
     }
 
     #[test]

@@ -1,0 +1,51 @@
+//! The client half of the status API: one blocking HTTP/1.1 request
+//! per call over a fresh loopback connection (the server closes after
+//! each response, so reading to EOF is the framing).
+
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+use std::path::Path;
+use std::time::Duration;
+
+/// Perform one `method path` request against `endpoint`
+/// (`host:port`), returning `(status, body)`.
+pub fn request(
+    endpoint: &str,
+    method: &str,
+    path_and_query: &str,
+    body: &str,
+) -> io::Result<(u16, String)> {
+    let mut stream = TcpStream::connect(endpoint)?;
+    stream.set_nodelay(true)?;
+    stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(10)))?;
+    write!(
+        stream,
+        "{method} {path_and_query} HTTP/1.1\r\nHost: {endpoint}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )?;
+    stream.flush()?;
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw)?;
+    let (head, resp_body) = raw
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| io::Error::other("malformed HTTP response (no header terminator)"))?;
+    let status = head
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| io::Error::other("malformed HTTP status line"))?;
+    Ok((status, resp_body.to_string()))
+}
+
+/// Read the daemon's endpoint (`host:port`) from `<state_dir>/endpoint`
+/// — written by `sprout-control serve` once its listener is bound.
+pub fn endpoint_of(state_dir: &Path) -> io::Result<String> {
+    let path = state_dir.join("endpoint");
+    let addr = std::fs::read_to_string(&path).map_err(|e| {
+        io::Error::other(format!(
+            "no daemon endpoint at {path:?} ({e}); is `sprout-control serve` running with this --state-dir?"
+        ))
+    })?;
+    Ok(addr.trim().to_string())
+}

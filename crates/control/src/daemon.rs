@@ -1,0 +1,785 @@
+//! The scheduler: deals sweeps to `reproduce --shard` workers, watches
+//! their heartbeats, re-deals orphaned shards, and runs the final merge.
+//!
+//! One sweep is active at a time (submission order); its `workers`
+//! count becomes the shard denominator. Every worker is spawned as
+//!
+//! ```text
+//! reproduce <experiment> <args…> --shard i/N --resume --controlled \
+//!           --out <out>/sweep-<id>  (env SPROUT_CACHE_DIR=<cache>)
+//! ```
+//!
+//! `--resume` is what makes worker death cheap: a replacement worker
+//! re-executes only the cells its predecessor had not yet deposited in
+//! the shared cell cache. `--controlled` makes liveness observable — a
+//! worker prints a flushed heartbeat line every 500 ms, so a wedged
+//! process (as opposed to a merely busy one) is killed and re-dealt
+//! after `hb_timeout` of silence. Retries back off exponentially and
+//! are bounded; exhausting them fails the sweep with a named reason
+//! instead of looping forever.
+//!
+//! When every shard reports success the daemon spawns the merge run
+//! (`--merge`), which serves all cells from the cache and renders the
+//! artifacts — byte-identical to a single-process run of the same
+//! flags, which is the contract the integration tests pin.
+
+use std::collections::HashSet;
+use std::fs::File;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::TcpListener;
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use sprout_bench::figures::{self, ExperimentConfig};
+use sprout_bench::{cellcache, cli};
+
+use crate::httpd::{self, json_escape, Request, Response};
+use crate::state::{Queue, SweepState};
+
+/// Everything the daemon needs to run; see `sprout-control serve`.
+#[derive(Clone, Debug)]
+pub struct DaemonConfig {
+    /// Listen address, e.g. `127.0.0.1:0` (the bound port is written to
+    /// `<state_dir>/endpoint`).
+    pub listen: String,
+    /// Queue file, endpoint file, and worker logs live here.
+    pub state_dir: PathBuf,
+    /// The shared artifact cache every worker and merge runs against.
+    pub cache_dir: PathBuf,
+    /// Artifact root; sweep `<id>` renders into `<out_dir>/sweep-<id>`.
+    pub out_dir: PathBuf,
+    /// The `reproduce` binary workers are spawned from.
+    pub reproduce_bin: PathBuf,
+    /// Kill a worker whose stdout has been silent this long.
+    pub hb_timeout: Duration,
+    /// First retry delay; doubles per retry of the same shard.
+    pub retry_base: Duration,
+    /// Retries per shard (and for the merge) before the sweep fails.
+    pub max_retries: u32,
+    /// Scheduler tick.
+    pub tick: Duration,
+}
+
+impl DaemonConfig {
+    /// Defaults rooted at `state_dir`: cache in `.sprout-cache` (or
+    /// `SPROUT_CACHE_DIR`), artifacts in `results/`, `reproduce`
+    /// resolved as a sibling of the current executable.
+    pub fn new(state_dir: impl Into<PathBuf>) -> DaemonConfig {
+        let reproduce_bin = std::env::current_exe()
+            .ok()
+            .and_then(|exe| Some(exe.parent()?.join("reproduce")))
+            .unwrap_or_else(|| PathBuf::from("reproduce"));
+        let cache_dir = std::env::var_os("SPROUT_CACHE_DIR")
+            .map(PathBuf::from)
+            .unwrap_or_else(|| PathBuf::from(".sprout-cache"));
+        DaemonConfig {
+            listen: "127.0.0.1:0".to_string(),
+            state_dir: state_dir.into(),
+            cache_dir,
+            out_dir: PathBuf::from("results"),
+            reproduce_bin,
+            hb_timeout: Duration::from_secs(10),
+            retry_base: Duration::from_millis(500),
+            max_retries: 4,
+            tick: Duration::from_millis(100),
+        }
+    }
+}
+
+/// A worker's row in `/status`.
+#[derive(Clone)]
+struct WorkerView {
+    sweep: u64,
+    phase: &'static str,
+    shard: usize,
+    count: usize,
+    pid: u32,
+    retries: u32,
+    abandoned: u64,
+    quiet_ms: u64,
+}
+
+struct Shared {
+    cfg: DaemonConfig,
+    queue: Mutex<Queue>,
+    cancels: Mutex<HashSet<u64>>,
+    shutdown: AtomicBool,
+    views: Mutex<Vec<WorkerView>>,
+    started: Instant,
+}
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// One spawned `reproduce` process (a shard worker or the merge).
+struct WorkerProc {
+    shard: usize,
+    child: Child,
+    pid: u32,
+    last_line: Arc<Mutex<Instant>>,
+    abandoned: Arc<AtomicU64>,
+    reader: Option<JoinHandle<()>>,
+}
+
+impl WorkerProc {
+    fn quiet_for(&self) -> Duration {
+        lock(&self.last_line).elapsed()
+    }
+
+    fn kill_and_reap(mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+        if let Some(reader) = self.reader.take() {
+            let _ = reader.join();
+        }
+    }
+
+    fn reap(mut self) {
+        if let Some(reader) = self.reader.take() {
+            let _ = reader.join();
+        }
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum ShardPhase {
+    Waiting,
+    Running,
+    Done,
+}
+
+struct ShardRun {
+    phase: ShardPhase,
+    retries: u32,
+    next_attempt: Instant,
+}
+
+/// The sweep currently being dealt.
+struct Active {
+    id: u64,
+    experiment: String,
+    args: Vec<String>,
+    count: usize,
+    shards: Vec<ShardRun>,
+    workers: Vec<WorkerProc>,
+    merge: Option<WorkerProc>,
+    merge_retries: u32,
+    merge_next_attempt: Instant,
+    out_dir: PathBuf,
+}
+
+/// A running control daemon: HTTP thread + scheduler.
+pub struct Daemon {
+    shared: Arc<Shared>,
+    endpoint: String,
+    http: JoinHandle<()>,
+}
+
+impl Daemon {
+    /// Bind the listener, write `<state-dir>/endpoint`, load the queue,
+    /// and start serving the status API. The scheduler does not run
+    /// until [`Daemon::run`].
+    pub fn start(cfg: DaemonConfig) -> io::Result<Daemon> {
+        std::fs::create_dir_all(&cfg.state_dir)?;
+        std::fs::create_dir_all(&cfg.out_dir)?;
+        // The daemon probes the shared cell cache directly (for
+        // /sweeps/<id>/cells); point this process's cache at it once.
+        sprout_cache::set_dir(cfg.cache_dir.clone());
+        let queue = Queue::open(&cfg.state_dir)?;
+        let listener = TcpListener::bind(&cfg.listen)?;
+        let endpoint = listener.local_addr()?.to_string();
+        std::fs::write(cfg.state_dir.join("endpoint"), format!("{endpoint}\n"))?;
+        let shared = Arc::new(Shared {
+            cfg,
+            queue: Mutex::new(queue),
+            cancels: Mutex::new(HashSet::new()),
+            shutdown: AtomicBool::new(false),
+            views: Mutex::new(Vec::new()),
+            started: Instant::now(),
+        });
+        let http_shared = Arc::clone(&shared);
+        let http_shutdown = Arc::clone(&shared);
+        let http = std::thread::spawn(move || {
+            let flag = Arc::new(AtomicBool::new(false));
+            // Mirror the daemon-wide flag into the server's poll loop.
+            let mirror = Arc::clone(&flag);
+            let watcher = std::thread::spawn(move || {
+                while !http_shutdown.shutdown.load(Ordering::Acquire) {
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+                mirror.store(true, Ordering::Release);
+            });
+            let _ = httpd::run(listener, flag, move |req| handle(&http_shared, req));
+            let _ = watcher.join();
+        });
+        Ok(Daemon {
+            endpoint,
+            shared,
+            http,
+        })
+    }
+
+    /// The bound `host:port` of the status API.
+    pub fn endpoint(&self) -> &str {
+        &self.endpoint
+    }
+
+    /// Run the scheduler until `/shutdown`: deal pending sweeps, watch
+    /// workers, merge, repeat. Kills every child before returning.
+    pub fn run(self) -> io::Result<()> {
+        let mut active: Option<Active> = None;
+        loop {
+            if self.shared.shutdown.load(Ordering::Acquire) {
+                if let Some(a) = active.take() {
+                    kill_all(a);
+                    // The queue still records the sweep as running /
+                    // merging; reload demotes it to pending, and its
+                    // cached cells make the restart cheap.
+                }
+                break;
+            }
+            if let Some(a) = &active {
+                if lock(&self.shared.cancels).remove(&a.id) {
+                    let a = active.take().expect("checked above");
+                    let id = a.id;
+                    let out_dir = a.out_dir.clone();
+                    kill_all(a);
+                    // Leave only cached cells behind: no partial
+                    // artifacts survive a cancel.
+                    let _ = std::fs::remove_dir_all(&out_dir);
+                    self.finish(id, SweepState::Cancelled, String::new());
+                }
+            }
+            if active.is_none() {
+                active = self.next_pending()?;
+            }
+            if let Some(a) = &mut active {
+                if self.step(a)? {
+                    active = None;
+                }
+            }
+            self.publish(active.as_ref());
+            std::thread::sleep(self.shared.cfg.tick);
+        }
+        lock(&self.shared.views).clear();
+        let _ = std::fs::remove_file(self.shared.cfg.state_dir.join("endpoint"));
+        let _ = self.http.join();
+        Ok(())
+    }
+
+    /// Promote the oldest pending sweep to running and set up its
+    /// shard table.
+    fn next_pending(&self) -> io::Result<Option<Active>> {
+        let mut q = lock(&self.shared.queue);
+        let Some(id) = q.first_pending() else {
+            return Ok(None);
+        };
+        let spec = q.get_mut(id).expect("first_pending returned a live id");
+        spec.state = SweepState::Running;
+        let (experiment, args, count) = (spec.experiment.clone(), spec.args.clone(), spec.workers);
+        q.persist()?;
+        drop(q);
+        let out_dir = self.shared.cfg.out_dir.join(format!("sweep-{id}"));
+        std::fs::create_dir_all(&out_dir)?;
+        let now = Instant::now();
+        let shards = (0..count)
+            .map(|_| ShardRun {
+                phase: ShardPhase::Waiting,
+                retries: 0,
+                next_attempt: now,
+            })
+            .collect();
+        Ok(Some(Active {
+            id,
+            experiment,
+            args,
+            count,
+            shards,
+            workers: Vec::new(),
+            merge: None,
+            merge_retries: 0,
+            merge_next_attempt: now,
+            out_dir,
+        }))
+    }
+
+    /// One scheduler pass over the active sweep. Returns `true` when
+    /// the sweep reached a terminal state.
+    fn step(&self, a: &mut Active) -> io::Result<bool> {
+        let cfg = &self.shared.cfg;
+        let now = Instant::now();
+
+        // Reap shard workers: success marks the shard done; a death or
+        // a silent heartbeat re-deals it after a backoff.
+        enum Verdict {
+            Keep,
+            Done,
+            Fail(String),
+        }
+        let mut idx = 0;
+        while idx < a.workers.len() {
+            let verdict = {
+                let w = &mut a.workers[idx];
+                match w.child.try_wait() {
+                    Ok(Some(st)) if st.success() => Verdict::Done,
+                    Ok(Some(st)) => Verdict::Fail(format!("worker exited with {st}")),
+                    Ok(None) => {
+                        let quiet = w.quiet_for();
+                        if quiet > cfg.hb_timeout {
+                            Verdict::Fail(format!(
+                                "heartbeat silent for {:.1}s",
+                                quiet.as_secs_f64()
+                            ))
+                        } else {
+                            Verdict::Keep
+                        }
+                    }
+                    Err(e) => Verdict::Fail(format!("wait failed: {e}")),
+                }
+            };
+            match verdict {
+                Verdict::Keep => idx += 1,
+                Verdict::Done => {
+                    let w = a.workers.swap_remove(idx);
+                    a.shards[w.shard].phase = ShardPhase::Done;
+                    w.reap();
+                }
+                Verdict::Fail(reason) => {
+                    let w = a.workers.swap_remove(idx);
+                    let shard = w.shard;
+                    w.kill_and_reap();
+                    self.count_retry(a.id);
+                    let s = &mut a.shards[shard];
+                    s.retries += 1;
+                    if s.retries > cfg.max_retries {
+                        let msg = format!(
+                            "shard {shard}/{} failed after {} attempts: {reason}",
+                            a.count, s.retries
+                        );
+                        return self.fail_active(a, msg);
+                    }
+                    s.phase = ShardPhase::Waiting;
+                    s.next_attempt = now + backoff(cfg.retry_base, s.retries);
+                }
+            }
+        }
+
+        // Deal shards whose backoff has elapsed.
+        for shard in 0..a.shards.len() {
+            let due =
+                a.shards[shard].phase == ShardPhase::Waiting && now >= a.shards[shard].next_attempt;
+            if !due {
+                continue;
+            }
+            match self.spawn(a, Some(shard), a.shards[shard].retries) {
+                Ok(w) => {
+                    a.shards[shard].phase = ShardPhase::Running;
+                    a.workers.push(w);
+                }
+                Err(e) => {
+                    self.count_retry(a.id);
+                    let s = &mut a.shards[shard];
+                    s.retries += 1;
+                    if s.retries > cfg.max_retries {
+                        let msg = format!("shard {shard}/{}: spawn failed: {e}", a.count);
+                        return self.fail_active(a, msg);
+                    }
+                    s.next_attempt = now + backoff(cfg.retry_base, s.retries);
+                }
+            }
+        }
+
+        // Merge once every shard has deposited its cells.
+        if !a.shards.iter().all(|s| s.phase == ShardPhase::Done) {
+            return Ok(false);
+        }
+        match &mut a.merge {
+            None if now >= a.merge_next_attempt => {
+                self.set_state(a.id, SweepState::Merging);
+                match self.spawn(a, None, a.merge_retries) {
+                    Ok(w) => a.merge = Some(w),
+                    Err(e) => return self.merge_failed(a, format!("spawn failed: {e}"), now),
+                }
+            }
+            None => {}
+            Some(m) => {
+                let verdict = match m.child.try_wait() {
+                    Ok(Some(st)) if st.success() => Some(Ok(())),
+                    Ok(Some(st)) => Some(Err(format!("merge exited with {st}"))),
+                    Ok(None) => {
+                        let quiet = m.quiet_for();
+                        if quiet > cfg.hb_timeout {
+                            Some(Err(format!(
+                                "merge heartbeat silent for {:.1}s",
+                                quiet.as_secs_f64()
+                            )))
+                        } else {
+                            None
+                        }
+                    }
+                    Err(e) => Some(Err(format!("merge wait failed: {e}"))),
+                };
+                match verdict {
+                    None => {}
+                    Some(Ok(())) => {
+                        a.merge.take().expect("matched Some").reap();
+                        self.finish(a.id, SweepState::Done, String::new());
+                        return Ok(true);
+                    }
+                    Some(Err(reason)) => {
+                        a.merge.take().expect("matched Some").kill_and_reap();
+                        return self.merge_failed(a, reason, now);
+                    }
+                }
+            }
+        }
+        Ok(false)
+    }
+
+    /// Book a merge retry (or fail the sweep when exhausted).
+    fn merge_failed(&self, a: &mut Active, reason: String, now: Instant) -> io::Result<bool> {
+        self.count_retry(a.id);
+        a.merge_retries += 1;
+        if a.merge_retries > self.shared.cfg.max_retries {
+            let msg = format!("merge failed after {} attempts: {reason}", a.merge_retries);
+            return self.fail_active(a, msg);
+        }
+        a.merge_next_attempt = now + backoff(self.shared.cfg.retry_base, a.merge_retries);
+        Ok(false)
+    }
+
+    /// Kill everything the sweep still runs and mark it failed.
+    fn fail_active(&self, a: &mut Active, msg: String) -> io::Result<bool> {
+        for w in a.workers.drain(..) {
+            w.kill_and_reap();
+        }
+        if let Some(m) = a.merge.take() {
+            m.kill_and_reap();
+        }
+        self.finish(a.id, SweepState::Failed, msg);
+        Ok(true)
+    }
+
+    fn set_state(&self, id: u64, state: SweepState) {
+        let mut q = lock(&self.shared.queue);
+        if let Some(spec) = q.get_mut(id) {
+            if spec.state != state {
+                spec.state = state;
+                let _ = q.persist();
+            }
+        }
+    }
+
+    fn finish(&self, id: u64, state: SweepState, error: String) {
+        let mut q = lock(&self.shared.queue);
+        if let Some(spec) = q.get_mut(id) {
+            spec.state = state;
+            spec.error = error;
+            let _ = q.persist();
+        }
+    }
+
+    fn count_retry(&self, id: u64) {
+        let mut q = lock(&self.shared.queue);
+        if let Some(spec) = q.get_mut(id) {
+            spec.retries += 1;
+            let _ = q.persist();
+        }
+    }
+
+    /// Spawn one worker: `Some(shard)` for a shard run, `None` for the
+    /// merge. Stdout is piped through a reader thread that timestamps
+    /// every line (the liveness signal) and tees it to a log file;
+    /// stderr goes straight to a log file.
+    fn spawn(&self, a: &Active, shard: Option<usize>, attempt: u32) -> io::Result<WorkerProc> {
+        let cfg = &self.shared.cfg;
+        let logs = cfg.state_dir.join("logs");
+        std::fs::create_dir_all(&logs)?;
+        let tag = match shard {
+            Some(i) => format!("shard{i}"),
+            None => "merge".to_string(),
+        };
+        let log_path = logs.join(format!("sweep{}-{tag}-try{attempt}.log", a.id));
+        let err_path = logs.join(format!("sweep{}-{tag}-try{attempt}.err", a.id));
+        let mut cmd = Command::new(&cfg.reproduce_bin);
+        cmd.arg(&a.experiment).args(&a.args);
+        match shard {
+            Some(i) => {
+                cmd.arg("--shard").arg(format!("{i}/{}", a.count));
+                cmd.arg("--resume");
+            }
+            None => {
+                cmd.arg("--merge");
+            }
+        }
+        cmd.arg("--controlled")
+            .arg("--out")
+            .arg(&a.out_dir)
+            .env("SPROUT_CACHE_DIR", &cfg.cache_dir)
+            .stdin(Stdio::null())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::from(File::create(&err_path)?));
+        let mut child = cmd.spawn()?;
+        let pid = child.id();
+        let stdout = child.stdout.take().expect("stdout was piped");
+        let last_line = Arc::new(Mutex::new(Instant::now()));
+        let abandoned = Arc::new(AtomicU64::new(0));
+        let (ll, ab) = (Arc::clone(&last_line), Arc::clone(&abandoned));
+        let reader = std::thread::spawn(move || {
+            let mut log = File::create(&log_path).ok();
+            for line in BufReader::new(stdout).lines() {
+                let Ok(line) = line else { break };
+                *lock(&ll) = Instant::now();
+                if let Some(rest) = line.strip_prefix("CONTROL hb ") {
+                    if let Some(n) = rest
+                        .split("abandoned=")
+                        .nth(1)
+                        .and_then(|v| v.trim().parse().ok())
+                    {
+                        ab.store(n, Ordering::Relaxed);
+                    }
+                } else if let Some(log) = log.as_mut() {
+                    // Heartbeats are liveness, not output; log the rest.
+                    let _ = writeln!(log, "{line}");
+                }
+            }
+        });
+        Ok(WorkerProc {
+            shard: shard.unwrap_or(usize::MAX),
+            child,
+            pid,
+            last_line,
+            abandoned,
+            reader: Some(reader),
+        })
+    }
+
+    /// Refresh the `/status` worker table.
+    fn publish(&self, active: Option<&Active>) {
+        let mut views = Vec::new();
+        if let Some(a) = active {
+            for w in &a.workers {
+                views.push(WorkerView {
+                    sweep: a.id,
+                    phase: "shard",
+                    shard: w.shard,
+                    count: a.count,
+                    pid: w.pid,
+                    retries: a.shards[w.shard].retries,
+                    abandoned: w.abandoned.load(Ordering::Relaxed),
+                    quiet_ms: w.quiet_for().as_millis() as u64,
+                });
+            }
+            if let Some(m) = &a.merge {
+                views.push(WorkerView {
+                    sweep: a.id,
+                    phase: "merge",
+                    shard: 0,
+                    count: 1,
+                    pid: m.pid,
+                    retries: a.merge_retries,
+                    abandoned: m.abandoned.load(Ordering::Relaxed),
+                    quiet_ms: m.quiet_for().as_millis() as u64,
+                });
+            }
+        }
+        *lock(&self.shared.views) = views;
+    }
+}
+
+fn kill_all(mut a: Active) {
+    for w in a.workers.drain(..) {
+        w.kill_and_reap();
+    }
+    if let Some(m) = a.merge.take() {
+        m.kill_and_reap();
+    }
+}
+
+fn backoff(base: Duration, retries: u32) -> Duration {
+    let factor = 1u32 << retries.saturating_sub(1).min(5);
+    (base * factor).min(Duration::from_secs(10))
+}
+
+fn sweep_json(spec: &crate::state::SweepSpec) -> String {
+    let args: Vec<String> = spec
+        .args
+        .iter()
+        .map(|a| format!("\"{}\"", json_escape(a)))
+        .collect();
+    format!(
+        "{{\"id\":{},\"experiment\":\"{}\",\"workers\":{},\"state\":\"{}\",\"retries\":{},\"error\":\"{}\",\"args\":[{}]}}",
+        spec.id,
+        json_escape(&spec.experiment),
+        spec.workers,
+        spec.state.as_str(),
+        spec.retries,
+        json_escape(&spec.error),
+        args.join(",")
+    )
+}
+
+/// Route one status-API request.
+fn handle(shared: &Arc<Shared>, req: &Request) -> Response {
+    let segments: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
+    match (req.method.as_str(), segments.as_slice()) {
+        ("GET", ["status"]) => status(shared),
+        ("GET", ["sweeps"]) => {
+            let q = lock(&shared.queue);
+            let rows: Vec<String> = q.sweeps().iter().map(sweep_json).collect();
+            Response::json(200, format!("{{\"sweeps\":[{}]}}", rows.join(",")))
+        }
+        ("POST", ["sweeps"]) => submit(shared, req),
+        ("GET", ["sweeps", id, "cells"]) => match id.parse() {
+            Ok(id) => cells(shared, id),
+            Err(_) => Response::error(400, "sweep id must be a number"),
+        },
+        ("POST", ["sweeps", id, "cancel"]) => match id.parse() {
+            Ok(id) => cancel(shared, id),
+            Err(_) => Response::error(400, "sweep id must be a number"),
+        },
+        ("POST", ["shutdown"]) => {
+            shared.shutdown.store(true, Ordering::Release);
+            Response::json(200, "{\"shutting_down\":true}")
+        }
+        _ => Response::error(404, &format!("no route for {} {}", req.method, req.path)),
+    }
+}
+
+fn status(shared: &Arc<Shared>) -> Response {
+    let q = lock(&shared.queue);
+    let count = |s: SweepState| q.sweeps().iter().filter(|x| x.state == s).count();
+    let counts = format!(
+        "{{\"total\":{},\"pending\":{},\"running\":{},\"merging\":{},\"done\":{},\"failed\":{},\"cancelled\":{}}}",
+        q.sweeps().len(),
+        count(SweepState::Pending),
+        count(SweepState::Running),
+        count(SweepState::Merging),
+        count(SweepState::Done),
+        count(SweepState::Failed),
+        count(SweepState::Cancelled),
+    );
+    drop(q);
+    let views = lock(&shared.views);
+    let workers: Vec<String> = views
+        .iter()
+        .map(|w| {
+            format!(
+                "{{\"sweep\":{},\"phase\":\"{}\",\"shard\":{},\"count\":{},\"pid\":{},\"retries\":{},\"abandoned\":{},\"quiet_ms\":{}}}",
+                w.sweep, w.phase, w.shard, w.count, w.pid, w.retries, w.abandoned, w.quiet_ms
+            )
+        })
+        .collect();
+    Response::json(
+        200,
+        format!(
+            "{{\"uptime_ms\":{},\"sweeps\":{},\"workers\":[{}]}}",
+            shared.started.elapsed().as_millis(),
+            counts,
+            workers.join(",")
+        ),
+    )
+}
+
+/// `POST /sweeps?experiment=E&workers=N`, body = one worker flag per
+/// line. Validation happens here, before any worker exists: unknown
+/// experiments, reserved control-plane flags, and anything the shared
+/// parser rejects all fail the submit with a 400.
+fn submit(shared: &Arc<Shared>, req: &Request) -> Response {
+    let Some(experiment) = req.query("experiment") else {
+        return Response::error(400, "missing experiment query parameter");
+    };
+    let workers = match req.query("workers").map(str::parse::<usize>) {
+        None => 2,
+        Some(Ok(n)) if (1..=64).contains(&n) => n,
+        Some(_) => return Response::error(400, "workers must be a number in 1..=64"),
+    };
+    let args: Vec<String> = req
+        .body
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty())
+        .map(str::to_string)
+        .collect();
+    for arg in &args {
+        if cli::CONTROL_RESERVED_FLAGS.contains(&arg.as_str()) {
+            return Response::error(
+                400,
+                &format!("{arg} is reserved for the control daemon (it owns sharding, cache placement, and artifact output)"),
+            );
+        }
+    }
+    let mut probe = ExperimentConfig::default();
+    if let Err(msg) = cli::apply_worker_args(&mut probe, experiment, &args) {
+        return Response::error(400, &msg);
+    }
+    match lock(&shared.queue).submit(experiment, workers, args) {
+        Ok(id) => Response::json(200, format!("{{\"id\":{id}}}")),
+        Err(e) => Response::error(400, &e.to_string()),
+    }
+}
+
+/// `GET /sweeps/<id>/cells`: live per-cell progress, computed by
+/// probing the shared cell cache with the exact keys the sweep's
+/// matrices declare — the same keys workers deposit under, so a cell
+/// flips to `cached` the moment its worker stores it.
+fn cells(shared: &Arc<Shared>, id: u64) -> Response {
+    let spec = match lock(&shared.queue).get(id) {
+        Some(spec) => spec.clone(),
+        None => return Response::error(404, &format!("no sweep {id}")),
+    };
+    let mut cfg = ExperimentConfig::default();
+    if let Err(msg) = cli::apply_worker_args(&mut cfg, &spec.experiment, &spec.args) {
+        return Response::error(400, &msg);
+    }
+    let mut rows = Vec::new();
+    let mut cached_count = 0usize;
+    for matrix in figures::matrices_for(&cfg, &spec.experiment) {
+        let fingerprint = matrix.fingerprint();
+        for cell in matrix.cells() {
+            let cached = cellcache::load_cell(matrix.name(), fingerprint, cell, cfg.seed).is_some();
+            cached_count += usize::from(cached);
+            rows.push(format!(
+                "{{\"matrix\":\"{}\",\"label\":\"{}\",\"cached\":{}}}",
+                json_escape(matrix.name()),
+                json_escape(&cell.label),
+                cached
+            ));
+        }
+    }
+    Response::json(
+        200,
+        format!(
+            "{{\"sweep\":{},\"state\":\"{}\",\"cached\":{},\"total\":{},\"cells\":[{}]}}",
+            id,
+            spec.state.as_str(),
+            cached_count,
+            rows.len(),
+            rows.join(",")
+        ),
+    )
+}
+
+fn cancel(shared: &Arc<Shared>, id: u64) -> Response {
+    let mut q = lock(&shared.queue);
+    let Some(spec) = q.get_mut(id) else {
+        return Response::error(404, &format!("no sweep {id}"));
+    };
+    if spec.state.is_terminal() {
+        let state = spec.state.as_str();
+        return Response::json(200, format!("{{\"id\":{id},\"state\":\"{state}\"}}"));
+    }
+    if spec.state == SweepState::Pending {
+        spec.state = SweepState::Cancelled;
+        let _ = q.persist();
+        return Response::json(200, format!("{{\"id\":{id},\"state\":\"cancelled\"}}"));
+    }
+    drop(q);
+    lock(&shared.cancels).insert(id);
+    Response::json(200, format!("{{\"id\":{id},\"state\":\"cancelling\"}}"))
+}

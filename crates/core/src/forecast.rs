@@ -32,13 +32,13 @@
 //! only consistent with rate-uncertainty caution — a deliberate,
 //! documented interpretation of the paper's text.
 
-use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
 use sprout_cache::{ArtifactKind, ByteReader, ByteWriter, CacheCounters};
 
 use crate::config::{SproutConfig, TableKey};
+use crate::lru::LruCache;
 use crate::model::{ScatterMatrix, TransitionKernel};
 
 /// On-disk persistence of built tables. Version covers both the byte
@@ -81,6 +81,30 @@ impl MemCounters {
 
 static TABLES_BUILT: AtomicU64 = AtomicU64::new(0);
 static TABLES_REUSED: AtomicU64 = AtomicU64::new(0);
+static TABLES_EVICTED: AtomicU64 = AtomicU64::new(0);
+static TABLE_CACHE_LEN: AtomicU64 = AtomicU64::new(0);
+
+/// How many link geometries the in-memory forecast-table cache keeps
+/// live at once. Each entry is ≈4 MB at paper scale; eight covers every
+/// matrix the `reproduce` experiments declare with headroom, while a
+/// daemon cycling through arbitrary geometries stays bounded.
+pub const FORECAST_TABLE_CACHE_CAP: usize = 8;
+
+/// A per-key build slot: the first caller of a key initializes the
+/// `OnceLock` (building the table) while others wait on it, without
+/// holding the whole-cache lock.
+type TableSlot = Arc<OnceLock<Arc<ForecastTables>>>;
+
+/// Occupancy of the in-memory forecast-table cache: `(live_entries,
+/// evictions_total)`. `live_entries` never exceeds
+/// [`FORECAST_TABLE_CACHE_CAP`]; a growing `evictions_total` under a
+/// geometry-heavy sweep is the cache recycling slots as designed.
+pub fn table_cache_occupancy() -> (usize, u64) {
+    (
+        TABLE_CACHE_LEN.load(Ordering::Relaxed) as usize,
+        TABLES_EVICTED.load(Ordering::Relaxed),
+    )
+}
 
 /// Process-wide in-memory forecast-table amortization counters: `built`
 /// counts [`ForecastTables::get`] calls that materialized a table (DP
@@ -143,17 +167,30 @@ pub struct ForecastTables {
 impl ForecastTables {
     /// Fetch (building on first use) the tables for `cfg` from the global
     /// cache. Tables depend only on the model geometry, not the percentile,
-    /// so Fig-9 style confidence sweeps share one build.
+    /// so Fig-9 style confidence sweeps share one build. The cache is a
+    /// bounded LRU ([`FORECAST_TABLE_CACHE_CAP`] geometries, ≈4 MB each at
+    /// paper scale): a daemon sweeping many disjoint geometries recycles
+    /// slots instead of growing without bound.
     pub fn get(cfg: &SproutConfig) -> Arc<ForecastTables> {
         // Per-key OnceLock slots: the first caller of a key builds while
         // holding only that key's slot, so concurrent sweep workers neither
         // duplicate a build (it costs seconds at paper scale) nor block
-        // callers wanting a different geometry.
-        type Slot = Arc<OnceLock<Arc<ForecastTables>>>;
-        static CACHE: OnceLock<Mutex<HashMap<TableKey, Slot>>> = OnceLock::new();
-        let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+        // callers wanting a different geometry. Eviction drops the map's
+        // Arc only — a builder mid-flight on an evicted slot still owns
+        // it and finishes; the next `get` of that key simply rebuilds.
+        static CACHE: OnceLock<Mutex<LruCache<TableKey, TableSlot>>> = OnceLock::new();
+        let cache = CACHE.get_or_init(|| Mutex::new(LruCache::new(FORECAST_TABLE_CACHE_CAP)));
         let key = cfg.table_key();
-        let slot = Arc::clone(cache.lock().unwrap().entry(key).or_default());
+        let slot = {
+            let mut map = cache
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            let (slot, _) = map.get_or_insert_with(&key, TableSlot::default);
+            let slot = Arc::clone(slot);
+            TABLES_EVICTED.store(map.evictions(), Ordering::Relaxed);
+            TABLE_CACHE_LEN.store(map.len() as u64, Ordering::Relaxed);
+            slot
+        };
         let mut built_now = false;
         let tables = Arc::clone(slot.get_or_init(|| {
             built_now = true;
@@ -983,6 +1020,40 @@ mod tests {
         {
             assert!(c <= m, "cautious must not exceed median");
         }
+    }
+
+    #[test]
+    fn table_cache_stays_bounded_across_disjoint_geometries() {
+        // A daemon sweeping many distinct link geometries must not grow
+        // the in-memory table cache without bound: push well past the cap
+        // and pin that occupancy stays at or under it while the overflow
+        // shows up as evictions.
+        let span = FORECAST_TABLE_CACHE_CAP + 4;
+        let (_, evicted_before) = table_cache_occupancy();
+        for i in 0..span {
+            let cfg = SproutConfig {
+                num_bins: 16 + i, // distinct geometry ⇒ distinct table key
+                max_rate_pps: 100.0,
+                sigma: 100.0,
+                count_max: 32,
+                ..SproutConfig::default()
+            };
+            let _t = ForecastTables::get(&cfg);
+            let (len, _) = table_cache_occupancy();
+            assert!(
+                len <= FORECAST_TABLE_CACHE_CAP,
+                "cache grew to {len} entries past the cap after geometry {i}"
+            );
+        }
+        let (_, evicted_after) = table_cache_occupancy();
+        // Other tests in this binary share the cache, so evictions can
+        // only exceed the floor this loop forces.
+        assert!(
+            evicted_after - evicted_before >= (span - FORECAST_TABLE_CACHE_CAP) as u64,
+            "expected ≥{} evictions, saw {}",
+            span - FORECAST_TABLE_CACHE_CAP,
+            evicted_after - evicted_before
+        );
     }
 
     #[test]

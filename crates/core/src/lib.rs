@@ -43,6 +43,7 @@ pub mod config;
 pub mod endpoint;
 pub mod forecast;
 pub mod forecaster;
+pub mod lru;
 pub mod model;
 pub mod receiver;
 pub mod sender;
@@ -54,10 +55,11 @@ pub mod wire;
 pub use config::SproutConfig;
 pub use endpoint::{EndpointStats, SproutEndpoint};
 pub use forecast::{
-    reset_table_cache_counters, table_cache_counters, table_memory_counters, Forecast,
-    ForecastScratch, ForecastTables, MemCounters,
+    reset_table_cache_counters, table_cache_counters, table_cache_occupancy, table_memory_counters,
+    Forecast, ForecastScratch, ForecastTables, MemCounters, FORECAST_TABLE_CACHE_CAP,
 };
 pub use forecaster::{BayesianForecaster, EwmaForecaster, Forecaster};
+pub use lru::LruCache;
 pub use model::{RateModel, ScatterMatrix, TransitionKernel};
 pub use receiver::{IntervalSet, SproutReceiver};
 pub use sender::SproutSender;

@@ -1,0 +1,150 @@
+//! A small bounded LRU map for in-process memoization.
+//!
+//! The sweep engine and the forecast-table cache memoize expensive
+//! pure-function results (synthesized traces, CDF tables) keyed by their
+//! input configuration. In a one-shot `reproduce` run the key population
+//! is tiny and boundedness is irrelevant; in a long-running daemon that
+//! sweeps many disjoint link geometries, an unbounded map is a slow
+//! memory leak. [`LruCache`] caps the population: inserting past the cap
+//! evicts the least-recently-*used* entry.
+//!
+//! Capacities here are single digits to low tens, so recency is a plain
+//! monotonic tick per entry and eviction is an O(n) minimum scan — no
+//! linked lists, no unsafe, and the scan is cheaper than one hash at
+//! these sizes.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// A bounded least-recently-used map. `get` and `get_or_insert_with`
+/// refresh recency; inserting a new key while full evicts the stalest
+/// entry (and counts it in [`LruCache::evictions`]).
+#[derive(Debug)]
+pub struct LruCache<K, V> {
+    cap: usize,
+    /// Monotonic use counter; each touch stamps the entry.
+    tick: u64,
+    map: HashMap<K, (u64, V)>,
+    evictions: u64,
+}
+
+impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
+    /// An empty cache holding at most `cap` entries (`cap` ≥ 1).
+    pub fn new(cap: usize) -> Self {
+        assert!(cap >= 1, "an LRU cache needs room for at least one entry");
+        LruCache {
+            cap,
+            tick: 0,
+            map: HashMap::with_capacity(cap + 1),
+            evictions: 0,
+        }
+    }
+
+    /// Live entry count (≤ the cap, always).
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// The configured capacity.
+    pub fn cap(&self) -> usize {
+        self.cap
+    }
+
+    /// Entries evicted to make room since construction.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Look up `key`, refreshing its recency on a hit.
+    pub fn get(&mut self, key: &K) -> Option<&V> {
+        self.tick += 1;
+        let tick = self.tick;
+        self.map.get_mut(key).map(|(stamp, v)| {
+            *stamp = tick;
+            &*v
+        })
+    }
+
+    /// Look up `key`, building and inserting the value on a miss (evicting
+    /// the least-recently-used entry if that overflows the cap). The
+    /// returned flag reports whether the value was constructed by this
+    /// call — callers use it to split built-vs-reused counters.
+    pub fn get_or_insert_with(&mut self, key: &K, make: impl FnOnce() -> V) -> (&V, bool) {
+        self.tick += 1;
+        let tick = self.tick;
+        let built = !self.map.contains_key(key);
+        if built {
+            self.map.insert(key.clone(), (tick, make()));
+            if self.map.len() > self.cap {
+                self.evict_stalest();
+            }
+        }
+        let entry = self.map.get_mut(key).expect("just inserted or present");
+        entry.0 = tick;
+        (&entry.1, built)
+    }
+
+    /// Drop the entry with the oldest use stamp.
+    fn evict_stalest(&mut self) {
+        if let Some(stale) = self
+            .map
+            .iter()
+            .min_by_key(|(_, (stamp, _))| *stamp)
+            .map(|(k, _)| k.clone())
+        {
+            self.map.remove(&stale);
+            self.evictions += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stays_bounded_and_evicts_the_stalest() {
+        let mut c: LruCache<u32, u32> = LruCache::new(3);
+        for k in 0..10 {
+            let (_, built) = c.get_or_insert_with(&k, || k * 100);
+            assert!(built, "fresh keys build");
+            assert!(c.len() <= 3, "cap must hold at {} entries", c.len());
+        }
+        assert_eq!(c.evictions(), 7);
+        // The three most recent keys survive.
+        assert!(c.get(&9).is_some() && c.get(&8).is_some() && c.get(&7).is_some());
+        assert!(c.get(&0).is_none());
+    }
+
+    #[test]
+    fn get_refreshes_recency() {
+        let mut c: LruCache<&str, u8> = LruCache::new(2);
+        c.get_or_insert_with(&"a", || 1);
+        c.get_or_insert_with(&"b", || 2);
+        // Touch "a" so "b" is now the stalest; inserting "c" evicts "b".
+        assert_eq!(c.get(&"a"), Some(&1));
+        let (_, built) = c.get_or_insert_with(&"c", || 3);
+        assert!(built);
+        assert_eq!(c.get(&"a"), Some(&1));
+        assert_eq!(c.get(&"b"), None);
+        assert_eq!(c.get(&"c"), Some(&3));
+    }
+
+    #[test]
+    fn repeat_lookups_do_not_rebuild() {
+        let mut c: LruCache<u8, u8> = LruCache::new(2);
+        let (_, built) = c.get_or_insert_with(&1, || 10);
+        assert!(built);
+        let (_, built) = c.get_or_insert_with(&1, || unreachable!("cached"));
+        assert!(!built);
+        assert_eq!(c.len(), 1);
+        assert!(!c.is_empty());
+        assert_eq!(c.cap(), 2);
+        assert_eq!(c.evictions(), 0);
+    }
+}

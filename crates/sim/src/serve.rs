@@ -154,7 +154,13 @@ impl<C: Endpoint, S: Endpoint> ServeSim<C, S> {
 
     /// Run the event loop until virtual time `end`.
     pub fn run_until(&mut self, end: Timestamp) {
+        let mut steps = 0u32;
         while self.now < end {
+            // Same cancellation checkpoint as `Simulation::run_until`.
+            steps = steps.wrapping_add(1);
+            if steps.is_multiple_of(1024) {
+                sprout_trace::cancel::checkpoint();
+            }
             self.step();
             let mut next = Timestamp::FAR_FUTURE;
             for cand in [

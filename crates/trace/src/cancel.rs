@@ -1,0 +1,170 @@
+//! Cooperative cancellation for long-running simulation work.
+//!
+//! The sweep engine's per-cell watchdog cannot kill a thread — Rust has
+//! no safe thread cancellation — so before this module, a timed-out cell
+//! was merely *abandoned*: reported as failed while its thread kept
+//! burning a core until the simulation ran out naturally (potentially
+//! the full virtual duration at wall speed). Harmless in a one-shot
+//! `reproduce` run that exits soon after; a real leak in a daemon that
+//! lives for hours.
+//!
+//! The fix is a cooperative flag: the watchdog arms a per-cell
+//! [`CancelToken`], installs it in the worker's thread-local slot for
+//! the duration of the cell ([`CancelGuard`]), and the hot loops —
+//! simulation event loops, trace synthesis — call [`checkpoint`] every
+//! few thousand steps. When the flag is set, `checkpoint` panics with
+//! the sentinel [`Cancelled`] payload; the cell's existing
+//! `catch_unwind` isolation absorbs it and the thread exits promptly.
+//!
+//! Determinism is untouched: a cancelled cell produces no result at all
+//! (it was already reported as timed out), and uncancelled runs never
+//! observe the flag.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// Sentinel panic payload used by [`checkpoint`]: distinguishes a
+/// cooperative cancellation unwind from a genuine cell panic, so failure
+/// reporting and panic hooks can stay quiet about expected aborts.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Cancelled;
+
+/// A shared cancellation flag: one per watchdogged cell. Cloning shares
+/// the flag (it is an `Arc` internally).
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, unset token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Request cancellation: every [`checkpoint`] under a guard holding
+    /// this token will panic with [`Cancelled`] from now on.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Acquire)
+    }
+}
+
+thread_local! {
+    /// The token governing work on this thread, if any.
+    static CURRENT: RefCell<Option<CancelToken>> = const { RefCell::new(None) };
+}
+
+/// Installs a [`CancelToken`] as the current thread's cancellation
+/// authority for its lifetime; dropping restores the previous one (they
+/// nest, though in practice one cell owns a worker thread at a time).
+#[derive(Debug)]
+pub struct CancelGuard {
+    prev: Option<CancelToken>,
+}
+
+impl CancelGuard {
+    /// Make `token` govern [`checkpoint`] calls on this thread until the
+    /// guard drops.
+    pub fn install(token: CancelToken) -> Self {
+        let prev = CURRENT.with(|c| c.borrow_mut().replace(token));
+        CancelGuard { prev }
+    }
+}
+
+impl Drop for CancelGuard {
+    fn drop(&mut self) {
+        CURRENT.with(|c| *c.borrow_mut() = self.prev.take());
+    }
+}
+
+/// Cancellation checkpoint: cheap enough for hot loops (one thread-local
+/// read and one relaxed-ish atomic load when a token is installed; a
+/// plain thread-local read otherwise). Panics with the [`Cancelled`]
+/// sentinel if the governing token has been cancelled; the caller's
+/// `catch_unwind` boundary (the sweep engine wraps every cell) turns
+/// that into a prompt thread exit.
+pub fn checkpoint() {
+    let cancelled = CURRENT.with(|c| {
+        c.borrow()
+            .as_ref()
+            .map(CancelToken::is_cancelled)
+            .unwrap_or(false)
+    });
+    if cancelled {
+        std::panic::panic_any(Cancelled);
+    }
+}
+
+/// Whether a caught panic payload is the [`Cancelled`] sentinel (as
+/// opposed to a genuine assertion failure inside a cell).
+pub fn is_cancelled_payload(payload: &(dyn std::any::Any + Send)) -> bool {
+    payload.is::<Cancelled>()
+}
+
+/// Quiet the default panic hook for [`Cancelled`] unwinds (they are
+/// expected control flow, not failures) while delegating everything else
+/// to the previously installed hook. Idempotent; call before arming
+/// watchdogs.
+pub fn silence_cancelled_panics() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if !info.payload().is::<Cancelled>() {
+                prev(info);
+            }
+        }));
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn checkpoint_is_inert_without_a_token() {
+        checkpoint(); // must not panic
+    }
+
+    #[test]
+    fn checkpoint_is_inert_until_cancelled() {
+        let token = CancelToken::new();
+        let _guard = CancelGuard::install(token.clone());
+        checkpoint();
+        assert!(!token.is_cancelled());
+    }
+
+    #[test]
+    fn cancelled_token_aborts_the_guarded_thread() {
+        let token = CancelToken::new();
+        let t2 = token.clone();
+        let err = std::panic::catch_unwind(move || {
+            let _guard = CancelGuard::install(t2);
+            token.cancel();
+            checkpoint();
+        })
+        .unwrap_err();
+        assert!(is_cancelled_payload(&*err), "payload must be the sentinel");
+    }
+
+    #[test]
+    fn guard_restores_the_previous_token_on_drop() {
+        let outer = CancelToken::new();
+        let _outer_guard = CancelGuard::install(outer.clone());
+        {
+            let inner = CancelToken::new();
+            let inner_guard = CancelGuard::install(inner.clone());
+            inner.cancel();
+            drop(inner_guard);
+        }
+        // The outer token is live again and unset: checkpoint is quiet.
+        checkpoint();
+        assert!(!outer.is_cancelled());
+    }
+}

@@ -16,6 +16,7 @@
 #![warn(missing_docs)]
 
 pub mod analysis;
+pub mod cancel;
 pub mod fit;
 pub mod format;
 pub mod impair;
@@ -26,6 +27,7 @@ pub mod time;
 mod trace;
 
 pub use analysis::{outage_stats, summarize, InterarrivalHistogram, OutageStats, TraceSummary};
+pub use cancel::{CancelGuard, CancelToken, Cancelled};
 pub use fit::{fit_link_model, FitConfig, FittedModel};
 pub use format::{load_trace, read_trace, save_trace, write_trace, TraceFileError};
 pub use impair::{

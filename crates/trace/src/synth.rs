@@ -378,6 +378,11 @@ impl LinkSimulator {
         let mut opportunities =
             Vec::with_capacity((self.params.mean_rate_pps * duration.as_secs_f64()) as usize + 16);
         for ms in 0..total_ms {
+            // Synthesis runs minutes of virtual time at 1 ms steps; honor
+            // a watchdog cancellation every ~4 virtual seconds.
+            if ms.is_multiple_of(4096) {
+                crate::cancel::checkpoint();
+            }
             let n = self.step_ms();
             for _ in 0..n {
                 opportunities.push(Timestamp::from_millis(ms));

@@ -106,14 +106,17 @@ impl TunnelEndpoint {
 
     /// A client (local-side) packet enters the tunnel.
     pub fn inject_local(&mut self, packet: Packet, _now: Timestamp) {
-        let q = match self.queues.iter_mut().find(|(f, _)| *f == packet.flow) {
-            Some((_, q)) => q,
+        // Resolve the flow's queue by position: if absent, push a fresh
+        // queue first so the index is valid by construction — no `last_mut
+        // + unwrap` whose invariant lives three lines away.
+        let idx = match self.queues.iter().position(|(f, _)| *f == packet.flow) {
+            Some(idx) => idx,
             None => {
                 self.queues.push((packet.flow, VecDeque::new()));
-                &mut self.queues.last_mut().unwrap().1
+                self.queues.len() - 1
             }
         };
-        q.push_back(packet);
+        self.queues[idx].1.push_back(packet);
         self.stats.enqueued += 1;
     }
 
@@ -365,6 +368,24 @@ mod tests {
     #[test]
     fn decapsulate_rejects_short_datagrams() {
         assert!(decapsulate(Bytes::from_static(b"tiny")).is_none());
+    }
+
+    #[test]
+    fn inject_into_empty_queue_list_creates_the_flow() {
+        // The first packet of the first flow ever seen: the queue list is
+        // empty and the endpoint must mint the queue rather than panic.
+        let mut t = TunnelEndpoint::new(SproutEndpoint::new_ewma(SproutConfig::test_small()));
+        assert!(t.queues.is_empty());
+        t.inject_local(client_packet(9, 0, 128), Timestamp::ZERO);
+        assert_eq!(t.stats().enqueued, 1);
+        assert_eq!(t.flow_queue_len(FlowId(9)), 1);
+        // A second packet of the same flow reuses the queue; a new flow
+        // appends its own.
+        t.inject_local(client_packet(9, 1, 128), Timestamp::ZERO);
+        t.inject_local(client_packet(10, 0, 128), Timestamp::ZERO);
+        assert_eq!(t.flow_queue_len(FlowId(9)), 2);
+        assert_eq!(t.flow_queue_len(FlowId(10)), 1);
+        assert_eq!(t.queues.len(), 2);
     }
 
     #[test]
