@@ -35,8 +35,14 @@
 //!              per-session min/max, and Jain fairness (--sessions sets
 //!              the session-count axis, default 1,16,128,1024; defaults
 //!              to --secs 60; not part of `all`)
-//!   all        everything above except contention, soak, impair, and
-//!              serve
+//!   replay     measured-trace comparative sweep: the scheme roster over
+//!              Saturator captures replayed as the link (--trace FILE
+//!              per capture, default the committed corpus excerpts;
+//!              --schemes trims the roster; cells key on the capture's
+//!              content fingerprint, never its path; defaults to
+//!              --secs 30; not part of `all`)
+//!   all        everything above except contention, soak, impair,
+//!              serve, and replay
 //!
 //! flags:
 //!   --secs N     virtual seconds per run (default 300)
@@ -98,6 +104,17 @@
 //!   --sessions LIST     session counts for the serve matrix, e.g.
 //!                       1,64,1024, each in 1..=4096 (serve only;
 //!                       replaces the default 1,16,128,1024 axis)
+//!   --trace FILE        a Saturator capture for the replay matrix; give
+//!                       the flag once per capture (replay only;
+//!                       replaces the committed default corpus)
+//!   --schemes LIST      scheme tags for the replay roster, e.g.
+//!                       sprout,cubic,skype (replay only; replaces the
+//!                       nine-scheme Figure-7 roster)
+//!   --timeseries        emit per-cell time-series TSVs next to the
+//!                       sweep JSON: <matrix>_<id>_delay.tsv (delay vs
+//!                       time) and <matrix>_<id>_series.tsv (binned
+//!                       capacity/throughput/queue depth); changes cell
+//!                       identity (replay, impair, and soak only)
 //! ```
 //!
 //! Every experiment writes TSV artifacts plus a canonical
@@ -114,9 +131,9 @@ use sprout_bench::cli;
 use sprout_bench::figures::{self, ExperimentConfig};
 use sprout_bench::{perf, summary_table, CellCachePolicy, Scheme, ShardSpec};
 
-const USAGE: &str = "usage: reproduce <experiment> [--secs N] [--warmup N] [--seed N] [--out DIR] [--threads N] [--batch on|off] [--quick] [--json] [--cache-dir DIR] [--no-cache] [--cell-timeout SECS] [--shard I/N] [--merge] [--resume] [--controlled] [--bench] [--bench-baseline FILE] [--links LIST] [--prop-delays LIST] [--queues LIST] [--flows N] [--contend LIST] [--impairments LIST] [--sessions LIST]
-experiments: fig1 fig2 fig7 fig8 fig9 loss tunnel contention soak impair serve all (contention, soak, impair, and serve are not part of all)
-axis flags: --links vz-lte-down,... (soak+contention+impair+serve) | --prop-delays 10,25,... (one-way ms, soak) | --queues auto|droptail|codel|bytes:N,... (soak) | --flows N (contention) | --contend sprout,cubic,... (contention) | --impairments none,burst,storm,... (impair) | --sessions 1,64,1024,... (serve)";
+const USAGE: &str = "usage: reproduce <experiment> [--secs N] [--warmup N] [--seed N] [--out DIR] [--threads N] [--batch on|off] [--quick] [--json] [--cache-dir DIR] [--no-cache] [--cell-timeout SECS] [--shard I/N] [--merge] [--resume] [--controlled] [--bench] [--bench-baseline FILE] [--links LIST] [--prop-delays LIST] [--queues LIST] [--flows N] [--contend LIST] [--impairments LIST] [--sessions LIST] [--trace FILE]... [--schemes LIST] [--timeseries]
+experiments: fig1 fig2 fig7 fig8 fig9 loss tunnel contention soak impair serve replay all (contention, soak, impair, serve, and replay are not part of all)
+axis flags: --links vz-lte-down,... (soak+contention+impair+serve) | --prop-delays 10,25,... (one-way ms, soak) | --queues auto|droptail|codel|bytes:N,... (soak) | --flows N (contention) | --contend sprout,cubic,... (contention) | --impairments none,burst,storm,... (impair) | --sessions 1,64,1024,... (serve) | --trace capture.trace, once per capture (replay) | --schemes sprout,cubic,... (replay) | --timeseries (replay+impair+soak)";
 
 struct Options {
     cmd: String,
@@ -540,11 +557,7 @@ fn run() -> std::io::Result<()> {
         print_cell_cache_line(&cmd);
         return r;
     }
-    let effective_secs = match cmd.as_str() {
-        "soak" => cfg.soak.secs.unwrap_or(cfg.run_secs),
-        "serve" => cfg.serve.secs.unwrap_or(cfg.run_secs),
-        _ => cfg.run_secs,
-    };
+    let effective_secs = cli::effective_secs(&cfg, &cmd);
     println!(
         "reproduce: {cmd} (runs {}s, warmup {}s, seed {}, threads {}, out {:?})",
         effective_secs,
@@ -743,6 +756,22 @@ fn run() -> std::io::Result<()> {
                     r.max_session_bytes,
                     r.fairness
                 );
+            }
+        }
+        "replay" => {
+            let t0 = Instant::now();
+            let rows = figures::replay(&cfg)?;
+            println!(
+                "\n== replay: schemes over measured captures ({} schemes x {} captures, {:.0?}) ==",
+                cfg.replay.schemes.len(),
+                cfg.replay.traces.len(),
+                t0.elapsed()
+            );
+            for r in rows {
+                println!("  {}", figures::fmt_result(&r.label, &r.result));
+            }
+            if cfg.timeseries {
+                println!("per-cell time-series TSVs written next to replay_sweep.json");
             }
         }
         "all" => {

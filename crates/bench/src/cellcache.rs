@@ -25,12 +25,20 @@ use sprout_cache::{ArtifactKind, ByteReader, ByteWriter, CacheCounters};
 
 use crate::scenario::{ResolvedQueue, Scenario};
 use crate::schemes::SchemeResult;
-use crate::sweep::{FlowSummary, InterarrivalSummary, SeriesRow, ServeStats, SweepResult};
+use crate::sweep::{
+    CellSeries, CellSeriesBin, FlowSummary, InterarrivalSummary, SeriesRow, ServeStats, SweepResult,
+};
 
 /// On-disk persistence of sweep cells. The version covers the payload
 /// encoding only; simulation-semantics changes are keyed separately by
 /// [`ENGINE_VERSION`].
 static CELL_ARTIFACT: ArtifactKind = ArtifactKind::new("cell-result", 1);
+
+/// On-disk persistence of per-cell time series, stored *alongside* the
+/// cell result under the same key (own kind, own file). Split out so the
+/// summary payload stays small for sweeps that never request a series,
+/// while a `--timeseries` resume can serve both without re-simulating.
+static CELL_SERIES_ARTIFACT: ArtifactKind = ArtifactKind::new("cell-series", 1);
 
 /// Version of the sweep engine's *execution semantics*. Bump whenever a
 /// change makes the same `(matrix, scenario, master_seed)` produce
@@ -59,7 +67,16 @@ static CELL_ARTIFACT: ArtifactKind = ArtifactKind::new("cell-result", 1);
 /// derivation grew the per-session `session` sub-streams
 /// ([`sprout_trace::session_seed`]), and `SweepResult` gained the
 /// [`ServeStats`] capacity summary, which the payload now encodes.
-pub const ENGINE_VERSION: u32 = 5;
+///
+/// v6: measured-trace replay and the cell-series artifact. `Scenario`
+/// links became [`crate::scenario::LinkSpec`] (measured captures keyed
+/// by the content fingerprint of their raw bytes, never a path) and
+/// gained the `cell_series_bin` request field; a cell result now
+/// carries an optional time-series attachment persisted as its own
+/// "cell-series" artifact under the same key, and a series-requesting
+/// hit must find that artifact — the bump retires every pre-series
+/// cell so the invariant holds from the first v6 run.
+pub const ENGINE_VERSION: u32 = 6;
 
 /// Disk-cache traffic counters for cell results (hits mean a sweep
 /// served a whole cell without simulating it).
@@ -70,6 +87,11 @@ pub fn cell_cache_counters() -> CacheCounters {
 /// Reset the cell cache counters (bench/test harnesses).
 pub fn reset_cell_cache_counters() {
     CELL_ARTIFACT.reset_counters()
+}
+
+/// Disk-cache traffic counters for per-cell time-series artifacts.
+pub fn cell_series_cache_counters() -> CacheCounters {
+    CELL_SERIES_ARTIFACT.counters()
 }
 
 /// The full content address of one cell's result. The cache layer stores
@@ -253,8 +275,66 @@ fn decode_result(scenario: &Scenario, matrix_name: &str, bytes: &[u8]) -> Option
         series,
         interarrival,
         serve,
+        cell_series: None,
         wall_ms: 0.0,
     })
+}
+
+/// Encode the time-series attachment. `None` writes an explicit marker:
+/// a cell whose workload produces no series (probe, serve) still stores
+/// a valid artifact, so its hits never demote for a series that never
+/// existed.
+fn encode_series(series: Option<&CellSeries>) -> Vec<u8> {
+    let n = series.map_or(0, |s| s.delays.len() + s.bins.len());
+    let mut w = ByteWriter::with_capacity(16 + 34 * n);
+    w.bool(series.is_some());
+    if let Some(s) = series {
+        w.u64(s.bin_us);
+        w.u32(s.delays.len() as u32);
+        for &(t_s, delay_ms) in &s.delays {
+            w.f64(t_s).f64(delay_ms);
+        }
+        w.u32(s.bins.len() as u32);
+        for b in &s.bins {
+            w.f64(b.t_s)
+                .f64(b.capacity_kbps)
+                .f64(b.throughput_kbps)
+                .u64(b.queue_depth);
+        }
+    }
+    w.finish()
+}
+
+/// Decode a time-series artifact. The outer `Option` is decode success;
+/// the inner one mirrors [`SweepResult::cell_series`].
+fn decode_series(bytes: &[u8]) -> Option<Option<CellSeries>> {
+    let mut r = ByteReader::new(bytes);
+    let series = if r.bool()? {
+        let bin_us = r.u64()?;
+        let n_delays = r.u32()? as usize;
+        let mut delays = Vec::with_capacity(n_delays);
+        for _ in 0..n_delays {
+            delays.push((r.f64()?, r.f64()?));
+        }
+        let n_bins = r.u32()? as usize;
+        let mut bins = Vec::with_capacity(n_bins);
+        for _ in 0..n_bins {
+            bins.push(CellSeriesBin {
+                t_s: r.f64()?,
+                capacity_kbps: r.f64()?,
+                throughput_kbps: r.f64()?,
+                queue_depth: r.u64()?,
+            });
+        }
+        Some(CellSeries {
+            bin_us,
+            delays,
+            bins,
+        })
+    } else {
+        None
+    };
+    (r.remaining() == 0).then_some(series)
 }
 
 /// Load the cached result of one cell, if present and intact. A payload
@@ -271,12 +351,35 @@ pub fn load_cell(
 ) -> Option<SweepResult> {
     let key = cell_key(matrix_name, matrix_fingerprint, scenario, master_seed);
     let payload = CELL_ARTIFACT.load(&key)?;
-    let decoded = decode_result(scenario, matrix_name, &payload);
-    if decoded.is_none() {
-        CELL_ARTIFACT.quarantine(&key);
-        CELL_ARTIFACT.demote_hit();
+    let mut decoded = match decode_result(scenario, matrix_name, &payload) {
+        Some(r) => r,
+        None => {
+            CELL_ARTIFACT.quarantine(&key);
+            CELL_ARTIFACT.demote_hit();
+            return None;
+        }
+    };
+    if scenario.cell_series_bin.is_some() {
+        // The scenario requests a time series, so a hit must supply the
+        // series artifact too; anything less demotes the whole cell to
+        // a miss (re-execute), never a series-less stale hit.
+        match CELL_SERIES_ARTIFACT.load(&key) {
+            None => {
+                CELL_ARTIFACT.demote_hit();
+                return None;
+            }
+            Some(bytes) => match decode_series(&bytes) {
+                Some(series) => decoded.cell_series = series,
+                None => {
+                    CELL_SERIES_ARTIFACT.quarantine(&key);
+                    CELL_SERIES_ARTIFACT.demote_hit();
+                    CELL_ARTIFACT.demote_hit();
+                    return None;
+                }
+            },
+        }
     }
-    decoded
+    Some(decoded)
 }
 
 /// Persist one executed cell (best-effort; a disabled cache is a no-op).
@@ -287,7 +390,11 @@ pub fn store_cell(matrix_fingerprint: u64, master_seed: u64, result: &SweepResul
         &result.scenario,
         master_seed,
     );
-    CELL_ARTIFACT.store(&key, &encode_result(result))
+    let stored = CELL_ARTIFACT.store(&key, &encode_result(result));
+    if result.scenario.cell_series_bin.is_some() {
+        CELL_SERIES_ARTIFACT.store(&key, &encode_series(result.cell_series.as_ref()));
+    }
+    stored
 }
 
 #[cfg(test)]
@@ -306,7 +413,7 @@ mod tests {
             id: 3,
             label: "t/vz-lte-down/sprout".into(),
             workload: Workload::Scheme(Scheme::Sprout),
-            link: NetProfile::VerizonLteDown,
+            link: NetProfile::VerizonLteDown.into(),
             queue: crate::scenario::QueueSpec::Auto,
             prop_delay: Duration::from_millis(20),
             loss_rate: 0.05,
@@ -315,6 +422,20 @@ mod tests {
             warmup: Duration::from_secs(5),
             series_bin: Some(Duration::from_millis(500)),
             impairment: sprout_trace::Impairment::preset("burst").expect("known preset"),
+            cell_series_bin: None,
+        }
+    }
+
+    fn sample_series() -> CellSeries {
+        CellSeries {
+            bin_us: 500_000,
+            delays: vec![(0.25, 12.5), (0.75, 80.0)],
+            bins: vec![CellSeriesBin {
+                t_s: 0.0,
+                capacity_kbps: 1000.0,
+                throughput_kbps: 900.0,
+                queue_depth: 3,
+            }],
         }
     }
 
@@ -359,6 +480,7 @@ mod tests {
                 max_session_bytes: 70_000,
                 wire_delivered_bytes: 1_200_000,
             }),
+            cell_series: None,
             wall_ms: 123.0,
         }
     }
@@ -467,6 +589,67 @@ mod tests {
         // The poisoned name is free: a fresh store then serves normally.
         assert!(store_cell(fp, seed, &r));
         assert!(load_cell("t", fp, &r.scenario, seed).is_some());
+
+        sprout_cache::reset_override();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn series_payload_round_trips_and_none_is_an_explicit_marker() {
+        let s = sample_series();
+        let bytes = encode_series(Some(&s));
+        assert_eq!(decode_series(&bytes), Some(Some(s)));
+        assert_eq!(
+            decode_series(&encode_series(None)),
+            Some(None),
+            "a workload without a series stores a valid 'none' artifact"
+        );
+        let mut padded = bytes.clone();
+        padded.push(0);
+        assert_eq!(
+            decode_series(&padded),
+            None,
+            "trailing bytes must not decode"
+        );
+        assert_eq!(decode_series(&bytes[..bytes.len() - 1]), None);
+        assert_eq!(decode_series(b""), None);
+    }
+
+    #[test]
+    fn series_requesting_cells_round_trip_and_demote_without_their_series() {
+        let _g = CACHE_LOCK.lock().unwrap();
+        let dir =
+            std::env::temp_dir().join(format!("sprout-cell-series-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        sprout_cache::set_dir(&dir);
+
+        let mut r = sample_result();
+        r.scenario.cell_series_bin = Some(Duration::from_millis(500));
+        r.cell_series = Some(sample_series());
+        let (fp, seed) = (0xc0de, 13);
+        assert!(store_cell(fp, seed, &r));
+        let back = load_cell("t", fp, &r.scenario, seed).expect("hit serves both artifacts");
+        assert_eq!(back.cell_series, r.cell_series);
+
+        // A result entry without its requested series artifact (stored
+        // directly, bypassing store_cell) must demote to a miss.
+        let (fp2, seed2) = (0xc0df, 14);
+        let key2 = cell_key("t", fp2, &r.scenario, seed2);
+        assert!(CELL_ARTIFACT.store(&key2, &encode_result(&r)));
+        let before = cell_cache_counters();
+        assert!(
+            load_cell("t", fp2, &r.scenario, seed2).is_none(),
+            "a series-requesting hit without its series re-executes"
+        );
+        let traffic = cell_cache_counters().since(before);
+        assert_eq!((traffic.hits, traffic.misses), (0, 1));
+
+        // An undecodable series payload quarantines and demotes too.
+        assert!(CELL_SERIES_ARTIFACT.store(&key2, b"not a series payload"));
+        let s_before = cell_series_cache_counters();
+        assert!(load_cell("t", fp2, &r.scenario, seed2).is_none());
+        let s_traffic = cell_series_cache_counters().since(s_before);
+        assert_eq!((s_traffic.hits, s_traffic.quarantined), (0, 1));
 
         sprout_cache::reset_override();
         let _ = std::fs::remove_dir_all(&dir);

@@ -28,6 +28,7 @@ pub const EXPERIMENTS: &[&str] = &[
     "soak",
     "impair",
     "serve",
+    "replay",
     "all",
 ];
 
@@ -50,6 +51,7 @@ pub fn artifacts_of(cmd: &str) -> &'static [&'static str] {
         "soak" => &["soak"],
         "impair" => &["impair"],
         "serve" => &["serve"],
+        "replay" => &["replay"],
         "all" => &["fig1", "fig2", "fig7", "fig9", "loss", "tunnel"],
         _ => &[],
     }
@@ -77,10 +79,10 @@ pub const CONTROL_RESERVED_FLAGS: &[&str] = &[
 /// module does not own (binary-specific flags like `--out`).
 pub fn worker_flag_arity(flag: &str) -> Option<usize> {
     match flag {
-        "--quick" => Some(0),
+        "--quick" | "--timeseries" => Some(0),
         "--secs" | "--warmup" | "--seed" | "--threads" | "--batch" | "--cell-timeout"
         | "--links" | "--prop-delays" | "--queues" | "--flows" | "--contend" | "--impairments"
-        | "--sessions" => Some(1),
+        | "--sessions" | "--trace" | "--schemes" => Some(1),
         _ => None,
     }
 }
@@ -172,6 +174,15 @@ pub fn parse_impairments(spec: &str) -> Option<Vec<(String, Impairment)>> {
         .and_then(all_distinct)
 }
 
+/// Parse `--schemes`: comma-separated distinct scheme tags (the replay
+/// roster).
+pub fn parse_schemes(spec: &str) -> Option<Vec<Scheme>> {
+    spec.split(',')
+        .map(Scheme::from_tag)
+        .collect::<Option<Vec<_>>>()
+        .and_then(all_distinct)
+}
+
 /// Parse `--sessions`: comma-separated distinct session counts, each in
 /// 1..=[`MAX_SERVE_SESSIONS`].
 pub fn parse_sessions(spec: &str) -> Option<Vec<u32>> {
@@ -187,9 +198,12 @@ pub fn parse_sessions(spec: &str) -> Option<Vec<u32>> {
 /// Apply the worker-safe flags in `args` to `cfg`, with the same
 /// validation matrix the `reproduce` binary enforces: axis flags must
 /// match `experiment`, `--quick` fills only what `--secs`/`--warmup`
-/// left unset, an explicit run length hands soak/serve timing back to
-/// the global knobs, and the warmup must leave a non-empty measurement
-/// window. Returns a one-line usage message on the first violation.
+/// left unset, an explicit run length hands soak/serve/replay timing
+/// back to the global knobs, and the warmup must leave a non-empty
+/// measurement window. Returns a one-line usage message on the first
+/// violation. `--trace` registers each capture as it parses, so a
+/// malformed file is reported to its submitter here — before any worker
+/// is spawned.
 ///
 /// Only flags [`worker_flag_arity`] recognizes are accepted; anything
 /// else (including every [`CONTROL_RESERVED_FLAGS`] entry) is an error,
@@ -211,6 +225,9 @@ pub fn apply_worker_args(
     let mut explicit_contend = false;
     let mut explicit_impairments = false;
     let mut explicit_sessions = false;
+    let mut explicit_schemes = false;
+    let mut timeseries = false;
+    let mut traces: Vec<u64> = Vec::new();
     fn value<'a>(iter: &mut std::slice::Iter<'a, String>, name: &str) -> Result<&'a str, String> {
         iter.next()
             .map(String::as_str)
@@ -333,7 +350,42 @@ pub fn apply_worker_args(
                     ))
                 }
             },
+            "--trace" => {
+                let path = value(&mut iter, arg)?;
+                // Registration validates the capture (a malformed file is
+                // reported here, at submit/parse time) and is what makes
+                // the fingerprint resolvable in *this* process.
+                match sprout_trace::register_trace_file(path) {
+                    Ok(fp) => traces.push(fp),
+                    Err(e) => return Err(format!("--trace {path}: {e}")),
+                }
+            }
+            "--schemes" => match parse_schemes(value(&mut iter, arg)?) {
+                Some(schemes) => {
+                    cfg.replay.schemes = schemes;
+                    explicit_schemes = true;
+                }
+                None => {
+                    return Err(
+                        "--schemes expects comma-separated distinct scheme tags (sprout, sprout-ewma, cubic, cubic-codel, reno, vegas, compound, ledbat, skype, facetime, google-hangout, omniscient)"
+                            .to_string(),
+                    )
+                }
+            },
+            "--timeseries" => timeseries = true,
             other => return Err(format!("unknown worker flag {other:?}")),
+        }
+    }
+    let explicit_traces = !traces.is_empty();
+    if explicit_traces {
+        // Duplicate captures (same bytes under any path) would cross into
+        // duplicate cells with identical labels and cache keys.
+        match all_distinct(traces) {
+            Some(fps) => cfg.replay.traces = fps,
+            None => return Err(
+                "--trace captures must be distinct (two of the given files have identical bytes)"
+                    .to_string(),
+            ),
         }
     }
     // --quick fills in whatever the user did not set explicitly, so
@@ -381,6 +433,21 @@ pub fn apply_worker_args(
             "--sessions configures the serve matrix; it requires the serve experiment".to_string(),
         );
     }
+    if (explicit_traces || explicit_schemes) && experiment != "replay" {
+        return Err(
+            "--trace/--schemes configure the replay matrix; they require the replay experiment"
+                .to_string(),
+        );
+    }
+    if timeseries {
+        if !matches!(experiment, "replay" | "impair" | "soak") {
+            return Err(
+                "--timeseries emits per-cell series for the replay, impair, and soak matrices; it requires one of those experiments"
+                    .to_string(),
+            );
+        }
+        cfg.timeseries = true;
+    }
     if explicit_flows && explicit_contend {
         return Err(
             "--flows sizes the default contention workloads and --contend replaces them; pick one"
@@ -394,13 +461,15 @@ pub fn apply_worker_args(
     if explicit_secs || quick {
         cfg.soak.secs = None;
         cfg.serve.secs = None;
+        cfg.replay.secs = None;
     }
     // Validate against the run length the experiment will actually use
-    // (soak defaults to SOAK_SECS, serve to SERVE_SECS, independently of
-    // --secs). Serve derives its warmup from the run length (one sixth)
-    // instead of --warmup, so its window can never be empty.
+    // (soak defaults to SOAK_SECS, serve to SERVE_SECS, replay to
+    // REPLAY_SECS, independently of --secs). Serve and replay derive
+    // their warmup from the run length (one sixth) instead of --warmup,
+    // so their windows can never be empty.
     let effective_secs = effective_secs(cfg, experiment);
-    if experiment != "serve" && cfg.warmup_secs >= effective_secs {
+    if experiment != "serve" && experiment != "replay" && cfg.warmup_secs >= effective_secs {
         return Err(format!(
             "warmup ({}s) must be shorter than the run ({}s): the measurement window would be empty",
             cfg.warmup_secs, effective_secs
@@ -409,12 +478,14 @@ pub fn apply_worker_args(
     Ok(())
 }
 
-/// The run length `experiment` will actually use under `cfg` (soak and
-/// serve carry their own defaults independently of `--secs`).
+/// The run length `experiment` will actually use under `cfg` (soak,
+/// serve, and replay carry their own defaults independently of
+/// `--secs`).
 pub fn effective_secs(cfg: &ExperimentConfig, experiment: &str) -> u64 {
     match experiment {
         "soak" => cfg.soak.secs.unwrap_or(cfg.run_secs),
         "serve" => cfg.serve.secs.unwrap_or(cfg.run_secs),
+        "replay" => cfg.replay.secs.unwrap_or(cfg.run_secs),
         _ => cfg.run_secs,
     }
 }
@@ -458,8 +529,67 @@ mod tests {
     #[test]
     fn arity_covers_every_worker_flag() {
         assert_eq!(worker_flag_arity("--quick"), Some(0));
+        assert_eq!(worker_flag_arity("--timeseries"), Some(0));
         assert_eq!(worker_flag_arity("--links"), Some(1));
+        assert_eq!(worker_flag_arity("--trace"), Some(1));
+        assert_eq!(worker_flag_arity("--schemes"), Some(1));
         assert_eq!(worker_flag_arity("--out"), None);
         assert_eq!(worker_flag_arity("--shard"), None);
+    }
+
+    fn corpus(file: &str) -> String {
+        format!("{}/../trace/tests/data/{file}", env!("CARGO_MANIFEST_DIR"))
+    }
+
+    #[test]
+    fn replay_flags_apply_and_validate() {
+        // Defaults: the embedded corpus, the fig-7 roster, short timing.
+        let dflt = apply("replay", &[]).unwrap();
+        assert_eq!(
+            dflt.replay.traces,
+            crate::figures::default_corpus_fingerprints()
+        );
+        assert_eq!(dflt.replay.schemes, Scheme::fig7().to_vec());
+        assert_eq!(dflt.replay.secs, Some(crate::figures::REPLAY_SECS));
+        assert!(!dflt.timeseries);
+
+        // --trace replaces the default corpus; the fingerprint comes from
+        // the file's bytes, and the capture is now registered.
+        let cfg = apply("replay", &["--trace", &corpus("uplink-excerpt.trace")]).unwrap();
+        assert_eq!(cfg.replay.traces.len(), 1);
+        assert!(sprout_trace::lookup_trace(cfg.replay.traces[0]).is_some());
+
+        // A malformed capture is rejected here, naming its bad line.
+        let err = apply("replay", &["--trace", &corpus("backwards.trace")]).unwrap_err();
+        assert!(err.contains("line 4"), "{err}");
+
+        // Two paths to identical bytes are one capture, not two cells.
+        let dup = corpus("downlink-excerpt.trace");
+        let err = apply("replay", &["--trace", &dup, "--trace", &dup]).unwrap_err();
+        assert!(err.contains("distinct"), "{err}");
+
+        // --schemes trims the roster (order preserved, duplicates refused).
+        let cfg = apply("replay", &["--schemes", "sprout,cubic"]).unwrap();
+        assert_eq!(cfg.replay.schemes, vec![Scheme::Sprout, Scheme::Cubic]);
+        assert!(apply("replay", &["--schemes", "cubic,cubic"]).is_err());
+        assert!(apply("replay", &["--schemes", "bogus"]).is_err());
+
+        // The replay axes are replay-only; --timeseries also covers the
+        // impair and soak matrices.
+        assert!(apply("fig1", &["--schemes", "sprout"]).is_err());
+        assert!(apply("soak", &["--trace", &dup]).is_err());
+        assert!(apply("fig1", &["--timeseries"]).is_err());
+        assert!(apply("impair", &["--timeseries"]).unwrap().timeseries);
+        assert!(apply("soak", &["--timeseries"]).unwrap().timeseries);
+        assert!(apply("replay", &["--timeseries"]).unwrap().timeseries);
+
+        // Explicit timing hands replay back to the global knobs (and the
+        // warmup is derived, so a paper-default 60 s warmup with the
+        // short 30 s replay default is fine).
+        assert_eq!(apply("replay", &[]).unwrap().warmup_secs, 60);
+        let cfg = apply("replay", &["--secs", "40", "--warmup", "8"]).unwrap();
+        assert_eq!(cfg.replay.secs, None);
+        assert_eq!(effective_secs(&cfg, "replay"), 40);
+        assert_eq!(effective_secs(&apply("replay", &[]).unwrap(), "replay"), 30);
     }
 }

@@ -16,11 +16,11 @@ use std::path::{Path, PathBuf};
 use sprout_baselines::VideoApp;
 use sprout_trace::{Duration, Impairment, NetProfile, Trace, IMPAIRMENT_PRESETS};
 
-use crate::scenario::{FlowSpec, QueueSpec, ScenarioMatrix, Workload};
+use crate::scenario::{FlowSpec, LinkSpec, QueueSpec, ScenarioMatrix, Workload};
 use crate::schemes::{RunConfig, Scheme, SchemeResult};
 use crate::sweep::{self, CellCachePolicy, FlowSummary, ShardSpec, SweepEngine, SweepResult};
 
-pub use crate::scenario::paired;
+pub use crate::scenario::{paired, paired_profile};
 
 /// The shallow per-user buffer of the soak matrix's queue axis: 50 MTU
 /// (≈ one RTT of a few Mbit/s), the thin-buffered carrier end of the
@@ -130,6 +130,74 @@ impl Default for ServeAxes {
     }
 }
 
+/// The default run length of a `replay` cell, virtual seconds. The
+/// committed corpus excerpts are ~40 s of capture; 30 s keeps every
+/// measured cell inside the shortest excerpt so no scheme ever runs past
+/// the last recorded delivery opportunity.
+pub const REPLAY_SECS: u64 = 30;
+
+/// The bin width of the per-cell time-series artifacts (`--timeseries`):
+/// 500 ms, matching the Figure-1 series the paper plots.
+pub const CELL_SERIES_BIN: Duration = Duration::from_millis(500);
+
+/// The committed Saturator captures the `replay` experiment runs when no
+/// `--trace` flags are given, embedded so the default corpus is
+/// available offline in every process (shard workers, the control
+/// daemon) without a path dependency.
+const DEFAULT_CORPUS: [&str; 2] = [
+    include_str!(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../trace/tests/data/downlink-excerpt.trace"
+    )),
+    include_str!(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../trace/tests/data/uplink-excerpt.trace"
+    )),
+];
+
+/// Register the embedded default corpus and return its fingerprints, in
+/// declaration order (downlink, uplink). Registration is idempotent, so
+/// calling this from every `ReplayAxes::default()` is free after the
+/// first.
+pub fn default_corpus_fingerprints() -> Vec<u64> {
+    DEFAULT_CORPUS
+        .iter()
+        .map(|text| {
+            sprout_trace::register_trace_bytes(text.as_bytes())
+                .expect("the committed corpus parses (pinned by sprout-trace's tests)")
+        })
+        .collect()
+}
+
+/// The axes of the `replay` experiment that are overridable from the
+/// CLI (`--trace`, `--schemes`).
+#[derive(Clone, Debug)]
+pub struct ReplayAxes {
+    /// Content fingerprints of the measured captures under replay, in
+    /// declaration order (`--trace FILE` per capture; defaults to the
+    /// embedded corpus). Every fingerprint must be registered in this
+    /// process — `--trace` registers as it parses.
+    pub traces: Vec<u64>,
+    /// Schemes run over each capture (`--schemes sprout,cubic,...`;
+    /// defaults to the nine Figure-7 schemes).
+    pub schemes: Vec<Scheme>,
+    /// Replay run length override, seconds. Defaults to the short
+    /// [`REPLAY_SECS`] so every replay entry point declares the
+    /// identical matrix (and cache keys); `None` inherits the global
+    /// `ExperimentConfig` timing (`--secs`/`--quick` set this).
+    pub secs: Option<u64>,
+}
+
+impl Default for ReplayAxes {
+    fn default() -> Self {
+        ReplayAxes {
+            traces: default_corpus_fingerprints(),
+            schemes: Scheme::fig7().to_vec(),
+            secs: Some(REPLAY_SECS),
+        }
+    }
+}
+
 /// The default number of contending flows per contention cell.
 pub const DEFAULT_CONTENTION_FLOWS: usize = 3;
 
@@ -190,6 +258,15 @@ pub struct ExperimentConfig {
     pub impair: ImpairAxes,
     /// Axes of the `serve` experiment (CLI-overridable).
     pub serve: ServeAxes,
+    /// Axes of the `replay` experiment (CLI-overridable).
+    pub replay: ReplayAxes,
+    /// Emit per-cell time-series artifacts (`--timeseries`): delay
+    /// vs. time plus binned capacity/throughput/queue-depth TSVs next
+    /// to the sweep JSON, for the `replay`, `impair`, and `soak`
+    /// matrices. Changes cell identity (the series rides the cell's
+    /// cache entry), so it is part of the matrix declaration, not a
+    /// render-time toggle.
+    pub timeseries: bool,
 }
 
 impl Default for ExperimentConfig {
@@ -208,6 +285,8 @@ impl Default for ExperimentConfig {
             contention: ContentionAxes::default(),
             impair: ImpairAxes::default(),
             serve: ServeAxes::default(),
+            replay: ReplayAxes::default(),
+            timeseries: false,
         }
     }
 }
@@ -245,6 +324,17 @@ impl ExperimentConfig {
         ScenarioMatrix::builder(name).timing(self.duration(), self.warmup())
     }
 
+    /// Apply the `--timeseries` request to a matrix under declaration:
+    /// a no-op unless enabled, so the default matrices (and their cache
+    /// keys) are untouched.
+    fn with_timeseries(&self, b: crate::scenario::MatrixBuilder) -> crate::scenario::MatrixBuilder {
+        if self.timeseries {
+            b.cell_series(CELL_SERIES_BIN)
+        } else {
+            b
+        }
+    }
+
     /// The synthetic stand-in for one measured link (deterministic in the
     /// master seed).
     pub fn trace_for(&self, profile: NetProfile) -> Trace {
@@ -256,7 +346,7 @@ impl ExperimentConfig {
     /// benches and tests; sweeps derive this internally.)
     pub fn run_config(&self, profile: NetProfile) -> RunConfig {
         let data = self.trace_for(profile);
-        let feedback = self.trace_for(paired(profile));
+        let feedback = self.trace_for(crate::scenario::paired_profile(profile));
         RunConfig {
             duration: self.duration(),
             warmup: self.warmup(),
@@ -471,7 +561,12 @@ pub fn fig7(cfg: &ExperimentConfig) -> std::io::Result<Fig7Results> {
             m.omniscient_ms,
             m.utilization
         )?;
-        cells.push((r.scenario.link, scheme, m));
+        let link = r
+            .scenario
+            .link
+            .profile()
+            .expect("fig7 sweeps synthetic links");
+        cells.push((link, scheme, m));
     }
     Ok(Fig7Results { cells })
 }
@@ -669,7 +764,11 @@ pub fn loss_table(cfg: &ExperimentConfig) -> std::io::Result<Vec<LossRow>> {
             m.self_inflicted_ms
         )?;
         rows.push(LossRow {
-            link: r.scenario.link,
+            link: r
+                .scenario
+                .link
+                .profile()
+                .expect("loss sweeps synthetic links"),
             loss_rate: r.scenario.loss_rate,
             result: m,
         });
@@ -872,17 +971,19 @@ pub const SOAK_APP_CARRIERS: [Scheme; 2] = [Scheme::Sprout, Scheme::Cubic];
 /// one sitting by design — run it as `--shard I/N` workers sharing one
 /// cache directory, then `--merge`.
 pub fn soak_matrix(cfg: &ExperimentConfig) -> ScenarioMatrix {
-    ScenarioMatrix::builder("soak")
-        .timing(
-            Duration::from_secs(cfg.soak.secs.unwrap_or(cfg.run_secs)),
-            Duration::from_secs(cfg.warmup_secs),
-        )
-        .schemes(Scheme::fig7())
-        .apps(VideoApp::all(), SOAK_APP_CARRIERS)
-        .links(cfg.soak.links.iter().copied())
-        .queues(cfg.soak.queues.iter().copied())
-        .prop_delays_ms(cfg.soak.prop_delays_ms.iter().copied())
-        .build()
+    cfg.with_timeseries(
+        ScenarioMatrix::builder("soak")
+            .timing(
+                Duration::from_secs(cfg.soak.secs.unwrap_or(cfg.run_secs)),
+                Duration::from_secs(cfg.warmup_secs),
+            )
+            .schemes(Scheme::fig7())
+            .apps(VideoApp::all(), SOAK_APP_CARRIERS)
+            .links(cfg.soak.links.iter().copied())
+            .queues(cfg.soak.queues.iter().copied())
+            .prop_delays_ms(cfg.soak.prop_delays_ms.iter().copied()),
+    )
+    .build()
 }
 
 /// Aggregate view of one workload across every soak cell it appears in.
@@ -902,6 +1003,7 @@ pub struct SoakRow {
 pub fn soak(cfg: &ExperimentConfig) -> std::io::Result<Vec<SoakRow>> {
     let matrix = soak_matrix(cfg);
     let results = cfg.run_matrix(&matrix)?;
+    write_cell_series(cfg, &results)?;
 
     let mut f = cfg.tsv("soak_matrix.tsv")?;
     writeln!(
@@ -1000,11 +1102,13 @@ pub const IMPAIR_SCHEMES: [Scheme; 4] = [
 /// jitter, reordering, the all-at-once storm — plus the clean-link
 /// control).
 pub fn impair_matrix(cfg: &ExperimentConfig) -> ScenarioMatrix {
-    cfg.matrix("impair")
-        .schemes(IMPAIR_SCHEMES)
-        .links(cfg.impair.links.iter().copied())
-        .impairments(cfg.impair.impairments.iter().map(|(_, imp)| *imp))
-        .build()
+    cfg.with_timeseries(
+        cfg.matrix("impair")
+            .schemes(IMPAIR_SCHEMES)
+            .links(cfg.impair.links.iter().copied())
+            .impairments(cfg.impair.impairments.iter().map(|(_, imp)| *imp)),
+    )
+    .build()
 }
 
 /// One `impair` cell's summary, flattened for display.
@@ -1029,6 +1133,7 @@ pub struct ImpairRow {
 pub fn impair(cfg: &ExperimentConfig) -> std::io::Result<Vec<ImpairRow>> {
     let matrix = impair_matrix(cfg);
     let results = cfg.run_matrix(&matrix)?;
+    write_cell_series(cfg, &results)?;
 
     let preset_name = |imp: &Impairment| -> String {
         let id = imp.id();
@@ -1068,7 +1173,11 @@ pub fn impair(cfg: &ExperimentConfig) -> std::io::Result<Vec<ImpairRow>> {
         rows.push(ImpairRow {
             label: r.scenario.label.clone(),
             scheme,
-            link: r.scenario.link,
+            link: r
+                .scenario
+                .link
+                .profile()
+                .expect("impair sweeps synthetic links"),
             impairment,
             result: m,
         });
@@ -1147,7 +1256,11 @@ pub fn serve(cfg: &ExperimentConfig) -> std::io::Result<Vec<ServeRow>> {
         )?;
         rows.push(ServeRow {
             label: r.scenario.label.clone(),
-            link: r.scenario.link,
+            link: r
+                .scenario
+                .link
+                .profile()
+                .expect("serve sweeps synthetic links"),
             sessions: s.sessions,
             delivered_bytes: s.delivered_bytes,
             min_session_bytes: s.min_session_bytes,
@@ -1157,6 +1270,117 @@ pub fn serve(cfg: &ExperimentConfig) -> std::io::Result<Vec<ServeRow>> {
         });
     }
     Ok(rows)
+}
+
+// --------------------------------------------------------------- replay
+
+/// One `replay` cell's summary, flattened for display.
+pub struct ReplayRow {
+    /// The cell label.
+    pub label: String,
+    /// The measured capture's id (`m<fingerprint:016x>`).
+    pub trace: String,
+    /// Scheme under test.
+    pub scheme: Scheme,
+    /// The cell's metrics.
+    pub result: SchemeResult,
+}
+
+/// The `replay` matrix: the configured scheme roster over each measured
+/// capture (`LinkSpec::Measured`, identified by content fingerprint).
+/// Timing follows its own short default ([`REPLAY_SECS`], warmup = one
+/// sixth of the run) because the committed corpus excerpts are only
+/// ~40 s long.
+pub fn replay_matrix(cfg: &ExperimentConfig) -> ScenarioMatrix {
+    let secs = cfg.replay.secs.unwrap_or(cfg.run_secs);
+    cfg.with_timeseries(
+        ScenarioMatrix::builder("replay")
+            .timing(Duration::from_secs(secs), Duration::from_secs(secs / 6))
+            .schemes(cfg.replay.schemes.iter().copied())
+            .links(
+                cfg.replay
+                    .traces
+                    .iter()
+                    .map(|&fp| LinkSpec::Measured { fingerprint: fp }),
+            ),
+    )
+    .build()
+}
+
+/// Run the measured-trace replay matrix and render
+/// `replay_comparative.tsv` (one row per cell), plus the per-cell
+/// time-series TSVs when `--timeseries` is set.
+pub fn replay(cfg: &ExperimentConfig) -> std::io::Result<Vec<ReplayRow>> {
+    let matrix = replay_matrix(cfg);
+    let results = cfg.run_matrix(&matrix)?;
+    write_cell_series(cfg, &results)?;
+
+    let mut f = cfg.tsv("replay_comparative.tsv")?;
+    writeln!(
+        f,
+        "label\ttrace\tscheme\tthroughput_kbps\tp95_delay_ms\tself_inflicted_ms\tutilization"
+    )?;
+    let mut rows = Vec::with_capacity(results.len());
+    for r in &results {
+        let scheme = r.scenario.workload.scheme().expect("scheme matrix");
+        let m = r.metrics.expect("scheme cells produce metrics");
+        writeln!(
+            f,
+            "{}\t{}\t{}\t{:.1}\t{:.1}\t{:.1}\t{:.4}",
+            r.scenario.label,
+            r.scenario.link.id(),
+            scheme.name(),
+            m.throughput_kbps,
+            m.p95_delay_ms,
+            m.self_inflicted_ms,
+            m.utilization,
+        )?;
+        rows.push(ReplayRow {
+            label: r.scenario.label.clone(),
+            trace: r.scenario.link.id(),
+            scheme,
+            result: m,
+        });
+    }
+    Ok(rows)
+}
+
+/// Write the per-cell time-series artifacts for every result that
+/// carries one (the `--timeseries` flag): `<matrix>_<id>_delay.tsv`
+/// (per-delivery delay vs. time) and `<matrix>_<id>_series.tsv` (binned
+/// capacity/throughput/queue-depth), deterministic byte for byte, next
+/// to the matrix's sweep JSON. Returns the number of cells rendered.
+pub fn write_cell_series(
+    cfg: &ExperimentConfig,
+    results: &[SweepResult],
+) -> std::io::Result<usize> {
+    let mut written = 0;
+    for r in results {
+        let Some(series) = &r.cell_series else {
+            continue;
+        };
+        let stem = format!("{}_{:03}", r.matrix, r.scenario.id);
+
+        let mut f = cfg.tsv(&format!("{stem}_delay.tsv"))?;
+        writeln!(f, "# {}", r.scenario.label)?;
+        writeln!(f, "t_s\tdelay_ms")?;
+        for &(t_s, delay_ms) in &series.delays {
+            writeln!(f, "{t_s:.6}\t{delay_ms:.3}")?;
+        }
+
+        let mut f = cfg.tsv(&format!("{stem}_series.tsv"))?;
+        writeln!(f, "# {}", r.scenario.label)?;
+        writeln!(f, "t_s\tcapacity_kbps\tthroughput_kbps\tqueue_depth")?;
+        for b in &series.bins {
+            writeln!(
+                f,
+                "{:.3}\t{:.3}\t{:.3}\t{}",
+                b.t_s, b.capacity_kbps, b.throughput_kbps, b.queue_depth
+            )?;
+        }
+        written += 1;
+    }
+    Ok(written)
 }
 
 // -------------------------------------------------------------- helpers
@@ -1176,10 +1400,12 @@ pub fn matrices_for(cfg: &ExperimentConfig, experiment: &str) -> Vec<ScenarioMat
         "soak" => vec![soak_matrix(cfg)],
         "impair" => vec![impair_matrix(cfg)],
         "serve" => vec![serve_matrix(cfg)],
+        "replay" => vec![replay_matrix(cfg)],
         // "all" deliberately excludes soak (sized for sharded, resumable
-        // execution, not a single sitting) and contention/impair/serve
-        // (their matrices are CLI-parameterized — axis flags would
-        // silently change what "all" means).
+        // execution, not a single sitting) and
+        // contention/impair/serve/replay (their matrices are
+        // CLI-parameterized — axis flags would silently change what
+        // "all" means).
         "all" => vec![
             fig1_matrix(cfg),
             fig2_matrix(cfg),

@@ -19,27 +19,32 @@ pub mod scenario;
 pub mod schemes;
 pub mod sweep;
 
-pub use cellcache::{cell_cache_counters, reset_cell_cache_counters, ENGINE_VERSION};
+pub use cellcache::{
+    cell_cache_counters, cell_series_cache_counters, reset_cell_cache_counters, ENGINE_VERSION,
+};
 pub use figures::{
-    contention, contention_matrix, default_contention_workloads, fig1, fig2, fig7, fig8, fig9,
-    impair, impair_matrix, loss_table, serve, serve_matrix, soak, soak_matrix, summary_table,
-    tunnel_comparison, ContentionAxes, ContentionRow, ExperimentConfig, Fig7Results, ImpairAxes,
-    ImpairRow, ServeAxes, ServeRow, SoakAxes, DEFAULT_CONTENTION_FLOWS, SERVE_SECS, SERVE_SESSIONS,
-    SHALLOW_QUEUE_BYTES, SOAK_SECS,
+    contention, contention_matrix, default_contention_workloads, default_corpus_fingerprints, fig1,
+    fig2, fig7, fig8, fig9, impair, impair_matrix, loss_table, replay, replay_matrix, serve,
+    serve_matrix, soak, soak_matrix, summary_table, tunnel_comparison, write_cell_series,
+    ContentionAxes, ContentionRow, ExperimentConfig, Fig7Results, ImpairAxes, ImpairRow,
+    ReplayAxes, ReplayRow, ServeAxes, ServeRow, SoakAxes, CELL_SERIES_BIN,
+    DEFAULT_CONTENTION_FLOWS, REPLAY_SECS, SERVE_SECS, SERVE_SESSIONS, SHALLOW_QUEUE_BYTES,
+    SOAK_SECS,
 };
 pub use perf::{
     bench_report_to_json, check_regression, missing_keys, run_serve_capacity, BenchReport,
     MicroBench, ServeCapacity,
 };
 pub use scenario::{
-    FlowSpec, MatrixBuilder, QueueSpec, ResolvedQueue, Scenario, ScenarioMatrix, Workload,
-    MAX_CONTENTION_FLOWS, MAX_SERVE_SESSIONS,
+    FlowSpec, LinkSpec, MatrixBuilder, QueueSpec, ResolvedQueue, Scenario, ScenarioMatrix,
+    Workload, MAX_CONTENTION_FLOWS, MAX_SERVE_SESSIONS,
 };
 pub use schemes::{build_endpoints, run_scheme, RunConfig, Scheme, SchemeResult};
 pub use sprout_baselines::VideoApp;
 pub use sweep::{
     abandoned_cell_threads, cell_failure_counters, last_batch_layout, sweep_to_json,
     trace_memo_occupancy, trace_memory_counters, write_json, BatchStats, CellCachePolicy,
-    CellFailure, CellFailureCounters, CellScratch, FlowSummary, InterarrivalSummary, SeriesRow,
-    ServeStats, ShardSpec, SweepEngine, SweepError, SweepResult, SweepStats, DEFAULT_CELL_TIMEOUT,
+    CellFailure, CellFailureCounters, CellScratch, CellSeries, CellSeriesBin, FlowSummary,
+    InterarrivalSummary, SeriesRow, ServeStats, ShardSpec, SweepEngine, SweepError, SweepResult,
+    SweepStats, DEFAULT_CELL_TIMEOUT,
 };

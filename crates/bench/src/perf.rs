@@ -26,7 +26,7 @@ use sprout_trace::{Duration, NetProfile, Timestamp};
 use sprout_tunnel::SproutServer;
 
 use crate::figures::ExperimentConfig;
-use crate::scenario::{paired, ScenarioMatrix};
+use crate::scenario::{paired_profile, ScenarioMatrix};
 use crate::schemes::{RunConfig, Scheme};
 use crate::sweep::{json_f64, json_str, SweepResult, SweepStats};
 
@@ -187,7 +187,7 @@ pub fn run_serve_capacity(seed: u64) -> ServeCapacity {
         warmup: Duration::ZERO,
         ..RunConfig::new(
             link.generate(duration, seed),
-            paired(link).generate(duration, seed),
+            paired_profile(link).generate(duration, seed),
         )
     };
     let mut server = SproutServer::new(rc.sprout.clone(), rc.serve_seed);

@@ -20,8 +20,21 @@ use sprout_trace::{Duration, Impairment, NetProfile};
 use crate::schemes::Scheme;
 
 /// The opposite direction of the same network: the feedback path of every
-/// cell is the link's paired reverse direction.
-pub fn paired(profile: NetProfile) -> NetProfile {
+/// cell is the link's paired reverse direction. A measured capture has no
+/// recorded reverse direction, so a measured cell replays the *same*
+/// capture on the feedback path — a deliberate, documented substitute
+/// (feedback traffic is tiny, so what matters is that the path is
+/// deterministic and cellular-shaped, not its exact direction).
+pub fn paired(link: LinkSpec) -> LinkSpec {
+    match link {
+        LinkSpec::Profile(profile) => LinkSpec::Profile(paired_profile(profile)),
+        measured @ LinkSpec::Measured { .. } => measured,
+    }
+}
+
+/// The synthetic other direction of one network ([`paired`] for the
+/// profile-only callers that build standalone `RunConfig`s).
+pub fn paired_profile(profile: NetProfile) -> NetProfile {
     match profile {
         NetProfile::VerizonLteDown => NetProfile::VerizonLteUp,
         NetProfile::VerizonLteUp => NetProfile::VerizonLteDown,
@@ -31,6 +44,63 @@ pub fn paired(profile: NetProfile) -> NetProfile {
         NetProfile::AttLteUp => NetProfile::AttLteDown,
         NetProfile::TmobileUmtsDown => NetProfile::TmobileUmtsUp,
         NetProfile::TmobileUmtsUp => NetProfile::TmobileUmtsDown,
+    }
+}
+
+/// The link axis of a cell: either a synthesized [`NetProfile`] (the
+/// paper's fitted link models) or a *measured* Saturator capture,
+/// identified by the content fingerprint of its file bytes.
+///
+/// A measured link never carries a path: paths differ between machines
+/// and shard workers, fingerprints do not. The capture itself lives in
+/// the process-global [`sprout_trace::registry`], where every process
+/// re-registers its `--trace` files; the scenario only names the bytes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum LinkSpec {
+    /// A synthesized link from the paper's fitted stochastic models.
+    Profile(NetProfile),
+    /// A measured Saturator capture, content-addressed by
+    /// [`sprout_cache::fingerprint64`] over its raw file bytes.
+    Measured {
+        /// Fingerprint of the capture's file bytes.
+        fingerprint: u64,
+    },
+}
+
+impl LinkSpec {
+    /// Machine-friendly identifier, used in labels, canonical encodings,
+    /// and JSON rows. Profile links keep their historical ids
+    /// (`vz-lte-down`, …); measured links render as `m<16-hex-digit
+    /// fingerprint>` — derived from content, never from a path, so two
+    /// copies of one capture produce identical labels and identical cell
+    /// identities.
+    pub fn id(&self) -> String {
+        match self {
+            LinkSpec::Profile(p) => p.id().to_string(),
+            LinkSpec::Measured { fingerprint } => format!("m{fingerprint:016x}"),
+        }
+    }
+
+    /// The synthesized profile, when this is a profile link.
+    pub fn profile(&self) -> Option<NetProfile> {
+        match self {
+            LinkSpec::Profile(p) => Some(*p),
+            LinkSpec::Measured { .. } => None,
+        }
+    }
+
+    /// The capture fingerprint, when this is a measured link.
+    pub fn measured_fingerprint(&self) -> Option<u64> {
+        match self {
+            LinkSpec::Profile(_) => None,
+            LinkSpec::Measured { fingerprint } => Some(*fingerprint),
+        }
+    }
+}
+
+impl From<NetProfile> for LinkSpec {
+    fn from(profile: NetProfile) -> Self {
+        LinkSpec::Profile(profile)
     }
 }
 
@@ -310,9 +380,10 @@ pub struct Scenario {
     pub label: String,
     /// What runs in the cell.
     pub workload: Workload,
-    /// Link direction under test (the feedback path is the paired
-    /// opposite direction of the same network).
-    pub link: NetProfile,
+    /// Link under test: a synthesized profile (the feedback path is the
+    /// paired opposite direction of the same network) or a measured
+    /// capture (replayed on both directions).
+    pub link: LinkSpec,
     /// Bottleneck queue discipline.
     pub queue: QueueSpec,
     /// One-way propagation delay of each direction (the paper's
@@ -332,6 +403,13 @@ pub struct Scenario {
     /// Deterministic fault injection applied to both directions of the
     /// path ([`Impairment::none()`] for the classic clean-link cell).
     pub impairment: Impairment,
+    /// When set, the cell additionally emits a **cell-series** artifact —
+    /// per-delivery delay-vs-time plus per-bin capacity / throughput /
+    /// queue-depth series at this bin width — persisted in the artifact
+    /// cache next to the cell result (the `--timeseries` flag). Part of
+    /// cell identity: a cached cell either has its series or was never
+    /// asked for one.
+    pub cell_series_bin: Option<Duration>,
 }
 
 impl Scenario {
@@ -345,7 +423,7 @@ impl Scenario {
         w.str(&self.label);
         w.str(self.workload.id());
         w.str(&self.workload.canonical_detail());
-        w.str(self.link.id());
+        w.str(&self.link.id());
         w.str(&self.queue.id());
         w.u64(self.prop_delay.as_micros());
         w.f64(self.loss_rate);
@@ -371,6 +449,16 @@ impl Scenario {
         w.bool(imp.reorder.is_some());
         w.f64(imp.reorder.map(|r| r.probability).unwrap_or(0.0));
         w.u64(imp.reorder.map(|r| r.extra_delay.as_micros()).unwrap_or(0));
+        // The cell-series request is a *conditional tail*: appended only
+        // when present, so every pre-existing scenario keeps its exact
+        // historical canonical bytes (the golden-fingerprint snapshot
+        // regenerates strictly additively). Safe because the tail only
+        // ever extends the encoding — a scenario with the tail is never
+        // byte-equal to one without it.
+        if let Some(bin) = self.cell_series_bin {
+            w.bool(true);
+            w.u64(bin.as_micros());
+        }
     }
 
     /// Stable 64-bit fingerprint of [`Self::canonical_bytes`].
@@ -455,7 +543,7 @@ impl ScenarioMatrix {
 pub struct MatrixBuilder {
     name: String,
     workloads: Vec<Workload>,
-    links: Vec<NetProfile>,
+    links: Vec<LinkSpec>,
     queues: Vec<QueueSpec>,
     prop_delays: Vec<Duration>,
     loss_rates: Vec<f64>,
@@ -464,6 +552,7 @@ pub struct MatrixBuilder {
     duration: Duration,
     warmup: Duration,
     series_bin: Option<Duration>,
+    cell_series_bin: Option<Duration>,
 }
 
 impl MatrixBuilder {
@@ -480,6 +569,7 @@ impl MatrixBuilder {
             duration: Duration::from_secs(300),
             warmup: Duration::from_secs(60),
             series_bin: None,
+            cell_series_bin: None,
         }
     }
 
@@ -558,9 +648,10 @@ impl MatrixBuilder {
         self
     }
 
-    /// Set the link axis.
-    pub fn links(mut self, links: impl IntoIterator<Item = NetProfile>) -> Self {
-        self.links.extend(links);
+    /// Set the link axis: synthesized [`NetProfile`]s and/or measured
+    /// [`LinkSpec::Measured`] captures.
+    pub fn links<L: Into<LinkSpec>>(mut self, links: impl IntoIterator<Item = L>) -> Self {
+        self.links.extend(links.into_iter().map(Into::into));
         self
     }
 
@@ -639,6 +730,16 @@ impl MatrixBuilder {
         self
     }
 
+    /// Emit per-cell **cell-series** artifacts (delay-vs-time plus
+    /// binned capacity/throughput/queue-depth) at this bin width — the
+    /// `--timeseries` flag. Changes cell identity (see
+    /// [`Scenario::cell_series_bin`]).
+    pub fn cell_series(mut self, bin: Duration) -> Self {
+        assert!(bin > Duration::ZERO, "cell-series bin must be positive");
+        self.cell_series_bin = Some(bin);
+        self
+    }
+
     /// Take the cross-product.
     pub fn build(self) -> ScenarioMatrix {
         assert!(
@@ -702,6 +803,7 @@ impl MatrixBuilder {
                                         warmup: self.warmup,
                                         series_bin: self.series_bin,
                                         impairment,
+                                        cell_series_bin: self.cell_series_bin,
                                     });
                                 }
                             }

@@ -300,7 +300,7 @@ pub fn build_endpoints(scheme: Scheme, cfg: &RunConfig) -> (Box<dyn Endpoint>, B
 pub fn run_scheme(scheme: Scheme, cfg: &RunConfig) -> SchemeResult {
     let workload = crate::scenario::Workload::Scheme(scheme);
     let queue = crate::scenario::QueueSpec::Auto.resolve(&workload);
-    crate::sweep::run_cell(&workload, cfg, queue, None)
+    crate::sweep::run_cell(&workload, cfg, queue, None, None)
         .metrics
         .expect("scheme cells always produce direction metrics")
 }

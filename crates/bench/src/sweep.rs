@@ -44,12 +44,14 @@ use sprout_sim::{
     MetricsCollector, MuxEndpoint, PathConfig, QueueConfig, ServeSim, Simulation, DEEP_QUEUE_BYTES,
 };
 use sprout_trace::{
-    cancel, derive_labeled_seed, session_seed, Duration, InterarrivalHistogram, NetProfile,
-    OutageSchedule, Timestamp, Trace,
+    cancel, derive_labeled_seed, session_seed, Duration, InterarrivalHistogram, OutageSchedule,
+    Timestamp, Trace,
 };
 use sprout_tunnel::{SproutServer, TunnelEndpoint, TunnelHost};
 
-use crate::scenario::{paired, FlowSpec, ResolvedQueue, Scenario, ScenarioMatrix, Workload};
+use crate::scenario::{
+    paired, FlowSpec, LinkSpec, ResolvedQueue, Scenario, ScenarioMatrix, Workload,
+};
 use crate::schemes::{build_endpoints, RunConfig, Scheme, SchemeResult};
 
 /// The bulk flow of the §5.7 mux/tunnel cells.
@@ -79,6 +81,36 @@ pub struct SeriesRow {
     pub throughput_kbps: f64,
     /// Worst per-arrival delay in the bin, ms (0 when nothing arrived).
     pub worst_delay_ms: f64,
+}
+
+/// Per-cell time-series payload of the "cell-series" artifact
+/// (`reproduce --timeseries`): every per-arrival delay sample plus
+/// per-bin capacity/throughput/queue-depth rows over the measurement
+/// window. Collected for scheme workloads (the replay, impair, and soak
+/// matrices); workloads without a single metered direction (probe,
+/// serve) ignore the request.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct CellSeries {
+    /// Bin width of [`Self::bins`], microseconds (a [`Duration`] tick
+    /// count; kept integral so the artifact encoding is exact).
+    pub bin_us: u64,
+    /// Per-arrival samples `(seconds since window start, delay ms)`.
+    pub delays: Vec<(f64, f64)>,
+    /// Per-bin rows covering the whole measurement window.
+    pub bins: Vec<CellSeriesBin>,
+}
+
+/// One bin of a [`CellSeries`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CellSeriesBin {
+    /// Bin start, seconds since the measurement window opened.
+    pub t_s: f64,
+    /// Link capacity in the bin, kbps.
+    pub capacity_kbps: f64,
+    /// Achieved throughput in the bin, kbps.
+    pub throughput_kbps: f64,
+    /// Packets in flight (sent but not yet delivered) at the bin start.
+    pub queue_depth: u64,
 }
 
 /// Interarrival statistics of a saturated link (Figure 2).
@@ -144,6 +176,12 @@ pub struct SweepResult {
     pub interarrival: Option<InterarrivalSummary>,
     /// Multi-session capacity summary (serve cells only).
     pub serve: Option<ServeStats>,
+    /// Per-cell time series (only when the scenario requested one via
+    /// [`Scenario::cell_series_bin`] and the workload produces one —
+    /// scheme workloads do, probe/serve cells don't). Persisted as its
+    /// own "cell-series" artifact and **excluded** from the canonical
+    /// sweep JSON; the TSV renderings are the deliverable.
+    pub cell_series: Option<CellSeries>,
     /// Wall-clock execution time of this cell, milliseconds. Measured,
     /// not simulated — deliberately **excluded** from the canonical
     /// sweep JSON (which must stay bit-identical across machines and
@@ -595,10 +633,12 @@ impl SweepEngine {
         }
 
         // Phase 2: execute the rest over the worker pool. Traces depend
-        // only on (master_seed, profile, duration), so all pending cells
-        // sharing a link replay one synthesis instead of each
-        // regenerating it (fig7: 80 cells but only 8 links × 2
-        // directions); fully-cached sweeps synthesize nothing at all.
+        // only on (master_seed, link, duration) — synthetic links
+        // generate from the seed, measured links resolve from the
+        // registry — so all pending cells sharing a link replay one
+        // resolution instead of each redoing it (fig7: 80 cells but only
+        // 8 links × 2 directions); fully-cached sweeps build nothing at
+        // all.
         //
         // Batched execution deals cells to workers one *batch* at a time:
         // pending cells are grouped by their shared-input key (link
@@ -806,7 +846,7 @@ fn batch_groups<'a>(
     if !batch {
         return (0..pending.len()).map(|j| vec![j]).collect();
     }
-    let mut index: std::collections::HashMap<(NetProfile, Duration), usize> =
+    let mut index: std::collections::HashMap<(LinkSpec, Duration), usize> =
         std::collections::HashMap::new();
     let mut groups: Vec<Vec<usize>> = Vec::new();
     for j in 0..pending.len() {
@@ -839,17 +879,18 @@ pub struct CellScratch {
 /// sweep.
 const TRACE_MEMO_CAP: usize = 16;
 
-/// Lazily synthesized link traces shared by every cell of one sweep,
-/// bounded by an LRU over `(profile, duration)` keys. Values are
-/// byte-identical to what [`NetProfile::generate`] would produce
-/// cell-locally — traces depend only on `(master_seed, profile,
-/// duration)` — so neither memoization nor eviction can change results.
-/// Synthesis happens inside the requesting cell's thread (under its
-/// watchdog), first-come: concurrent requesters of one key share a
-/// per-key `OnceLock` build slot and block only on that key.
+/// Lazily resolved link traces shared by every cell of one sweep,
+/// bounded by an LRU over `(link, duration)` keys. Values are
+/// byte-identical to what a cell would build locally: synthetic links
+/// depend only on `(master_seed, profile, duration)`, measured links
+/// only on `(capture bytes, duration)` — so neither memoization nor
+/// eviction can change results. Synthesis happens inside the requesting
+/// cell's thread (under its watchdog), first-come: concurrent
+/// requesters of one key share a per-key `OnceLock` build slot and
+/// block only on that key.
 struct TraceMemo {
     master_seed: u64,
-    slots: Mutex<sprout_core::LruCache<(NetProfile, Duration), TraceSlot>>,
+    slots: Mutex<sprout_core::LruCache<(LinkSpec, Duration), TraceSlot>>,
 }
 
 /// A per-key build slot (see [`TraceMemo`]).
@@ -863,14 +904,16 @@ impl TraceMemo {
         }
     }
 
-    /// The trace for `(profile, duration)`, synthesizing on first use.
-    fn get_or_build(&self, profile: NetProfile, duration: Duration) -> Trace {
+    /// The trace for `(link, duration)`, resolving on first use:
+    /// synthetic links generate, measured links come from the registry
+    /// truncated to the cell duration.
+    fn get_or_build(&self, link: LinkSpec, duration: Duration) -> Trace {
         let slot = {
             let mut slots = self
                 .slots
                 .lock()
                 .unwrap_or_else(std::sync::PoisonError::into_inner);
-            let (slot, _) = slots.get_or_insert_with(&(profile, duration), TraceSlot::default);
+            let (slot, _) = slots.get_or_insert_with(&(link, duration), TraceSlot::default);
             let slot = std::sync::Arc::clone(slot);
             TRACES_EVICTED.store(slots.evictions(), Ordering::Relaxed);
             TRACE_MEMO_LEN.store(slots.len() as u64, Ordering::Relaxed);
@@ -880,7 +923,10 @@ impl TraceMemo {
         let trace = slot
             .get_or_init(|| {
                 built_now = true;
-                profile.generate(duration, self.master_seed)
+                match link {
+                    LinkSpec::Profile(profile) => profile.generate(duration, self.master_seed),
+                    LinkSpec::Measured { fingerprint } => measured_trace(fingerprint, duration),
+                }
             })
             .clone();
         if built_now {
@@ -890,6 +936,20 @@ impl TraceMemo {
         }
         trace
     }
+}
+
+/// Resolve a measured link for one cell: the capture must already be
+/// registered in this process (`--trace FILE` re-registers it in every
+/// shard worker), and the replay is truncated to the cell's duration so
+/// the trace key stays `(link, duration)`.
+fn measured_trace(fingerprint: u64, duration: Duration) -> Trace {
+    let full = sprout_trace::lookup_trace(fingerprint).unwrap_or_else(|| {
+        panic!(
+            "measured trace m{fingerprint:016x} is not registered in this \
+             process — pass its capture file via --trace FILE"
+        )
+    });
+    full.truncated(Timestamp::ZERO + duration)
 }
 
 /// Execute one cell. Public so single-cell callers (benches, `run_scheme`)
@@ -918,8 +978,13 @@ fn execute_with_memo(
 
     if scenario.workload == Workload::InterarrivalProbe {
         // No endpoints: analyse the saturated link's own delivery process.
-        let trace_seed = derive_labeled_seed(master_seed, "interarrival-probe", 0);
-        let trace = scenario.link.generate(scenario.duration, trace_seed);
+        let trace = match scenario.link {
+            LinkSpec::Profile(profile) => {
+                let trace_seed = derive_labeled_seed(master_seed, "interarrival-probe", 0);
+                profile.generate(scenario.duration, trace_seed)
+            }
+            LinkSpec::Measured { fingerprint } => measured_trace(fingerprint, scenario.duration),
+        };
         let hist = InterarrivalHistogram::from_trace(&trace, 10, 10_000.0);
         return SweepResult {
             scenario: scenario.clone(),
@@ -937,13 +1002,15 @@ fn execute_with_memo(
                 rows: hist.rows().filter(|&(_, _, pct)| pct > 0.0).collect(),
             }),
             serve: None,
+            cell_series: None,
             wall_ms: started.elapsed().as_secs_f64() * 1e3,
         };
     }
 
-    // Link traces derive from the master seed and profile only: every cell
-    // on this link sees the same conditions (the controlled variable).
-    let synth = |profile: NetProfile| memo.get_or_build(profile, scenario.duration);
+    // Link traces derive from the master seed and link spec only: every
+    // cell on this link sees the same conditions (the controlled
+    // variable). Measured links resolve from the process-global registry.
+    let synth = |link: LinkSpec| memo.get_or_build(link, scenario.duration);
     let data_trace = synth(scenario.link);
     let feedback_trace = synth(paired(scenario.link));
     let sprout = match scenario.confidence_pct {
@@ -966,7 +1033,14 @@ fn execute_with_memo(
         ..RunConfig::new(data_trace, feedback_trace)
     };
 
-    let outcome = run_cell_scratch(&scenario.workload, &rc, queue, scenario.series_bin, scratch);
+    let outcome = run_cell_scratch(
+        &scenario.workload,
+        &rc,
+        queue,
+        scenario.series_bin,
+        scenario.cell_series_bin,
+        scratch,
+    );
     // Diagnostic knob for perf work: per-cell wall times on stderr
     // (canonical stdout/JSON are untouched).
     if std::env::var_os("SPROUT_CELL_TIMES").is_some() {
@@ -987,6 +1061,7 @@ fn execute_with_memo(
         series: outcome.series,
         interarrival: None,
         serve: outcome.serve,
+        cell_series: outcome.cell_series,
         wall_ms: started.elapsed().as_secs_f64() * 1e3,
     }
 }
@@ -1005,6 +1080,8 @@ pub struct CellOutcome {
     pub series: Vec<SeriesRow>,
     /// Multi-session capacity summary (serve cells).
     pub serve: Option<ServeStats>,
+    /// Per-cell time series (when requested; scheme workloads only).
+    pub cell_series: Option<CellSeries>,
 }
 
 fn path_configs(rc: &RunConfig, queue: ResolvedQueue) -> (PathConfig, PathConfig) {
@@ -1132,6 +1209,67 @@ fn collect_series(
         .collect()
 }
 
+/// Collect the per-cell time series: every per-arrival delay sample in
+/// the measurement window plus per-bin capacity/throughput/queue-depth
+/// rows. Queue depth is reconstructed from the delivery log alone —
+/// each delivered packet was in flight from `delivered_at − delay` to
+/// `delivered_at` — so cache hits can replay the artifact without the
+/// trace or the simulation.
+fn collect_cell_series(
+    m: &MetricsCollector,
+    trace: &Trace,
+    bin: Duration,
+    from: Timestamp,
+    to: Timestamp,
+) -> CellSeries {
+    let tput = m.throughput_series_kbps(bin, from, to);
+    let n = tput.len();
+    let mut capacity = trace.window(from, to).capacity_series_kbps(bin);
+    capacity.truncate(n);
+    capacity.resize(n, 0.0);
+
+    let mut delays: Vec<(f64, f64)> = Vec::new();
+    // Flight events in absolute microseconds: +1 when a packet enters
+    // the link, −1 when it is delivered.
+    let mut events: Vec<(u64, i64)> = Vec::new();
+    for (at, d) in m.delay_series() {
+        if at < from || at >= to {
+            continue;
+        }
+        let rel_us = at.as_micros() - from.as_micros();
+        delays.push((rel_us as f64 / 1e6, d.as_micros() as f64 / 1e3));
+        events.push((at.as_micros().saturating_sub(d.as_micros()), 1));
+        events.push((at.as_micros(), -1));
+    }
+    events.sort_unstable();
+
+    let bin_s = bin.as_secs_f64();
+    let mut depth: i64 = 0;
+    let mut next_event = 0;
+    let bins = (0..n)
+        .map(|i| {
+            // Sample in-flight depth at the bin start: a packet counts
+            // while `sent <= t < delivered`.
+            let t = from.as_micros() + i as u64 * bin.as_micros();
+            while next_event < events.len() && events[next_event].0 <= t {
+                depth += events[next_event].1;
+                next_event += 1;
+            }
+            CellSeriesBin {
+                t_s: i as f64 * bin_s,
+                capacity_kbps: capacity[i],
+                throughput_kbps: tput[i].1,
+                queue_depth: depth.max(0) as u64,
+            }
+        })
+        .collect();
+    CellSeries {
+        bin_us: bin.as_micros(),
+        delays,
+        bins,
+    }
+}
+
 /// Build the (sender-side, receiver-side) endpoints of one contention
 /// flow. Scheme flows reuse the standard scheme zoo pair; app flows ride
 /// their own single-client SproutTunnel session (§4.3), so the shared
@@ -1167,8 +1305,16 @@ pub fn run_cell(
     rc: &RunConfig,
     queue: ResolvedQueue,
     series_bin: Option<Duration>,
+    cell_series_bin: Option<Duration>,
 ) -> CellOutcome {
-    run_cell_scratch(workload, rc, queue, series_bin, &mut CellScratch::default())
+    run_cell_scratch(
+        workload,
+        rc,
+        queue,
+        series_bin,
+        cell_series_bin,
+        &mut CellScratch::default(),
+    )
 }
 
 /// [`run_cell`] with a caller-provided scratch arena: the simulation's
@@ -1179,6 +1325,7 @@ pub fn run_cell_scratch(
     rc: &RunConfig,
     queue: ResolvedQueue,
     series_bin: Option<Duration>,
+    cell_series_bin: Option<Duration>,
     scratch: &mut CellScratch,
 ) -> CellOutcome {
     let from = Timestamp::ZERO + rc.warmup;
@@ -1212,9 +1359,12 @@ pub fn run_cell_scratch(
             let series = series_bin
                 .map(|bin| collect_series(sim.ab_metrics(), &rc.data_trace, bin, from, end))
                 .unwrap_or_default();
+            let cell_series = cell_series_bin
+                .map(|bin| collect_cell_series(sim.ab_metrics(), &rc.data_trace, bin, from, end));
             let outcome = CellOutcome {
                 metrics: Some(SchemeResult::from_stats(&stats)),
                 series,
+                cell_series,
                 ..CellOutcome::default()
             };
             reclaim(sim, scratch);
@@ -1484,7 +1634,7 @@ pub fn result_to_json(r: &SweepResult) -> String {
         None => o.push_str("null"),
     }
     o.push_str(",\"link\":");
-    json_str(&mut o, r.scenario.link.id());
+    json_str(&mut o, &r.scenario.link.id());
     o.push_str(",\"queue\":");
     json_str(&mut o, &r.queue.id());
     o.push_str(",\"prop_delay_ms\":");

@@ -16,7 +16,8 @@ use sprout_trace::{Duration, NetProfile, Timestamp};
 
 fn quick_rc(link: NetProfile, secs: u64) -> RunConfig {
     let data = link.generate(Duration::from_secs(secs), 7);
-    let feedback = sprout_bench::figures::paired(link).generate(Duration::from_secs(secs), 7);
+    let feedback =
+        sprout_bench::figures::paired_profile(link).generate(Duration::from_secs(secs), 7);
     RunConfig {
         duration: Duration::from_secs(secs),
         warmup: Duration::from_secs(secs / 6),
@@ -57,6 +58,7 @@ fn deep_default_queue_matches_old_unbounded_fig7_behavior() {
         &rc,
         ResolvedQueue::DropTail,
         None,
+        None,
     )
     .metrics
     .expect("scheme cells produce metrics");
@@ -80,6 +82,7 @@ fn shallow_byte_cap_binds_and_is_accounted() {
         &rc,
         ResolvedQueue::DropTail,
         None,
+        None,
     )
     .metrics
     .unwrap();
@@ -87,6 +90,7 @@ fn shallow_byte_cap_binds_and_is_accounted() {
         &Workload::Scheme(Scheme::Cubic),
         &rc,
         ResolvedQueue::DropTailBytes(30_000),
+        None,
         None,
     )
     .metrics
@@ -124,6 +128,7 @@ fn prop_delay_shifts_floor_exactly_and_floors_p95() {
             &Workload::Scheme(Scheme::SproutEwma),
             &rc,
             ResolvedQueue::DropTail,
+            None,
             None,
         )
         .metrics

@@ -36,6 +36,7 @@ const EXPERIMENTS: &[&str] = &[
     "soak",
     "impair",
     "serve",
+    "replay",
 ];
 
 const GOLDEN_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden_fingerprints.tsv");

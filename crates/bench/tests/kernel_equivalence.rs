@@ -95,11 +95,12 @@ fn engine_version_unchanged_by_kernel_restructuring() {
     // output is unchanged and the kernel restructuring shipped without
     // an engine-version bump (the version sat at 3 before and after).
     // The pin tracks the *current* version — v4 is the fault-injection
-    // layer, v5 the multi-session serve workload, both deliberate
-    // identity changes with matching golden churn — so that bumping it
-    // without regenerating the golden fingerprints (or vice versa) is
-    // still the bug this assertion catches.
-    assert_eq!(sprout_bench::ENGINE_VERSION, 5);
+    // layer, v5 the multi-session serve workload, v6 measured-trace
+    // links + the cell-series attachment, all deliberate identity
+    // changes with matching golden churn — so that bumping it without
+    // regenerating the golden fingerprints (or vice versa) is still
+    // the bug this assertion catches.
+    assert_eq!(sprout_bench::ENGINE_VERSION, 6);
     let golden = include_str!("golden_fingerprints.tsv");
     let rows = golden.lines().filter(|l| !l.starts_with('#')).count();
     assert!(

@@ -214,7 +214,7 @@ fn poisoned_matrix() -> ScenarioMatrix {
         id,
         label: format!("poison/cell{id}"),
         workload: Workload::Scheme(Scheme::Cubic),
-        link: NetProfile::TmobileUmtsDown,
+        link: NetProfile::TmobileUmtsDown.into(),
         queue: QueueSpec::Auto,
         prop_delay: Duration::from_millis(20),
         loss_rate: 0.0,
@@ -223,6 +223,7 @@ fn poisoned_matrix() -> ScenarioMatrix {
         warmup: Duration::from_secs(2),
         series_bin: None,
         impairment: sprout_trace::Impairment::none(),
+        cell_series_bin: None,
     };
     ScenarioMatrix::from_cells(
         "poison",

@@ -240,6 +240,51 @@ fn killed_worker_is_redealt_and_merge_matches_single_process_run() {
 }
 
 #[test]
+fn replay_submissions_are_validated_at_submit_time() {
+    let _g = lock();
+    let (endpoint, handle, _out, state_dir) = start_daemon("replay-validate");
+    let post = |experiment: &str, body: &str| {
+        client::request(
+            &endpoint,
+            "POST",
+            &format!("/sweeps?experiment={experiment}&workers=1"),
+            body,
+        )
+        .expect("request")
+    };
+
+    // A capture that cannot be read fails the submit with a 400 —
+    // before any worker is spawned.
+    let (status, resp) = post("replay", "--trace\n/nonexistent/capture.trace");
+    assert_eq!(status, 400, "{resp}");
+
+    // The replay axis flags are experiment-scoped at submit time too.
+    let (status, resp) = post("fig1", "--timeseries");
+    assert_eq!(status, 400, "{resp}");
+    let (status, resp) = post("soak", "--schemes\nsprout");
+    assert_eq!(status, 400, "{resp}");
+    let (status, resp) = post("replay", "--schemes\nbogus");
+    assert_eq!(status, 400, "{resp}");
+
+    // A well-formed replay sweep (embedded default corpus, trimmed
+    // roster) passes the same screen; cancel it rather than run it.
+    let (status, resp) = post("replay", "--schemes\nsprout\n--quick");
+    assert_eq!(status, 200, "{resp}");
+    let id: u64 = resp
+        .split("\"id\":")
+        .nth(1)
+        .and_then(|s| s.split('}').next())
+        .and_then(|s| s.trim().parse().ok())
+        .expect("submit returns an id");
+    let (status, _) =
+        client::request(&endpoint, "POST", &format!("/sweeps/{id}/cancel"), "").expect("cancel");
+    assert_eq!(status, 200);
+    wait_for_state(&endpoint, id, "cancelled", Duration::from_secs(60));
+
+    shutdown(&endpoint, handle, &state_dir);
+}
+
+#[test]
 fn cancelled_sweep_leaves_only_cached_cells() {
     let _g = lock();
     let (endpoint, handle, out, state_dir) = start_daemon("cancel");

@@ -17,7 +17,10 @@ use crate::trace::Trace;
 pub enum TraceFileError {
     /// Underlying I/O failure.
     Io(io::Error),
-    /// A line that is neither a comment, blank, nor a non-negative integer.
+    /// A line that is neither a comment, blank, nor a timestamp that fits
+    /// the format's contract: a non-negative millisecond integer, no
+    /// larger than [`MAX_TRACE_MS`], and no smaller than the timestamp on
+    /// the previous data line.
     Malformed {
         /// 1-based line number of the offending line.
         line: usize,
@@ -25,6 +28,10 @@ pub enum TraceFileError {
         text: String,
     },
 }
+
+/// The largest millisecond value a trace line may carry: anything bigger
+/// would overflow the microsecond representation of [`Timestamp`].
+pub const MAX_TRACE_MS: u64 = u64::MAX / 1_000;
 
 impl std::fmt::Display for TraceFileError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -56,18 +63,36 @@ impl From<io::Error> for TraceFileError {
 }
 
 /// Parse a trace from any reader in the Saturator text format.
+///
+/// The format is strict about what a capture can contain: timestamps must
+/// be non-negative millisecond integers small enough for the microsecond
+/// [`Timestamp`] representation ([`MAX_TRACE_MS`]) and must never
+/// *decrease* from one data line to the next. Repeated timestamps are
+/// legitimate — a fast link delivers several MTUs in one millisecond —
+/// but a capture that runs backwards is corrupt, and silently re-sorting
+/// it would mask the corruption, so both holes are explicit
+/// [`TraceFileError::Malformed`] errors naming the offending line.
 pub fn read_trace(reader: impl Read) -> Result<Trace, TraceFileError> {
     let mut opportunities = Vec::new();
+    let mut prev_ms: Option<u64> = None;
     for (idx, line) in BufReader::new(reader).lines().enumerate() {
         let line = line?;
         let text = line.trim();
         if text.is_empty() || text.starts_with('#') {
             continue;
         }
-        let ms: u64 = text.parse().map_err(|_| TraceFileError::Malformed {
+        let malformed = || TraceFileError::Malformed {
             line: idx + 1,
             text: text.to_owned(),
-        })?;
+        };
+        let ms: u64 = text.parse().map_err(|_| malformed())?;
+        if ms > MAX_TRACE_MS {
+            return Err(malformed());
+        }
+        if prev_ms.is_some_and(|prev| ms < prev) {
+            return Err(malformed());
+        }
+        prev_ms = Some(ms);
         opportunities.push(Timestamp::from_millis(ms));
     }
     Ok(Trace::new(opportunities))
@@ -119,6 +144,43 @@ mod tests {
     #[test]
     fn rejects_negative_numbers() {
         assert!(read_trace("-5\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn rejects_decreasing_timestamps_naming_the_line() {
+        // Line 3 is a comment, so the backwards step lands on line 5.
+        let input = "10\n20\n# checkpoint\n20\n19\n";
+        match read_trace(input.as_bytes()) {
+            Err(TraceFileError::Malformed { line, text }) => {
+                assert_eq!(line, 5);
+                assert_eq!(text, "19");
+            }
+            other => panic!("expected Malformed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn accepts_repeated_timestamps() {
+        // Several MTUs in one millisecond is normal on fast links.
+        let tr = read_trace("7\n7\n7\n".as_bytes()).unwrap();
+        assert_eq!(tr.len(), 3);
+    }
+
+    #[test]
+    fn rejects_timestamps_that_would_overflow_microseconds() {
+        assert!(read_trace(format!("{MAX_TRACE_MS}\n").as_bytes()).is_ok());
+        let over = format!("0\n{}\n", MAX_TRACE_MS + 1);
+        match read_trace(over.as_bytes()) {
+            Err(TraceFileError::Malformed { line, .. }) => assert_eq!(line, 2),
+            other => panic!("expected Malformed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn tolerates_crlf_line_endings() {
+        let tr = read_trace("# capture\r\n10\r\n20\r\n".as_bytes()).unwrap();
+        assert_eq!(tr.len(), 2);
+        assert_eq!(tr.opportunities()[1].as_millis(), 20);
     }
 
     #[test]

@@ -20,6 +20,7 @@ pub mod cancel;
 pub mod fit;
 pub mod format;
 pub mod impair;
+pub mod registry;
 pub mod seed;
 pub mod synth;
 pub mod time;
@@ -29,11 +30,12 @@ mod trace;
 pub use analysis::{outage_stats, summarize, InterarrivalHistogram, OutageStats, TraceSummary};
 pub use cancel::{CancelGuard, CancelToken, Cancelled};
 pub use fit::{fit_link_model, FitConfig, FittedModel};
-pub use format::{load_trace, read_trace, save_trace, write_trace, TraceFileError};
+pub use format::{load_trace, read_trace, save_trace, write_trace, TraceFileError, MAX_TRACE_MS};
 pub use impair::{
     DeliveryPerturber, GilbertElliott, GilbertElliottProcess, Impairment, JitterSpec,
     OutageSchedule, OutageSpec, ReorderSpec, IMPAIRMENT_PRESETS,
 };
+pub use registry::{lookup_trace, register_trace_bytes, register_trace_file};
 pub use seed::{derive_labeled_seed, derive_seed, session_seed};
 pub use synth::{
     reset_trace_cache_counters, trace_cache_counters, LinkModelParams, LinkSimulator, NetProfile,

@@ -1,0 +1,111 @@
+//! Process-global registry of *measured* traces, keyed by content
+//! fingerprint.
+//!
+//! Measured links enter the system by path (`--trace FILE`), but a path
+//! is a property of one machine, not of the experiment: cell identity —
+//! the cache key and the golden-fingerprint snapshot — must depend only
+//! on what the Saturator recorded. The registry is the indirection that
+//! makes that true: registering a capture hashes its **raw file bytes**
+//! through [`sprout_cache::fingerprint64`] (the workspace's one frozen
+//! content hash) and parses it once; everything downstream — scenario
+//! labels, canonical bytes, the sweep engine's trace memo — refers to
+//! the capture by that fingerprint alone. Two copies of one capture
+//! under different paths register to the same fingerprint and therefore
+//! the same cells; editing a single byte changes the fingerprint and
+//! every dependent cell is a cache miss, never a stale hit.
+//!
+//! The registry is process-global because fingerprints travel between
+//! processes (shard workers, the control daemon's submit validation) but
+//! the parsed traces do not: each process re-registers the same files
+//! from its own flag vector and arrives at the same fingerprints.
+
+use std::collections::HashMap;
+use std::path::Path;
+use std::sync::{Arc, Mutex, OnceLock};
+
+use crate::format::{read_trace, TraceFileError};
+use crate::trace::Trace;
+
+fn registry() -> &'static Mutex<HashMap<u64, Arc<Trace>>> {
+    static REGISTRY: OnceLock<Mutex<HashMap<u64, Arc<Trace>>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+fn lock() -> std::sync::MutexGuard<'static, HashMap<u64, Arc<Trace>>> {
+    // A poisoned registry only means some other thread panicked mid-
+    // insert; the map itself is always in a consistent state.
+    registry().lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Register a measured capture from its raw file bytes. Returns the
+/// content fingerprint the capture is addressable by from now on. The
+/// bytes are parsed (and validated) even when the fingerprint is already
+/// registered, so a malformed file is *always* reported to its submitter.
+pub fn register_trace_bytes(bytes: &[u8]) -> Result<u64, TraceFileError> {
+    let trace = read_trace(bytes)?;
+    let fingerprint = sprout_cache::fingerprint64(bytes);
+    lock().entry(fingerprint).or_insert_with(|| Arc::new(trace));
+    Ok(fingerprint)
+}
+
+/// Register a measured capture from disk: read the file, fingerprint its
+/// bytes, parse, and deposit in the registry.
+pub fn register_trace_file(path: impl AsRef<Path>) -> Result<u64, TraceFileError> {
+    let bytes = std::fs::read(path)?;
+    register_trace_bytes(&bytes)
+}
+
+/// Look up a registered capture by fingerprint. `None` means no file
+/// with these bytes was registered in *this* process — for sweep workers
+/// that is a usage error (the `--trace` flag vector must name every
+/// capture the matrix replays).
+pub fn lookup_trace(fingerprint: u64) -> Option<Arc<Trace>> {
+    lock().get(&fingerprint).cloned()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CAPTURE: &str = "# excerpt\n0\n5\n5\n12\n30\n";
+
+    #[test]
+    fn same_bytes_under_two_paths_share_one_fingerprint() {
+        let dir = std::env::temp_dir().join(format!("sprout-registry-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let (a, b) = (dir.join("a.trace"), dir.join("copy-of-a.trace"));
+        std::fs::write(&a, CAPTURE).unwrap();
+        std::fs::write(&b, CAPTURE).unwrap();
+        let fp_a = register_trace_file(&a).unwrap();
+        let fp_b = register_trace_file(&b).unwrap();
+        assert_eq!(fp_a, fp_b, "identity keys on bytes, not paths");
+        let trace = lookup_trace(fp_a).expect("registered");
+        assert_eq!(trace.len(), 5);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn edited_bytes_change_the_fingerprint() {
+        let fp = register_trace_bytes(CAPTURE.as_bytes()).unwrap();
+        let edited = CAPTURE.replace("12", "13");
+        let fp_edited = register_trace_bytes(edited.as_bytes()).unwrap();
+        assert_ne!(fp, fp_edited);
+        // Even a comment-only edit re-fingerprints: the safe direction
+        // (a spurious miss), never a stale hit.
+        let commented = CAPTURE.replace("# excerpt", "# trimmed");
+        assert_ne!(fp, register_trace_bytes(commented.as_bytes()).unwrap());
+    }
+
+    #[test]
+    fn malformed_bytes_never_register() {
+        let err = register_trace_bytes(b"10\n9\n").unwrap_err();
+        assert!(matches!(err, TraceFileError::Malformed { line: 2, .. }));
+        let fp = sprout_cache::fingerprint64(b"10\n9\n");
+        assert!(lookup_trace(fp).is_none());
+    }
+
+    #[test]
+    fn unknown_fingerprint_is_none() {
+        assert!(lookup_trace(0xdead_beef_0bad_cafe).is_none());
+    }
+}

@@ -1,0 +1,155 @@
+//! Property suite for the Saturator trace format (vendored-proptest, 64
+//! cases per property): `write_trace ∘ read_trace` is the identity and
+//! byte-stable for arbitrary monotone traces; comments, blank lines,
+//! leading whitespace, and CRLF endings never change what parses; and
+//! every way an input can be malformed — garbage tokens, timestamps that
+//! run backwards, values that would overflow the microsecond clock — is
+//! an explicit [`TraceFileError::Malformed`] naming the correct 1-based
+//! line. The committed corpus under `tests/data/` is pinned here too, so
+//! the `reproduce replay` experiment's offline inputs cannot drift
+//! silently.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use sprout_trace::{load_trace, read_trace, write_trace, Trace, TraceFileError, MAX_TRACE_MS};
+
+/// Monotone millisecond timestamps from a vector of gaps (gap 0 keeps
+/// repeated timestamps — multiple MTUs per millisecond — in play).
+fn cumsum(gaps: &[u64]) -> Vec<u64> {
+    let mut t = 0u64;
+    gaps.iter()
+        .map(|g| {
+            t += g;
+            t
+        })
+        .collect()
+}
+
+proptest! {
+    #[test]
+    fn write_then_read_is_identity_and_byte_stable(gaps in vec(0u64..500, 0..200)) {
+        let trace = Trace::from_millis(cumsum(&gaps));
+        let mut bytes = Vec::new();
+        write_trace(&trace, &mut bytes).unwrap();
+        let back = read_trace(bytes.as_slice()).unwrap();
+        prop_assert_eq!(&back, &trace);
+        // A second serialization of the parsed trace reproduces the
+        // first byte for byte: the format has one canonical rendering.
+        let mut again = Vec::new();
+        write_trace(&back, &mut again).unwrap();
+        prop_assert_eq!(again, bytes);
+    }
+
+    #[test]
+    fn comments_blanks_whitespace_and_crlf_never_change_the_parse(
+        gaps in vec(0u64..500, 0..100),
+        decor in vec((any::<bool>(), any::<bool>(), any::<bool>()), 100..101),
+    ) {
+        let ms = cumsum(&gaps);
+        let mut text = String::new();
+        for (i, t) in ms.iter().enumerate() {
+            let (comment, blank, crlf) = decor[i % decor.len()];
+            let ending = if crlf { "\r\n" } else { "\n" };
+            if comment {
+                text.push_str("# saturator checkpoint");
+                text.push_str(ending);
+            }
+            if blank {
+                text.push_str(ending);
+            }
+            text.push_str(&format!("  {t}{ending}"));
+        }
+        let parsed = read_trace(text.as_bytes()).unwrap();
+        prop_assert_eq!(parsed, Trace::from_millis(ms));
+    }
+
+    #[test]
+    fn garbage_token_is_malformed_at_its_one_based_line(
+        gaps in vec(0u64..500, 1..100),
+        pos_raw in any::<u64>(),
+    ) {
+        let mut lines: Vec<String> = cumsum(&gaps).iter().map(|t| t.to_string()).collect();
+        let pos = (pos_raw as usize) % (lines.len() + 1);
+        lines.insert(pos, "12q34".to_string());
+        let text = lines.join("\n") + "\n";
+        match read_trace(text.as_bytes()) {
+            Err(TraceFileError::Malformed { line, text }) => {
+                prop_assert_eq!(line, pos + 1);
+                prop_assert_eq!(text.as_str(), "12q34");
+            }
+            other => prop_assert!(false, "expected Malformed, got {:?}", other),
+        }
+    }
+
+    #[test]
+    fn backwards_timestamp_is_malformed_at_its_one_based_line(
+        gaps in vec(0u64..500, 2..100),
+        pos_raw in any::<u64>(),
+    ) {
+        // Shift everything up by one so the predecessor is always > 0,
+        // then pull one timestamp strictly below it.
+        let mut ms: Vec<u64> = cumsum(&gaps).iter().map(|t| t + 1).collect();
+        let pos = 1 + (pos_raw as usize) % (ms.len() - 1);
+        ms[pos] = ms[pos - 1] - 1;
+        let text: String = ms.iter().map(|t| format!("{t}\n")).collect();
+        match read_trace(text.as_bytes()) {
+            Err(TraceFileError::Malformed { line, text }) => {
+                prop_assert_eq!(line, pos + 1);
+                prop_assert_eq!(text, ms[pos].to_string());
+            }
+            other => prop_assert!(false, "expected Malformed, got {:?}", other),
+        }
+    }
+
+    #[test]
+    fn overflowing_timestamp_is_malformed_at_its_one_based_line(
+        gaps in vec(0u64..500, 1..50),
+        pos_raw in any::<u64>(),
+        excess in 1u64..1_000_000,
+    ) {
+        let mut lines: Vec<String> = cumsum(&gaps).iter().map(|t| t.to_string()).collect();
+        let pos = (pos_raw as usize) % lines.len();
+        let big = MAX_TRACE_MS + excess; // > MAX_TRACE_MS, far from u64 wrap
+        lines[pos] = big.to_string();
+        let text = lines.join("\n") + "\n";
+        match read_trace(text.as_bytes()) {
+            Err(TraceFileError::Malformed { line, text }) => {
+                prop_assert_eq!(line, pos + 1);
+                prop_assert_eq!(text, big.to_string());
+            }
+            other => prop_assert!(false, "expected Malformed, got {:?}", other),
+        }
+    }
+}
+
+fn data(file: &str) -> String {
+    format!("{}/tests/data/{file}", env!("CARGO_MANIFEST_DIR"))
+}
+
+/// The committed corpus the `replay` experiment runs offline: shape
+/// pinned so an accidental regeneration is a loud failure.
+#[test]
+fn committed_corpus_parses_with_pinned_shape() {
+    let down = load_trace(data("downlink-excerpt.trace")).unwrap();
+    assert_eq!(down.len(), 4439);
+    assert_eq!(down.duration().as_millis(), 39_975);
+    // The downlink excerpt carries a multi-second outage.
+    assert!(down.interarrivals().any(|g| g.as_millis() >= 2_000));
+
+    let up = load_trace(data("uplink-excerpt.trace")).unwrap();
+    assert_eq!(up.len(), 4099);
+    assert_eq!(up.duration().as_millis(), 39_800);
+    // The uplink excerpt carries same-millisecond delivery bursts.
+    assert!(up.opportunities().windows(2).any(|w| w[0] == w[1]));
+}
+
+#[test]
+fn committed_adversarial_capture_is_rejected_at_line_4() {
+    match load_trace(data("backwards.trace")) {
+        Err(TraceFileError::Malformed { line, text }) => {
+            assert_eq!(line, 4);
+            assert_eq!(text, "15");
+        }
+        other => panic!("expected Malformed, got {other:?}"),
+    }
+}
